@@ -1,0 +1,114 @@
+//! `ull-bench` — benchmark harness support.
+//!
+//! Each Criterion bench target (`benches/table1.rs`, `benches/fig04.rs`,
+//! ...) does two things:
+//!
+//! 1. **Regenerates its table/figure** once at [`Scale::Quick`] and prints
+//!    the rows plus the shape-check verdict, so `cargo bench` output
+//!    contains the reproduced evaluation (EXPERIMENTS.md records the
+//!    `--full` numbers).
+//! 2. **Times a representative kernel** of that experiment (a single sweep
+//!    point) so regressions in simulator performance are visible.
+//!
+//! The kernels here are shared by those targets.
+
+use ull_study::testbed::{host, Device};
+use ull_stack::IoPath;
+use ull_workload::{run_job, Engine, JobReport, JobSpec, Pattern};
+
+pub use ull_study::testbed::Scale;
+
+/// Prints a regenerated figure with its shape verdict.
+pub fn announce(name: &str, body: impl std::fmt::Display, violations: Vec<String>) {
+    println!("\n===== {name} (regenerated at Scale::Quick) =====");
+    println!("{body}");
+    if violations.is_empty() {
+        println!("shape check: OK");
+    } else {
+        println!("shape check: {violations:#?}");
+    }
+}
+
+/// One small job — the unit kernel most figure benches time.
+#[allow(clippy::too_many_arguments)] // mirrors the fio option set deliberately
+pub fn job_kernel(
+    device: Device,
+    path: IoPath,
+    engine: Engine,
+    pattern: Pattern,
+    read_fraction: f64,
+    block_size: u32,
+    iodepth: u32,
+    ios: u64,
+) -> JobReport {
+    let mut h = host(device, path);
+    let spec = JobSpec::new("bench-kernel")
+        .pattern(pattern)
+        .read_fraction(read_fraction)
+        .block_size(block_size)
+        .engine(engine)
+        .iodepth(iodepth)
+        .ios(ios);
+    run_job(&mut h, &spec)
+}
+
+/// Random-read point on the ULL device through the kernel stack.
+pub fn ull_randread_point(ios: u64) -> f64 {
+    job_kernel(
+        Device::Ull,
+        IoPath::KernelInterrupt,
+        Engine::Libaio,
+        Pattern::Random,
+        1.0,
+        4096,
+        16,
+        ios,
+    )
+    .mean_latency()
+    .as_micros_f64()
+}
+
+/// Polled sync-read point on the ULL device.
+pub fn ull_polled_point(ios: u64) -> f64 {
+    job_kernel(
+        Device::Ull,
+        IoPath::KernelPolled,
+        Engine::Pvsync2,
+        Pattern::Sequential,
+        1.0,
+        4096,
+        1,
+        ios,
+    )
+    .mean_latency()
+    .as_micros_f64()
+}
+
+/// SPDK point on the ULL device.
+pub fn ull_spdk_point(ios: u64) -> f64 {
+    job_kernel(
+        Device::Ull,
+        IoPath::Spdk,
+        Engine::SpdkPlugin,
+        Pattern::Sequential,
+        1.0,
+        4096,
+        1,
+        ios,
+    )
+    .mean_latency()
+    .as_micros_f64()
+}
+
+/// GC-pressure point: preconditioned random overwrites on the NVMe device.
+pub fn nvme_gc_point(ios: u64) -> f64 {
+    let mut h = host(Device::Nvme750, IoPath::KernelInterrupt);
+    ull_workload::precondition_full(&mut h);
+    let spec = JobSpec::new("bench-gc")
+        .pattern(Pattern::Random)
+        .read_fraction(0.0)
+        .engine(Engine::Libaio)
+        .iodepth(2)
+        .ios(ios);
+    run_job(&mut h, &spec).mean_latency().as_micros_f64()
+}

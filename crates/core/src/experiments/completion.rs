@@ -1,0 +1,624 @@
+//! §V — I/O completion methods and challenges: figures 9/10 (interrupt vs
+//! poll latency), 11 (five-nines), 12 (hybrid CPU), 13 (CPU utilization),
+//! 14 (cycle breakdown), 15 (memory instructions) and 16 (hybrid latency
+//! reduction).
+
+use core::fmt;
+
+use ull_simkit::SimDuration;
+use ull_stack::{IoPath, Mode, StackFn};
+use ull_workload::{run_job, Engine, JobReport, JobSpec};
+
+use crate::experiments::{PatternSpec, BLOCK_SIZES, PATTERNS};
+use crate::testbed::{host, reduction_pct, Device, Scale};
+
+fn sync_report(device: Device, path: IoPath, p: &PatternSpec, bs: u32, ios: u64) -> JobReport {
+    let mut h = host(device, path);
+    let spec = JobSpec::new(format!("{}-{}k-{}", p.label, bs / 1024, path.label()))
+        .pattern(p.pattern)
+        .read_fraction(p.read_fraction)
+        .block_size(bs)
+        .engine(Engine::Pvsync2)
+        .ios(ios)
+        .seed(0xF1609);
+    run_job(&mut h, &spec)
+}
+
+// ----------------------------------------------------------- figs. 9 & 10
+
+/// One point of figs. 9/10.
+#[derive(Debug, Clone)]
+pub struct CompletionRow {
+    /// Device under test.
+    pub device: Device,
+    /// Access pattern label.
+    pub pattern: &'static str,
+    /// Block size, bytes.
+    pub block_size: u32,
+    /// Mean latency under interrupts, µs.
+    pub interrupt_us: f64,
+    /// Mean latency under polling, µs.
+    pub poll_us: f64,
+}
+
+impl CompletionRow {
+    /// Percent latency reduction of polling vs interrupts.
+    pub fn poll_gain_pct(&self) -> f64 {
+        reduction_pct(self.interrupt_us, self.poll_us)
+    }
+}
+
+/// Figs. 9 (NVMe) and 10 (ULL): poll vs interrupt mean latency.
+#[derive(Debug)]
+pub struct Fig0910 {
+    /// All measured points.
+    pub rows: Vec<CompletionRow>,
+}
+
+/// Runs figs. 9 and 10.
+pub fn fig0910_run(scale: Scale) -> Fig0910 {
+    let ios = scale.ios(4_000, 100_000);
+    let mut rows = Vec::new();
+    for device in Device::ALL {
+        for p in &PATTERNS {
+            for bs in BLOCK_SIZES {
+                let int = sync_report(device, IoPath::KernelInterrupt, p, bs, ios);
+                let poll = sync_report(device, IoPath::KernelPolled, p, bs, ios);
+                rows.push(CompletionRow {
+                    device,
+                    pattern: p.label,
+                    block_size: bs,
+                    interrupt_us: int.mean_latency().as_micros_f64(),
+                    poll_us: poll.mean_latency().as_micros_f64(),
+                });
+            }
+        }
+    }
+    Fig0910 { rows }
+}
+
+impl Fig0910 {
+    /// Average poll gain over reads/writes for one device (percent).
+    pub fn mean_gain(&self, device: Device, write: bool) -> f64 {
+        let rows: Vec<&CompletionRow> = self
+            .rows
+            .iter()
+            .filter(|r| r.device == device && r.pattern.contains("Wr") == write)
+            .collect();
+        rows.iter().map(|r| r.poll_gain_pct()).sum::<f64>() / rows.len() as f64
+    }
+
+    /// Shape violations vs §V-A1.
+    pub fn check(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        // ULL: polling helps noticeably (paper: 16.3% reads, 13.5% writes).
+        let ull_r = self.mean_gain(Device::Ull, false);
+        if !(8.0..=30.0).contains(&ull_r) {
+            v.push(format!("ULL read poll gain {ull_r:.1}%, paper ~16%"));
+        }
+        let ull_w = self.mean_gain(Device::Ull, true);
+        if !(8.0..=30.0).contains(&ull_w) {
+            v.push(format!("ULL write poll gain {ull_w:.1}%, paper ~14%"));
+        }
+        // NVMe: negligible for reads (paper: <2.2%), modest for writes
+        // (paper: ~11.2%).
+        let nvme_r = self.mean_gain(Device::Nvme750, false);
+        if nvme_r > 10.0 {
+            v.push(format!("NVMe read poll gain {nvme_r:.1}%, paper <2.2%"));
+        }
+        let nvme_w = self.mean_gain(Device::Nvme750, true);
+        if nvme_w > 25.0 {
+            v.push(format!("NVMe write poll gain {nvme_w:.1}%, paper ~11%"));
+        }
+        if nvme_r >= ull_r {
+            v.push("polling must help the ULL device more than the NVMe device".into());
+        }
+        v
+    }
+}
+
+impl fmt::Display for Fig0910 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig 9/10: poll vs interrupt mean latency (pvsync2)")?;
+        writeln!(
+            f,
+            "{:10}{:8}{:>7}{:>12}{:>10}{:>8}",
+            "device", "pattern", "bs", "intr(us)", "poll(us)", "gain%"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:10}{:8}{:>6}K{:>12.1}{:>10.1}{:>8.1}",
+                r.device.label(),
+                r.pattern,
+                r.block_size / 1024,
+                r.interrupt_us,
+                r.poll_us,
+                r.poll_gain_pct()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------- fig. 11
+
+/// One point of fig. 11.
+#[derive(Debug, Clone)]
+pub struct Fig11Row {
+    /// Whether this row measures writes.
+    pub write: bool,
+    /// Block size, bytes.
+    pub block_size: u32,
+    /// Five-nines latency under interrupts, µs.
+    pub interrupt_us: f64,
+    /// Five-nines latency under polling, µs.
+    pub poll_us: f64,
+}
+
+/// Fig. 11: five-nines latency of polling vs interrupts on the ULL SSD.
+#[derive(Debug)]
+pub struct Fig11 {
+    /// All measured points.
+    pub rows: Vec<Fig11Row>,
+}
+
+/// Runs fig. 11.
+pub fn fig11_run(scale: Scale) -> Fig11 {
+    let ios = scale.ios(200_000, 1_000_000);
+    let mut rows = Vec::new();
+    for p in [&PATTERNS[0], &PATTERNS[2]] {
+        // SeqRd / SeqWr
+        for bs in BLOCK_SIZES {
+            let int = sync_report(Device::Ull, IoPath::KernelInterrupt, p, bs, ios);
+            let poll = sync_report(Device::Ull, IoPath::KernelPolled, p, bs, ios);
+            rows.push(Fig11Row {
+                write: p.read_fraction == 0.0,
+                block_size: bs,
+                interrupt_us: int.five_nines().as_micros_f64(),
+                poll_us: poll.five_nines().as_micros_f64(),
+            });
+        }
+    }
+    Fig11 { rows }
+}
+
+impl Fig11 {
+    /// Shape violations vs §V-A2: the tail inverts — polling is *worse*.
+    pub fn check(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let mut worse = 0;
+        for r in &self.rows {
+            if r.poll_us > r.interrupt_us {
+                worse += 1;
+            }
+        }
+        if worse < self.rows.len() * 3 / 4 {
+            v.push(format!("poll tail worse in only {worse}/{} cells", self.rows.len()));
+        }
+        let avg_excess: f64 = self
+            .rows
+            .iter()
+            .map(|r| (r.poll_us - r.interrupt_us) / r.interrupt_us * 100.0)
+            .sum::<f64>()
+            / self.rows.len() as f64;
+        if !(2.0..=40.0).contains(&avg_excess) {
+            v.push(format!("poll tail excess {avg_excess:.1}%, paper ~11-12%"));
+        }
+        v
+    }
+}
+
+impl fmt::Display for Fig11 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig 11: ULL five-nines latency, poll vs interrupt")?;
+        writeln!(f, "{:6}{:>7}{:>12}{:>10}", "op", "bs", "intr(us)", "poll(us)")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:6}{:>6}K{:>12.1}{:>10.1}",
+                if r.write { "write" } else { "read" },
+                r.block_size / 1024,
+                r.interrupt_us,
+                r.poll_us
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------- figs. 12 & 13 (CPU util)
+
+/// One point of figs. 12/13.
+#[derive(Debug, Clone)]
+pub struct CpuRow {
+    /// Completion path measured.
+    pub path: IoPath,
+    /// Access pattern label.
+    pub pattern: &'static str,
+    /// Block size, bytes.
+    pub block_size: u32,
+    /// User-mode utilization, 0-1.
+    pub user: f64,
+    /// Kernel-mode utilization, 0-1.
+    pub kernel: f64,
+}
+
+/// Figs. 12 and 13: CPU utilization of the completion methods on the ULL
+/// SSD.
+#[derive(Debug)]
+pub struct Fig1213 {
+    /// All measured points.
+    pub rows: Vec<CpuRow>,
+}
+
+/// Runs figs. 12 and 13.
+pub fn fig1213_run(scale: Scale) -> Fig1213 {
+    let ios = scale.ios(4_000, 200_000);
+    let mut rows = Vec::new();
+    for path in [IoPath::KernelInterrupt, IoPath::KernelPolled, IoPath::KernelHybrid] {
+        for p in &PATTERNS {
+            for bs in BLOCK_SIZES {
+                let r = sync_report(Device::Ull, path, p, bs, ios);
+                rows.push(CpuRow {
+                    path,
+                    pattern: p.label,
+                    block_size: bs,
+                    user: r.user_util,
+                    kernel: r.kernel_util,
+                });
+            }
+        }
+    }
+    Fig1213 { rows }
+}
+
+impl Fig1213 {
+    /// Mean total utilization of one path.
+    pub fn mean_total(&self, path: IoPath) -> f64 {
+        let rows: Vec<&CpuRow> = self.rows.iter().filter(|r| r.path == path).collect();
+        rows.iter().map(|r| r.user + r.kernel).sum::<f64>() / rows.len() as f64
+    }
+
+    /// Mean kernel utilization of one path.
+    pub fn mean_kernel(&self, path: IoPath) -> f64 {
+        let rows: Vec<&CpuRow> = self.rows.iter().filter(|r| r.path == path).collect();
+        rows.iter().map(|r| r.kernel).sum::<f64>() / rows.len() as f64
+    }
+
+    /// Shape violations vs §V-B1 (fig. 13) and §V-C (fig. 12).
+    pub fn check(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let poll_k = self.mean_kernel(IoPath::KernelPolled);
+        if poll_k < 0.80 {
+            v.push(format!("poll kernel util {:.0}%, paper ~96%", poll_k * 100.0));
+        }
+        let int_total = self.mean_total(IoPath::KernelInterrupt);
+        if int_total > 0.45 {
+            v.push(format!("interrupt total util {:.0}%, paper ~18%", int_total * 100.0));
+        }
+        let hybrid = self.mean_total(IoPath::KernelHybrid);
+        if !(0.30..=0.80).contains(&hybrid) {
+            v.push(format!("hybrid util {:.0}%, paper ~56-58%", hybrid * 100.0));
+        }
+        if !(int_total < hybrid && hybrid < self.mean_total(IoPath::KernelPolled)) {
+            v.push("utilization must order interrupt < hybrid < poll".into());
+        }
+        v
+    }
+}
+
+impl fmt::Display for Fig1213 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig 12/13: CPU utilization by completion method (ULL, pvsync2)")?;
+        writeln!(f, "{:10}{:8}{:>7}{:>8}{:>8}", "method", "pattern", "bs", "user%", "sys%")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:10}{:8}{:>6}K{:>8.1}{:>8.1}",
+                r.path.label(),
+                r.pattern,
+                r.block_size / 1024,
+                r.user * 100.0,
+                r.kernel * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------- fig. 14
+
+/// One pattern's breakdown in fig. 14.
+#[derive(Debug, Clone)]
+pub struct Fig14Row {
+    /// Access pattern label.
+    pub pattern: &'static str,
+    /// Fraction of kernel cycles spent in the NVMe driver (fig. 14a).
+    pub nvme_driver_frac: f64,
+    /// Fraction of kernel cycles in `blk_mq_poll` (fig. 14b).
+    pub blk_mq_poll_frac: f64,
+    /// Fraction of kernel cycles in `nvme_poll` (fig. 14b).
+    pub nvme_poll_frac: f64,
+}
+
+/// Fig. 14: kernel CPU-cycle breakdown under polling (ULL, 4 KB).
+#[derive(Debug)]
+pub struct Fig14 {
+    /// One row per pattern.
+    pub rows: Vec<Fig14Row>,
+}
+
+/// Runs fig. 14.
+pub fn fig14_run(scale: Scale) -> Fig14 {
+    let ios = scale.ios(4_000, 200_000);
+    let mut rows = Vec::new();
+    for p in &PATTERNS {
+        let r = sync_report(Device::Ull, IoPath::KernelPolled, p, 4096, ios);
+        let kernel_total: SimDuration = r
+            .busy_by_fn
+            .iter()
+            .filter(|(_, m, _)| *m == Mode::Kernel)
+            .map(|(_, _, d)| *d)
+            .sum();
+        let frac = |f: StackFn| r.busy_of(f).as_nanos() as f64 / kernel_total.as_nanos() as f64;
+        rows.push(Fig14Row {
+            pattern: p.label,
+            nvme_driver_frac: frac(StackFn::NvmePoll) + frac(StackFn::NvmeDriverSubmit),
+            blk_mq_poll_frac: frac(StackFn::BlkMqPoll),
+            nvme_poll_frac: frac(StackFn::NvmePoll),
+        });
+    }
+    Fig14 { rows }
+}
+
+impl Fig14 {
+    /// Shape violations vs §V-B1.
+    pub fn check(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        for r in &self.rows {
+            // Paper: driver ~17.5% of kernel cycles; blk_mq_poll ~67%,
+            // nvme_poll ~17%; together ~84%.
+            if !(0.10..=0.35).contains(&r.nvme_driver_frac) {
+                v.push(format!("{}: driver share {:.0}%", r.pattern, r.nvme_driver_frac * 100.0));
+            }
+            if !(0.50..=0.85).contains(&r.blk_mq_poll_frac) {
+                v.push(format!("{}: blk_mq_poll share {:.0}%", r.pattern, r.blk_mq_poll_frac * 100.0));
+            }
+            let both = r.blk_mq_poll_frac + r.nvme_poll_frac;
+            if both < 0.70 {
+                v.push(format!("{}: polling pair {:.0}%, paper ~84%", r.pattern, both * 100.0));
+            }
+        }
+        v
+    }
+}
+
+impl fmt::Display for Fig14 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig 14: kernel cycle breakdown under polling (ULL, 4KB)")?;
+        writeln!(f, "{:8}{:>14}{:>14}{:>12}", "pattern", "nvme-driver%", "blk_mq_poll%", "nvme_poll%")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:8}{:>14.1}{:>14.1}{:>12.1}",
+                r.pattern,
+                r.nvme_driver_frac * 100.0,
+                r.blk_mq_poll_frac * 100.0,
+                r.nvme_poll_frac * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------- fig. 15
+
+/// One point of fig. 15.
+#[derive(Debug, Clone)]
+pub struct Fig15Row {
+    /// Whether this row measures writes.
+    pub write: bool,
+    /// Block size, bytes.
+    pub block_size: u32,
+    /// Poll/interrupt load-instruction ratio.
+    pub load_ratio: f64,
+    /// Poll/interrupt store-instruction ratio.
+    pub store_ratio: f64,
+}
+
+/// Fig. 15: memory instructions of polling, normalized to interrupts (ULL).
+#[derive(Debug)]
+pub struct Fig15 {
+    /// All measured points.
+    pub rows: Vec<Fig15Row>,
+}
+
+/// Runs fig. 15.
+pub fn fig15_run(scale: Scale) -> Fig15 {
+    let ios = scale.ios(4_000, 200_000);
+    let mut rows = Vec::new();
+    for p in [&PATTERNS[0], &PATTERNS[2]] {
+        for bs in BLOCK_SIZES {
+            let int = sync_report(Device::Ull, IoPath::KernelInterrupt, p, bs, ios);
+            let poll = sync_report(Device::Ull, IoPath::KernelPolled, p, bs, ios);
+            rows.push(Fig15Row {
+                write: p.read_fraction == 0.0,
+                block_size: bs,
+                load_ratio: poll.mem.loads as f64 / int.mem.loads as f64,
+                store_ratio: poll.mem.stores as f64 / int.mem.stores as f64,
+            });
+        }
+    }
+    Fig15 { rows }
+}
+
+impl Fig15 {
+    /// Shape violations vs §V-B2 (paper: +137% loads, +78% stores).
+    pub fn check(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let mean_l = self.rows.iter().map(|r| r.load_ratio).sum::<f64>() / self.rows.len() as f64;
+        let mean_s = self.rows.iter().map(|r| r.store_ratio).sum::<f64>() / self.rows.len() as f64;
+        if !(1.6..=3.4).contains(&mean_l) {
+            v.push(format!("poll load ratio {mean_l:.2}, paper ~2.4"));
+        }
+        if !(1.2..=2.6).contains(&mean_s) {
+            v.push(format!("poll store ratio {mean_s:.2}, paper ~1.8"));
+        }
+        if mean_s >= mean_l {
+            v.push("loads must inflate more than stores".into());
+        }
+        v
+    }
+}
+
+impl fmt::Display for Fig15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig 15: poll memory instructions / interrupt (ULL)")?;
+        writeln!(f, "{:6}{:>7}{:>8}{:>8}", "op", "bs", "loads", "stores")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:6}{:>6}K{:>8.2}{:>8.2}",
+                if r.write { "write" } else { "read" },
+                r.block_size / 1024,
+                r.load_ratio,
+                r.store_ratio
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------- fig. 16
+
+/// One point of fig. 16.
+#[derive(Debug, Clone)]
+pub struct Fig16Row {
+    /// Access pattern label.
+    pub pattern: &'static str,
+    /// Block size, bytes.
+    pub block_size: u32,
+    /// Latency reduction of pure polling vs interrupts, percent.
+    pub poll_reduction_pct: f64,
+    /// Latency reduction of hybrid polling vs interrupts, percent.
+    pub hybrid_reduction_pct: f64,
+}
+
+/// Fig. 16: hybrid polling vs polling latency reduction (ULL).
+#[derive(Debug)]
+pub struct Fig16 {
+    /// All measured points.
+    pub rows: Vec<Fig16Row>,
+}
+
+/// Runs fig. 16.
+pub fn fig16_run(scale: Scale) -> Fig16 {
+    let ios = scale.ios(4_000, 200_000);
+    let mut rows = Vec::new();
+    for p in &PATTERNS {
+        for bs in BLOCK_SIZES {
+            let int = sync_report(Device::Ull, IoPath::KernelInterrupt, p, bs, ios);
+            let poll = sync_report(Device::Ull, IoPath::KernelPolled, p, bs, ios);
+            let hybrid = sync_report(Device::Ull, IoPath::KernelHybrid, p, bs, ios);
+            let i = int.mean_latency().as_micros_f64();
+            rows.push(Fig16Row {
+                pattern: p.label,
+                block_size: bs,
+                poll_reduction_pct: reduction_pct(i, poll.mean_latency().as_micros_f64()),
+                hybrid_reduction_pct: reduction_pct(i, hybrid.mean_latency().as_micros_f64()),
+            });
+        }
+    }
+    Fig16 { rows }
+}
+
+impl Fig16 {
+    /// Shape violations vs §V-C.
+    pub fn check(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let mut hybrid_wins = 0;
+        for r in &self.rows {
+            if r.hybrid_reduction_pct > r.poll_reduction_pct {
+                hybrid_wins += 1;
+            }
+            if r.hybrid_reduction_pct < -5.0 {
+                v.push(format!(
+                    "{} {}K: hybrid slower than interrupts by {:.0}%",
+                    r.pattern,
+                    r.block_size / 1024,
+                    -r.hybrid_reduction_pct
+                ));
+            }
+        }
+        // Hybrid must not beat pure polling (its sleep is inaccurate).
+        if hybrid_wins > self.rows.len() / 4 {
+            v.push(format!("hybrid beat polling in {hybrid_wins}/{} cells", self.rows.len()));
+        }
+        let mean_poll =
+            self.rows.iter().map(|r| r.poll_reduction_pct).sum::<f64>() / self.rows.len() as f64;
+        if !(8.0..=35.0).contains(&mean_poll) {
+            v.push(format!("mean poll reduction {mean_poll:.1}%, paper up to 33%"));
+        }
+        v
+    }
+}
+
+impl fmt::Display for Fig16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig 16: latency reduction vs interrupts (ULL)")?;
+        writeln!(f, "{:8}{:>7}{:>8}{:>9}", "pattern", "bs", "poll%", "hybrid%")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:8}{:>6}K{:>8.1}{:>9.1}",
+                r.pattern,
+                r.block_size / 1024,
+                r.poll_reduction_pct,
+                r.hybrid_reduction_pct
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig0910_shapes_hold() {
+        let r = fig0910_run(Scale::Quick);
+        assert!(r.check().is_empty(), "{:#?}\n{r}", r.check());
+    }
+
+    #[test]
+    fn fig11_shapes_hold() {
+        let r = fig11_run(Scale::Quick);
+        assert!(r.check().is_empty(), "{:#?}\n{r}", r.check());
+    }
+
+    #[test]
+    fn fig1213_shapes_hold() {
+        let r = fig1213_run(Scale::Quick);
+        assert!(r.check().is_empty(), "{:#?}\n{r}", r.check());
+    }
+
+    #[test]
+    fn fig14_shapes_hold() {
+        let r = fig14_run(Scale::Quick);
+        assert!(r.check().is_empty(), "{:#?}\n{r}", r.check());
+    }
+
+    #[test]
+    fn fig15_shapes_hold() {
+        let r = fig15_run(Scale::Quick);
+        assert!(r.check().is_empty(), "{:#?}\n{r}", r.check());
+    }
+
+    #[test]
+    fn fig16_shapes_hold() {
+        let r = fig16_run(Scale::Quick);
+        assert!(r.check().is_empty(), "{:#?}\n{r}", r.check());
+    }
+}

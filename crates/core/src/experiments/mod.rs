@@ -1,0 +1,43 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every experiment follows the same shape: a `run(scale)` entry point
+//! returning a typed result, a `Display` impl that prints the same
+//! rows/series the paper plots, and a `check()` method returning the list
+//! of *shape violations* — the qualitative claims of the paper (who wins,
+//! by roughly what factor, where saturation/crossover falls) that this
+//! reproduction must uphold. Integration tests assert `check()` is empty
+//! at `Scale::Quick`; `EXPERIMENTS.md` records `Scale::Full` numbers.
+
+pub mod completion;
+pub mod extensions;
+pub mod device_level;
+pub mod nbd;
+pub mod spdk;
+pub mod table1;
+
+use ull_workload::Pattern;
+
+/// The four access patterns of every figure, in the paper's order.
+pub const PATTERNS: [PatternSpec; 4] = [
+    PatternSpec { label: "SeqRd", pattern: Pattern::Sequential, read_fraction: 1.0 },
+    PatternSpec { label: "RndRd", pattern: Pattern::Random, read_fraction: 1.0 },
+    PatternSpec { label: "SeqWr", pattern: Pattern::Sequential, read_fraction: 0.0 },
+    PatternSpec { label: "RndWr", pattern: Pattern::Random, read_fraction: 0.0 },
+];
+
+/// One named access pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternSpec {
+    /// Label used in tables ("SeqRd", ...).
+    pub label: &'static str,
+    /// Spatial pattern.
+    pub pattern: Pattern,
+    /// Read fraction.
+    pub read_fraction: f64,
+}
+
+/// The block sizes of the completion-method figures (9-16).
+pub const BLOCK_SIZES: [u32; 4] = [4 << 10, 8 << 10, 16 << 10, 32 << 10];
+
+/// The large block sizes of fig. 19.
+pub const BIG_BLOCK_SIZES: [u32; 5] = [64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20];

@@ -1,0 +1,142 @@
+//! §VI-C — fig. 23: SPDK in a real server-client system (kernel NBD vs
+//! SPDK NBD with a client-side ext4).
+
+use core::fmt;
+
+use ull_netblock::{NbdServerKind, NbdSystem};
+use ull_simkit::{SimDuration, SimTime, Summary};
+use ull_ssd::presets;
+
+use crate::testbed::{reduction_pct, Scale};
+
+/// The file sizes swept in fig. 23.
+pub const FIG23_SIZES: [u32; 5] = [4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10];
+
+/// One point of fig. 23.
+#[derive(Debug, Clone)]
+pub struct Fig23Row {
+    /// Whether this row measures writes.
+    pub write: bool,
+    /// Whether the accesses are sequential file ids.
+    pub sequential: bool,
+    /// File size, bytes.
+    pub file_size: u32,
+    /// Kernel-NBD mean latency, µs.
+    pub kernel_us: f64,
+    /// SPDK-NBD mean latency, µs.
+    pub spdk_us: f64,
+}
+
+impl Fig23Row {
+    /// Percent latency reduction of SPDK NBD.
+    pub fn gain_pct(&self) -> f64 {
+        reduction_pct(self.kernel_us, self.spdk_us)
+    }
+}
+
+/// Fig. 23: server-client latency, kernel NBD vs SPDK NBD (ULL SSD).
+#[derive(Debug)]
+pub struct Fig23 {
+    /// All measured points.
+    pub rows: Vec<Fig23Row>,
+}
+
+/// Runs fig. 23 (10 M-file working set approximated by hashing file ids
+/// over the exported device).
+pub fn fig23_run(scale: Scale) -> Fig23 {
+    let ops = scale.ios(2_000, 50_000);
+    let mut rows = Vec::new();
+    for write in [false, true] {
+        for sequential in [true, false] {
+            for size in FIG23_SIZES {
+                let mut lat = [0.0f64; 2];
+                for (i, kind) in [NbdServerKind::Kernel, NbdServerKind::Spdk].iter().enumerate() {
+                    let mut sys = NbdSystem::new(presets::ull_800g(), *kind, 0xF1623)
+                        .expect("preset valid");
+                    let mut s = Summary::new();
+                    let mut at = SimTime::ZERO;
+                    for k in 0..ops {
+                        let file_id = if sequential { k } else { k.wrapping_mul(2654435761) };
+                        let r = if write {
+                            sys.file_write(at, file_id, size)
+                        } else {
+                            sys.file_read(at, file_id, size)
+                        };
+                        s.record(r.latency.as_micros_f64());
+                        at = r.done + SimDuration::from_micros(2);
+                    }
+                    lat[i] = s.mean();
+                }
+                rows.push(Fig23Row {
+                    write,
+                    sequential,
+                    file_size: size,
+                    kernel_us: lat[0],
+                    spdk_us: lat[1],
+                });
+            }
+        }
+    }
+    Fig23 { rows }
+}
+
+impl Fig23 {
+    /// Mean SPDK-NBD gain over one direction, percent.
+    pub fn mean_gain(&self, write: bool) -> f64 {
+        let rows: Vec<&Fig23Row> = self.rows.iter().filter(|r| r.write == write).collect();
+        rows.iter().map(|r| r.gain_pct()).sum::<f64>() / rows.len() as f64
+    }
+
+    /// Shape violations vs §VI-C (paper: reads −39%/−38%, writes
+    /// −3.7%/−4.6%).
+    pub fn check(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let reads = self.mean_gain(false);
+        let writes = self.mean_gain(true);
+        if !(25.0..=55.0).contains(&reads) {
+            v.push(format!("NBD read gain {reads:.1}%, paper ~39%"));
+        }
+        if !(0.0..=15.0).contains(&writes) {
+            v.push(format!("NBD write gain {writes:.1}%, paper ~4%"));
+        }
+        if writes >= reads / 2.0 {
+            v.push("writes must benefit far less than reads".into());
+        }
+        v
+    }
+}
+
+impl fmt::Display for Fig23 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig 23: kernel NBD vs SPDK NBD over ext4 (ULL SSD)")?;
+        writeln!(
+            f,
+            "{:6}{:6}{:>7}{:>12}{:>10}{:>8}",
+            "op", "order", "size", "kernel(us)", "spdk(us)", "gain%"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:6}{:6}{:>6}K{:>12.1}{:>10.1}{:>8.1}",
+                if r.write { "write" } else { "read" },
+                if r.sequential { "seq" } else { "rnd" },
+                r.file_size / 1024,
+                r.kernel_us,
+                r.spdk_us,
+                r.gain_pct()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig23_shapes_hold() {
+        let r = fig23_run(Scale::Quick);
+        assert!(r.check().is_empty(), "{:#?}\n{r}", r.check());
+    }
+}

@@ -1,0 +1,86 @@
+//! Table I — analysis of 3D flash characteristics.
+
+use core::fmt;
+
+use ull_flash::FlashSpec;
+
+/// The reproduced Table I.
+#[derive(Debug)]
+pub struct Table1 {
+    /// BiCS, V-NAND, Z-NAND (the paper's column order).
+    pub columns: Vec<FlashSpec>,
+}
+
+/// Builds the table from the `ull-flash` presets.
+pub fn run() -> Table1 {
+    Table1 { columns: vec![FlashSpec::bics(), FlashSpec::v_nand(), FlashSpec::z_nand()] }
+}
+
+impl Table1 {
+    /// Shape violations vs the paper's Table I claims.
+    pub fn check(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let z = &self.columns[2];
+        for other in &self.columns[..2] {
+            let t_read_ratio = other.t_read.as_nanos() as f64 / z.t_read.as_nanos() as f64;
+            if !(15.0..=20.0).contains(&t_read_ratio) {
+                v.push(format!("{}: tR ratio {t_read_ratio:.1} outside 15-20x", other.name));
+            }
+            let t_prog_ratio = other.t_prog.as_nanos() as f64 / z.t_prog.as_nanos() as f64;
+            if !(6.0..=7.5).contains(&t_prog_ratio) {
+                v.push(format!("{}: tPROG ratio {t_prog_ratio:.1} outside 6.6-7x", other.name));
+            }
+        }
+        if z.page_size != 2 * 1024 {
+            v.push("Z-NAND page size must be 2KB".into());
+        }
+        v
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table I: 3D flash characteristics")?;
+        write!(f, "{:12}", "")?;
+        for c in &self.columns {
+            write!(f, "{:>12}", c.name)?;
+        }
+        writeln!(f)?;
+        write!(f, "{:12}", "# layer")?;
+        for c in &self.columns {
+            write!(f, "{:>12}", c.layers)?;
+        }
+        writeln!(f)?;
+        write!(f, "{:12}", "tR")?;
+        for c in &self.columns {
+            write!(f, "{:>12}", c.t_read.to_string())?;
+        }
+        writeln!(f)?;
+        write!(f, "{:12}", "tPROG")?;
+        for c in &self.columns {
+            write!(f, "{:>12}", c.t_prog.to_string())?;
+        }
+        writeln!(f)?;
+        write!(f, "{:12}", "Capacity")?;
+        for c in &self.columns {
+            write!(f, "{:>10}Gb", c.die_capacity_gbit)?;
+        }
+        writeln!(f)?;
+        write!(f, "{:12}", "Page size")?;
+        for c in &self.columns {
+            write!(f, "{:>10}KB", c.page_size / 1024)?;
+        }
+        writeln!(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table1_matches_paper() {
+        let t = super::run();
+        assert!(t.check().is_empty(), "{:?}", t.check());
+        let s = t.to_string();
+        assert!(s.contains("Z-NAND") && s.contains("BiCS") && s.contains("V-NAND"));
+    }
+}

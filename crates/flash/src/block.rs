@@ -1,0 +1,226 @@
+//! Erase-block bookkeeping: valid-page bitmaps, wear, and bad-block state.
+//!
+//! The FTL in `ull-ssd` owns a [`BlockState`] per physical block; garbage
+//! collection uses the valid counts to pick victims and the erase counter to
+//! level wear.
+
+/// Lifecycle of an erase block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockPhase {
+    /// Erased, no pages written.
+    Free,
+    /// Partially written; next_page < pages_per_block.
+    Open,
+    /// All pages written.
+    Full,
+}
+
+/// Valid-page bitmap and wear state for one erase block.
+///
+/// # Examples
+///
+/// ```
+/// use ull_flash::{BlockPhase, BlockState};
+///
+/// let mut b = BlockState::new(4);
+/// let p0 = b.append().unwrap();
+/// let p1 = b.append().unwrap();
+/// assert_eq!((p0, p1), (0, 1));
+/// assert_eq!(b.valid_count(), 2);
+/// b.invalidate(p0);
+/// assert_eq!(b.valid_count(), 1);
+/// b.erase();
+/// assert_eq!(b.phase(), BlockPhase::Free);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockState {
+    valid: Vec<u64>,
+    pages: u32,
+    next_page: u32,
+    valid_count: u32,
+    erase_count: u32,
+    bad: bool,
+}
+
+impl BlockState {
+    /// Creates a fresh (erased) block with `pages` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn new(pages: u32) -> Self {
+        assert!(pages > 0, "a block needs at least one page");
+        BlockState {
+            valid: vec![0; pages.div_ceil(64) as usize],
+            pages,
+            next_page: 0,
+            valid_count: 0,
+            erase_count: 0,
+            bad: false,
+        }
+    }
+
+    /// Pages per block.
+    pub fn pages(&self) -> u32 {
+        self.pages
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> BlockPhase {
+        if self.next_page == 0 {
+            BlockPhase::Free
+        } else if self.next_page < self.pages {
+            BlockPhase::Open
+        } else {
+            BlockPhase::Full
+        }
+    }
+
+    /// Appends a page program, returning the page index written, or `None`
+    /// if the block is full or bad. The page becomes valid.
+    pub fn append(&mut self) -> Option<u32> {
+        if self.bad || self.next_page >= self.pages {
+            return None;
+        }
+        let p = self.next_page;
+        self.next_page += 1;
+        self.valid[(p / 64) as usize] |= 1 << (p % 64);
+        self.valid_count += 1;
+        Some(p)
+    }
+
+    /// Marks a previously written page invalid (its data was overwritten or
+    /// trimmed elsewhere). Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the page was never written.
+    pub fn invalidate(&mut self, page: u32) {
+        debug_assert!(page < self.next_page, "invalidating an unwritten page");
+        let (w, b) = ((page / 64) as usize, page % 64);
+        if self.valid[w] & (1 << b) != 0 {
+            self.valid[w] &= !(1 << b);
+            self.valid_count -= 1;
+        }
+    }
+
+    /// Whether a page currently holds valid data.
+    pub fn is_valid(&self, page: u32) -> bool {
+        if page >= self.pages {
+            return false;
+        }
+        self.valid[(page / 64) as usize] & (1 << (page % 64)) != 0
+    }
+
+    /// Iterates over the indexes of the valid pages.
+    pub fn valid_pages(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.next_page).filter(|&p| self.is_valid(p))
+    }
+
+    /// Number of valid pages (GC migration cost).
+    pub fn valid_count(&self) -> u32 {
+        self.valid_count
+    }
+
+    /// Number of pages still writable.
+    pub fn free_pages(&self) -> u32 {
+        if self.bad { 0 } else { self.pages - self.next_page }
+    }
+
+    /// Number of invalid (reclaimable) pages.
+    pub fn invalid_count(&self) -> u32 {
+        self.next_page - self.valid_count
+    }
+
+    /// Erases the block, clearing all page state and bumping wear.
+    pub fn erase(&mut self) {
+        self.valid.iter_mut().for_each(|w| *w = 0);
+        self.next_page = 0;
+        self.valid_count = 0;
+        self.erase_count += 1;
+    }
+
+    /// How many times this block has been erased.
+    pub fn erase_count(&self) -> u32 {
+        self.erase_count
+    }
+
+    /// Whether the block is marked bad (worn out / manufacturing defect).
+    pub fn is_bad(&self) -> bool {
+        self.bad
+    }
+
+    /// Retires the block; it will accept no further appends.
+    pub fn mark_bad(&mut self) {
+        self.bad = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_fills_sequentially() {
+        let mut b = BlockState::new(3);
+        assert_eq!(b.phase(), BlockPhase::Free);
+        assert_eq!(b.append(), Some(0));
+        assert_eq!(b.phase(), BlockPhase::Open);
+        assert_eq!(b.append(), Some(1));
+        assert_eq!(b.append(), Some(2));
+        assert_eq!(b.phase(), BlockPhase::Full);
+        assert_eq!(b.append(), None);
+        assert_eq!(b.valid_count(), 3);
+        assert_eq!(b.free_pages(), 0);
+    }
+
+    #[test]
+    fn invalidate_is_idempotent() {
+        let mut b = BlockState::new(8);
+        b.append();
+        b.append();
+        b.invalidate(0);
+        b.invalidate(0);
+        assert_eq!(b.valid_count(), 1);
+        assert_eq!(b.invalid_count(), 1);
+        assert!(!b.is_valid(0));
+        assert!(b.is_valid(1));
+    }
+
+    #[test]
+    fn erase_resets_and_counts_wear() {
+        let mut b = BlockState::new(8);
+        for _ in 0..8 {
+            b.append();
+        }
+        b.erase();
+        assert_eq!(b.phase(), BlockPhase::Free);
+        assert_eq!(b.valid_count(), 0);
+        assert_eq!(b.erase_count(), 1);
+        assert_eq!(b.append(), Some(0));
+    }
+
+    #[test]
+    fn bad_blocks_reject_appends() {
+        let mut b = BlockState::new(8);
+        b.mark_bad();
+        assert!(b.is_bad());
+        assert_eq!(b.append(), None);
+        assert_eq!(b.free_pages(), 0);
+    }
+
+    #[test]
+    fn bitmap_works_across_word_boundaries() {
+        let mut b = BlockState::new(130);
+        for _ in 0..130 {
+            b.append();
+        }
+        b.invalidate(63);
+        b.invalidate(64);
+        b.invalidate(129);
+        assert_eq!(b.valid_count(), 127);
+        let invalid: Vec<u32> = (0..130).filter(|&p| !b.is_valid(p)).collect();
+        assert_eq!(invalid, vec![63, 64, 129]);
+        assert_eq!(b.valid_pages().count(), 127);
+    }
+}

@@ -1,0 +1,198 @@
+//! Die-level occupancy: one flash die serves one array operation at a time.
+
+use std::sync::Arc;
+
+use ull_simkit::{SimDuration, SimTime, Slot, Timeline};
+
+use crate::spec::FlashSpec;
+
+/// Cumulative operation counters for one die.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DieCounters {
+    /// Page reads served.
+    pub reads: u64,
+    /// Page programs served.
+    pub programs: u64,
+    /// Block erases served.
+    pub erases: u64,
+    /// Reads that had to suspend an in-flight program.
+    pub suspensions: u64,
+}
+
+/// One flash die: a serially-busy resource with (optionally) suspendable
+/// programs.
+///
+/// The die does not track page contents — data is irrelevant to timing — but
+/// it does track exact occupancy, so queueing behind a 100 µs Z-NAND program
+/// or a 1.3 ms MLC program falls out naturally.
+///
+/// # Examples
+///
+/// ```
+/// use ull_flash::{FlashDie, FlashSpec};
+/// use ull_simkit::SimTime;
+///
+/// let mut die = FlashDie::new(FlashSpec::z_nand().into());
+/// let w = die.program(SimTime::ZERO);
+/// // A read arriving mid-program suspends it instead of waiting 100us.
+/// let r = die.read_with_priority(SimTime::from_micros(10));
+/// assert!(r.end < w.end);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlashDie {
+    spec: Arc<FlashSpec>,
+    timeline: Timeline,
+    counters: DieCounters,
+    read_energy_nj: f64,
+    program_energy_nj: f64,
+    erase_energy_nj: f64,
+}
+
+impl FlashDie {
+    /// Creates an idle die of the given technology.
+    pub fn new(spec: Arc<FlashSpec>) -> Self {
+        let read_energy_nj = spec.read_energy_nj();
+        let program_energy_nj = spec.program_energy_nj();
+        let erase_energy_nj = spec.erase_energy_nj();
+        FlashDie {
+            spec,
+            timeline: Timeline::new(),
+            counters: DieCounters::default(),
+            read_energy_nj,
+            program_energy_nj,
+            erase_energy_nj,
+        }
+    }
+
+    /// The technology this die implements.
+    pub fn spec(&self) -> &FlashSpec {
+        &self.spec
+    }
+
+    /// Cumulative counters.
+    pub fn counters(&self) -> DieCounters {
+        self.counters
+    }
+
+    /// Total array busy time (for utilization/power accounting).
+    pub fn busy_time(&self) -> SimDuration {
+        self.timeline.busy_time()
+    }
+
+    /// When the die next becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.timeline.busy_until()
+    }
+
+    /// Total array energy consumed so far, in nanojoules.
+    pub fn energy_nj(&self) -> f64 {
+        self.counters.reads as f64 * self.read_energy_nj
+            + self.counters.programs as f64 * self.program_energy_nj
+            + self.counters.erases as f64 * self.erase_energy_nj
+    }
+
+    /// Queues a page read FIFO behind any in-flight work.
+    pub fn read(&mut self, at: SimTime) -> Slot {
+        self.counters.reads += 1;
+        self.timeline.reserve(at, self.spec.t_read)
+    }
+
+    /// Serves a page read with program-suspension if the technology supports
+    /// it; otherwise behaves like [`FlashDie::read`].
+    ///
+    /// This is the Z-NAND suspend/resume datapath (§II-A3): the read pays
+    /// `suspend_latency`, executes tR, and the suspended program finishes
+    /// `resume_latency` later than it otherwise would.
+    pub fn read_with_priority(&mut self, at: SimTime) -> Slot {
+        if !self.spec.program_suspend {
+            return self.read(at);
+        }
+        self.counters.reads += 1;
+        let slot = self.timeline.reserve_priority(
+            at,
+            self.spec.t_read,
+            self.spec.suspend_latency,
+            self.spec.resume_latency,
+        );
+        if slot.suspended_other {
+            self.counters.suspensions += 1;
+        }
+        slot
+    }
+
+    /// Occupies the die for an internal housekeeping operation of arbitrary
+    /// length (e.g. a GC copyback row: read + program back-to-back).
+    pub fn occupy(&mut self, at: SimTime, dur: SimDuration) -> Slot {
+        self.timeline.reserve(at, dur)
+    }
+
+    /// Queues a page program.
+    pub fn program(&mut self, at: SimTime) -> Slot {
+        self.counters.programs += 1;
+        self.timeline.reserve(at, self.spec.t_prog)
+    }
+
+    /// Queues a block erase.
+    pub fn erase(&mut self, at: SimTime) -> Slot {
+        self.counters.erases += 1;
+        self.timeline.reserve(at, self.spec.t_erase)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_takes_t_read() {
+        let mut die = FlashDie::new(FlashSpec::z_nand().into());
+        let s = die.read(SimTime::ZERO);
+        assert_eq!(s.end - s.start, FlashSpec::z_nand().t_read);
+        assert_eq!(die.counters().reads, 1);
+    }
+
+    #[test]
+    fn reads_queue_behind_programs_without_suspend() {
+        let mut die = FlashDie::new(FlashSpec::planar_mlc().into());
+        let w = die.program(SimTime::ZERO);
+        let r = die.read_with_priority(SimTime::from_micros(5));
+        // planar MLC cannot suspend: the read waits out the 1.3ms program.
+        assert_eq!(r.start, w.end);
+        assert_eq!(die.counters().suspensions, 0);
+    }
+
+    #[test]
+    fn z_nand_read_suspends_program() {
+        let mut die = FlashDie::new(FlashSpec::z_nand().into());
+        let w = die.program(SimTime::ZERO);
+        let r = die.read_with_priority(SimTime::from_micros(10));
+        assert!(r.suspended_other);
+        assert!(r.end < w.end, "read must finish before the suspended program");
+        // Suspend latency (1us) + tR (3us) from arrival.
+        assert_eq!(r.end - SimTime::from_micros(10), SimDuration::from_micros(4));
+        assert_eq!(die.counters().suspensions, 1);
+        // The program is pushed back by the resume penalty.
+        assert_eq!(die.busy_until(), w.end + FlashSpec::z_nand().resume_latency);
+    }
+
+    #[test]
+    fn energy_accumulates_per_op() {
+        let mut die = FlashDie::new(FlashSpec::z_nand().into());
+        assert_eq!(die.energy_nj(), 0.0);
+        die.read(SimTime::ZERO);
+        let after_read = die.energy_nj();
+        assert!(after_read > 0.0);
+        die.program(SimTime::ZERO);
+        assert!(die.energy_nj() > after_read);
+    }
+
+    #[test]
+    fn busy_time_sums_ops() {
+        let spec = FlashSpec::z_nand();
+        let mut die = FlashDie::new(spec.clone().into());
+        die.read(SimTime::ZERO);
+        die.program(SimTime::ZERO);
+        die.erase(SimTime::ZERO);
+        assert_eq!(die.busy_time(), spec.t_read + spec.t_prog + spec.t_erase);
+    }
+}

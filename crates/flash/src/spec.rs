@@ -1,0 +1,295 @@
+//! Flash technology specifications (the paper's Table I, plus a planar-MLC
+//! reference point used by the Intel-750-class device model).
+
+use core::fmt;
+
+use ull_simkit::SimDuration;
+
+/// How many bits one cell stores; determines program behaviour and energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Single-level cell (one bit). Z-NAND uses an SLC-based 3D design.
+    Slc,
+    /// Multi-level cell (two bits).
+    Mlc,
+    /// Triple-level cell (three bits).
+    Tlc,
+}
+
+impl CellKind {
+    /// Incremental-step-pulse-programming step count, relative to SLC.
+    ///
+    /// SLC needs a single coarse pulse train; MLC/TLC need progressively more
+    /// verify-and-step iterations, which is why their programs are slower and
+    /// hungrier (the paper's §IV-D2 conjecture for the ULL SSD's lower write
+    /// power).
+    pub fn program_steps(self) -> u32 {
+        match self {
+            CellKind::Slc => 1,
+            CellKind::Mlc => 4,
+            CellKind::Tlc => 8,
+        }
+    }
+}
+
+/// Timing and geometry of one flash technology.
+///
+/// The three 3D presets reproduce Table I of the paper; `planar_mlc` is the
+/// conventional-flash reference the paper cites as "19× slower writes than
+/// reads at most".
+///
+/// # Examples
+///
+/// ```
+/// use ull_flash::FlashSpec;
+///
+/// let z = FlashSpec::z_nand();
+/// let v = FlashSpec::v_nand();
+/// // Z-NAND reads are 15-20x faster than other 3D flash (Table I).
+/// assert!(v.t_read.as_nanos() / z.t_read.as_nanos() >= 15);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlashSpec {
+    /// Marketing name ("Z-NAND", "V-NAND", ...).
+    pub name: &'static str,
+    /// Number of stacked word-line layers (48/64/48 in Table I).
+    pub layers: u32,
+    /// Page read (tR) latency.
+    pub t_read: SimDuration,
+    /// Page program (tPROG) latency.
+    pub t_prog: SimDuration,
+    /// Block erase (tBERS) latency.
+    pub t_erase: SimDuration,
+    /// Page size in bytes (2 KB for Z-NAND, 16 KB for BiCS/V-NAND).
+    pub page_size: u32,
+    /// Pages per erase block.
+    pub pages_per_block: u32,
+    /// Per-die capacity in bits (Table I "Capacity" row).
+    pub die_capacity_gbit: u32,
+    /// Cell storage density.
+    pub cell: CellKind,
+    /// Whether in-progress programs/erases can be suspended to serve a read
+    /// (the Z-NAND suspend/resume circuit of §II-A3).
+    pub program_suspend: bool,
+    /// Time to checkpoint an in-flight program when a read suspends it.
+    pub suspend_latency: SimDuration,
+    /// Time to restore a suspended program's context.
+    pub resume_latency: SimDuration,
+}
+
+impl FlashSpec {
+    /// Samsung Z-NAND: 48 layers, tR = 3 µs, tPROG = 100 µs, 2 KB pages,
+    /// 64 Gbit dies (Table I), with program suspend/resume support.
+    pub fn z_nand() -> Self {
+        FlashSpec {
+            name: "Z-NAND",
+            layers: 48,
+            t_read: SimDuration::from_micros(3),
+            t_prog: SimDuration::from_micros(100),
+            t_erase: SimDuration::from_millis(1),
+            page_size: 2 * 1024,
+            pages_per_block: 384,
+            die_capacity_gbit: 64,
+            cell: CellKind::Slc,
+            program_suspend: true,
+            suspend_latency: SimDuration::from_micros(1),
+            resume_latency: SimDuration::from_micros(2),
+        }
+    }
+
+    /// Samsung V-NAND: 64 layers, tR = 60 µs, tPROG = 700 µs, 16 KB pages,
+    /// 512 Gbit dies (Table I).
+    pub fn v_nand() -> Self {
+        FlashSpec {
+            name: "V-NAND",
+            layers: 64,
+            t_read: SimDuration::from_micros(60),
+            t_prog: SimDuration::from_micros(700),
+            t_erase: SimDuration::from_millis(3),
+            page_size: 16 * 1024,
+            pages_per_block: 256,
+            die_capacity_gbit: 512,
+            cell: CellKind::Tlc,
+            program_suspend: false,
+            suspend_latency: SimDuration::ZERO,
+            resume_latency: SimDuration::ZERO,
+        }
+    }
+
+    /// Toshiba BiCS: 48 layers, tR = 45 µs, tPROG = 660 µs, 16 KB pages,
+    /// 256 Gbit dies (Table I).
+    pub fn bics() -> Self {
+        FlashSpec {
+            name: "BiCS",
+            layers: 48,
+            t_read: SimDuration::from_micros(45),
+            t_prog: SimDuration::from_micros(660),
+            t_erase: SimDuration::from_millis(3),
+            page_size: 16 * 1024,
+            pages_per_block: 256,
+            die_capacity_gbit: 256,
+            cell: CellKind::Tlc,
+            program_suspend: false,
+            suspend_latency: SimDuration::ZERO,
+            resume_latency: SimDuration::ZERO,
+        }
+    }
+
+    /// A ReRAM-class projection (the "future SSDs that employ faster NVM
+    /// technologies such as resistive random access memory" of §V-A):
+    /// sub-microsecond reads, microsecond writes, byte-addressable-ish
+    /// small pages, no program suspension needed (writes are short).
+    pub fn reram_class() -> Self {
+        FlashSpec {
+            name: "ReRAM-class",
+            layers: 1,
+            t_read: SimDuration::from_nanos(300),
+            t_prog: SimDuration::from_micros(1),
+            t_erase: SimDuration::from_micros(10),
+            page_size: 2 * 1024,
+            pages_per_block: 384,
+            die_capacity_gbit: 32,
+            cell: CellKind::Slc,
+            program_suspend: false,
+            suspend_latency: SimDuration::ZERO,
+            resume_latency: SimDuration::ZERO,
+        }
+    }
+
+    /// Planar MLC of the Intel-750 generation: tR ≈ 45 µs,
+    /// tPROG ≈ 1.3 ms — the "conventional flash" whose program blocks reads
+    /// 19× longer than a read (§IV-D1).
+    pub fn planar_mlc() -> Self {
+        FlashSpec {
+            name: "planar-MLC",
+            layers: 1,
+            t_read: SimDuration::from_micros(45),
+            t_prog: SimDuration::from_micros(1_300),
+            t_erase: SimDuration::from_millis(3),
+            page_size: 16 * 1024,
+            pages_per_block: 256,
+            die_capacity_gbit: 128,
+            cell: CellKind::Mlc,
+            program_suspend: false,
+            suspend_latency: SimDuration::ZERO,
+            resume_latency: SimDuration::ZERO,
+        }
+    }
+
+    /// Bytes per erase block.
+    pub fn block_bytes(&self) -> u64 {
+        self.page_size as u64 * self.pages_per_block as u64
+    }
+
+    /// Blocks per die implied by the die capacity.
+    pub fn blocks_per_die(&self) -> u32 {
+        let die_bytes = self.die_capacity_gbit as u64 * (1 << 30) / 8;
+        (die_bytes / self.block_bytes()) as u32
+    }
+
+    /// Energy of one page read, in nanojoules (sense amps + peripherals).
+    ///
+    /// Reads only enable sense circuitry; the constant is chosen so that
+    /// read power stays near idle as the paper observes (§IV-D2).
+    pub fn read_energy_nj(&self) -> f64 {
+        0.08 * self.page_size as f64 / 1024.0 + 0.3 * self.t_read.as_micros_f64()
+    }
+
+    /// Energy of one page program, in nanojoules.
+    ///
+    /// Programs pump the charge path for the whole tPROG and repeat
+    /// verify-step iterations per stored bit, so MLC-class programs draw
+    /// several times the SLC energy — the source of the ULL device's ~30%
+    /// lower write power in fig. 7a.
+    pub fn program_energy_nj(&self) -> f64 {
+        let steps = self.cell.program_steps() as f64;
+        2.0 * self.page_size as f64 / 1024.0 + 3.0 * self.t_prog.as_micros_f64() * (0.5 + 0.25 * steps)
+    }
+
+    /// Energy of one block erase, in nanojoules.
+    pub fn erase_energy_nj(&self) -> f64 {
+        5.0 * self.t_erase.as_micros_f64()
+    }
+}
+
+impl fmt::Display for FlashSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} layers, tR={}, tPROG={}, {}B pages, {}Gb/die)",
+            self.name,
+            self.layers,
+            self.t_read,
+            self.t_prog,
+            self.page_size,
+            self.die_capacity_gbit
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_read_latency_ratios() {
+        let z = FlashSpec::z_nand();
+        let v = FlashSpec::v_nand();
+        let b = FlashSpec::bics();
+        // "its read latency is 15~20x shorter than those two modern 3D flash
+        // technologies"
+        assert_eq!(v.t_read.as_nanos() / z.t_read.as_nanos(), 20);
+        assert_eq!(b.t_read.as_nanos() / z.t_read.as_nanos(), 15);
+    }
+
+    #[test]
+    fn table1_program_latency_ratios() {
+        let z = FlashSpec::z_nand();
+        // "write latency of Z-NAND is shorter than that of BiCS and V-NAND by
+        // 6.6x and 7x"
+        let bics_ratio = FlashSpec::bics().t_prog.as_nanos() as f64 / z.t_prog.as_nanos() as f64;
+        let vnand_ratio = FlashSpec::v_nand().t_prog.as_nanos() as f64 / z.t_prog.as_nanos() as f64;
+        assert!((bics_ratio - 6.6).abs() < 0.05);
+        assert!((vnand_ratio - 7.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn table1_geometry() {
+        assert_eq!(FlashSpec::z_nand().page_size, 2 * 1024);
+        assert_eq!(FlashSpec::v_nand().page_size, 16 * 1024);
+        assert_eq!(FlashSpec::bics().page_size, 16 * 1024);
+        assert_eq!(FlashSpec::z_nand().layers, 48);
+        assert_eq!(FlashSpec::v_nand().layers, 64);
+    }
+
+    #[test]
+    fn blocks_per_die_consistent_with_capacity() {
+        let z = FlashSpec::z_nand();
+        let total = z.blocks_per_die() as u64 * z.block_bytes();
+        let cap = z.die_capacity_gbit as u64 * (1 << 30) / 8;
+        // Rounding down loses less than one block.
+        assert!(total <= cap && cap - total < z.block_bytes());
+    }
+
+    #[test]
+    fn slc_programs_cheaper_than_mlc() {
+        let slc = FlashSpec::z_nand().program_energy_nj() / FlashSpec::z_nand().t_prog.as_micros_f64();
+        let mlc =
+            FlashSpec::planar_mlc().program_energy_nj() / FlashSpec::planar_mlc().t_prog.as_micros_f64();
+        // Per-microsecond program power is lower for SLC.
+        assert!(slc < mlc, "slc={slc} mlc={mlc}");
+    }
+
+    #[test]
+    fn only_z_nand_suspends() {
+        assert!(FlashSpec::z_nand().program_suspend);
+        assert!(!FlashSpec::v_nand().program_suspend);
+        assert!(!FlashSpec::bics().program_suspend);
+        assert!(!FlashSpec::planar_mlc().program_suspend);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(FlashSpec::z_nand().to_string().contains("Z-NAND"));
+    }
+}

@@ -1,0 +1,231 @@
+//! The server-client network block device of fig. 23.
+//!
+//! A client machine mounts ext4 over NBD; the server exports the ULL SSD
+//! either through the conventional kernel NBD server (full kernel storage
+//! stack plus user/kernel copies) or through SPDK-NBD (userspace driver,
+//! reactor polling). The client's filesystem and the network are identical
+//! in both setups — only the server-side I/O path differs, which is the
+//! paper's point.
+
+use ull_nvme::NvmeController;
+use ull_simkit::{SimDuration, SimTime, Timeline};
+use ull_ssd::{Ssd, SsdConfig};
+use ull_stack::{Host, IoOp, IoPath, SoftwareCosts};
+
+use crate::fs::{Ext4Model, Ext4Params};
+
+/// Which server implementation exports the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NbdServerKind {
+    /// Linux kernel NBD + conventional interrupt-driven stack.
+    Kernel,
+    /// SPDK NBD target (userspace driver, polled completion).
+    Spdk,
+}
+
+impl NbdServerKind {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NbdServerKind::Kernel => "kernel-nbd",
+            NbdServerKind::Spdk => "spdk-nbd",
+        }
+    }
+}
+
+/// Point-to-point network between client and server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkParams {
+    /// One-way propagation + protocol latency.
+    pub one_way: SimDuration,
+    /// Link bandwidth in MB/s (10 GbE ≈ 1200 MB/s).
+    pub bandwidth_mbps: u32,
+}
+
+impl NetworkParams {
+    /// A 10 GbE datacenter link.
+    pub fn ten_gbe() -> Self {
+        NetworkParams { one_way: SimDuration::from_micros(10), bandwidth_mbps: 1200 }
+    }
+
+    fn transfer(&self, bytes: u32) -> SimDuration {
+        SimDuration::from_nanos(bytes as u64 * 1000 / self.bandwidth_mbps as u64)
+    }
+}
+
+/// Outcome of one file operation on the client.
+#[derive(Debug, Clone, Copy)]
+pub struct NbdIoResult {
+    /// Client-visible completion instant.
+    pub done: SimTime,
+    /// Client-visible latency.
+    pub latency: SimDuration,
+    /// Synchronous server round trips taken.
+    pub server_ios: u32,
+}
+
+/// The full server-client system.
+///
+/// # Examples
+///
+/// ```
+/// use ull_netblock::{NbdServerKind, NbdSystem};
+/// use ull_simkit::SimTime;
+/// use ull_ssd::presets;
+///
+/// let mut sys = NbdSystem::new(presets::ull_800g(), NbdServerKind::Spdk, 7)?;
+/// let r = sys.file_read(SimTime::ZERO, 42, 4096);
+/// assert!(r.latency.as_micros_f64() < 100.0);
+/// # Ok::<(), ull_ssd::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct NbdSystem {
+    kind: NbdServerKind,
+    server: Host,
+    ext4: Ext4Model,
+    net: NetworkParams,
+    link: Timeline,
+    /// Kernel NBD server: socket syscalls, user/kernel copies, nbd thread
+    /// wakeups per request. SPDK NBD: reactor dispatch only.
+    server_overhead: SimDuration,
+    capacity: u64,
+}
+
+impl NbdSystem {
+    /// Builds a server-client system exporting a device built from `ssd`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid device configurations.
+    pub fn new(ssd: SsdConfig, kind: NbdServerKind, seed: u64) -> Result<Self, ull_ssd::ConfigError> {
+        let capacity = ssd.capacity_bytes;
+        let ctrl = NvmeController::new(Ssd::new(ssd)?, 1, 1024);
+        let (path, server_overhead) = match kind {
+            NbdServerKind::Kernel => (IoPath::KernelInterrupt, SimDuration::from_micros(22)),
+            NbdServerKind::Spdk => (IoPath::Spdk, SimDuration::from_nanos(1_500)),
+        };
+        Ok(NbdSystem {
+            kind,
+            server: Host::new(ctrl, SoftwareCosts::linux_4_14(), path),
+            ext4: Ext4Model::new(Ext4Params::ordered_mode(), seed),
+            net: NetworkParams::ten_gbe(),
+            link: Timeline::new(),
+            server_overhead,
+            capacity,
+        })
+    }
+
+    /// Which server kind this system uses.
+    pub fn kind(&self) -> NbdServerKind {
+        self.kind
+    }
+
+    /// The server host (CPU ledger, device metrics).
+    pub fn server(&self) -> &Host {
+        &self.server
+    }
+
+    /// One synchronous server round trip for `len` bytes at `offset`.
+    fn server_round_trip(&mut self, at: SimTime, op: IoOp, offset: u64, len: u32) -> SimTime {
+        // Request crosses the link (small frame for reads, payload for
+        // writes).
+        let req_bytes = if matches!(op, IoOp::Write) { len + 64 } else { 64 };
+        let req = self.link.reserve(at, self.net.transfer(req_bytes));
+        let arrive = req.end + self.net.one_way;
+        // Server-side software before the block I/O.
+        let start = arrive + self.server_overhead;
+        let r = self.server.io_sync(op, offset, len, start);
+        // Response returns (payload for reads).
+        let resp_bytes = if matches!(op, IoOp::Read) { len + 64 } else { 64 };
+        let resp = self.link.reserve(r.user_visible, self.net.transfer(resp_bytes));
+        resp.end + self.net.one_way
+    }
+
+    fn file_offset(&self, file_id: u64, len: u32) -> u64 {
+        // Hash file ids across the exported device.
+        let h = file_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let units = self.capacity / 4096;
+        let max_unit = units.saturating_sub(len.div_ceil(4096) as u64 + 1);
+        (h % max_unit.max(1)) * 4096
+    }
+
+    /// Reads `len` bytes of file `file_id` through ext4 over NBD.
+    pub fn file_read(&mut self, at: SimTime, file_id: u64, len: u32) -> NbdIoResult {
+        let fs = self.ext4.read_cost();
+        let offset = self.file_offset(file_id, len);
+        let done = self.server_round_trip(at + fs, IoOp::Read, offset, len);
+        NbdIoResult { done, latency: done - at, server_ios: 1 }
+    }
+
+    /// Writes `len` bytes of file `file_id` through ext4 over NBD.
+    ///
+    /// Most writes are absorbed by the client page cache + journal; a
+    /// fraction carries a synchronous commit (data + metadata round trips).
+    pub fn file_write(&mut self, at: SimTime, file_id: u64, len: u32) -> NbdIoResult {
+        let (fs, sync_ios) = self.ext4.write_cost();
+        let offset = self.file_offset(file_id, len);
+        let mut t = at + fs;
+        for i in 0..sync_ios {
+            let io_len = if i == 0 { len } else { 4096 };
+            t = self.server_round_trip(t, IoOp::Write, offset, io_len);
+        }
+        NbdIoResult { done: t, latency: t - at, server_ios: sync_ios }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ull_ssd::presets;
+
+    fn mean_latency(kind: NbdServerKind, write: bool, n: u64) -> f64 {
+        let mut sys = NbdSystem::new(presets::ull_800g(), kind, 11).unwrap();
+        let mut at = SimTime::ZERO;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let r = if write {
+                sys.file_write(at, i * 31 + 7, 4096)
+            } else {
+                sys.file_read(at, i * 31 + 7, 4096)
+            };
+            sum += r.latency.as_micros_f64();
+            at = r.done + SimDuration::from_micros(5);
+        }
+        sum / n as f64
+    }
+
+    #[test]
+    fn spdk_nbd_cuts_read_latency_sharply() {
+        let kernel = mean_latency(NbdServerKind::Kernel, false, 2000);
+        let spdk = mean_latency(NbdServerKind::Spdk, false, 2000);
+        let gain = (kernel - spdk) / kernel;
+        // Paper fig. 23: ~39% for reads.
+        assert!(gain > 0.25 && gain < 0.55, "kernel={kernel:.1} spdk={spdk:.1} gain={gain:.2}");
+    }
+
+    #[test]
+    fn spdk_nbd_barely_helps_writes() {
+        let kernel = mean_latency(NbdServerKind::Kernel, true, 4000);
+        let spdk = mean_latency(NbdServerKind::Spdk, true, 4000);
+        let gain = (kernel - spdk) / kernel;
+        // Paper fig. 23: ~4-5% for writes (client-side ext4 dominates).
+        assert!(gain > 0.0 && gain < 0.15, "kernel={kernel:.1} spdk={spdk:.1} gain={gain:.2}");
+    }
+
+    #[test]
+    fn write_latency_dominated_by_client_fs() {
+        let spdk_w = mean_latency(NbdServerKind::Spdk, true, 2000);
+        let fs = Ext4Params::ordered_mode().write_overhead.as_micros_f64();
+        assert!(spdk_w > fs, "writes must include the fs overhead");
+        assert!(spdk_w < 2.5 * fs, "server path must not dominate writes");
+    }
+
+    #[test]
+    fn file_offsets_stay_in_bounds() {
+        let sys = NbdSystem::new(presets::ull_800g(), NbdServerKind::Kernel, 3).unwrap();
+        for id in 0..10_000u64 {
+            let off = sys.file_offset(id, 65536);
+            assert!(off + 65536 <= sys.capacity);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Admin command structures: Identify Controller / Identify Namespace.
+//!
+//! The study's host paths discover the device the way a real driver does —
+//! by parsing wire-format Identify pages. Offsets follow the NVMe 1.3
+//! specification for the fields this project consumes (serial/model
+//! strings, MDTS, namespace count, namespace size/capacity, LBA format).
+
+use crate::command::LBA_BYTES;
+
+/// Identify Controller data (CNS 01h), 4096 bytes on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdentifyController {
+    /// PCI vendor id.
+    pub vid: u16,
+    /// Serial number (<= 20 ASCII chars).
+    pub serial: String,
+    /// Model number (<= 40 ASCII chars).
+    pub model: String,
+    /// Firmware revision (<= 8 ASCII chars).
+    pub firmware: String,
+    /// Maximum data transfer size as a power of two of the minimum page
+    /// size (0 = unlimited). MDTS=5 with 4 KB pages = 128 KB.
+    pub mdts: u8,
+    /// Number of namespaces.
+    pub nn: u32,
+}
+
+fn put_ascii(buf: &mut [u8], s: &str) {
+    // Space-padded ASCII per spec.
+    for b in buf.iter_mut() {
+        *b = b' ';
+    }
+    for (dst, src) in buf.iter_mut().zip(s.bytes()) {
+        *dst = src;
+    }
+}
+
+fn get_ascii(buf: &[u8]) -> String {
+    String::from_utf8_lossy(buf).trim_end().to_string()
+}
+
+impl IdentifyController {
+    /// Encodes the 4096-byte Identify Controller page.
+    pub fn encode(&self) -> Box<[u8; 4096]> {
+        let mut p = Box::new([0u8; 4096]);
+        p[0..2].copy_from_slice(&self.vid.to_le_bytes());
+        put_ascii(&mut p[4..24], &self.serial);
+        put_ascii(&mut p[24..64], &self.model);
+        put_ascii(&mut p[64..72], &self.firmware);
+        p[77] = self.mdts;
+        p[516..520].copy_from_slice(&self.nn.to_le_bytes());
+        p
+    }
+
+    /// Decodes an Identify Controller page.
+    pub fn decode(p: &[u8; 4096]) -> Self {
+        IdentifyController {
+            vid: u16::from_le_bytes([p[0], p[1]]),
+            serial: get_ascii(&p[4..24]),
+            model: get_ascii(&p[24..64]),
+            firmware: get_ascii(&p[64..72]),
+            mdts: p[77],
+            nn: u32::from_le_bytes(p[516..520].try_into().expect("4 bytes")),
+        }
+    }
+
+    /// Maximum transfer size in bytes implied by MDTS (with 4 KB minimum
+    /// pages), or `None` when unlimited.
+    pub fn max_transfer_bytes(&self) -> Option<u32> {
+        (self.mdts != 0).then(|| 4096u32 << self.mdts)
+    }
+}
+
+/// Identify Namespace data (CNS 00h), 4096 bytes on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdentifyNamespace {
+    /// Namespace size in logical blocks.
+    pub nsze: u64,
+    /// Namespace capacity in logical blocks.
+    pub ncap: u64,
+    /// LBA data size as a power of two (9 = 512-byte LBAs).
+    pub lbads: u8,
+}
+
+impl IdentifyNamespace {
+    /// Builds the namespace page for a device of `capacity_bytes`.
+    pub fn for_capacity(capacity_bytes: u64) -> Self {
+        let blocks = capacity_bytes / LBA_BYTES as u64;
+        IdentifyNamespace { nsze: blocks, ncap: blocks, lbads: LBA_BYTES.trailing_zeros() as u8 }
+    }
+
+    /// Encodes the 4096-byte Identify Namespace page.
+    pub fn encode(&self) -> Box<[u8; 4096]> {
+        let mut p = Box::new([0u8; 4096]);
+        p[0..8].copy_from_slice(&self.nsze.to_le_bytes());
+        p[8..16].copy_from_slice(&self.ncap.to_le_bytes());
+        // NLBAF=0 (one format), FLBAS=0; LBA format 0 descriptor at 128.
+        p[130] = self.lbads; // LBADS within LBAF0 (dword: MS=0, LBADS byte 2)
+        p
+    }
+
+    /// Decodes an Identify Namespace page.
+    pub fn decode(p: &[u8; 4096]) -> Self {
+        IdentifyNamespace {
+            nsze: u64::from_le_bytes(p[0..8].try_into().expect("8 bytes")),
+            ncap: u64::from_le_bytes(p[8..16].try_into().expect("8 bytes")),
+            lbads: p[130],
+        }
+    }
+
+    /// Namespace size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.nsze << self.lbads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identify_controller_round_trips() {
+        let id = IdentifyController {
+            vid: 0x144D,
+            serial: "S3U8NX0K".into(),
+            model: "Z-SSD SZ985 prototype".into(),
+            firmware: "8EV101H0".into(),
+            mdts: 5,
+            nn: 1,
+        };
+        let decoded = IdentifyController::decode(&id.encode());
+        assert_eq!(decoded, id);
+        assert_eq!(decoded.max_transfer_bytes(), Some(128 << 10));
+    }
+
+    #[test]
+    fn unlimited_mdts() {
+        let id = IdentifyController {
+            vid: 0,
+            serial: String::new(),
+            model: String::new(),
+            firmware: String::new(),
+            mdts: 0,
+            nn: 1,
+        };
+        assert_eq!(id.max_transfer_bytes(), None);
+    }
+
+    #[test]
+    fn identify_namespace_round_trips() {
+        let ns = IdentifyNamespace::for_capacity(2 << 30);
+        assert_eq!(ns.bytes(), 2 << 30);
+        assert_eq!(ns.lbads, 9);
+        let decoded = IdentifyNamespace::decode(&ns.encode());
+        assert_eq!(decoded, ns);
+    }
+
+    #[test]
+    fn strings_are_space_padded_ascii() {
+        let id = IdentifyController {
+            vid: 1,
+            serial: "AB".into(),
+            model: "M".into(),
+            firmware: "F".into(),
+            mdts: 0,
+            nn: 1,
+        };
+        let page = id.encode();
+        assert_eq!(&page[4..8], b"AB  ");
+        assert_eq!(IdentifyController::decode(&page).serial, "AB");
+    }
+}

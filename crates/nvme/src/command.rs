@@ -1,0 +1,231 @@
+//! NVMe command and completion entries, encoded at the wire level.
+//!
+//! Submission queue entries are 64 bytes and completion queue entries are
+//! 16 bytes, laid out per the NVMe 1.3 specification (the subset this study
+//! exercises: I/O read, write, flush). Byte-level encoding is deliberate —
+//! ring wraparound, phase tags and entry reuse are where queueing bugs live,
+//! and the property tests hammer exactly these paths.
+
+/// I/O command opcodes (NVM command set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// NVM Flush (0x00).
+    Flush = 0x00,
+    /// NVM Write (0x01).
+    Write = 0x01,
+    /// NVM Read (0x02).
+    Read = 0x02,
+}
+
+impl Opcode {
+    /// Decodes an opcode byte.
+    pub fn from_u8(v: u8) -> Option<Opcode> {
+        match v {
+            0x00 => Some(Opcode::Flush),
+            0x01 => Some(Opcode::Write),
+            0x02 => Some(Opcode::Read),
+            _ => None,
+        }
+    }
+}
+
+/// Logical block size this study uses throughout (the devices are formatted
+/// with 512-byte LBAs; FIO issues 4 KB+ requests on top).
+pub const LBA_BYTES: u32 = 512;
+
+/// A decoded I/O command.
+///
+/// # Examples
+///
+/// ```
+/// use ull_nvme::{NvmeCommand, Opcode};
+///
+/// let cmd = NvmeCommand::read(7, 0x1000, 4096);
+/// let sqe = cmd.encode();
+/// assert_eq!(NvmeCommand::decode(&sqe).unwrap(), cmd);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NvmeCommand {
+    /// Command opcode.
+    pub opcode: Opcode,
+    /// Command identifier, unique among outstanding commands on a queue.
+    pub cid: u16,
+    /// Starting logical block address.
+    pub slba: u64,
+    /// Number of logical blocks, 0's-based as on the wire (0 means 1 LBA).
+    pub nlb: u16,
+}
+
+impl NvmeCommand {
+    /// Builds a read command covering `bytes` starting at byte offset
+    /// `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset`/`bytes` are not LBA-aligned or `bytes` is zero.
+    pub fn read(cid: u16, offset: u64, bytes: u32) -> Self {
+        Self::io(Opcode::Read, cid, offset, bytes)
+    }
+
+    /// Builds a write command covering `bytes` starting at byte `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset`/`bytes` are not LBA-aligned or `bytes` is zero.
+    pub fn write(cid: u16, offset: u64, bytes: u32) -> Self {
+        Self::io(Opcode::Write, cid, offset, bytes)
+    }
+
+    /// Builds a flush command.
+    pub fn flush(cid: u16) -> Self {
+        NvmeCommand { opcode: Opcode::Flush, cid, slba: 0, nlb: 0 }
+    }
+
+    fn io(opcode: Opcode, cid: u16, offset: u64, bytes: u32) -> Self {
+        assert!(bytes > 0, "zero-length I/O command");
+        assert!(
+            offset.is_multiple_of(LBA_BYTES as u64) && bytes.is_multiple_of(LBA_BYTES),
+            "I/O must be LBA-aligned: offset={offset} bytes={bytes}"
+        );
+        let nlb = (bytes / LBA_BYTES - 1) as u16;
+        NvmeCommand { opcode, cid, slba: offset / LBA_BYTES as u64, nlb }
+    }
+
+    /// Byte offset this command addresses.
+    pub fn offset(&self) -> u64 {
+        self.slba * LBA_BYTES as u64
+    }
+
+    /// Transfer length in bytes.
+    pub fn bytes(&self) -> u32 {
+        (self.nlb as u32 + 1) * LBA_BYTES
+    }
+
+    /// Encodes into a 64-byte submission queue entry.
+    pub fn encode(&self) -> [u8; 64] {
+        let mut e = [0u8; 64];
+        e[0] = self.opcode as u8;
+        e[2..4].copy_from_slice(&self.cid.to_le_bytes());
+        e[4..8].copy_from_slice(&1u32.to_le_bytes()); // NSID 1
+        e[40..48].copy_from_slice(&self.slba.to_le_bytes());
+        e[48..50].copy_from_slice(&self.nlb.to_le_bytes());
+        e
+    }
+
+    /// Decodes a 64-byte submission queue entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on an unknown opcode.
+    pub fn decode(e: &[u8; 64]) -> Result<Self, DecodeError> {
+        let opcode = Opcode::from_u8(e[0]).ok_or(DecodeError { opcode: e[0] })?;
+        Ok(NvmeCommand {
+            opcode,
+            cid: u16::from_le_bytes([e[2], e[3]]),
+            slba: u64::from_le_bytes(e[40..48].try_into().expect("8 bytes")),
+            nlb: u16::from_le_bytes([e[48], e[49]]),
+        })
+    }
+}
+
+/// Error decoding a submission entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The unrecognized opcode byte.
+    pub opcode: u8,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "unknown nvme opcode {:#04x}", self.opcode)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A decoded 16-byte completion queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Command identifier being completed.
+    pub cid: u16,
+    /// Submission queue head pointer at completion time.
+    pub sqhd: u16,
+    /// Success flag (status code 0).
+    pub success: bool,
+    /// Phase tag: flips each time the CQ wraps.
+    pub phase: bool,
+}
+
+impl Completion {
+    /// Encodes into a 16-byte completion entry.
+    pub fn encode(&self) -> [u8; 16] {
+        let mut e = [0u8; 16];
+        e[8..10].copy_from_slice(&self.sqhd.to_le_bytes());
+        e[12..14].copy_from_slice(&self.cid.to_le_bytes());
+        let status: u16 = if self.success { 0 } else { 1 << 1 };
+        let sp = status | u16::from(self.phase);
+        e[14..16].copy_from_slice(&sp.to_le_bytes());
+        e
+    }
+
+    /// Decodes a 16-byte completion entry.
+    pub fn decode(e: &[u8; 16]) -> Self {
+        let sp = u16::from_le_bytes([e[14], e[15]]);
+        Completion {
+            cid: u16::from_le_bytes([e[12], e[13]]),
+            sqhd: u16::from_le_bytes([e[8], e[9]]),
+            success: (sp >> 1) == 0,
+            phase: sp & 1 == 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_round_trips_through_wire_format() {
+        for cmd in [
+            NvmeCommand::read(1, 0, 512),
+            NvmeCommand::write(0xFFFF, 0xDEAD_BE00 * 512, 1 << 20),
+            NvmeCommand::flush(42),
+        ] {
+            assert_eq!(NvmeCommand::decode(&cmd.encode()).unwrap(), cmd);
+        }
+    }
+
+    #[test]
+    fn nlb_is_zeros_based() {
+        let cmd = NvmeCommand::read(0, 4096, 4096);
+        assert_eq!(cmd.nlb, 7); // 8 LBAs, 0's-based
+        assert_eq!(cmd.bytes(), 4096);
+        assert_eq!(cmd.offset(), 4096);
+    }
+
+    #[test]
+    fn unknown_opcode_is_rejected() {
+        let mut e = NvmeCommand::read(0, 0, 512).encode();
+        e[0] = 0x7F;
+        let err = NvmeCommand::decode(&e).unwrap_err();
+        assert_eq!(err.opcode, 0x7F);
+        assert!(err.to_string().contains("0x7f"));
+    }
+
+    #[test]
+    #[should_panic(expected = "LBA-aligned")]
+    fn unaligned_io_panics() {
+        NvmeCommand::read(0, 100, 512);
+    }
+
+    #[test]
+    fn completion_round_trips_with_phase() {
+        for phase in [false, true] {
+            for success in [false, true] {
+                let c = Completion { cid: 7, sqhd: 99, success, phase };
+                assert_eq!(Completion::decode(&c.encode()), c);
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! `ull-simkit` — discrete-event simulation foundation for the
+//! ull-ssd-study workspace.
+//!
+//! This crate supplies the timing, queueing, randomness and statistics
+//! primitives shared by every other crate in the reproduction of
+//! *"Faster than Flash: An In-Depth Study of System Challenges for Emerging
+//! Ultra-Low Latency SSDs"* (IISWC 2019):
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond time.
+//! * [`EventQueue`] — deterministic time-ordered events with FIFO ties.
+//! * [`Timeline`] / [`ServerPool`] — resource busy-until timelines, the
+//!   queueing model behind channels, dies and DMA engines, including
+//!   suspend/resume-style priority preemption.
+//! * [`Summary`], [`Histogram`], [`TimeSeries`] — streaming statistics with
+//!   five-nines-capable quantiles.
+//! * [`SplitMix64`] — seeded, forkable determinism.
+//!
+//! # Examples
+//!
+//! Model a shared bus with two competing transfers and measure the queueing
+//! delay of the second:
+//!
+//! ```
+//! use ull_simkit::{SimDuration, SimTime, Timeline};
+//!
+//! let mut bus = Timeline::new();
+//! bus.reserve(SimTime::ZERO, SimDuration::from_micros(8));
+//! let slot = bus.reserve(SimTime::from_micros(2), SimDuration::from_micros(8));
+//! assert_eq!(slot.start - SimTime::from_micros(2), SimDuration::from_micros(6));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod hist;
+mod resource;
+mod rng;
+mod series;
+mod stats;
+mod time;
+
+pub use event::EventQueue;
+pub use hist::Histogram;
+pub use resource::{ServerPool, Slot, Timeline};
+pub use rng::SplitMix64;
+pub use series::TimeSeries;
+pub use stats::Summary;
+pub use time::{SimDuration, SimTime};

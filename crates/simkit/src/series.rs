@@ -1,0 +1,109 @@
+//! Time-series recorders for the paper's time-domain plots (figs. 7b and 8).
+
+use crate::stats::Summary;
+use crate::time::{SimDuration, SimTime};
+
+/// Aggregates `(time, value)` samples into fixed-width bins, keeping the
+/// per-bin mean — exactly what the paper's latency/power-vs-time plots show.
+///
+/// # Examples
+///
+/// ```
+/// use ull_simkit::{SimDuration, SimTime, TimeSeries};
+///
+/// let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+/// ts.record(SimTime::from_nanos(100), 10.0);
+/// ts.record(SimTime::from_nanos(200), 20.0);
+/// ts.record(SimTime::ZERO + SimDuration::from_secs(1), 99.0);
+/// let bins = ts.bins();
+/// assert_eq!(bins.len(), 2);
+/// assert!((bins[0].1 - 15.0).abs() < 1e-12);
+/// assert!((bins[1].1 - 99.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bin_width: SimDuration,
+    bins: Vec<Summary>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is zero.
+    pub fn new(bin_width: SimDuration) -> Self {
+        assert!(!bin_width.is_zero(), "time-series bin width must be non-zero");
+        TimeSeries { bin_width, bins: Vec::new() }
+    }
+
+    /// Records one sample at instant `at`.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        let idx = (at.as_nanos() / self.bin_width.as_nanos()) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize_with(idx + 1, Summary::new);
+        }
+        self.bins[idx].record(value);
+    }
+
+    /// The bin width this series was created with.
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin_width
+    }
+
+    /// Per-bin `(bin start time, mean value)` pairs; empty bins yield a mean
+    /// of 0.0 and a count of zero in [`TimeSeries::summaries`].
+    pub fn bins(&self) -> Vec<(SimTime, f64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SimTime::from_nanos(i as u64 * self.bin_width.as_nanos()), s.mean()))
+            .collect()
+    }
+
+    /// Per-bin full summaries (count, mean, min, max).
+    pub fn summaries(&self) -> &[Summary] {
+        &self.bins
+    }
+
+    /// Largest per-bin mean observed, or 0.0 if empty.
+    pub fn peak_mean(&self) -> f64 {
+        self.bins.iter().map(Summary::mean).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_time() {
+        let mut ts = TimeSeries::new(SimDuration::from_micros(10));
+        for i in 0..100u64 {
+            ts.record(SimTime::from_micros(i), i as f64);
+        }
+        let bins = ts.bins();
+        assert_eq!(bins.len(), 10);
+        // Bin k holds samples k*10 .. k*10+9, mean = 10k + 4.5.
+        for (k, (start, mean)) in bins.iter().enumerate() {
+            assert_eq!(start.as_nanos(), k as u64 * 10_000);
+            assert!((mean - (10.0 * k as f64 + 4.5)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gaps_produce_empty_bins() {
+        let mut ts = TimeSeries::new(SimDuration::from_micros(1));
+        ts.record(SimTime::from_micros(0), 5.0);
+        ts.record(SimTime::from_micros(3), 7.0);
+        assert_eq!(ts.summaries().len(), 4);
+        assert_eq!(ts.summaries()[1].count(), 0);
+        assert!((ts.peak_mean() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn zero_width_rejected() {
+        let _ = TimeSeries::new(SimDuration::ZERO);
+    }
+}

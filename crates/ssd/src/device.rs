@@ -1,0 +1,423 @@
+//! The SSD device model: ties flash dies, channels, the DRAM caches, the
+//! FTL and the power ledger into a command-level interface.
+//!
+//! [`Ssd::read`] and [`Ssd::write`] take a submission instant and return a
+//! [`DeviceCompletion`] carrying the instant the device would post the
+//! completion. All queueing (die conflicts, channel conflicts, buffer
+//! backpressure, GC interference) is embedded in that instant via the
+//! resource timelines — see DESIGN.md §3.
+
+use std::sync::Arc;
+
+use ull_flash::{FlashDie, FlashSpec};
+use ull_simkit::{SimDuration, SimTime, SplitMix64, Timeline};
+
+use crate::cache::{ReadCache, WriteBuffer};
+use crate::config::{SsdConfig, MAP_UNIT_BYTES};
+use crate::ftl::Ftl;
+use crate::metrics::SsdMetrics;
+use crate::power::EnergyLedger;
+use crate::topology::{LaneId, Topology};
+
+/// Outcome of one device command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceCompletion {
+    /// Instant the device posts the completion.
+    pub done: SimTime,
+    /// Read served entirely from device DRAM.
+    pub dram_hit: bool,
+    /// At least one flash read suspended an in-flight program.
+    pub suspended: bool,
+    /// The command was delayed by foreground garbage collection.
+    pub gc_stalled: bool,
+}
+
+/// One unit pending in a lane's open program row.
+#[derive(Debug, Clone, Copy)]
+struct PendingUnit {
+    lpn: u64,
+    ready: SimTime,
+}
+
+#[derive(Debug, Default)]
+struct RowAccum {
+    units: Vec<PendingUnit>,
+}
+
+/// A simulated SSD.
+///
+/// # Examples
+///
+/// ```
+/// use ull_simkit::SimTime;
+/// use ull_ssd::{presets, Ssd};
+///
+/// let mut ssd = Ssd::new(presets::ull_800g()).expect("valid preset");
+/// let c = ssd.read(SimTime::ZERO, 0, 4096);
+/// // A ULL read completes in ~10us of device time.
+/// assert!(c.done.as_micros_f64() < 20.0);
+/// ```
+#[derive(Debug)]
+pub struct Ssd {
+    cfg: SsdConfig,
+    spec: Arc<FlashSpec>,
+    topo: Topology,
+    dies: Vec<FlashDie>,
+    channels: Vec<Timeline>,
+    pcie: Timeline,
+    controller: Timeline,
+    ftl: Ftl,
+    wbuf: WriteBuffer,
+    rcache: ReadCache,
+    energy: EnergyLedger,
+    metrics: SsdMetrics,
+    rng: SplitMix64,
+    rows: Vec<RowAccum>,
+    row_units: u32,
+    last_activity: SimTime,
+}
+
+impl Ssd {
+    /// Builds a device from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`crate::ConfigError`] when the configuration
+    /// is inconsistent.
+    pub fn new(cfg: SsdConfig) -> Result<Self, crate::config::ConfigError> {
+        cfg.validate()?;
+        let spec: Arc<FlashSpec> = Arc::new(cfg.flash.clone());
+        // Lanes pair up only when the split-DMA engine actually stripes
+        // units across the pair; super-channels without split-DMA degrade
+        // to independent per-die lanes (the ablation case).
+        let topo = Topology::new(cfg.channels, cfg.ways, cfg.splits_across_pair());
+        let lanes = topo.lanes();
+        let units_per_block = cfg.effective_pages_per_block() * cfg.units_per_row();
+        let logical = cfg.logical_units();
+        // Physical space = logical * (1 + OP). The GC watermark lives inside
+        // the OP margin (as on real devices); a floor keeps degenerate tiny
+        // configurations functional.
+        let needed = (logical as f64 * (1.0 + cfg.overprovision)).ceil() as u64;
+        let blocks_per_lane = (needed.div_ceil(lanes as u64 * units_per_block as u64) as u32)
+            .max(cfg.gc.low_watermark + 4);
+        let blocks_per_virtual = if cfg.splits_across_pair() { 2 } else { 1 };
+        let ftl = Ftl::new(lanes, blocks_per_lane, units_per_block, cfg.gc)
+            .with_wear(cfg.wear, blocks_per_virtual);
+        let rng = SplitMix64::new(cfg.seed);
+        let rcache = ReadCache::new(cfg.read_cache, cfg.seed ^ 0xCACE);
+        let row_units = cfg.units_per_row() * cfg.planes;
+        Ok(Ssd {
+            dies: (0..topo.dies()).map(|_| FlashDie::new(Arc::clone(&spec))).collect(),
+            channels: (0..cfg.channels).map(|_| Timeline::new()).collect(),
+            pcie: Timeline::new(),
+            controller: Timeline::new(),
+            wbuf: WriteBuffer::new(cfg.write_buffer_units),
+            rcache,
+            energy: EnergyLedger::new(SimDuration::from_millis(10), cfg.power.idle_w),
+            metrics: SsdMetrics::default(),
+            rows: (0..lanes).map(|_| RowAccum::default()).collect(),
+            row_units,
+            last_activity: SimTime::ZERO,
+            rng,
+            ftl,
+            topo,
+            spec,
+            cfg,
+        })
+    }
+
+    /// The device's configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// Logical capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.cfg.capacity_bytes
+    }
+
+    /// Cumulative counters.
+    pub fn metrics(&self) -> SsdMetrics {
+        let mut m = self.metrics;
+        m.gc_migrated_units = self.ftl.migrated_units();
+        m.forced_gc_events = self.ftl.forced_gc_events();
+        m.flash_erases = self.ftl.erased_blocks();
+        m.remapped_blocks = self.ftl.remapped_blocks();
+        m.physical_blocks_lost = self.ftl.physical_blocks_lost();
+        m
+    }
+
+    /// The energy ledger (power reporting).
+    pub fn energy(&self) -> &EnergyLedger {
+        &self.energy
+    }
+
+    /// Instant of the last command completion seen by the device.
+    pub fn last_activity(&self) -> SimTime {
+        self.last_activity
+    }
+
+    /// Populates the whole logical space as if sequentially written, without
+    /// charging any time — used to precondition GC experiments exactly like
+    /// the paper ("writing the entire address range" before measuring).
+    pub fn precondition_full(&mut self) {
+        for lpn in 0..self.cfg.logical_units() {
+            let _ = self.ftl.append(lpn);
+        }
+        self.metrics = SsdMetrics::default();
+    }
+
+    fn channel_time(&self, bytes: u32) -> SimDuration {
+        self.cfg.channel_setup
+            + SimDuration::from_nanos(bytes as u64 * 1000 / self.cfg.channel_mbps as u64)
+    }
+
+    fn pcie_time(&self, bytes: u32) -> SimDuration {
+        SimDuration::from_nanos(bytes as u64 * 1000 / self.cfg.pcie_mbps as u64)
+    }
+
+    fn unit_range(&self, offset: u64, len: u32) -> (u64, u64) {
+        assert!(len > 0, "zero-length I/O");
+        assert!(
+            offset + len as u64 <= self.cfg.capacity_bytes,
+            "I/O beyond device capacity: offset={offset} len={len}"
+        );
+        let first = offset / MAP_UNIT_BYTES as u64;
+        let last = (offset + len as u64 - 1) / MAP_UNIT_BYTES as u64;
+        (first, last - first + 1)
+    }
+
+    /// Serves a host read of `len` bytes at byte `offset`, submitted at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the device capacity or `len` is zero.
+    pub fn read(&mut self, at: SimTime, offset: u64, len: u32) -> DeviceCompletion {
+        let (first, nunits) = self.unit_range(offset, len);
+        self.metrics.host_reads += 1;
+        self.metrics.read_units += nunits;
+        self.energy.add(at, self.cfg.power.host_read_nj);
+
+        let ctrl = self.controller.reserve(at, self.cfg.controller_per_op);
+        // DRAM hits skip the firmware flash path (`controller_read`): the
+        // mapping is cached and no flash command is built.
+        let t_cmd = ctrl.end;
+        let t_flash = t_cmd + self.cfg.controller_read;
+        let class = self.rcache.classify(first, nunits);
+
+        let mut ready = t_cmd;
+        let mut any_flash = false;
+        let mut suspended = false;
+        for u in first..first + nunits {
+            let unit_ready = if self.wbuf.holds(u, t_cmd) {
+                self.metrics.buffer_hits += 1;
+                t_cmd + self.rcache.hit_latency()
+            } else if class.hit {
+                self.metrics.cache_hits += 1;
+                t_cmd + self.rcache.hit_latency()
+            } else {
+                any_flash = true;
+                let (end, susp) = self.flash_read_unit(t_flash, u);
+                suspended |= susp;
+                end
+            };
+            ready = ready.max(unit_ready);
+        }
+
+        let mut gc_stalled = false;
+        if self.rng.chance(self.cfg.read_tail.probability) {
+            self.metrics.read_tail_events += 1;
+            ready += self.cfg.read_tail.delay;
+            gc_stalled = true; // long internal event; reported as a stall
+        }
+
+        let done = self.pcie.reserve(ready, self.pcie_time(len)).end;
+        self.last_activity = self.last_activity.max(done);
+        DeviceCompletion { done, dram_hit: !any_flash, suspended, gc_stalled }
+    }
+
+    /// Reads one 4 KB unit from flash; returns (data-on-channel end, suspended?).
+    fn flash_read_unit(&mut self, t0: SimTime, lpn: u64) -> (SimTime, bool) {
+        let lane = match self.ftl.lookup(lpn) {
+            Some(ppa) => ppa.lane,
+            None => self.topo.stripe_lane(lpn),
+        };
+        let (a, b) = self.topo.lane_dies(lane);
+        let read_energy = self.spec.read_energy_nj();
+        let mut suspended = false;
+        let mut end = SimTime::ZERO;
+        let dies: [Option<_>; 2] = [Some(a), b];
+        let per_die_bytes = if b.is_some() {
+            // Split-DMA: each die supplies half the unit (2 KB pages).
+            MAP_UNIT_BYTES / 2
+        } else {
+            // A 16 KB page is sensed but only the requested 4 KB crosses
+            // the channel.
+            MAP_UNIT_BYTES
+        };
+        for die_id in dies.into_iter().flatten() {
+            let slot = if self.cfg.suspend_resume {
+                self.dies[die_id.0 as usize].read_with_priority(t0)
+            } else {
+                self.dies[die_id.0 as usize].read(t0)
+            };
+            suspended |= slot.suspended_other;
+            if slot.suspended_other {
+                self.metrics.program_suspensions += 1;
+            }
+            self.metrics.flash_reads += 1;
+            self.energy.add(slot.start, read_energy);
+            let ch = self.topo.channel_of(die_id) as usize;
+            let xfer_time = self.channel_time(per_die_bytes);
+            let xfer = self.channels[ch].reserve(slot.end, xfer_time);
+            end = end.max(xfer.end);
+        }
+        (end, suspended)
+    }
+
+    /// Serves a host write of `len` bytes at byte `offset`, submitted at `at`.
+    ///
+    /// Completion is posted when all data has been accepted into the DRAM
+    /// write buffer (write-back); flash programs drain behind the ack unless
+    /// foreground GC forces a stall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the device capacity or `len` is zero.
+    pub fn write(&mut self, at: SimTime, offset: u64, len: u32) -> DeviceCompletion {
+        let (first, nunits) = self.unit_range(offset, len);
+        self.metrics.host_writes += 1;
+        self.metrics.write_units += nunits;
+        self.energy.add(at, self.cfg.power.host_write_nj);
+
+        let ctrl = self.controller.reserve(at, self.cfg.controller_per_op);
+        let t0 = ctrl.end + self.cfg.controller_write;
+        // The controller DMA-fetches the payload once the command is parsed.
+        let data_in = self.pcie.reserve(t0, self.pcie_time(len)).end;
+
+        let mut done = data_in;
+        let mut gc_stalled = false;
+        for u in first..first + nunits {
+            let admit = self.wbuf.admit(data_in, u);
+            done = done.max(admit);
+            let (placement, gc_work) = self.ftl.append(u);
+            let lane = placement.ppa.lane;
+            // Charge GC flash work (incremental and forced alike).
+            if gc_work.migrated_units > 0 || gc_work.erased_blocks > 0 {
+                let gc_end = self.charge_gc(admit, lane, gc_work.migrated_units, gc_work.erased_blocks);
+                if placement.forced_migrations > 0 || placement.forced_erase {
+                    // Foreground GC: the host write waits for the reclaim.
+                    gc_stalled = true;
+                    done = done.max(gc_end);
+                }
+            }
+            self.enqueue_drain(lane, PendingUnit { lpn: u, ready: admit });
+        }
+
+        if self.rng.chance(self.cfg.write_tail.probability) {
+            self.metrics.write_tail_events += 1;
+            done += self.cfg.write_tail.delay;
+        }
+
+        self.last_activity = self.last_activity.max(done);
+        DeviceCompletion { done, dram_hit: true, suspended: false, gc_stalled }
+    }
+
+    /// Adds a unit to its lane's open program row, flushing full or stale
+    /// rows to flash.
+    fn enqueue_drain(&mut self, lane: LaneId, unit: PendingUnit) {
+        let timeout = self.cfg.row_flush_timeout;
+        let row = &mut self.rows[lane.0 as usize];
+        // A stale partial row is flushed padded before the new unit joins.
+        if let Some(first) = row.units.first() {
+            if unit.ready.saturating_since(first.ready) > timeout {
+                let stale = std::mem::take(&mut row.units);
+                self.flush_row(lane, stale);
+            }
+        }
+        let row = &mut self.rows[lane.0 as usize];
+        row.units.push(unit);
+        if row.units.len() as u32 >= self.row_units {
+            let full = std::mem::take(&mut row.units);
+            self.flush_row(lane, full);
+        }
+    }
+
+    /// Programs one row (possibly padded) on the lane's die(s).
+    fn flush_row(&mut self, lane: LaneId, units: Vec<PendingUnit>) {
+        if units.is_empty() {
+            return;
+        }
+        let ready = units.iter().map(|u| u.ready).fold(SimTime::ZERO, SimTime::max);
+        let (a, b) = self.topo.lane_dies(lane);
+        let per_die_bytes = self.spec.page_size * self.cfg.planes;
+        let program_energy = self.spec.program_energy_nj() * self.cfg.planes as f64;
+        let mut program_end = SimTime::ZERO;
+        let xfer_time = self.channel_time(per_die_bytes);
+        for die_id in [Some(a), b].into_iter().flatten() {
+            let ch = self.topo.channel_of(die_id) as usize;
+            let xfer = self.channels[ch].reserve(ready, xfer_time);
+            let prog = self.dies[die_id.0 as usize].program(xfer.end);
+            self.metrics.flash_programs += 1;
+            self.energy.add(prog.start, program_energy);
+            program_end = program_end.max(prog.end);
+        }
+        for u in units {
+            self.wbuf.retire(u.lpn, program_end);
+        }
+    }
+
+    /// Charges GC flash work on a lane and returns when it finishes.
+    fn charge_gc(&mut self, at: SimTime, lane: LaneId, migrated: u32, erased: u32) -> SimTime {
+        let (a, b) = self.topo.lane_dies(lane);
+        let rows = migrated.div_ceil(self.cfg.units_per_row());
+        // Copyback row: read then program. Parallel (ULL-style) GC pipelines
+        // the next read under the current program.
+        let row_time = if self.cfg.gc.parallel {
+            self.spec.t_prog.max(self.spec.t_read)
+        } else {
+            self.spec.t_read + self.spec.t_prog
+        };
+        let unit_energy = self.spec.read_energy_nj()
+            + self.spec.program_energy_nj()
+            + self.cfg.power.gc_unit_nj;
+        let mut end = at;
+        for die_id in [Some(a), b].into_iter().flatten() {
+            let die = &mut self.dies[die_id.0 as usize];
+            for _ in 0..rows {
+                let slot = die.occupy(at, row_time);
+                end = end.max(slot.end);
+            }
+            for _ in 0..erased {
+                let slot = die.erase(at);
+                end = end.max(slot.end);
+                self.energy.add(slot.start, self.spec.erase_energy_nj());
+            }
+        }
+        self.metrics.flash_reads += migrated as u64;
+        self.metrics.flash_programs += rows as u64;
+        self.energy.add(at, unit_energy * migrated as f64);
+        end
+    }
+
+    /// Flushes all partially filled program rows (e.g. at the end of a
+    /// preconditioning pass), returning when the last program lands.
+    pub fn flush(&mut self, at: SimTime) -> SimTime {
+        let lanes: Vec<u32> = (0..self.rows.len() as u32).collect();
+        let mut end = at;
+        for l in lanes {
+            let pending = std::mem::take(&mut self.rows[l as usize].units);
+            self.flush_row(LaneId(l), pending);
+            let (a, b) = self.topo.lane_dies(LaneId(l));
+            for die_id in [Some(a), b].into_iter().flatten() {
+                end = end.max(self.dies[die_id.0 as usize].busy_until());
+            }
+        }
+        end
+    }
+
+    /// Observed DRAM hit rate of the read path.
+    pub fn read_hit_rate(&self) -> f64 {
+        self.rcache.hit_rate()
+    }
+}

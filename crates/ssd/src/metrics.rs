@@ -1,0 +1,76 @@
+//! Device-side observability counters.
+
+/// Cumulative counters maintained by [`crate::Ssd`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SsdMetrics {
+    /// Host read commands served.
+    pub host_reads: u64,
+    /// Host write commands served.
+    pub host_writes: u64,
+    /// 4 KB units read by the host.
+    pub read_units: u64,
+    /// 4 KB units written by the host.
+    pub write_units: u64,
+    /// Read units served from the DRAM write buffer.
+    pub buffer_hits: u64,
+    /// Read units served from the DRAM read cache / readahead.
+    pub cache_hits: u64,
+    /// Flash page reads issued (host + GC).
+    pub flash_reads: u64,
+    /// Flash programs issued (host + GC).
+    pub flash_programs: u64,
+    /// Block erases issued.
+    pub flash_erases: u64,
+    /// Units migrated by garbage collection.
+    pub gc_migrated_units: u64,
+    /// Appends that had to run foreground GC.
+    pub forced_gc_events: u64,
+    /// Reads that suspended an in-flight program (ULL only).
+    pub program_suspensions: u64,
+    /// Rare long-latency read events injected.
+    pub read_tail_events: u64,
+    /// Rare long-latency write events injected.
+    pub write_tail_events: u64,
+    /// Worn-out blocks transparently absorbed by the remap checker.
+    pub remapped_blocks: u64,
+    /// Physical blocks stranded by unremapped wear-out.
+    pub physical_blocks_lost: u64,
+}
+
+impl SsdMetrics {
+    /// Write amplification observed so far: `(host + migrated) / host`.
+    /// Returns 1.0 before any write.
+    pub fn write_amplification(&self) -> f64 {
+        if self.write_units == 0 {
+            return 1.0;
+        }
+        (self.write_units + self.gc_migrated_units) as f64 / self.write_units as f64
+    }
+
+    /// Fraction of read units served from DRAM (buffer or cache).
+    pub fn dram_hit_rate(&self) -> f64 {
+        if self.read_units == 0 {
+            return 0.0;
+        }
+        (self.buffer_hits + self.cache_hits) as f64 / self.read_units as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_amplification_counts_migrations() {
+        let m = SsdMetrics { write_units: 100, gc_migrated_units: 50, ..Default::default() };
+        assert!((m.write_amplification() - 1.5).abs() < 1e-12);
+        assert_eq!(SsdMetrics::default().write_amplification(), 1.0);
+    }
+
+    #[test]
+    fn hit_rate_combines_buffer_and_cache() {
+        let m = SsdMetrics { read_units: 10, buffer_hits: 2, cache_hits: 3, ..Default::default() };
+        assert!((m.dram_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(SsdMetrics::default().dram_hit_rate(), 0.0);
+    }
+}

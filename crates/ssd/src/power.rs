@@ -1,0 +1,127 @@
+//! Energy accounting and power reporting (figs. 7a, 8a, 8b).
+//!
+//! The device is modelled as a constant idle platform power plus discrete
+//! per-operation energies (flash array ops from `ull-flash`, controller/
+//! DRAM/PCIe work from [`crate::PowerParams`]). Binning the energy over
+//! time yields the paper's power-vs-time plots; dividing total energy by
+//! elapsed time yields fig. 7a's average power bars.
+
+use ull_simkit::{SimDuration, SimTime};
+
+/// Accumulates per-operation energy into fixed-width time bins.
+///
+/// # Examples
+///
+/// ```
+/// use ull_simkit::{SimDuration, SimTime};
+/// use ull_ssd::EnergyLedger;
+///
+/// let mut e = EnergyLedger::new(SimDuration::from_millis(1), 3.8);
+/// e.add(SimTime::from_micros(100), 1_000_000.0); // 1 mJ in bin 0
+/// let p = e.power_series(SimTime::from_nanos(2_000_000));
+/// assert!((p[0].1 - (3.8 + 1.0)).abs() < 1e-9); // idle + 1mJ/1ms = 1W
+/// assert!((p[1].1 - 3.8).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyLedger {
+    bin_width: SimDuration,
+    idle_w: f64,
+    bins_nj: Vec<f64>,
+    total_nj: f64,
+}
+
+impl EnergyLedger {
+    /// Creates a ledger with the given bin width and idle platform power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is zero.
+    pub fn new(bin_width: SimDuration, idle_w: f64) -> Self {
+        assert!(!bin_width.is_zero(), "energy bin width must be non-zero");
+        EnergyLedger { bin_width, idle_w, bins_nj: Vec::new(), total_nj: 0.0 }
+    }
+
+    /// Charges `nanojoules` of work at instant `at`.
+    pub fn add(&mut self, at: SimTime, nanojoules: f64) {
+        debug_assert!(nanojoules >= 0.0, "energy must be non-negative");
+        let idx = (at.as_nanos() / self.bin_width.as_nanos()) as usize;
+        if idx >= self.bins_nj.len() {
+            self.bins_nj.resize(idx + 1, 0.0);
+        }
+        self.bins_nj[idx] += nanojoules;
+        self.total_nj += nanojoules;
+    }
+
+    /// Idle platform power, watts.
+    pub fn idle_w(&self) -> f64 {
+        self.idle_w
+    }
+
+    /// Total dynamic energy charged so far, millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.total_nj / 1e6
+    }
+
+    /// Average power over `[0, until]`, watts (idle + dynamic).
+    pub fn average_power(&self, until: SimTime) -> f64 {
+        if until == SimTime::ZERO {
+            return self.idle_w;
+        }
+        self.idle_w + self.total_nj / until.as_nanos() as f64
+    }
+
+    /// Per-bin `(bin start, watts)` series up to `until`.
+    pub fn power_series(&self, until: SimTime) -> Vec<(SimTime, f64)> {
+        let nbins = (until.as_nanos()).div_ceil(self.bin_width.as_nanos()) as usize;
+        (0..nbins)
+            .map(|i| {
+                let start = SimTime::from_nanos(i as u64 * self.bin_width.as_nanos());
+                let nj = self.bins_nj.get(i).copied().unwrap_or(0.0);
+                (start, self.idle_w + nj / self.bin_width.as_nanos() as f64)
+            })
+            .collect()
+    }
+}
+
+/// Converts nanojoules spread over a duration into watts.
+pub fn nj_over(nj: f64, d: SimDuration) -> f64 {
+    if d.is_zero() { 0.0 } else { nj / d.as_nanos() as f64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_power_is_idle_plus_dynamic() {
+        let mut e = EnergyLedger::new(SimDuration::from_millis(1), 4.0);
+        // 2 joules over 1 second => +2 W.
+        e.add(SimTime::from_micros(1), 2e9);
+        let avg = e.average_power(SimTime::ZERO + SimDuration::from_secs(1));
+        assert!((avg - 6.0).abs() < 1e-9);
+        assert!((e.total_mj() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_covers_requested_window() {
+        let mut e = EnergyLedger::new(SimDuration::from_millis(10), 1.0);
+        e.add(SimTime::from_micros(25_000), 5.0e6); // bin 2
+        let s = e.power_series(SimTime::ZERO + SimDuration::from_millis(50));
+        assert_eq!(s.len(), 5);
+        assert!((s[2].1 - 1.5).abs() < 1e-9); // 5mJ over 10ms = 0.5W
+        assert!((s[4].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nj_over_handles_zero() {
+        assert_eq!(nj_over(100.0, SimDuration::ZERO), 0.0);
+        assert!((nj_over(1000.0, SimDuration::from_micros(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ledger_reports_idle() {
+        let e = EnergyLedger::new(SimDuration::from_millis(1), 3.8);
+        assert_eq!(e.average_power(SimTime::ZERO), 3.8);
+        assert_eq!(e.average_power(SimTime::from_micros(10)), 3.8);
+    }
+}

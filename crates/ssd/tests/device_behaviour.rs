@@ -1,0 +1,225 @@
+//! Behavioural tests of the two device models: these check the *mechanisms*
+//! (buffering, backpressure, GC, suspend/resume, tails) that the paper's
+//! figures are built from, at the device level, before any host stack is
+//! involved.
+
+use ull_simkit::{Histogram, SimTime};
+use ull_ssd::{presets, Ssd, SsdConfig};
+
+const UNIT: u64 = 4096;
+const SPACE_UNITS: u64 = 1 << 18; // 1 GiB of the 2 GiB device
+
+fn device(cfg: SsdConfig) -> Ssd {
+    Ssd::new(cfg).expect("preset is valid")
+}
+
+/// Issue `n` random reads spaced far apart (no queueing) and return the mean
+/// latency in microseconds.
+fn idle_random_read_mean(cfg: SsdConfig, n: u64) -> f64 {
+    let mut ssd = device(cfg);
+    let mut sum = 0.0;
+    for i in 0..n {
+        let at = SimTime::from_micros(i * 500);
+        let off = ((i * 7919 + 13) % SPACE_UNITS) * UNIT;
+        let c = ssd.read(at, off, UNIT as u32);
+        sum += (c.done - at).as_micros_f64();
+    }
+    sum / n as f64
+}
+
+#[test]
+fn ull_random_reads_are_several_times_faster_than_nvme() {
+    let ull = idle_random_read_mean(presets::ull_800g(), 2000);
+    let nvme = idle_random_read_mean(presets::nvme750(), 2000);
+    // Paper §IV-A: 82.9us vs 15.9us, a 5.2x gap; require at least 4x.
+    assert!(nvme / ull > 4.0, "nvme={nvme:.1}us ull={ull:.1}us");
+}
+
+#[test]
+fn writes_are_acknowledged_from_dram_well_below_t_prog() {
+    for cfg in [presets::ull_800g(), presets::nvme750()] {
+        let t_prog = cfg.flash.t_prog.as_micros_f64();
+        let mut ssd = device(cfg);
+        let mut sum = 0.0;
+        for i in 0..1000u64 {
+            let at = SimTime::from_micros(i * 300);
+            let c = ssd.write(at, (i % SPACE_UNITS) * UNIT, UNIT as u32);
+            sum += (c.done - at).as_micros_f64();
+        }
+        let mean = sum / 1000.0;
+        assert!(mean < t_prog / 3.0, "write ack {mean:.1}us vs tPROG {t_prog:.0}us");
+    }
+}
+
+#[test]
+fn sustained_unthrottled_writes_hit_drain_backpressure() {
+    // Slam writes in with zero inter-arrival: admission must eventually wait
+    // for flash programs, so late-write latency far exceeds early-write
+    // latency on the MLC device.
+    let mut ssd = device(presets::nvme750());
+    let mut first = 0.0;
+    let mut last = 0.0;
+    let n = 20_000u64;
+    let mut clock = SimTime::ZERO;
+    for i in 0..n {
+        let c = ssd.write(clock, ((i * 17) % SPACE_UNITS) * UNIT, UNIT as u32);
+        let lat = (c.done - clock).as_micros_f64();
+        if i < 100 {
+            first += lat / 100.0;
+        }
+        if i >= n - 100 {
+            last += lat / 100.0;
+        }
+        // Closed loop with queue depth 16 approximated by pacing on done/16.
+        clock = clock + (c.done - clock) / 16;
+    }
+    assert!(last > 3.0 * first, "early={first:.1}us late={last:.1}us");
+}
+
+#[test]
+fn ull_reads_stay_fast_while_writes_are_in_flight() {
+    // Mixed 50/50 workload: ULL reads suspend programs, NVMe reads queue.
+    let run = |cfg: SsdConfig| {
+        let mut ssd = device(cfg);
+        let mut read_sum = 0.0;
+        let mut reads = 0u64;
+        for i in 0..4000u64 {
+            let at = SimTime::from_micros(i * 12);
+            let off = ((i * 7919 + 31) % SPACE_UNITS) * UNIT;
+            if i % 2 == 0 {
+                ssd.write(at, off, UNIT as u32);
+            } else {
+                let c = ssd.read(at, off, UNIT as u32);
+                read_sum += (c.done - at).as_micros_f64();
+                reads += 1;
+            }
+        }
+        read_sum / reads as f64
+    };
+    let ull_mixed = run(presets::ull_800g());
+    let ull_alone = idle_random_read_mean(presets::ull_800g(), 2000);
+    let nvme_mixed = run(presets::nvme750());
+    let nvme_alone = idle_random_read_mean(presets::nvme750(), 2000);
+    // Paper fig. 6: NVMe reads degrade sharply when mixed; ULL barely moves.
+    let ull_blowup = ull_mixed / ull_alone;
+    let nvme_blowup = nvme_mixed / nvme_alone;
+    assert!(ull_blowup < 2.0, "ULL mixed/alone = {ull_blowup:.2}");
+    assert!(nvme_blowup > 1.5 * ull_blowup, "nvme={nvme_blowup:.2} ull={ull_blowup:.2}");
+}
+
+#[test]
+fn suspend_resume_fires_on_the_ull_device_only() {
+    let run = |cfg: SsdConfig| {
+        let mut ssd = device(cfg);
+        for i in 0..2000u64 {
+            let at = SimTime::from_micros(i * 10);
+            let off = ((i * 13) % SPACE_UNITS) * UNIT;
+            if i % 2 == 0 {
+                ssd.write(at, off, UNIT as u32);
+            } else {
+                ssd.read(at, (off + 101 * UNIT) % (SPACE_UNITS * UNIT), UNIT as u32);
+            }
+        }
+        ssd.metrics().program_suspensions
+    };
+    assert!(run(presets::ull_800g()) > 0);
+    assert_eq!(run(presets::nvme750()), 0);
+}
+
+#[test]
+fn preconditioned_overwrites_trigger_gc() {
+    let cfg = presets::nvme750();
+    let logical_units = cfg.logical_units();
+    let mut ssd = device(cfg);
+    ssd.precondition_full();
+    let mut clock = SimTime::ZERO;
+    let mut rng = 1234567u64;
+    for _ in 0..(logical_units / 2) {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let lpn = (rng >> 33) % logical_units;
+        let c = ssd.write(clock, lpn * UNIT, UNIT as u32);
+        clock = clock + (c.done - clock) / 4;
+    }
+    let m = ssd.metrics();
+    assert!(m.gc_migrated_units > 0, "GC never migrated: {m:?}");
+    assert!(m.flash_erases > 0, "GC never erased: {m:?}");
+    assert!(m.write_amplification() > 1.01, "WA = {}", m.write_amplification());
+}
+
+#[test]
+fn five_nines_tail_dwarfs_the_mean_on_nvme() {
+    let mut ssd = device(presets::nvme750());
+    let mut h = Histogram::new();
+    for i in 0..300_000u64 {
+        let at = SimTime::from_micros(i * 120);
+        let off = ((i * 7919 + 7) % SPACE_UNITS) * UNIT;
+        let c = ssd.read(at, off, UNIT as u32);
+        h.record(c.done - at);
+    }
+    // Paper fig. 4b: reads' five-nines is >10x the average.
+    let ratio = h.five_nines().as_micros_f64() / h.mean().as_micros_f64();
+    assert!(ratio > 5.0, "five-nines ratio {ratio:.1}");
+}
+
+#[test]
+fn larger_requests_cost_more_but_sublinearly() {
+    for cfg in [presets::ull_800g(), presets::nvme750()] {
+        let mut ssd = device(cfg);
+        let lat = |ssd: &mut Ssd, i: u64, bytes: u32| {
+            let at = SimTime::from_micros(500 + i * 1000);
+            let off = ((i * 104729) % (SPACE_UNITS / 64)) * 64 * UNIT;
+            (ssd.read(at, off, bytes).done - at).as_micros_f64()
+        };
+        let mut small = 0.0;
+        let mut large = 0.0;
+        for i in 0..200 {
+            small += lat(&mut ssd, 2 * i, 4096) / 200.0;
+            large += lat(&mut ssd, 2 * i + 1, 32 * 1024) / 200.0;
+        }
+        assert!(large > small, "32K ({large:.1}) should cost more than 4K ({small:.1})");
+        assert!(large < 8.0 * small, "32K should fan out, not serialize 8x");
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_runs() {
+    let run = || {
+        let mut ssd = device(presets::ull_800g());
+        let mut fingerprint = 0u64;
+        for i in 0..5000u64 {
+            let at = SimTime::from_micros(i * 9);
+            let off = ((i * 31) % SPACE_UNITS) * UNIT;
+            let c = if i % 3 == 0 {
+                ssd.write(at, off, UNIT as u32)
+            } else {
+                ssd.read(at, off, UNIT as u32)
+            };
+            fingerprint = fingerprint.wrapping_mul(31).wrapping_add(c.done.as_nanos());
+        }
+        fingerprint
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn flush_drains_partial_rows() {
+    let mut ssd = device(presets::nvme750());
+    // One lone 4KB write leaves a partial 16KB row pending.
+    ssd.write(SimTime::ZERO, 0, UNIT as u32);
+    let before = ssd.metrics().flash_programs;
+    let end = ssd.flush(SimTime::from_micros(50));
+    assert!(ssd.metrics().flash_programs > before);
+    assert!(end > SimTime::from_micros(50));
+}
+
+#[test]
+fn power_reflects_activity() {
+    let mut ssd = device(presets::nvme750());
+    let idle = ssd.energy().average_power(SimTime::from_micros(1000));
+    for i in 0..5000u64 {
+        let at = SimTime::from_micros(i * 20);
+        ssd.write(at, ((i * 3) % SPACE_UNITS) * UNIT, UNIT as u32);
+    }
+    let busy = ssd.energy().average_power(SimTime::from_micros(5000 * 20));
+    assert!(busy > idle + 0.5, "busy={busy:.2}W idle={idle:.2}W");
+}

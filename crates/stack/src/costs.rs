@@ -1,0 +1,234 @@
+//! Calibrated software-path costs.
+//!
+//! Each segment of the I/O path carries a *latency* contribution (how much
+//! it delays the request) and a *busy* contribution (how long it occupies
+//! the CPU — for interrupt-side segments these differ, because scheduler
+//! and IRQ delivery delays are waiting, not computing), plus the load/store
+//! instruction counts VTune would attribute to it.
+//!
+//! The default table, [`SoftwareCosts::linux_4_14()`], is calibrated so the
+//! full stack reproduces the paper's §V/§VI numbers on the `ull-ssd`
+//! presets: interrupt-vs-poll gaps (~2.2 µs), poll CPU near 100% kernel,
+//! memory-instruction inflation of polling and SPDK, and SPDK's ~25%
+//! sequential-read win on the ULL device. EXPERIMENTS.md records the
+//! resulting per-figure comparison.
+
+use ull_simkit::SimDuration;
+
+/// One fixed path segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Delay added to the request.
+    pub latency: SimDuration,
+    /// CPU-busy portion of that delay.
+    pub busy: SimDuration,
+    /// Load instructions executed.
+    pub loads: u64,
+    /// Store instructions executed.
+    pub stores: u64,
+}
+
+impl Segment {
+    /// A segment whose latency is fully CPU-busy.
+    pub const fn busy_ns(ns: u64, loads: u64, stores: u64) -> Segment {
+        Segment { latency: SimDuration::from_nanos(ns), busy: SimDuration::from_nanos(ns), loads, stores }
+    }
+
+    /// A segment with separate latency and busy durations.
+    pub const fn mixed_ns(latency_ns: u64, busy_ns: u64, loads: u64, stores: u64) -> Segment {
+        Segment {
+            latency: SimDuration::from_nanos(latency_ns),
+            busy: SimDuration::from_nanos(busy_ns),
+            loads,
+            stores,
+        }
+    }
+}
+
+/// One iteration of a polling loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterProfile {
+    /// Wall time of one iteration of this function's share.
+    pub duration: SimDuration,
+    /// Load instructions per iteration.
+    pub loads: u64,
+    /// Store instructions per iteration.
+    pub stores: u64,
+}
+
+/// The full host software cost table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftwareCosts {
+    /// Userland benchmark work per I/O (buffer prep, bookkeeping); runs
+    /// between I/Os, so it extends wall time but not request latency.
+    pub user_per_io: Segment,
+    /// System-call entry/exit.
+    pub syscall: Segment,
+    /// VFS and block-device file layer.
+    pub vfs: Segment,
+    /// blk-mq request construction, tagging and dispatch.
+    pub block_layer: Segment,
+    /// NVMe driver SQE build + SQ doorbell.
+    pub driver_submit: Segment,
+    /// Interrupt top half (runs after MSI delivery).
+    pub isr: Segment,
+    /// Softirq completion half.
+    pub softirq: Segment,
+    /// Scheduler wakeup + context switch back to the issuing thread.
+    pub wakeup: Segment,
+    /// `blk_mq_poll()` share of one poll-loop iteration.
+    pub poll_iter_blkmq: IterProfile,
+    /// `nvme_poll()` share of one poll-loop iteration.
+    pub poll_iter_nvme: IterProfile,
+    /// Post-detection completion processing in polled mode.
+    pub poll_complete: Segment,
+    /// Probability that a poll is preempted by the scheduler (need_resched
+    /// while holding the CQ lock), adding `resched_delay` — the polled
+    /// mode's five-nines penalty of fig. 11.
+    pub resched_prob: f64,
+    /// Delay when a poll preemption fires.
+    pub resched_delay: SimDuration,
+    /// Hybrid polling: mean tracking + hrtimer programming.
+    pub hybrid_setup: Segment,
+    /// Hybrid polling: timer expiry + wakeup before polling resumes.
+    pub hybrid_wake: Segment,
+    /// Fraction of the tracked mean latency slept (Linux 4.14 uses 1/2).
+    pub hybrid_sleep_fraction: f64,
+    /// SPDK submission (user-space SQE build + BAR doorbell).
+    pub spdk_submit: Segment,
+    /// `spdk_nvme_qpair_process_completions()` share of one reactor
+    /// iteration.
+    pub spdk_iter_qpair: IterProfile,
+    /// `nvme_pcie_qpair_process_completions()` share of one iteration.
+    pub spdk_iter_pcie: IterProfile,
+    /// `nvme_qpair_check_enabled()` share of one iteration.
+    pub spdk_iter_check: IterProfile,
+    /// SPDK post-detection completion callback work.
+    pub spdk_complete: Segment,
+}
+
+impl SoftwareCosts {
+    /// The calibrated Linux 4.14 + SPDK 19.07 cost table (see module docs).
+    pub fn linux_4_14() -> Self {
+        SoftwareCosts {
+            user_per_io: Segment::busy_ns(1_000, 600, 450),
+            syscall: Segment::busy_ns(150, 80, 40),
+            vfs: Segment::busy_ns(200, 250, 180),
+            block_layer: Segment::busy_ns(350, 450, 330),
+            driver_submit: Segment::busy_ns(280, 180, 120),
+            // IRQ delivery and scheduling latencies exceed their CPU work.
+            isr: Segment::mixed_ns(250, 250, 120, 60),
+            softirq: Segment::mixed_ns(700, 350, 280, 200),
+            wakeup: Segment::mixed_ns(1_200, 250, 150, 120),
+            poll_iter_blkmq: IterProfile {
+                duration: SimDuration::from_nanos(95),
+                loads: 26,
+                stores: 10,
+            },
+            poll_iter_nvme: IterProfile {
+                duration: SimDuration::from_nanos(25),
+                loads: 16,
+                stores: 4,
+            },
+            poll_complete: Segment::busy_ns(300, 260, 190),
+            resched_prob: 3e-5,
+            resched_delay: SimDuration::from_micros(480),
+            hybrid_setup: Segment::busy_ns(300, 120, 90),
+            hybrid_wake: Segment::mixed_ns(900, 350, 150, 110),
+            hybrid_sleep_fraction: 0.5,
+            spdk_submit: Segment::busy_ns(350, 300, 220),
+            spdk_iter_qpair: IterProfile {
+                duration: SimDuration::from_nanos(55),
+                loads: 260,
+                stores: 160,
+            },
+            spdk_iter_pcie: IterProfile {
+                duration: SimDuration::from_nanos(30),
+                loads: 160,
+                stores: 100,
+            },
+            spdk_iter_check: IterProfile {
+                duration: SimDuration::from_nanos(15),
+                loads: 145,
+                stores: 20,
+            },
+            spdk_complete: Segment::busy_ns(150, 120, 80),
+        }
+    }
+
+    /// Total kernel submission-path segment (syscall through doorbell).
+    pub fn kernel_submit_latency(&self) -> SimDuration {
+        self.syscall.latency + self.vfs.latency + self.block_layer.latency + self.driver_submit.latency
+    }
+
+    /// Total interrupt-side completion latency (after MSI delivery).
+    pub fn interrupt_completion_latency(&self) -> SimDuration {
+        self.isr.latency + self.softirq.latency + self.wakeup.latency
+    }
+
+    /// Wall time of one kernel poll-loop iteration.
+    pub fn poll_iter_duration(&self) -> SimDuration {
+        self.poll_iter_blkmq.duration + self.poll_iter_nvme.duration
+    }
+
+    /// Wall time of one SPDK reactor iteration.
+    pub fn spdk_iter_duration(&self) -> SimDuration {
+        self.spdk_iter_qpair.duration + self.spdk_iter_pcie.duration + self.spdk_iter_check.duration
+    }
+}
+
+impl Default for SoftwareCosts {
+    fn default() -> Self {
+        SoftwareCosts::linux_4_14()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interrupt_path_is_slower_than_poll_detection() {
+        let c = SoftwareCosts::linux_4_14();
+        // The paper's ~2.2us interrupt-vs-poll gap comes from here (plus MSI).
+        let int = c.interrupt_completion_latency();
+        let poll = c.poll_iter_duration() + c.poll_complete.latency;
+        assert!(int.as_micros_f64() - poll.as_micros_f64() > 1.5);
+    }
+
+    #[test]
+    fn submit_path_is_about_a_microsecond() {
+        let c = SoftwareCosts::linux_4_14();
+        let s = c.kernel_submit_latency().as_micros_f64();
+        assert!((0.7..1.5).contains(&s), "submit path {s}us");
+    }
+
+    #[test]
+    fn spdk_iterations_are_memory_heavy() {
+        let c = SoftwareCosts::linux_4_14();
+        let spdk_loads = c.spdk_iter_qpair.loads + c.spdk_iter_pcie.loads + c.spdk_iter_check.loads;
+        let kernel_loads = c.poll_iter_blkmq.loads + c.poll_iter_nvme.loads;
+        // Fig. 21/22: SPDK's poll machinery touches far more memory per scan.
+        assert!(spdk_loads > 8 * kernel_loads);
+    }
+
+    #[test]
+    fn busy_never_exceeds_latency() {
+        let c = SoftwareCosts::linux_4_14();
+        for s in [
+            c.user_per_io, c.syscall, c.vfs, c.block_layer, c.driver_submit, c.isr, c.softirq,
+            c.wakeup, c.poll_complete, c.hybrid_setup, c.hybrid_wake, c.spdk_submit,
+            c.spdk_complete,
+        ] {
+            assert!(s.busy <= s.latency, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn segment_constructors() {
+        let s = Segment::busy_ns(100, 5, 3);
+        assert_eq!(s.latency, s.busy);
+        let m = Segment::mixed_ns(200, 50, 1, 1);
+        assert!(m.busy < m.latency);
+    }
+}

@@ -1,0 +1,597 @@
+//! The host system: one CPU core driving one NVMe device through a chosen
+//! software path.
+//!
+//! [`Host`] composes the submission path (kernel stack or SPDK), the
+//! completion method (interrupt / polled / hybrid-polled / SPDK's reactor
+//! polling) and the accounting ledger. Synchronous I/O ([`Host::io_sync`])
+//! models fio's `pvsync2` engine; the async pair
+//! [`Host::submit_async`]/[`Host::finish_async`] models `libaio` and the
+//! SPDK fio plugin, driven by the closed-loop engine in `ull-workload`.
+
+use ull_nvme::{NvmeCommand, NvmeController};
+use ull_simkit::{SimDuration, SimTime, SplitMix64};
+use ull_ssd::DeviceCompletion;
+
+use crate::blkmq::{split_request, Tag, TagSet};
+use crate::costs::{Segment, SoftwareCosts};
+use crate::cpu::{CpuAccounting, Mode, StackFn};
+
+/// Which software path I/O takes to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoPath {
+    /// Kernel stack, MSI interrupt completion (the conventional path).
+    KernelInterrupt,
+    /// Kernel stack, polled-mode completion (Linux 4.4's
+    /// `queue_io_poll`, fio `--hipri`).
+    KernelPolled,
+    /// Kernel stack, hybrid polling (Linux 4.10+: sleep half the tracked
+    /// mean, then poll).
+    KernelHybrid,
+    /// SPDK: userspace driver, reactor polling, no kernel involvement.
+    Spdk,
+}
+
+impl IoPath {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IoPath::KernelInterrupt => "interrupt",
+            IoPath::KernelPolled => "poll",
+            IoPath::KernelHybrid => "hybrid",
+            IoPath::Spdk => "spdk",
+        }
+    }
+}
+
+/// Direction of an I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    /// Read from the device.
+    Read,
+    /// Write to the device.
+    Write,
+}
+
+/// Outcome of one I/O as the application observes it.
+#[derive(Debug, Clone, Copy)]
+pub struct IoResult {
+    /// When the application issued the I/O.
+    pub submitted: SimTime,
+    /// When control returned to the application.
+    pub user_visible: SimTime,
+    /// `user_visible - submitted`.
+    pub latency: SimDuration,
+    /// Device-side detail.
+    pub device: DeviceCompletion,
+}
+
+#[derive(Debug, Clone)]
+struct Outstanding {
+    submitted: SimTime,
+    nparts: usize,
+    tags: Vec<Tag>,
+}
+
+/// One host core + software stack + NVMe device.
+///
+/// # Examples
+///
+/// ```
+/// use ull_nvme::NvmeController;
+/// use ull_simkit::SimTime;
+/// use ull_ssd::{presets, Ssd};
+/// use ull_stack::{Host, IoOp, IoPath, SoftwareCosts};
+///
+/// let ctrl = NvmeController::new(Ssd::new(presets::ull_800g())?, 1, 1024);
+/// let mut host = Host::new(ctrl, SoftwareCosts::linux_4_14(), IoPath::KernelPolled);
+/// let r = host.io_sync(IoOp::Read, 0, 4096, SimTime::ZERO);
+/// assert!(r.latency.as_micros_f64() < 25.0);
+/// # Ok::<(), ull_ssd::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct Host {
+    ctrl: NvmeController,
+    cpu: CpuAccounting,
+    costs: SoftwareCosts,
+    path: IoPath,
+    rng: SplitMix64,
+    /// EWMA of recent completion latencies, microseconds (hybrid polling's
+    /// sleep source).
+    hybrid_mean_us: f64,
+    next_cid: u16,
+    outstanding: std::collections::HashMap<u16, Outstanding>,
+    /// Driver tag set bounding in-flight NVMe commands (blk-mq semantics).
+    tags: TagSet,
+    /// Requests beyond this split into multiple commands
+    /// (`max_hw_sectors` / controller MDTS).
+    max_transfer: u32,
+    /// Wall-clock high-water mark of activity on this host.
+    horizon: SimTime,
+}
+
+impl Host {
+    /// Frequency of the testbed CPU (4.6 GHz i7-8700, `performance`
+    /// governor).
+    pub const CPU_GHZ: f64 = 4.6;
+
+    /// Driver tags per hardware queue (mirrors the NVMe queue size used
+    /// throughout the study).
+    pub const TAGS: u16 = 1024;
+
+    /// Maximum bytes per NVMe command before the block layer (or SPDK's
+    /// MDTS handling) splits a request.
+    pub const MAX_TRANSFER: u32 = 128 << 10;
+
+    /// Creates a host over `ctrl` using `costs` and `path`.
+    pub fn new(ctrl: NvmeController, costs: SoftwareCosts, path: IoPath) -> Self {
+        Host {
+            ctrl,
+            cpu: CpuAccounting::new(Self::CPU_GHZ),
+            costs,
+            path,
+            rng: SplitMix64::new(0x57AC_u64),
+            hybrid_mean_us: 10.0,
+            next_cid: 0,
+            outstanding: std::collections::HashMap::new(),
+            tags: TagSet::new(Self::TAGS),
+            max_transfer: Self::MAX_TRANSFER,
+            horizon: SimTime::ZERO,
+        }
+    }
+
+    /// The configured I/O path.
+    pub fn path(&self) -> IoPath {
+        self.path
+    }
+
+    /// Switches the I/O path (between experiment phases).
+    pub fn set_path(&mut self, path: IoPath) {
+        self.path = path;
+    }
+
+    /// The CPU accounting ledger.
+    pub fn cpu(&self) -> &CpuAccounting {
+        &self.cpu
+    }
+
+    /// The controller (device metrics, power).
+    pub fn controller(&self) -> &NvmeController {
+        &self.ctrl
+    }
+
+    /// Mutable controller access (preconditioning).
+    pub fn controller_mut(&mut self) -> &mut NvmeController {
+        &mut self.ctrl
+    }
+
+    /// The cost table in use.
+    pub fn costs(&self) -> &SoftwareCosts {
+        &self.costs
+    }
+
+    /// Latest instant any activity on this host has reached.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    fn charge(&mut self, mode: Mode, f: StackFn, seg: Segment) {
+        self.cpu.charge(mode, f, seg.busy);
+        self.cpu.mem(f, seg.loads, seg.stores);
+    }
+
+    /// Charges the submission path, splits at `max_hw_sectors`, allocates
+    /// driver tags and rings the doorbell. Returns the doorbell instant,
+    /// the per-part cids and the tags held until completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the driver tag set is exhausted (the engine exceeded the
+    /// queue-depth bound).
+    fn submit_path(
+        &mut self,
+        op: IoOp,
+        offset: u64,
+        len: u32,
+        at: SimTime,
+    ) -> (SimTime, Vec<u16>, Vec<Tag>) {
+        self.charge(Mode::User, StackFn::FioEngine, self.costs.user_per_io);
+        let parts = split_request(offset, len, self.max_transfer);
+        let mut t = at;
+        match self.path {
+            IoPath::Spdk => {
+                // The SPDK submit call runs per command (the driver splits
+                // at the controller's MDTS itself).
+                for _ in &parts {
+                    self.charge(Mode::User, StackFn::SpdkSubmit, self.costs.spdk_submit);
+                    t += self.costs.spdk_submit.latency;
+                }
+            }
+            _ => {
+                // One syscall + VFS traversal; blk-mq request setup and
+                // driver SQE build run once per split part.
+                self.charge(Mode::Kernel, StackFn::Syscall, self.costs.syscall);
+                self.charge(Mode::Kernel, StackFn::Vfs, self.costs.vfs);
+                t += self.costs.syscall.latency + self.costs.vfs.latency;
+                for _ in &parts {
+                    self.charge(Mode::Kernel, StackFn::BlockLayer, self.costs.block_layer);
+                    self.charge(Mode::Kernel, StackFn::NvmeDriverSubmit, self.costs.driver_submit);
+                    t += self.costs.block_layer.latency + self.costs.driver_submit.latency;
+                }
+            }
+        }
+        let mut cids = Vec::with_capacity(parts.len());
+        let mut tags = Vec::with_capacity(parts.len());
+        for (part_off, part_len) in parts {
+            let tag = self
+                .tags
+                .acquire()
+                .expect("driver tag set exhausted: engine exceeded queue-depth bound");
+            tags.push(tag);
+            let cid = self.next_cid;
+            self.next_cid = self.next_cid.wrapping_add(1);
+            let cmd = match op {
+                IoOp::Read => NvmeCommand::read(cid, part_off, part_len),
+                IoOp::Write => NvmeCommand::write(cid, part_off, part_len),
+            };
+            self.ctrl.submit(0, cmd).expect("engine keeps queue depth below ring size");
+            cids.push(cid);
+        }
+        self.ctrl.ring_sq_doorbell(0, t);
+        (t, cids, tags)
+    }
+
+    /// Collects and merges the per-part device completions.
+    fn collect_parts(&mut self, cids: &[u16]) -> DeviceCompletion {
+        let mut agg: Option<DeviceCompletion> = None;
+        for &cid in cids {
+            let d = self.ctrl.take_detail(0, cid).expect("command was started");
+            agg = Some(match agg {
+                None => d,
+                Some(a) => DeviceCompletion {
+                    done: a.done.max(d.done),
+                    dram_hit: a.dram_hit && d.dram_hit,
+                    suspended: a.suspended || d.suspended,
+                    gc_stalled: a.gc_stalled || d.gc_stalled,
+                },
+            });
+        }
+        agg.expect("at least one part")
+    }
+
+    fn release_tags(&mut self, tags: &[Tag]) {
+        for &t in tags {
+            self.tags.release(t);
+        }
+    }
+
+    /// Spins the kernel poll loop from `from` until `done`, charging
+    /// cycles and memory instructions; returns the detection instant.
+    fn spin_kernel(&mut self, from: SimTime, done: SimTime) -> SimTime {
+        let iter = self.costs.poll_iter_duration();
+        let wait = done.saturating_since(from);
+        let iters = (wait.as_nanos().div_ceil(iter.as_nanos())).max(1);
+        let b = self.costs.poll_iter_blkmq;
+        let n = self.costs.poll_iter_nvme;
+        self.cpu.charge(Mode::Kernel, StackFn::BlkMqPoll, b.duration * iters);
+        self.cpu.charge(Mode::Kernel, StackFn::NvmePoll, n.duration * iters);
+        self.cpu.mem(StackFn::BlkMqPoll, b.loads * iters, b.stores * iters);
+        self.cpu.mem(StackFn::NvmePoll, n.loads * iters, n.stores * iters);
+        from + iter * iters
+    }
+
+    /// Spins the SPDK reactor from `from` until `done`; returns the
+    /// detection instant.
+    fn spin_spdk(&mut self, from: SimTime, done: SimTime) -> SimTime {
+        let iter = self.costs.spdk_iter_duration();
+        let wait = done.saturating_since(from);
+        let iters = (wait.as_nanos().div_ceil(iter.as_nanos())).max(1);
+        for (f, p) in [
+            (StackFn::SpdkQpairProcess, self.costs.spdk_iter_qpair),
+            (StackFn::SpdkPcieProcess, self.costs.spdk_iter_pcie),
+            (StackFn::SpdkCheckEnabled, self.costs.spdk_iter_check),
+        ] {
+            self.cpu.charge(Mode::User, f, p.duration * iters);
+            self.cpu.mem(f, p.loads * iters, p.stores * iters);
+        }
+        from + iter * iters
+    }
+
+    /// One synchronous I/O (fio `pvsync2`): submit, wait per the configured
+    /// completion method, return to userland.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request exceeds the device capacity.
+    pub fn io_sync(&mut self, op: IoOp, offset: u64, len: u32, at: SimTime) -> IoResult {
+        let (t, cids, tags) = self.submit_path(op, offset, len, at);
+        let nparts = cids.len();
+        let device = self.collect_parts(&cids);
+        let done = device.done;
+
+        let user_visible = match self.path {
+            IoPath::KernelInterrupt => {
+                let irq = done + NvmeController::DEFAULT_MSI_LATENCY;
+                self.charge(Mode::Kernel, StackFn::Isr, self.costs.isr);
+                self.charge(Mode::Kernel, StackFn::Softirq, self.costs.softirq);
+                self.charge(Mode::Kernel, StackFn::ContextSwitch, self.costs.wakeup);
+                let visible = irq + self.costs.interrupt_completion_latency();
+                self.consume_cqes(irq, nparts);
+                visible
+            }
+            IoPath::KernelPolled => {
+                let mut detect = self.spin_kernel(t, done);
+                if self.rng.chance(self.costs.resched_prob) {
+                    // Preempted while polling: the request sits completed in
+                    // the CQ until the thread is rescheduled.
+                    let stall = self.costs.resched_delay;
+                    self.cpu.charge(Mode::Kernel, StackFn::ContextSwitch, SimDuration::from_nanos(500));
+                    detect += stall;
+                }
+                self.charge(Mode::Kernel, StackFn::BlkMqPoll, self.costs.poll_complete);
+                self.consume_cqes(detect, nparts);
+                detect + self.costs.poll_complete.latency
+            }
+            IoPath::KernelHybrid => {
+                self.charge(Mode::Kernel, StackFn::HybridSleep, self.costs.hybrid_setup);
+                let sleep =
+                    SimDuration::from_micros_f64(self.hybrid_mean_us * self.costs.hybrid_sleep_fraction);
+                let wake = t + self.costs.hybrid_setup.latency + sleep + self.costs.hybrid_wake.latency;
+                self.charge(Mode::Kernel, StackFn::HybridSleep, self.costs.hybrid_wake);
+                // Poll resumes at wake-up; an overslept completion is
+                // detected on the first iteration.
+                let detect = self.spin_kernel(wake, done);
+                self.charge(Mode::Kernel, StackFn::BlkMqPoll, self.costs.poll_complete);
+                self.consume_cqes(detect, nparts);
+                detect + self.costs.poll_complete.latency
+            }
+            IoPath::Spdk => {
+                let detect = self.spin_spdk(t, done);
+                self.charge(Mode::User, StackFn::SpdkSubmit, self.costs.spdk_complete);
+                self.consume_cqes(detect, nparts);
+                detect + self.costs.spdk_complete.latency
+            }
+        };
+        self.release_tags(&tags);
+
+        if self.path == IoPath::KernelHybrid {
+            let sample = (done.saturating_since(t)).as_micros_f64();
+            self.hybrid_mean_us = 0.7 * self.hybrid_mean_us + 0.3 * sample;
+        }
+        self.horizon = self.horizon.max(user_visible);
+        IoResult { submitted: at, user_visible, latency: user_visible - at, device }
+    }
+
+    fn consume_cqes(&mut self, at: SimTime, n: usize) {
+        for _ in 0..n {
+            let consumed = self.ctrl.poll(0, at);
+            debug_assert!(consumed.is_some(), "completion must be visible at consume time");
+        }
+    }
+
+    /// Async submission (fio `libaio` / SPDK plugin): charges the submit
+    /// path and returns `(token, merged device completion detail)`. The
+    /// engine schedules [`Host::finish_async`] at the device completion
+    /// instant. Requests beyond `max_hw_sectors` split into multiple NVMe
+    /// commands internally; the token identifies the whole request.
+    pub fn submit_async(
+        &mut self,
+        op: IoOp,
+        offset: u64,
+        len: u32,
+        at: SimTime,
+    ) -> (u16, DeviceCompletion) {
+        let (_t, cids, tags) = self.submit_path(op, offset, len, at);
+        let nparts = cids.len();
+        let device = self.collect_parts(&cids);
+        let token = cids[0];
+        self.outstanding.insert(token, Outstanding { submitted: at, nparts, tags });
+        (token, device)
+    }
+
+    /// Applies the completion path to an async I/O whose device completion
+    /// is `device`, returning the application-visible result.
+    ///
+    /// For the kernel paths this models the libaio reap (IRQ, softirq,
+    /// `io_getevents` return); for SPDK, the reactor's completion callback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cid` was not submitted via [`Host::submit_async`].
+    pub fn finish_async(&mut self, cid: u16, device: DeviceCompletion) -> IoResult {
+        let out = self.outstanding.remove(&cid).expect("cid is outstanding");
+        let done = device.done;
+        let nparts = out.nparts;
+        let user_visible = match self.path {
+            IoPath::Spdk => {
+                // The reactor notices on its next iteration.
+                let detect = done + self.costs.spdk_iter_duration();
+                self.charge(Mode::User, StackFn::SpdkSubmit, self.costs.spdk_complete);
+                detect + self.costs.spdk_complete.latency
+            }
+            _ => {
+                let irq = done + NvmeController::DEFAULT_MSI_LATENCY;
+                self.charge(Mode::Kernel, StackFn::Isr, self.costs.isr);
+                self.charge(Mode::Kernel, StackFn::Softirq, self.costs.softirq);
+                self.charge(Mode::Kernel, StackFn::ContextSwitch, self.costs.wakeup);
+                irq + self.costs.interrupt_completion_latency()
+            }
+        };
+        self.consume_cqes(user_visible.max(done + NvmeController::DEFAULT_MSI_LATENCY), nparts);
+        self.release_tags(&out.tags);
+        self.horizon = self.horizon.max(user_visible);
+        IoResult {
+            submitted: out.submitted,
+            user_visible,
+            latency: user_visible - out.submitted,
+            device,
+        }
+    }
+
+    /// Number of async I/Os in flight.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Accounts for the SPDK reactor (or any poll loop) spinning over idle
+    /// gaps: tops user-mode busy time up to `elapsed` at the reactor's
+    /// iteration memory profile. Call once at the end of an SPDK run so
+    /// CPU utilization reports 100% as the paper observes (fig. 20).
+    pub fn account_idle_spin(&mut self, elapsed: SimDuration) {
+        if self.path != IoPath::Spdk {
+            return;
+        }
+        let busy = self.cpu.busy_total();
+        if busy >= elapsed {
+            return;
+        }
+        let gap = elapsed - busy;
+        let iter = self.costs.spdk_iter_duration();
+        let iters = gap.as_nanos() / iter.as_nanos().max(1);
+        for (f, p) in [
+            (StackFn::SpdkQpairProcess, self.costs.spdk_iter_qpair),
+            (StackFn::SpdkPcieProcess, self.costs.spdk_iter_pcie),
+            (StackFn::SpdkCheckEnabled, self.costs.spdk_iter_check),
+        ] {
+            self.cpu.charge(Mode::User, f, p.duration * iters);
+            self.cpu.mem(f, p.loads * iters, p.stores * iters);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ull_ssd::{presets, Ssd};
+
+    fn host(path: IoPath) -> Host {
+        let ctrl = NvmeController::new(Ssd::new(presets::ull_800g()).unwrap(), 1, 1024);
+        Host::new(ctrl, SoftwareCosts::linux_4_14(), path)
+    }
+
+    fn mean_sync_read(path: IoPath, n: u64) -> f64 {
+        let mut h = host(path);
+        let mut at = SimTime::ZERO;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let r = h.io_sync(IoOp::Read, (i % 1000) * 4096, 4096, at);
+            sum += r.latency.as_micros_f64();
+            at = r.user_visible + SimDuration::from_nanos(1_000);
+        }
+        sum / n as f64
+    }
+
+    #[test]
+    fn polling_beats_interrupts_on_ull() {
+        let int = mean_sync_read(IoPath::KernelInterrupt, 3000);
+        let poll = mean_sync_read(IoPath::KernelPolled, 3000);
+        // Paper fig. 10: ~16% faster reads under polling.
+        let gain = (int - poll) / int;
+        assert!(gain > 0.08 && gain < 0.35, "int={int:.1} poll={poll:.1} gain={gain:.2}");
+    }
+
+    #[test]
+    fn hybrid_sits_between_interrupt_and_poll() {
+        let int = mean_sync_read(IoPath::KernelInterrupt, 3000);
+        let poll = mean_sync_read(IoPath::KernelPolled, 3000);
+        let hybrid = mean_sync_read(IoPath::KernelHybrid, 3000);
+        assert!(hybrid < int, "hybrid={hybrid:.1} int={int:.1}");
+        assert!(hybrid > poll, "hybrid={hybrid:.1} poll={poll:.1}");
+    }
+
+    #[test]
+    fn spdk_is_fastest_on_ull() {
+        let int = mean_sync_read(IoPath::KernelInterrupt, 3000);
+        let spdk = mean_sync_read(IoPath::Spdk, 3000);
+        let gain = (int - spdk) / int;
+        // Paper fig. 18: ~25% on sequential reads.
+        assert!(gain > 0.15 && gain < 0.40, "int={int:.1} spdk={spdk:.1} gain={gain:.2}");
+    }
+
+    #[test]
+    fn polled_mode_burns_the_core_in_kernel_mode() {
+        let mut h = host(IoPath::KernelPolled);
+        let mut at = SimTime::ZERO;
+        for i in 0..2000u64 {
+            let r = h.io_sync(IoOp::Read, (i % 512) * 4096, 4096, at);
+            at = r.user_visible;
+        }
+        let elapsed = at - SimTime::ZERO;
+        let kernel = h.cpu().utilization(Mode::Kernel, elapsed);
+        assert!(kernel > 0.80, "kernel util {kernel:.2}");
+    }
+
+    #[test]
+    fn interrupt_mode_leaves_the_core_mostly_idle() {
+        let mut h = host(IoPath::KernelInterrupt);
+        let mut at = SimTime::ZERO;
+        for i in 0..2000u64 {
+            let r = h.io_sync(IoOp::Read, (i % 512) * 4096, 4096, at);
+            at = r.user_visible;
+        }
+        let elapsed = at - SimTime::ZERO;
+        let total = h.cpu().utilization(Mode::Kernel, elapsed) + h.cpu().utilization(Mode::User, elapsed);
+        assert!(total < 0.45, "total util {total:.2}");
+    }
+
+    #[test]
+    fn polling_inflates_memory_instructions() {
+        let mem = |path| {
+            let mut h = host(path);
+            let mut at = SimTime::ZERO;
+            for i in 0..2000u64 {
+                let r = h.io_sync(IoOp::Read, (i % 512) * 4096, 4096, at);
+                at = r.user_visible;
+            }
+            h.cpu().mem_total()
+        };
+        let int = mem(IoPath::KernelInterrupt);
+        let poll = mem(IoPath::KernelPolled);
+        let spdk = mem(IoPath::Spdk);
+        let load_ratio = poll.loads as f64 / int.loads as f64;
+        assert!(load_ratio > 1.5, "poll/int loads {load_ratio:.2}");
+        let spdk_ratio = spdk.loads as f64 / int.loads as f64;
+        assert!(spdk_ratio > 2.0 * load_ratio, "spdk/int loads {spdk_ratio:.2}");
+    }
+
+    #[test]
+    fn async_round_trip_matches_sync_shape() {
+        let mut h = host(IoPath::KernelInterrupt);
+        let (cid, dev) = h.submit_async(IoOp::Read, 4096, 4096, SimTime::ZERO);
+        assert_eq!(h.in_flight(), 1);
+        let r = h.finish_async(cid, dev);
+        assert_eq!(h.in_flight(), 0);
+        assert!(r.latency.as_micros_f64() > 5.0 && r.latency.as_micros_f64() < 40.0);
+    }
+
+    #[test]
+    fn large_requests_split_and_pipeline() {
+        let mut h = host(IoPath::KernelInterrupt);
+        let small = h.io_sync(IoOp::Read, 0, Host::MAX_TRANSFER, SimTime::ZERO);
+        let at = small.user_visible + SimDuration::from_micros(100);
+        let big = h.io_sync(IoOp::Read, 64 << 20, 8 * Host::MAX_TRANSFER, at);
+        // Eight split commands must pipeline: well below 8x one part.
+        let ratio = big.latency.as_micros_f64() / small.latency.as_micros_f64();
+        assert!(ratio > 1.5 && ratio < 8.0, "split pipeline ratio {ratio:.1}");
+        assert_eq!(h.in_flight(), 0, "tags and outstanding drained");
+    }
+
+    #[test]
+    fn async_splitting_round_trips() {
+        let mut h = host(IoPath::KernelInterrupt);
+        let (token, dev) = h.submit_async(IoOp::Write, 0, 1 << 20, SimTime::ZERO);
+        assert_eq!(h.in_flight(), 1);
+        let r = h.finish_async(token, dev);
+        assert_eq!(h.in_flight(), 0);
+        assert!(r.latency.as_micros_f64() > 100.0, "1MB write takes real time");
+    }
+
+    #[test]
+    fn spdk_idle_spin_tops_up_to_full_core() {
+        let mut h = host(IoPath::Spdk);
+        let r = h.io_sync(IoOp::Read, 0, 4096, SimTime::ZERO);
+        let elapsed = (r.user_visible - SimTime::ZERO) * 10; // mostly idle run
+        h.account_idle_spin(elapsed);
+        let user = h.cpu().utilization(Mode::User, elapsed);
+        assert!(user > 0.95, "user util {user:.2}");
+    }
+}

@@ -1,0 +1,47 @@
+//! GC pressure study: precondition the whole address space, then hammer the
+//! device with random overwrites and watch latency and power over time —
+//! the experiment behind figs. 7b and 8.
+//!
+//! ```sh
+//! cargo run --release --example gc_pressure
+//! ```
+
+use ull_ssd_study::prelude::*;
+
+fn main() {
+    for device in [Device::Nvme750, Device::Ull] {
+        let ios = match device {
+            Device::Nvme750 => 120_000,
+            Device::Ull => 300_000,
+        };
+        let mut host = ull_study::host(device, IoPath::KernelInterrupt);
+        precondition_full(&mut host);
+        let spec = JobSpec::new("overwrite")
+            .pattern(Pattern::Random)
+            .read_fraction(0.0)
+            .engine(Engine::Libaio)
+            .iodepth(2)
+            .ios(ios);
+        let r = run_job(&mut host, &spec);
+
+        println!("== {} ==", device.label());
+        println!("{r}");
+        println!(
+            "  GC: {} units migrated, {} erases, {} forced foreground events",
+            r.device.gc_migrated_units, r.device.flash_erases, r.device.forced_gc_events
+        );
+        println!("  write latency over time (10ms bins, sampled):");
+        let bins = r.latency_series.bins();
+        let step = (bins.len() / 12).max(1);
+        for (t, lat) in bins.iter().step_by(step) {
+            let bar_len = (lat.log10().max(0.0) * 12.0) as usize;
+            println!("    {:>7.2}s {:>10.1}us |{}", t.as_secs_f64(), lat, "#".repeat(bar_len));
+        }
+        println!("  power over time (sampled):");
+        let step = (r.power_series.len() / 8).max(1);
+        for (t, w) in r.power_series.iter().step_by(step) {
+            println!("    {:>7.2}s {w:>6.2}W", t.as_secs_f64());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,77 @@
+//! Latency explorer: sweep queue depth and block size across both devices
+//! and all four software paths, printing a latency matrix — the kind of
+//! exploration §IV and §V of the paper are built from.
+//!
+//! ```sh
+//! cargo run --release --example latency_explorer
+//! ```
+
+use ull_ssd_study::prelude::*;
+
+fn main() {
+    let ios = 8_000u64;
+
+    println!("== queue-depth sweep: 4KB random reads, libaio, kernel interrupt ==");
+    println!("{:10}{:>6}{:>12}{:>12}{:>12}", "device", "qd", "avg(us)", "p99(us)", "KIOPS");
+    for device in [Device::Ull, Device::Nvme750] {
+        for qd in [1u32, 4, 16, 64] {
+            let mut host = ull_study::host(device, IoPath::KernelInterrupt);
+            let spec = JobSpec::new("sweep")
+                .pattern(Pattern::Random)
+                .engine(Engine::Libaio)
+                .iodepth(qd)
+                .ios(ios);
+            let r = run_job(&mut host, &spec);
+            println!(
+                "{:10}{:>6}{:>12.1}{:>12.1}{:>12.0}",
+                device.label(),
+                qd,
+                r.mean_latency().as_micros_f64(),
+                r.latency.quantile(0.99).as_micros_f64(),
+                r.iops() / 1e3
+            );
+        }
+    }
+
+    println!("\n== software-path sweep: 4KB sequential reads, qd1 ==");
+    println!("{:10}{:>11}{:>12}{:>10}{:>10}", "device", "path", "avg(us)", "usr%", "sys%");
+    for device in [Device::Ull, Device::Nvme750] {
+        for path in [
+            IoPath::KernelInterrupt,
+            IoPath::KernelPolled,
+            IoPath::KernelHybrid,
+            IoPath::Spdk,
+        ] {
+            let mut host = ull_study::host(device, path);
+            let engine = if path == IoPath::Spdk { Engine::SpdkPlugin } else { Engine::Pvsync2 };
+            let spec = JobSpec::new("path").pattern(Pattern::Sequential).engine(engine).ios(ios);
+            let r = run_job(&mut host, &spec);
+            println!(
+                "{:10}{:>11}{:>12.1}{:>10.1}{:>10.1}",
+                device.label(),
+                path.label(),
+                r.mean_latency().as_micros_f64(),
+                r.user_util * 100.0,
+                r.kernel_util * 100.0
+            );
+        }
+    }
+
+    println!("\n== block-size sweep: ULL sequential reads, SPDK vs kernel ==");
+    println!("{:>8}{:>14}{:>12}{:>8}", "bs", "kernel(us)", "spdk(us)", "gain%");
+    for bs in [4u32 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20] {
+        let lat = |path: IoPath| {
+            let mut host = ull_study::host(Device::Ull, path);
+            let engine = if path == IoPath::Spdk { Engine::SpdkPlugin } else { Engine::Pvsync2 };
+            let spec = JobSpec::new("bs")
+                .pattern(Pattern::Sequential)
+                .block_size(bs)
+                .engine(engine)
+                .ios(2_000);
+            run_job(&mut host, &spec).mean_latency().as_micros_f64()
+        };
+        let k = lat(IoPath::KernelInterrupt);
+        let s = lat(IoPath::Spdk);
+        println!("{:>7}K{:>14.1}{:>12.1}{:>8.1}", bs / 1024, k, s, (k - s) / k * 100.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Polling trade-offs: latency vs CPU vs memory traffic for the three
+//! kernel completion methods and SPDK — the §V story in one table.
+//!
+//! ```sh
+//! cargo run --release --example polling_tradeoffs
+//! ```
+
+use ull_ssd_study::prelude::*;
+use ull_ssd_study::stack::StackFn;
+
+fn main() {
+    println!("4KB sequential reads on the ULL SSD, 60k I/Os per path\n");
+    println!(
+        "{:>11}{:>10}{:>14}{:>8}{:>8}{:>12}{:>12}",
+        "path", "avg(us)", "p99.999(us)", "usr%", "sys%", "loads/io", "stores/io"
+    );
+    for path in [
+        IoPath::KernelInterrupt,
+        IoPath::KernelPolled,
+        IoPath::KernelHybrid,
+        IoPath::Spdk,
+    ] {
+        let mut host = ull_study::host(Device::Ull, path);
+        let engine = if path == IoPath::Spdk { Engine::SpdkPlugin } else { Engine::Pvsync2 };
+        let spec = JobSpec::new("tradeoff").pattern(Pattern::Sequential).engine(engine).ios(60_000);
+        let r = run_job(&mut host, &spec);
+        println!(
+            "{:>11}{:>10.1}{:>14.1}{:>8.1}{:>8.1}{:>12.0}{:>12.0}",
+            path.label(),
+            r.mean_latency().as_micros_f64(),
+            r.five_nines().as_micros_f64(),
+            r.user_util * 100.0,
+            r.kernel_util * 100.0,
+            r.mem.loads as f64 / r.completed as f64,
+            r.mem.stores as f64 / r.completed as f64,
+        );
+    }
+
+    println!("\nwhere the polled path's cycles go (the fig. 14 view):");
+    let mut host = ull_study::host(Device::Ull, IoPath::KernelPolled);
+    let r = run_job(&mut host, &JobSpec::new("breakdown").ios(20_000));
+    let total = r.busy_by_fn.iter().map(|(_, _, d)| d.as_nanos()).sum::<u64>() as f64;
+    for (f, m, d) in r.busy_by_fn.iter().take(6) {
+        println!("  {:?} {:?}: {:.1}%", m, f, d.as_nanos() as f64 / total * 100.0);
+    }
+    let _ = StackFn::BlkMqPoll; // re-exported for users who want raw queries
+}

@@ -1,0 +1,30 @@
+//! Quickstart: build the two devices of the paper's testbed, run the same
+//! fio-like job on each, and print fio-style reports.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ull_ssd_study::prelude::*;
+
+fn main() {
+    println!("ull-ssd-study quickstart: 4KB random reads, libaio, qd8\n");
+    for device in [Device::Ull, Device::Nvme750] {
+        let mut host = ull_study::host(device, IoPath::KernelInterrupt);
+        let spec = JobSpec::new(format!("randread-{}", device.label()))
+            .pattern(Pattern::Random)
+            .engine(Engine::Libaio)
+            .iodepth(8)
+            .ios(20_000);
+        let report = run_job(&mut host, &spec);
+        println!("{report}\n");
+    }
+
+    println!("and the same on the polled kernel path (pvsync2 --hipri):\n");
+    for device in [Device::Ull, Device::Nvme750] {
+        let mut host = ull_study::host(device, IoPath::KernelPolled);
+        let spec = JobSpec::new(format!("hipri-{}", device.label())).ios(20_000);
+        let report = run_job(&mut host, &spec);
+        println!("{report}\n");
+    }
+}

@@ -1,0 +1,48 @@
+//! `ull-ssd-study` — a simulation-based reproduction of *"Faster than
+//! Flash: An In-Depth Study of System Challenges for Emerging Ultra-Low
+//! Latency SSDs"* (Koh et al., IISWC 2019).
+//!
+//! This façade re-exports the workspace crates:
+//!
+//! * [`simkit`] — discrete-event simulation foundation.
+//! * [`flash`] — Z-NAND / V-NAND / BiCS / planar-MLC media models.
+//! * [`ssd`] — the two device models (Z-SSD prototype, Intel 750).
+//! * [`nvme`] — NVMe rings, doorbells, phase tags, controller.
+//! * [`stack`] — kernel/SPDK paths and completion methods with CPU and
+//!   memory-instruction accounting.
+//! * [`netblock`] — the fig. 23 NBD server-client substrate.
+//! * [`workload`] — fio-like job generation and reports.
+//! * [`study`] — testbed presets and the per-figure experiments.
+//!
+//! # Examples
+//!
+//! The quickest way in — run one fio-like job on the ULL device:
+//!
+//! ```
+//! use ull_ssd_study::prelude::*;
+//!
+//! let mut host = ull_study::host(Device::Ull, IoPath::KernelPolled);
+//! let report = run_job(&mut host, &JobSpec::new("demo").ios(1_000));
+//! assert_eq!(report.completed, 1_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ull_flash as flash;
+pub use ull_netblock as netblock;
+pub use ull_nvme as nvme;
+pub use ull_simkit as simkit;
+pub use ull_ssd as ssd;
+pub use ull_stack as stack;
+pub use ull_study as study;
+pub use ull_workload as workload;
+
+/// The most commonly used items, for `use ull_ssd_study::prelude::*`.
+pub mod prelude {
+    pub use ull_simkit::{Histogram, SimDuration, SimTime};
+    pub use ull_ssd::{presets, Ssd, SsdConfig};
+    pub use ull_stack::{Host, IoOp, IoPath};
+    pub use ull_study::{self as ull_study, Device, Scale};
+    pub use ull_workload::{precondition_full, run_job, Engine, JobSpec, Pattern};
+}

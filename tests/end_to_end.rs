@@ -1,0 +1,108 @@
+//! Cross-crate integration tests: the full pipeline from workload spec
+//! through host stack, NVMe rings and device model back to reports.
+
+use ull_ssd_study::prelude::*;
+use ull_ssd_study::study::experiments::{completion, device_level, nbd, spdk, table1};
+
+#[test]
+fn table1_reproduces() {
+    let t = table1::run();
+    assert!(t.check().is_empty(), "{:?}", t.check());
+}
+
+#[test]
+fn headline_latency_ordering_holds_end_to_end() {
+    // The paper's single most important ordering, measured through the
+    // whole stack: SPDK < poll < hybrid-ish < interrupt on the ULL device,
+    // and every ULL config beats the NVMe device's random reads.
+    let mean = |device, path| {
+        let mut host = ull_study::host(device, path);
+        let engine = if path == IoPath::Spdk { Engine::SpdkPlugin } else { Engine::Pvsync2 };
+        let spec = JobSpec::new("e2e").pattern(Pattern::Random).engine(engine).ios(6_000);
+        run_job(&mut host, &spec).mean_latency().as_micros_f64()
+    };
+    let ull_int = mean(Device::Ull, IoPath::KernelInterrupt);
+    let ull_poll = mean(Device::Ull, IoPath::KernelPolled);
+    let ull_spdk = mean(Device::Ull, IoPath::Spdk);
+    let nvme_int = mean(Device::Nvme750, IoPath::KernelInterrupt);
+    assert!(ull_spdk < ull_poll, "spdk {ull_spdk:.1} !< poll {ull_poll:.1}");
+    assert!(ull_poll < ull_int, "poll {ull_poll:.1} !< interrupt {ull_int:.1}");
+    assert!(nvme_int > 3.0 * ull_int, "NVMe {nvme_int:.1} !>> ULL {ull_int:.1}");
+}
+
+#[test]
+fn whole_study_is_deterministic() {
+    let fingerprint = || {
+        let r = device_level::fig06_run(Scale::Quick);
+        r.rows
+            .iter()
+            .map(|row| format!("{:.6}/{:.6}", row.read_mean_us, row.read_five_nines_us))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    assert_eq!(fingerprint(), fingerprint());
+}
+
+#[test]
+fn device_metrics_flow_to_reports() {
+    let mut host = ull_study::host(Device::Nvme750, IoPath::KernelInterrupt);
+    precondition_full(&mut host);
+    let spec = JobSpec::new("gc")
+        .pattern(Pattern::Random)
+        .read_fraction(0.0)
+        .engine(Engine::Libaio)
+        .iodepth(4)
+        .ios(60_000);
+    let r = run_job(&mut host, &spec);
+    assert!(r.device.gc_migrated_units > 0, "GC visible in report");
+    assert!(r.device.write_amplification() > 1.5);
+    assert!(r.avg_power_w > 3.8, "active power above idle");
+    assert!(!r.power_series.is_empty() && r.latency_series.bins().len() > 1);
+}
+
+#[test]
+fn suspend_resume_reaches_the_report_layer() {
+    let mut host = ull_study::host(Device::Ull, IoPath::KernelInterrupt);
+    let spec = JobSpec::new("mix").pattern(Pattern::Random).read_fraction(0.5).ios(20_000);
+    let r = run_job(&mut host, &spec);
+    assert!(r.device.program_suspensions > 0, "Z-NAND suspend/resume must fire: {:?}", r.device);
+}
+
+#[test]
+fn spdk_and_nbd_experiments_agree_on_the_story() {
+    // SPDK pays off directly on the device (fig. 18)...
+    let f18 = spdk::fig171819_run(Scale::Quick);
+    assert!(f18.check().is_empty(), "{:#?}", f18.check());
+    // ...but through a client-side filesystem only reads keep most of it
+    // (fig. 23).
+    let f23 = nbd::fig23_run(Scale::Quick);
+    assert!(f23.check().is_empty(), "{:#?}", f23.check());
+    assert!(f23.mean_gain(false) > 4.0 * f23.mean_gain(true));
+}
+
+#[test]
+fn polling_burns_cpu_but_wins_latency_everywhere_it_should() {
+    let f = completion::fig0910_run(Scale::Quick);
+    assert!(f.check().is_empty(), "{:#?}", f.check());
+    let cpu = completion::fig1213_run(Scale::Quick);
+    assert!(cpu.check().is_empty(), "{:#?}", cpu.check());
+    // Cross-figure consistency: the method that wins latency on ULL is the
+    // one that burns the core.
+    assert!(cpu.mean_kernel(IoPath::KernelPolled) > 2.0 * cpu.mean_kernel(IoPath::KernelInterrupt));
+}
+
+#[test]
+fn big_requests_erase_the_stack_advantage() {
+    let mean = |path: IoPath, bs: u32| {
+        let mut host = ull_study::host(Device::Ull, path);
+        let engine = if path == IoPath::Spdk { Engine::SpdkPlugin } else { Engine::Pvsync2 };
+        let spec = JobSpec::new("big").pattern(Pattern::Sequential).block_size(bs).engine(engine).ios(800);
+        run_job(&mut host, &spec).mean_latency().as_micros_f64()
+    };
+    let small_gain = (mean(IoPath::KernelInterrupt, 4096) - mean(IoPath::Spdk, 4096))
+        / mean(IoPath::KernelInterrupt, 4096);
+    let big_gain = (mean(IoPath::KernelInterrupt, 1 << 20) - mean(IoPath::Spdk, 1 << 20))
+        / mean(IoPath::KernelInterrupt, 1 << 20);
+    assert!(small_gain > 0.12, "small-block SPDK gain {small_gain:.2}");
+    assert!(big_gain < small_gain / 3.0, "big-block gain {big_gain:.2} must collapse");
+}
