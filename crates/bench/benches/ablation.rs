@@ -2,7 +2,6 @@
 //! mechanisms the paper credits for ULL behaviour are switched off one at
 //! a time and the affected metric is reported.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use ull_nvme::NvmeController;
@@ -17,8 +16,11 @@ fn host_for(cfg: SsdConfig, path: IoPath) -> Host {
 
 fn read_latency(cfg: SsdConfig) -> f64 {
     let mut h = host_for(cfg, IoPath::KernelInterrupt);
-    let spec =
-        JobSpec::new("abl-read").pattern(Pattern::Random).engine(Engine::Libaio).iodepth(4).ios(6_000);
+    let spec = JobSpec::new("abl-read")
+        .pattern(Pattern::Random)
+        .engine(Engine::Libaio)
+        .iodepth(4)
+        .ios(6_000);
     run_job(&mut h, &spec).mean_latency().as_micros_f64()
 }
 
@@ -50,9 +52,14 @@ fn hybrid_latency(sleep_fraction: f64) -> f64 {
     costs.hybrid_sleep_fraction = sleep_fraction;
     let ctrl = NvmeController::new(Ssd::new(presets::ull_800g()).unwrap(), 1, 1024);
     let mut h = Host::new(ctrl, costs, IoPath::KernelHybrid);
-    run_job(&mut h, &JobSpec::new("abl-hybrid").pattern(Pattern::Sequential).ios(6_000))
-        .mean_latency()
-        .as_micros_f64()
+    run_job(
+        &mut h,
+        &JobSpec::new("abl-hybrid")
+            .pattern(Pattern::Sequential)
+            .ios(6_000),
+    )
+    .mean_latency()
+    .as_micros_f64()
 }
 
 fn print_ablation_table() {
@@ -64,48 +71,69 @@ fn print_ablation_table() {
     println!("split-DMA/super-channel : rnd-read {with:.1}us -> {without:.1}us without");
 
     let with = mixed_read_latency(base.clone());
-    let without =
-        mixed_read_latency(base.clone().builder().suspend_resume(false).build().unwrap());
+    let without = mixed_read_latency(
+        base.clone()
+            .builder()
+            .suspend_resume(false)
+            .build()
+            .unwrap(),
+    );
     println!("suspend/resume          : mixed-read {with:.1}us -> {without:.1}us without");
 
     let with = gc_write_latency(base.clone());
     let serial_gc = base
         .clone()
         .builder()
-        .gc(GcPolicy { parallel: false, ..base.gc })
+        .gc(GcPolicy {
+            parallel: false,
+            ..base.gc
+        })
         .build()
         .unwrap();
     let without = gc_write_latency(serial_gc);
     println!("parallel GC             : gc-write {with:.1}us -> {without:.1}us without");
 
     let big = gc_write_latency(base.clone());
-    let small = gc_write_latency(base.clone().builder().write_buffer_units(64).build().unwrap());
+    let small = gc_write_latency(
+        base.clone()
+            .builder()
+            .write_buffer_units(64)
+            .build()
+            .unwrap(),
+    );
     println!("write buffer 4096->64   : gc-write {big:.1}us -> {small:.1}us");
 
     let tight_op = base.clone().builder().overprovision(0.10).build().unwrap();
     let op_lat = gc_write_latency(tight_op);
     println!("over-provision 28->10%  : gc-write {with:.1}us -> {op_lat:.1}us");
 
-    println!("hybrid sleep fraction   : 0.25 -> {:.1}us, 0.50 -> {:.1}us, 0.75 -> {:.1}us",
-        hybrid_latency(0.25), hybrid_latency(0.5), hybrid_latency(0.75));
+    println!(
+        "hybrid sleep fraction   : 0.25 -> {:.1}us, 0.50 -> {:.1}us, 0.75 -> {:.1}us",
+        hybrid_latency(0.25),
+        hybrid_latency(0.5),
+        hybrid_latency(0.75)
+    );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     print_ablation_table();
-    let mut g = c.benchmark_group("ablation");
+    let mut g = ull_bench::BenchGroup::new("ablation");
     g.sample_size(10);
     g.bench_function("ull_baseline_rnd_read", |b| {
         b.iter(|| black_box(read_latency(presets::ull_800g())))
     });
     g.bench_function("ull_no_suspend_mixed", |b| {
         b.iter(|| {
-            let cfg = presets::ull_800g().builder().suspend_resume(false).build().unwrap();
+            let cfg = presets::ull_800g()
+                .builder()
+                .suspend_resume(false)
+                .build()
+                .unwrap();
             black_box(mixed_read_latency(cfg))
         })
     });
-    g.bench_function("hybrid_sleep_quarter", |b| b.iter(|| black_box(hybrid_latency(0.25))));
+    g.bench_function("hybrid_sleep_quarter", |b| {
+        b.iter(|| black_box(hybrid_latency(0.25)))
+    });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

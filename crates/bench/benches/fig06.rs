@@ -3,23 +3,35 @@
 //! Regenerates the figure at `Scale::Quick` (rows + shape verdict printed
 //! into the bench log) and times a representative simulation kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use ull_study::experiments::device_level;
 use ull_bench::Scale;
-use ull_study::testbed::Device;
 use ull_stack::IoPath;
+use ull_study::experiments::device_level;
+use ull_study::testbed::Device;
 use ull_workload::{Engine, Pattern};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let r = device_level::fig06_run(Scale::Quick);
     ull_bench::announce("Fig 6", &r, r.check());
-    let mut g = c.benchmark_group("fig06");
+    let mut g = ull_bench::BenchGroup::new("fig06");
     g.sample_size(10);
-    g.bench_function("nvme_mixed_qd4_1k_ios", |b| b.iter(|| black_box(ull_bench::job_kernel(Device::Nvme750, IoPath::KernelInterrupt, Engine::Libaio, Pattern::Random, 0.8, 4096, 4, 1_000).mean_latency())));
+    g.bench_function("nvme_mixed_qd4_1k_ios", |b| {
+        b.iter(|| {
+            black_box(
+                ull_bench::job_kernel(
+                    Device::Nvme750,
+                    IoPath::KernelInterrupt,
+                    Engine::Libaio,
+                    Pattern::Random,
+                    0.8,
+                    4096,
+                    4,
+                    1_000,
+                )
+                .mean_latency(),
+            )
+        })
+    });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,23 +3,35 @@
 //! Regenerates the figure at `Scale::Quick` (rows + shape verdict printed
 //! into the bench log) and times a representative simulation kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use ull_study::experiments::device_level;
 use ull_bench::Scale;
-use ull_study::testbed::Device;
 use ull_stack::IoPath;
+use ull_study::experiments::device_level;
+use ull_study::testbed::Device;
 use ull_workload::{Engine, Pattern};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let r = device_level::fig07a_run(Scale::Quick);
     ull_bench::announce("Fig 7a", &r, r.check());
-    let mut g = c.benchmark_group("fig07");
+    let mut g = ull_bench::BenchGroup::new("fig07");
     g.sample_size(10);
-    g.bench_function("nvme_write_power_1k_ios", |b| b.iter(|| black_box(ull_bench::job_kernel(Device::Nvme750, IoPath::KernelInterrupt, Engine::Libaio, Pattern::Sequential, 0.0, 4096, 16, 1_000).avg_power_w)));
+    g.bench_function("nvme_write_power_1k_ios", |b| {
+        b.iter(|| {
+            black_box(
+                ull_bench::job_kernel(
+                    Device::Nvme750,
+                    IoPath::KernelInterrupt,
+                    Engine::Libaio,
+                    Pattern::Sequential,
+                    0.0,
+                    4096,
+                    16,
+                    1_000,
+                )
+                .avg_power_w,
+            )
+        })
+    });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

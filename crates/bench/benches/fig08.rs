@@ -3,20 +3,18 @@
 //! Regenerates the figure at `Scale::Quick` (rows + shape verdict printed
 //! into the bench log) and times a representative simulation kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use ull_study::experiments::device_level;
 use ull_bench::Scale;
+use ull_study::experiments::device_level;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let r = device_level::fig07b08_run(Scale::Quick);
     ull_bench::announce("Fig 7b/8", &r, r.check());
-    let mut g = c.benchmark_group("fig08");
+    let mut g = ull_bench::BenchGroup::new("fig08");
     g.sample_size(10);
-    g.bench_function("nvme_preconditioned_overwrites_5k", |b| b.iter(|| black_box(ull_bench::nvme_gc_point(5_000))));
+    g.bench_function("nvme_preconditioned_overwrites_5k", |b| {
+        b.iter(|| black_box(ull_bench::nvme_gc_point(5_000)))
+    });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

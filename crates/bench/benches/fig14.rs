@@ -3,20 +3,18 @@
 //! Regenerates the figure at `Scale::Quick` (rows + shape verdict printed
 //! into the bench log) and times a representative simulation kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use ull_study::experiments::completion;
 use ull_bench::Scale;
+use ull_study::experiments::completion;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let r = completion::fig14_run(Scale::Quick);
     ull_bench::announce("Fig 14", &r, r.check());
-    let mut g = c.benchmark_group("fig14");
+    let mut g = ull_bench::BenchGroup::new("fig14");
     g.sample_size(10);
-    g.bench_function("ull_polled_sync_2k_ios", |b| b.iter(|| black_box(ull_bench::ull_polled_point(2_000))));
+    g.bench_function("ull_polled_sync_2k_ios", |b| {
+        b.iter(|| black_box(ull_bench::ull_polled_point(2_000)))
+    });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,23 +3,35 @@
 //! Regenerates the figure at `Scale::Quick` (rows + shape verdict printed
 //! into the bench log) and times a representative simulation kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use ull_study::experiments::completion;
 use ull_bench::Scale;
-use ull_study::testbed::Device;
 use ull_stack::IoPath;
+use ull_study::experiments::completion;
+use ull_study::testbed::Device;
 use ull_workload::{Engine, Pattern};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let r = completion::fig16_run(Scale::Quick);
     ull_bench::announce("Fig 16", &r, r.check());
-    let mut g = c.benchmark_group("fig16");
+    let mut g = ull_bench::BenchGroup::new("fig16");
     g.sample_size(10);
-    g.bench_function("ull_hybrid_sync_2k_ios", |b| b.iter(|| black_box(ull_bench::job_kernel(Device::Ull, IoPath::KernelHybrid, Engine::Pvsync2, Pattern::Random, 1.0, 4096, 1, 2_000).mean_latency())));
+    g.bench_function("ull_hybrid_sync_2k_ios", |b| {
+        b.iter(|| {
+            black_box(
+                ull_bench::job_kernel(
+                    Device::Ull,
+                    IoPath::KernelHybrid,
+                    Engine::Pvsync2,
+                    Pattern::Random,
+                    1.0,
+                    4096,
+                    1,
+                    2_000,
+                )
+                .mean_latency(),
+            )
+        })
+    });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,20 +3,18 @@
 //! Regenerates the figure at `Scale::Quick` (rows + shape verdict printed
 //! into the bench log) and times a representative simulation kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use ull_study::experiments::spdk;
 use ull_bench::Scale;
+use ull_study::experiments::spdk;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let r = spdk::fig2122_run(Scale::Quick);
     ull_bench::announce("Fig 21/22", &r, r.check());
-    let mut g = c.benchmark_group("fig21");
+    let mut g = ull_bench::BenchGroup::new("fig21");
     g.sample_size(10);
-    g.bench_function("ull_spdk_2k_ios", |b| b.iter(|| black_box(ull_bench::ull_spdk_point(2_000))));
+    g.bench_function("ull_spdk_2k_ios", |b| {
+        b.iter(|| black_box(ull_bench::ull_spdk_point(2_000)))
+    });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

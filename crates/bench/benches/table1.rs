@@ -3,19 +3,15 @@
 //! Regenerates the figure at `Scale::Quick` (rows + shape verdict printed
 //! into the bench log) and times a representative simulation kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use ull_study::experiments::table1;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let t = table1::run();
     ull_bench::announce("Table I", &t, t.check());
-    let mut g = c.benchmark_group("table1");
+    let mut g = ull_bench::BenchGroup::new("table1");
     g.sample_size(10);
     g.bench_function("build_table", |b| b.iter(|| black_box(table1::run())));
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

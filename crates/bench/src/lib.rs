@@ -1,7 +1,7 @@
 //! `ull-bench` — benchmark harness support.
 //!
-//! Each Criterion bench target (`benches/table1.rs`, `benches/fig04.rs`,
-//! ...) does two things:
+//! Each bench target (`benches/table1.rs`, `benches/fig04.rs`, ...) does
+//! two things:
 //!
 //! 1. **Regenerates its table/figure** once at [`Scale::Quick`] and prints
 //!    the rows plus the shape-check verdict, so `cargo bench` output
@@ -10,13 +10,90 @@
 //! 2. **Times a representative kernel** of that experiment (a single sweep
 //!    point) so regressions in simulator performance are visible.
 //!
-//! The kernels here are shared by those targets.
+//! The kernels here are shared by those targets, as is [`BenchGroup`] — a
+//! self-contained micro-harness with a Criterion-shaped API (the workspace
+//! builds fully offline, so it vendors no benchmarking framework).
+//!
+//! Note on sim-purity: this crate is the *measurement* harness, so it is
+//! deliberately outside the simlint S001 wall-clock scope — timing the
+//! simulator with `std::time::Instant` is its whole job. The simulation
+//! crates themselves must never read the wall clock (docs/DETERMINISM.md).
 
-use ull_study::testbed::{host, Device};
+use std::time::{Duration, Instant};
+
 use ull_stack::IoPath;
+use ull_study::testbed::{host, Device};
 use ull_workload::{run_job, Engine, JobReport, JobSpec, Pattern};
 
 pub use ull_study::testbed::Scale;
+
+/// A named group of timed kernels; API mirrors Criterion's
+/// `BenchmarkGroup` so bench targets read the same as they always did.
+#[derive(Debug)]
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+}
+
+/// Passed to the closure of [`BenchGroup::bench_function`]; its
+/// [`Bencher::iter`] runs and times the kernel.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` over the group's configured sample count (after one
+    /// untimed warm-up call).
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up
+        self.timings.reserve(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.timings.push(t0.elapsed());
+        }
+    }
+}
+
+impl BenchGroup {
+    /// Creates a group named `name` with the default 10 samples.
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchGroup {
+            name: name.into(),
+            samples: 10,
+        }
+    }
+
+    /// Sets how many timed samples each kernel runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs and reports one timed kernel.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let mut b = Bencher {
+            samples: self.samples,
+            timings: Vec::new(),
+        };
+        f(&mut b);
+        let n = b.timings.len().max(1) as u32;
+        let total: Duration = b.timings.iter().sum();
+        let mean = total / n;
+        let min = b.timings.iter().min().copied().unwrap_or_default();
+        let max = b.timings.iter().max().copied().unwrap_or_default();
+        println!(
+            "{}/{id}: mean {mean:?} min {min:?} max {max:?} ({} samples)",
+            self.name,
+            b.timings.len()
+        );
+    }
+
+    /// Ends the group (kept for API parity; reporting is per-function).
+    pub fn finish(self) {}
+}
 
 /// Prints a regenerated figure with its shape verdict.
 pub fn announce(name: &str, body: impl std::fmt::Display, violations: Vec<String>) {

@@ -34,7 +34,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let scale = if full { Scale::Full } else { Scale::Quick };
-    let picks: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let picks: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let want = |name: &str| picks.is_empty() || picks.contains(&"all") || picks.contains(&name);
 
     let mut ok = true;
@@ -68,7 +72,11 @@ fn main() -> ExitCode {
     }
     if want("fig11") {
         let r = completion::fig11_run(scale);
-        ok &= section("Fig 11 (five-nines, poll vs interrupt)", r.to_string(), r.check());
+        ok &= section(
+            "Fig 11 (five-nines, poll vs interrupt)",
+            r.to_string(),
+            r.check(),
+        );
     }
     if want("fig12") || want("fig13") {
         let r = completion::fig1213_run(scale);
@@ -80,7 +88,11 @@ fn main() -> ExitCode {
     }
     if want("fig15") {
         let r = completion::fig15_run(scale);
-        ok &= section("Fig 15 (poll memory instructions)", r.to_string(), r.check());
+        ok &= section(
+            "Fig 15 (poll memory instructions)",
+            r.to_string(),
+            r.check(),
+        );
     }
     if want("fig16") {
         let r = completion::fig16_run(scale);
@@ -88,7 +100,11 @@ fn main() -> ExitCode {
     }
     if want("fig17") || want("fig18") || want("fig19") {
         let r = spdk::fig171819_run(scale);
-        ok &= section("Fig 17/18/19 (SPDK vs kernel latency)", r.to_string(), r.check());
+        ok &= section(
+            "Fig 17/18/19 (SPDK vs kernel latency)",
+            r.to_string(),
+            r.check(),
+        );
     }
     if want("fig20") {
         let r = spdk::fig20_run(scale);
@@ -96,11 +112,19 @@ fn main() -> ExitCode {
     }
     if want("fig21") || want("fig22") {
         let r = spdk::fig2122_run(scale);
-        ok &= section("Fig 21/22 (SPDK memory instructions)", r.to_string(), r.check());
+        ok &= section(
+            "Fig 21/22 (SPDK memory instructions)",
+            r.to_string(),
+            r.check(),
+        );
     }
     if want("extensions") {
         let r = extensions::run(scale);
-        ok &= section("Extensions (faster NVM / light queue / CPU headroom)", r.to_string(), r.check());
+        ok &= section(
+            "Extensions (faster NVM / light queue / CPU headroom)",
+            r.to_string(),
+            r.check(),
+        );
     }
     if want("fig23") {
         let r = nbd::fig23_run(scale);

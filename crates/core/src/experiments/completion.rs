@@ -194,7 +194,10 @@ impl Fig11 {
             }
         }
         if worse < self.rows.len() * 3 / 4 {
-            v.push(format!("poll tail worse in only {worse}/{} cells", self.rows.len()));
+            v.push(format!(
+                "poll tail worse in only {worse}/{} cells",
+                self.rows.len()
+            ));
         }
         let avg_excess: f64 = self
             .rows
@@ -212,7 +215,11 @@ impl Fig11 {
 impl fmt::Display for Fig11 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig 11: ULL five-nines latency, poll vs interrupt")?;
-        writeln!(f, "{:6}{:>7}{:>12}{:>10}", "op", "bs", "intr(us)", "poll(us)")?;
+        writeln!(
+            f,
+            "{:6}{:>7}{:>12}{:>10}",
+            "op", "bs", "intr(us)", "poll(us)"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -256,7 +263,11 @@ pub struct Fig1213 {
 pub fn fig1213_run(scale: Scale) -> Fig1213 {
     let ios = scale.ios(4_000, 200_000);
     let mut rows = Vec::new();
-    for path in [IoPath::KernelInterrupt, IoPath::KernelPolled, IoPath::KernelHybrid] {
+    for path in [
+        IoPath::KernelInterrupt,
+        IoPath::KernelPolled,
+        IoPath::KernelHybrid,
+    ] {
         for p in &PATTERNS {
             for bs in BLOCK_SIZES {
                 let r = sync_report(Device::Ull, path, p, bs, ios);
@@ -291,11 +302,17 @@ impl Fig1213 {
         let mut v = Vec::new();
         let poll_k = self.mean_kernel(IoPath::KernelPolled);
         if poll_k < 0.80 {
-            v.push(format!("poll kernel util {:.0}%, paper ~96%", poll_k * 100.0));
+            v.push(format!(
+                "poll kernel util {:.0}%, paper ~96%",
+                poll_k * 100.0
+            ));
         }
         let int_total = self.mean_total(IoPath::KernelInterrupt);
         if int_total > 0.45 {
-            v.push(format!("interrupt total util {:.0}%, paper ~18%", int_total * 100.0));
+            v.push(format!(
+                "interrupt total util {:.0}%, paper ~18%",
+                int_total * 100.0
+            ));
         }
         let hybrid = self.mean_total(IoPath::KernelHybrid);
         if !(0.30..=0.80).contains(&hybrid) {
@@ -310,8 +327,15 @@ impl Fig1213 {
 
 impl fmt::Display for Fig1213 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig 12/13: CPU utilization by completion method (ULL, pvsync2)")?;
-        writeln!(f, "{:10}{:8}{:>7}{:>8}{:>8}", "method", "pattern", "bs", "user%", "sys%")?;
+        writeln!(
+            f,
+            "Fig 12/13: CPU utilization by completion method (ULL, pvsync2)"
+        )?;
+        writeln!(
+            f,
+            "{:10}{:8}{:>7}{:>8}{:>8}",
+            "method", "pattern", "bs", "user%", "sys%"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -361,7 +385,7 @@ pub fn fig14_run(scale: Scale) -> Fig14 {
             .filter(|(_, m, _)| *m == Mode::Kernel)
             .map(|(_, _, d)| *d)
             .sum();
-        let frac = |f: StackFn| r.busy_of(f).as_nanos() as f64 / kernel_total.as_nanos() as f64;
+        let frac = |f: StackFn| r.busy_of(f).ratio(kernel_total);
         rows.push(Fig14Row {
             pattern: p.label,
             nvme_driver_frac: frac(StackFn::NvmePoll) + frac(StackFn::NvmeDriverSubmit),
@@ -380,14 +404,26 @@ impl Fig14 {
             // Paper: driver ~17.5% of kernel cycles; blk_mq_poll ~67%,
             // nvme_poll ~17%; together ~84%.
             if !(0.10..=0.35).contains(&r.nvme_driver_frac) {
-                v.push(format!("{}: driver share {:.0}%", r.pattern, r.nvme_driver_frac * 100.0));
+                v.push(format!(
+                    "{}: driver share {:.0}%",
+                    r.pattern,
+                    r.nvme_driver_frac * 100.0
+                ));
             }
             if !(0.50..=0.85).contains(&r.blk_mq_poll_frac) {
-                v.push(format!("{}: blk_mq_poll share {:.0}%", r.pattern, r.blk_mq_poll_frac * 100.0));
+                v.push(format!(
+                    "{}: blk_mq_poll share {:.0}%",
+                    r.pattern,
+                    r.blk_mq_poll_frac * 100.0
+                ));
             }
             let both = r.blk_mq_poll_frac + r.nvme_poll_frac;
             if both < 0.70 {
-                v.push(format!("{}: polling pair {:.0}%, paper ~84%", r.pattern, both * 100.0));
+                v.push(format!(
+                    "{}: polling pair {:.0}%, paper ~84%",
+                    r.pattern,
+                    both * 100.0
+                ));
             }
         }
         v
@@ -397,7 +433,11 @@ impl Fig14 {
 impl fmt::Display for Fig14 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig 14: kernel cycle breakdown under polling (ULL, 4KB)")?;
-        writeln!(f, "{:8}{:>14}{:>14}{:>12}", "pattern", "nvme-driver%", "blk_mq_poll%", "nvme_poll%")?;
+        writeln!(
+            f,
+            "{:8}{:>14}{:>14}{:>12}",
+            "pattern", "nvme-driver%", "blk_mq_poll%", "nvme_poll%"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -553,12 +593,17 @@ impl Fig16 {
         }
         // Hybrid must not beat pure polling (its sleep is inaccurate).
         if hybrid_wins > self.rows.len() / 4 {
-            v.push(format!("hybrid beat polling in {hybrid_wins}/{} cells", self.rows.len()));
+            v.push(format!(
+                "hybrid beat polling in {hybrid_wins}/{} cells",
+                self.rows.len()
+            ));
         }
         let mean_poll =
             self.rows.iter().map(|r| r.poll_reduction_pct).sum::<f64>() / self.rows.len() as f64;
         if !(8.0..=35.0).contains(&mean_poll) {
-            v.push(format!("mean poll reduction {mean_poll:.1}%, paper up to 33%"));
+            v.push(format!(
+                "mean poll reduction {mean_poll:.1}%, paper up to 33%"
+            ));
         }
         v
     }
@@ -567,7 +612,11 @@ impl Fig16 {
 impl fmt::Display for Fig16 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig 16: latency reduction vs interrupts (ULL)")?;
-        writeln!(f, "{:8}{:>7}{:>8}{:>9}", "pattern", "bs", "poll%", "hybrid%")?;
+        writeln!(
+            f,
+            "{:8}{:>7}{:>8}{:>9}",
+            "pattern", "bs", "poll%", "hybrid%"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,

@@ -87,19 +87,27 @@ impl Fig04 {
         let nvme_rr = self.get(Device::Nvme750, "RndRd", 4).mean_us;
         let ull_rr = self.get(Device::Ull, "RndRd", 4).mean_us;
         if nvme_rr < 3.5 * ull_rr {
-            v.push(format!("RndRd qd4: NVMe/ULL = {:.1}, expected > 3.5", nvme_rr / ull_rr));
+            v.push(format!(
+                "RndRd qd4: NVMe/ULL = {:.1}, expected > 3.5",
+                nvme_rr / ull_rr
+            ));
         }
         // NVMe degrades steeply with depth; ULL stays sustainable.
         for p in &PATTERNS {
             let n32 = self.get(Device::Nvme750, p.label, 32).mean_us;
             let u32_ = self.get(Device::Ull, p.label, 32).mean_us;
             if u32_ > 0.6 * n32 {
-                v.push(format!("{} qd32: ULL {u32_:.0}us not well below NVMe {n32:.0}us", p.label));
+                v.push(format!(
+                    "{} qd32: ULL {u32_:.0}us not well below NVMe {n32:.0}us",
+                    p.label
+                ));
             }
         }
         let nvme_rw32 = self.get(Device::Nvme750, "RndWr", 32).mean_us;
         if nvme_rw32 < 80.0 {
-            v.push(format!("NVMe RndWr qd32 mean {nvme_rw32:.0}us, paper ~121us"));
+            v.push(format!(
+                "NVMe RndWr qd32 mean {nvme_rw32:.0}us, paper ~121us"
+            ));
         }
         // Five-nines claims need full-scale sample counts.
         if self.scale == Scale::Full {
@@ -117,7 +125,10 @@ impl Fig04 {
             for p in &PATTERNS {
                 let u = self.get(Device::Ull, p.label, 8);
                 if u.five_nines_us > 900.0 {
-                    v.push(format!("ULL {} tail {:.0}us beyond hundreds of us", p.label, u.five_nines_us));
+                    v.push(format!(
+                        "ULL {} tail {:.0}us beyond hundreds of us",
+                        p.label, u.five_nines_us
+                    ));
                 }
             }
         }
@@ -128,7 +139,11 @@ impl Fig04 {
 impl fmt::Display for Fig04 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig 4: latency vs queue depth (libaio, 4KB)")?;
-        writeln!(f, "{:10}{:8}{:>6}{:>12}{:>14}", "device", "pattern", "qd", "avg(us)", "p99.999(us)")?;
+        writeln!(
+            f,
+            "{:10}{:8}{:>6}{:>12}{:>14}",
+            "device", "pattern", "qd", "avg(us)", "p99.999(us)"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -180,8 +195,11 @@ pub fn fig05_run(scale: Scale) -> Fig05 {
     let ios = scale.ios(20_000, 100_000);
     let mut rows = Vec::new();
     for device in Device::ALL {
-        let qds: &[u32] =
-            if device == Device::Ull { &FIG05_ULL_QDS } else { &FIG05_NVME_QDS };
+        let qds: &[u32] = if device == Device::Ull {
+            &FIG05_ULL_QDS
+        } else {
+            &FIG05_NVME_QDS
+        };
         let mut device_rows = Vec::new();
         for p in &PATTERNS {
             for &qd in qds {
@@ -196,7 +214,10 @@ pub fn fig05_run(scale: Scale) -> Fig05 {
                 });
             }
         }
-        let max = device_rows.iter().map(|r| r.bandwidth_mbps).fold(0.0, f64::max);
+        let max = device_rows
+            .iter()
+            .map(|r| r.bandwidth_mbps)
+            .fold(0.0, f64::max);
         for r in &mut device_rows {
             r.normalized = r.bandwidth_mbps / max;
         }
@@ -246,10 +267,16 @@ impl Fig05 {
         let shallow = self.norm(Device::Nvme750, "RndRd", 32);
         let deep = self.norm(Device::Nvme750, "RndRd", 256);
         if deep < 0.9 {
-            v.push(format!("NVMe RndRd never saturates ({:.0}% at qd256)", deep * 100.0));
+            v.push(format!(
+                "NVMe RndRd never saturates ({:.0}% at qd256)",
+                deep * 100.0
+            ));
         }
         if shallow > 0.85 {
-            v.push(format!("NVMe RndRd saturates too early ({:.0}% at qd32)", shallow * 100.0));
+            v.push(format!(
+                "NVMe RndRd saturates too early ({:.0}% at qd32)",
+                shallow * 100.0
+            ));
         }
         v
     }
@@ -257,8 +284,15 @@ impl Fig05 {
 
 impl fmt::Display for Fig05 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig 5: bandwidth vs queue depth (normalized to device max, 4KB)")?;
-        writeln!(f, "{:10}{:8}{:>6}{:>12}{:>8}", "device", "pattern", "qd", "MB/s", "norm%")?;
+        writeln!(
+            f,
+            "Fig 5: bandwidth vs queue depth (normalized to device max, 4KB)"
+        )?;
+        writeln!(
+            f,
+            "{:10}{:8}{:>6}{:>12}{:>8}",
+            "device", "pattern", "qd", "MB/s", "norm%"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -344,7 +378,10 @@ impl Fig06 {
         let n20 = self.mean(Device::Nvme750, 20);
         let n80 = self.mean(Device::Nvme750, 80);
         if n20 < 1.3 * n0 {
-            v.push(format!("NVMe reads at 20% writes only {:.2}x read-only", n20 / n0));
+            v.push(format!(
+                "NVMe reads at 20% writes only {:.2}x read-only",
+                n20 / n0
+            ));
         }
         // The paper's curve keeps rising with write fraction; our model's
         // dominant effect is the 20% jump, with the remainder within a
@@ -358,7 +395,10 @@ impl Fig06 {
         let u0 = self.mean(Device::Ull, 0);
         let u80 = self.mean(Device::Ull, 80);
         if u80 > 2.5 * u0 {
-            v.push(format!("ULL reads blow up {:.1}x under writes; paper: flat", u80 / u0));
+            v.push(format!(
+                "ULL reads blow up {:.1}x under writes; paper: flat",
+                u80 / u0
+            ));
         }
         if self.mean(Device::Nvme750, 80) < 3.0 * u80 {
             v.push("NVMe mixed reads should be several times ULL's".into());
@@ -369,8 +409,15 @@ impl Fig06 {
 
 impl fmt::Display for Fig06 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig 6: random-read latency vs interleaved write fraction (libaio qd4)")?;
-        writeln!(f, "{:10}{:>8}{:>14}{:>18}", "device", "write%", "read avg(us)", "read p99.999(us)")?;
+        writeln!(
+            f,
+            "Fig 6: random-read latency vs interleaved write fraction (libaio qd4)"
+        )?;
+        writeln!(
+            f,
+            "{:10}{:>8}{:>14}{:>18}",
+            "device", "write%", "read avg(us)", "read p99.999(us)"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -410,7 +457,10 @@ pub fn fig07a_run(scale: Scale) -> Fig07a {
     let ios = scale.ios(8_000, 100_000);
     let mut rows = Vec::new();
     for device in Device::ALL {
-        for (mode, engine, qd) in [("Async", Engine::Libaio, 16u32), ("Sync", Engine::Pvsync2, 1)] {
+        for (mode, engine, qd) in [
+            ("Async", Engine::Libaio, 16u32),
+            ("Sync", Engine::Pvsync2, 1),
+        ] {
             for p in &PATTERNS {
                 let mut h = host(device, IoPath::KernelInterrupt);
                 let spec = JobSpec::new(format!("{mode}-{}", p.label))
@@ -461,14 +511,20 @@ impl Fig07a {
         let nr = self.power(Device::Nvme750, "Async RndRd");
         let ur = self.power(Device::Ull, "Async RndRd");
         if (nr - ur).abs() / nr.max(ur) > 0.30 {
-            v.push(format!("read power gap too wide: NVMe {nr:.1}W vs ULL {ur:.1}W"));
+            v.push(format!(
+                "read power gap too wide: NVMe {nr:.1}W vs ULL {ur:.1}W"
+            ));
         }
         for device in Device::ALL {
             let idle = self.power(device, "Idle");
             if (idle - 3.8).abs() > 0.01 {
                 v.push("idle power should be 3.8W".into());
             }
-            for r in self.rows.iter().filter(|r| r.device == device && r.label != "Idle") {
+            for r in self
+                .rows
+                .iter()
+                .filter(|r| r.device == device && r.label != "Idle")
+            {
                 if r.power_w < idle {
                     v.push(format!("{} {} below idle", device.label(), r.label));
                 }
@@ -569,7 +625,10 @@ pub fn fig07b08_run(scale: Scale) -> Fig07b08 {
 
 impl Fig07b08 {
     fn of(&self, device: Device) -> &GcSeries {
-        self.series.iter().find(|s| s.device == device).expect("both devices run")
+        self.series
+            .iter()
+            .find(|s| s.device == device)
+            .expect("both devices run")
     }
 
     /// Shape violations vs §IV-D2 (fig. 7b) and fig. 8.
@@ -608,7 +667,10 @@ impl Fig07b08 {
 
 impl fmt::Display for Fig07b08 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig 7b/8: GC time series (preconditioned, random 4KB overwrites)")?;
+        writeln!(
+            f,
+            "Fig 7b/8: GC time series (preconditioned, random 4KB overwrites)"
+        )?;
         for s in &self.series {
             writeln!(
                 f,

@@ -117,26 +117,62 @@ fn sweep_paths(cfg: SsdConfig, costs: SoftwareCosts, ios: u64, label: &str) -> E
             1024,
         );
         let mut h = ull_stack::Host::new(ctrl, costs.clone(), path);
-        let engine = if path == IoPath::Spdk { Engine::SpdkPlugin } else { Engine::Pvsync2 };
-        let spec = JobSpec::new("ext").pattern(Pattern::Random).engine(engine).ios(ios);
+        let engine = if path == IoPath::Spdk {
+            Engine::SpdkPlugin
+        } else {
+            Engine::Pvsync2
+        };
+        let spec = JobSpec::new("ext")
+            .pattern(Pattern::Random)
+            .engine(engine)
+            .ios(ios);
         lat[i] = run_job(&mut h, &spec).mean_latency().as_micros_f64();
     }
-    ExtRow { label: label.into(), interrupt_us: lat[0], poll_us: lat[1], spdk_us: lat[2] }
+    ExtRow {
+        label: label.into(),
+        interrupt_us: lat[0],
+        poll_us: lat[1],
+        spdk_us: lat[2],
+    }
 }
 
 /// Runs the extension study.
 pub fn run(scale: Scale) -> Extensions {
     let ios = scale.ios(5_000, 100_000);
     let media = vec![
-        sweep_paths(Device::Ull.config(), SoftwareCosts::linux_4_14(), ios, "Z-NAND"),
-        sweep_paths(reram_projection(), SoftwareCosts::linux_4_14(), ios, "ReRAM-class"),
+        sweep_paths(
+            Device::Ull.config(),
+            SoftwareCosts::linux_4_14(),
+            ios,
+            "Z-NAND",
+        ),
+        sweep_paths(
+            reram_projection(),
+            SoftwareCosts::linux_4_14(),
+            ios,
+            "ReRAM-class",
+        ),
     ];
     let light_queue = vec![
-        sweep_paths(Device::Ull.config(), SoftwareCosts::linux_4_14(), ios, "NVMe protocol"),
-        sweep_paths(Device::Ull.config(), light_queue_costs(), ios, "light queue"),
+        sweep_paths(
+            Device::Ull.config(),
+            SoftwareCosts::linux_4_14(),
+            ios,
+            "NVMe protocol",
+        ),
+        sweep_paths(
+            Device::Ull.config(),
+            light_queue_costs(),
+            ios,
+            "light queue",
+        ),
     ];
     let mut headroom = Vec::new();
-    for path in [IoPath::KernelInterrupt, IoPath::KernelHybrid, IoPath::KernelPolled] {
+    for path in [
+        IoPath::KernelInterrupt,
+        IoPath::KernelHybrid,
+        IoPath::KernelPolled,
+    ] {
         let mut h = host(Device::Ull, path);
         let spec = JobSpec::new("headroom").pattern(Pattern::Random).ios(ios);
         let r = run_job(&mut h, &spec);
@@ -147,7 +183,11 @@ pub fn run(scale: Scale) -> Extensions {
         });
     }
     let _ = host_with; // exercised elsewhere; keep the import meaningful
-    Extensions { media, light_queue, headroom }
+    Extensions {
+        media,
+        light_queue,
+        headroom,
+    }
 }
 
 impl Extensions {
@@ -180,7 +220,11 @@ impl Extensions {
         // 3. Headroom orders interrupt > hybrid > poll, while polling still
         // wins throughput.
         let h = |p: IoPath| {
-            self.headroom.iter().find(|r| r.path == p).expect("measured").compute_headroom
+            self.headroom
+                .iter()
+                .find(|r| r.path == p)
+                .expect("measured")
+                .compute_headroom
         };
         if !(h(IoPath::KernelInterrupt) > h(IoPath::KernelHybrid)
             && h(IoPath::KernelHybrid) > h(IoPath::KernelPolled))
@@ -196,16 +240,31 @@ impl Extensions {
 
 impl fmt::Display for Extensions {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Extension 1: completion methods vs media speed (4KB random reads)")?;
-        writeln!(f, "{:16}{:>10}{:>9}{:>9}{:>11}{:>11}", "media", "intr(us)", "poll", "spdk", "poll-gain%", "spdk-gain%")?;
+        writeln!(
+            f,
+            "Extension 1: completion methods vs media speed (4KB random reads)"
+        )?;
+        writeln!(
+            f,
+            "{:16}{:>10}{:>9}{:>9}{:>11}{:>11}",
+            "media", "intr(us)", "poll", "spdk", "poll-gain%", "spdk-gain%"
+        )?;
         for r in &self.media {
             writeln!(
                 f,
                 "{:16}{:>10.2}{:>9.2}{:>9.2}{:>11.1}{:>11.1}",
-                r.label, r.interrupt_us, r.poll_us, r.spdk_us, r.poll_gain_pct(), r.spdk_gain_pct()
+                r.label,
+                r.interrupt_us,
+                r.poll_us,
+                r.spdk_us,
+                r.poll_gain_pct(),
+                r.spdk_gain_pct()
             )?;
         }
-        writeln!(f, "Extension 2: NVMe protocol vs lightweight queue (ULL, qd1)")?;
+        writeln!(
+            f,
+            "Extension 2: NVMe protocol vs lightweight queue (ULL, qd1)"
+        )?;
         for r in &self.light_queue {
             writeln!(
                 f,
@@ -213,7 +272,10 @@ impl fmt::Display for Extensions {
                 r.label, r.interrupt_us, r.poll_us, r.spdk_us
             )?;
         }
-        writeln!(f, "Extension 3: compute headroom per completion method (ULL)")?;
+        writeln!(
+            f,
+            "Extension 3: compute headroom per completion method (ULL)"
+        )?;
         for r in &self.headroom {
             writeln!(
                 f,

@@ -9,8 +9,8 @@
 //! at `Scale::Quick`; `EXPERIMENTS.md` records `Scale::Full` numbers.
 
 pub mod completion;
-pub mod extensions;
 pub mod device_level;
+pub mod extensions;
 pub mod nbd;
 pub mod spdk;
 pub mod table1;
@@ -19,10 +19,26 @@ use ull_workload::Pattern;
 
 /// The four access patterns of every figure, in the paper's order.
 pub const PATTERNS: [PatternSpec; 4] = [
-    PatternSpec { label: "SeqRd", pattern: Pattern::Sequential, read_fraction: 1.0 },
-    PatternSpec { label: "RndRd", pattern: Pattern::Random, read_fraction: 1.0 },
-    PatternSpec { label: "SeqWr", pattern: Pattern::Sequential, read_fraction: 0.0 },
-    PatternSpec { label: "RndWr", pattern: Pattern::Random, read_fraction: 0.0 },
+    PatternSpec {
+        label: "SeqRd",
+        pattern: Pattern::Sequential,
+        read_fraction: 1.0,
+    },
+    PatternSpec {
+        label: "RndRd",
+        pattern: Pattern::Random,
+        read_fraction: 1.0,
+    },
+    PatternSpec {
+        label: "SeqWr",
+        pattern: Pattern::Sequential,
+        read_fraction: 0.0,
+    },
+    PatternSpec {
+        label: "RndWr",
+        pattern: Pattern::Random,
+        read_fraction: 0.0,
+    },
 ];
 
 /// One named access pattern.

@@ -50,13 +50,20 @@ pub fn fig23_run(scale: Scale) -> Fig23 {
         for sequential in [true, false] {
             for size in FIG23_SIZES {
                 let mut lat = [0.0f64; 2];
-                for (i, kind) in [NbdServerKind::Kernel, NbdServerKind::Spdk].iter().enumerate() {
-                    let mut sys = NbdSystem::new(presets::ull_800g(), *kind, 0xF1623)
-                        .expect("preset valid");
+                for (i, kind) in [NbdServerKind::Kernel, NbdServerKind::Spdk]
+                    .iter()
+                    .enumerate()
+                {
+                    let mut sys =
+                        NbdSystem::new(presets::ull_800g(), *kind, 0xF1623).expect("preset valid");
                     let mut s = Summary::new();
                     let mut at = SimTime::ZERO;
                     for k in 0..ops {
-                        let file_id = if sequential { k } else { k.wrapping_mul(2654435761) };
+                        let file_id = if sequential {
+                            k
+                        } else {
+                            k.wrapping_mul(2654435761)
+                        };
                         let r = if write {
                             sys.file_write(at, file_id, size)
                         } else {

@@ -12,7 +12,11 @@ use crate::testbed::{host, reduction_pct, Device, Scale};
 
 fn path_report(device: Device, path: IoPath, p: &PatternSpec, bs: u32, ios: u64) -> JobReport {
     let mut h = host(device, path);
-    let engine = if path == IoPath::Spdk { Engine::SpdkPlugin } else { Engine::Pvsync2 };
+    let engine = if path == IoPath::Spdk {
+        Engine::SpdkPlugin
+    } else {
+        Engine::Pvsync2
+    };
     let spec = JobSpec::new(format!("{}-{}k-{}", p.label, bs / 1024, path.label()))
         .pattern(p.pattern)
         .read_fraction(p.read_fraction)
@@ -117,12 +121,18 @@ impl Fig171819 {
         let mean_large: f64 =
             self.large.iter().map(|r| r.gain_pct()).sum::<f64>() / self.large.len() as f64;
         if mean_large > 0.5 * ull {
-            v.push(format!("large-block gain {mean_large:.1}% should collapse vs {ull:.1}%"));
+            v.push(format!(
+                "large-block gain {mean_large:.1}% should collapse vs {ull:.1}%"
+            ));
         }
         let mb = self.large.iter().filter(|r| r.block_size == 1 << 20);
         for r in mb {
             if r.gain_pct() > 8.0 {
-                v.push(format!("1MB {}: SPDK still gains {:.1}%", r.pattern, r.gain_pct()));
+                v.push(format!(
+                    "1MB {}: SPDK still gains {:.1}%",
+                    r.pattern,
+                    r.gain_pct()
+                ));
             }
         }
         v
@@ -195,7 +205,11 @@ pub fn fig20_run(scale: Scale) -> Fig20 {
     let ios = scale.ios(3_000, 100_000);
     let mut rows = Vec::new();
     for spdk in [false, true] {
-        let path = if spdk { IoPath::Spdk } else { IoPath::KernelInterrupt };
+        let path = if spdk {
+            IoPath::Spdk
+        } else {
+            IoPath::KernelInterrupt
+        };
         for p in &PATTERNS {
             for bs in BLOCK_SIZES {
                 let r = path_report(Device::Ull, path, p, bs, ios);
@@ -245,7 +259,11 @@ impl Fig20 {
 impl fmt::Display for Fig20 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig 20: CPU utilization, SPDK vs conventional (ULL)")?;
-        writeln!(f, "{:8}{:8}{:>7}{:>8}{:>8}", "stack", "pattern", "bs", "user%", "sys%")?;
+        writeln!(
+            f,
+            "{:8}{:8}{:>7}{:>8}{:>8}",
+            "stack", "pattern", "bs", "user%", "sys%"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -303,8 +321,8 @@ pub fn fig2122_run(scale: Scale) -> Fig2122 {
             let int = path_report(Device::Ull, IoPath::KernelInterrupt, p, bs, ios);
             let poll = path_report(Device::Ull, IoPath::KernelPolled, p, bs, ios);
             let spdk = path_report(Device::Ull, IoPath::Spdk, p, bs, ios);
-            let poll_pair = poll.mem_of(StackFn::BlkMqPoll).total()
-                + poll.mem_of(StackFn::NvmePoll).total();
+            let poll_pair =
+                poll.mem_of(StackFn::BlkMqPoll).total() + poll.mem_of(StackFn::NvmePoll).total();
             let spdk_loads = spdk.mem.loads as f64;
             rows.push(Fig2122Row {
                 pattern: p.label,
@@ -355,7 +373,10 @@ impl Fig2122 {
             ));
         }
         if !(0.10..=0.35).contains(&check) {
-            v.push(format!("check_enabled share {:.0}%, paper ~20%", check * 100.0));
+            v.push(format!(
+                "check_enabled share {:.0}%, paper ~20%",
+                check * 100.0
+            ));
         }
         v
     }

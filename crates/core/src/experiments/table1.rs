@@ -13,7 +13,9 @@ pub struct Table1 {
 
 /// Builds the table from the `ull-flash` presets.
 pub fn run() -> Table1 {
-    Table1 { columns: vec![FlashSpec::bics(), FlashSpec::v_nand(), FlashSpec::z_nand()] }
+    Table1 {
+        columns: vec![FlashSpec::bics(), FlashSpec::v_nand(), FlashSpec::z_nand()],
+    }
 }
 
 impl Table1 {
@@ -22,13 +24,19 @@ impl Table1 {
         let mut v = Vec::new();
         let z = &self.columns[2];
         for other in &self.columns[..2] {
-            let t_read_ratio = other.t_read.as_nanos() as f64 / z.t_read.as_nanos() as f64;
+            let t_read_ratio = other.t_read.ratio(z.t_read);
             if !(15.0..=20.0).contains(&t_read_ratio) {
-                v.push(format!("{}: tR ratio {t_read_ratio:.1} outside 15-20x", other.name));
+                v.push(format!(
+                    "{}: tR ratio {t_read_ratio:.1} outside 15-20x",
+                    other.name
+                ));
             }
-            let t_prog_ratio = other.t_prog.as_nanos() as f64 / z.t_prog.as_nanos() as f64;
+            let t_prog_ratio = other.t_prog.ratio(z.t_prog);
             if !(6.0..=7.5).contains(&t_prog_ratio) {
-                v.push(format!("{}: tPROG ratio {t_prog_ratio:.1} outside 6.6-7x", other.name));
+                v.push(format!(
+                    "{}: tPROG ratio {t_prog_ratio:.1} outside 6.6-7x",
+                    other.name
+                ));
             }
         }
         if z.page_size != 2 * 1024 {

@@ -95,7 +95,7 @@ mod tests {
     #[test]
     fn reduction_math() {
         assert!((reduction_pct(10.0, 7.5) - 25.0).abs() < 1e-12);
-        assert_eq!(reduction_pct(0.0, 5.0), 0.0);
+        assert!(reduction_pct(0.0, 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -124,7 +124,11 @@ impl BlockState {
 
     /// Number of pages still writable.
     pub fn free_pages(&self) -> u32 {
-        if self.bad { 0 } else { self.pages - self.next_page }
+        if self.bad {
+            0
+        } else {
+            self.pages - self.next_page
+        }
     }
 
     /// Number of invalid (reclaimable) pages.

@@ -167,15 +167,22 @@ mod tests {
         let w = die.program(SimTime::ZERO);
         let r = die.read_with_priority(SimTime::from_micros(10));
         assert!(r.suspended_other);
-        assert!(r.end < w.end, "read must finish before the suspended program");
+        assert!(
+            r.end < w.end,
+            "read must finish before the suspended program"
+        );
         // Suspend latency (1us) + tR (3us) from arrival.
-        assert_eq!(r.end - SimTime::from_micros(10), SimDuration::from_micros(4));
+        assert_eq!(
+            r.end - SimTime::from_micros(10),
+            SimDuration::from_micros(4)
+        );
         assert_eq!(die.counters().suspensions, 1);
         // The program is pushed back by the resume penalty.
         assert_eq!(die.busy_until(), w.end + FlashSpec::z_nand().resume_latency);
     }
 
     #[test]
+    #[allow(clippy::float_cmp)] // exact constants by construction
     fn energy_accumulates_per_op() {
         let mut die = FlashDie::new(FlashSpec::z_nand().into());
         assert_eq!(die.energy_nj(), 0.0);

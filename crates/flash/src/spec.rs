@@ -203,7 +203,8 @@ impl FlashSpec {
     /// lower write power in fig. 7a.
     pub fn program_energy_nj(&self) -> f64 {
         let steps = self.cell.program_steps() as f64;
-        2.0 * self.page_size as f64 / 1024.0 + 3.0 * self.t_prog.as_micros_f64() * (0.5 + 0.25 * steps)
+        2.0 * self.page_size as f64 / 1024.0
+            + 3.0 * self.t_prog.as_micros_f64() * (0.5 + 0.25 * steps)
     }
 
     /// Energy of one block erase, in nanojoules.
@@ -273,9 +274,10 @@ mod tests {
 
     #[test]
     fn slc_programs_cheaper_than_mlc() {
-        let slc = FlashSpec::z_nand().program_energy_nj() / FlashSpec::z_nand().t_prog.as_micros_f64();
-        let mlc =
-            FlashSpec::planar_mlc().program_energy_nj() / FlashSpec::planar_mlc().t_prog.as_micros_f64();
+        let slc =
+            FlashSpec::z_nand().program_energy_nj() / FlashSpec::z_nand().t_prog.as_micros_f64();
+        let mlc = FlashSpec::planar_mlc().program_energy_nj()
+            / FlashSpec::planar_mlc().t_prog.as_micros_f64();
         // Per-microsecond program power is lower for SLC.
         assert!(slc < mlc, "slc={slc} mlc={mlc}");
     }

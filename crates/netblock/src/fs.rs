@@ -50,7 +50,12 @@ pub struct Ext4Model {
 impl Ext4Model {
     /// Creates a model with the given parameters and seed.
     pub fn new(params: Ext4Params, seed: u64) -> Self {
-        Ext4Model { params, rng: SplitMix64::new(seed), sync_commits: 0, writes: 0 }
+        Ext4Model {
+            params,
+            rng: SplitMix64::new(seed),
+            sync_commits: 0,
+            writes: 0,
+        }
     }
 
     /// The parameters in use.
@@ -79,7 +84,11 @@ impl Ext4Model {
 
     /// Observed synchronous-commit fraction.
     pub fn sync_fraction(&self) -> f64 {
-        if self.writes == 0 { 0.0 } else { self.sync_commits as f64 / self.writes as f64 }
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.sync_commits as f64 / self.writes as f64
+        }
     }
 }
 
@@ -99,13 +108,20 @@ mod tests {
         for _ in 0..20_000 {
             m.write_cost();
         }
-        assert!((m.sync_fraction() - 0.10).abs() < 0.01, "{}", m.sync_fraction());
+        assert!(
+            (m.sync_fraction() - 0.10).abs() < 0.01,
+            "{}",
+            m.sync_fraction()
+        );
     }
 
     #[test]
     fn sync_commits_carry_extra_block_ios() {
         let mut m = Ext4Model::new(
-            Ext4Params { write_sync_fraction: 1.0, ..Ext4Params::ordered_mode() },
+            Ext4Params {
+                write_sync_fraction: 1.0,
+                ..Ext4Params::ordered_mode()
+            },
             1,
         );
         let (cost, ios) = m.write_cost();

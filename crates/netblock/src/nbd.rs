@@ -45,7 +45,10 @@ pub struct NetworkParams {
 impl NetworkParams {
     /// A 10 GbE datacenter link.
     pub fn ten_gbe() -> Self {
-        NetworkParams { one_way: SimDuration::from_micros(10), bandwidth_mbps: 1200 }
+        NetworkParams {
+            one_way: SimDuration::from_micros(10),
+            bandwidth_mbps: 1200,
+        }
     }
 
     fn transfer(&self, bytes: u32) -> SimDuration {
@@ -97,7 +100,11 @@ impl NbdSystem {
     /// # Errors
     ///
     /// Propagates invalid device configurations.
-    pub fn new(ssd: SsdConfig, kind: NbdServerKind, seed: u64) -> Result<Self, ull_ssd::ConfigError> {
+    pub fn new(
+        ssd: SsdConfig,
+        kind: NbdServerKind,
+        seed: u64,
+    ) -> Result<Self, ull_ssd::ConfigError> {
         let capacity = ssd.capacity_bytes;
         let ctrl = NvmeController::new(Ssd::new(ssd)?, 1, 1024);
         let (path, server_overhead) = match kind {
@@ -129,15 +136,25 @@ impl NbdSystem {
     fn server_round_trip(&mut self, at: SimTime, op: IoOp, offset: u64, len: u32) -> SimTime {
         // Request crosses the link (small frame for reads, payload for
         // writes).
-        let req_bytes = if matches!(op, IoOp::Write) { len + 64 } else { 64 };
+        let req_bytes = if matches!(op, IoOp::Write) {
+            len + 64
+        } else {
+            64
+        };
         let req = self.link.reserve(at, self.net.transfer(req_bytes));
         let arrive = req.end + self.net.one_way;
         // Server-side software before the block I/O.
         let start = arrive + self.server_overhead;
         let r = self.server.io_sync(op, offset, len, start);
         // Response returns (payload for reads).
-        let resp_bytes = if matches!(op, IoOp::Read) { len + 64 } else { 64 };
-        let resp = self.link.reserve(r.user_visible, self.net.transfer(resp_bytes));
+        let resp_bytes = if matches!(op, IoOp::Read) {
+            len + 64
+        } else {
+            64
+        };
+        let resp = self
+            .link
+            .reserve(r.user_visible, self.net.transfer(resp_bytes));
         resp.end + self.net.one_way
     }
 
@@ -154,7 +171,11 @@ impl NbdSystem {
         let fs = self.ext4.read_cost();
         let offset = self.file_offset(file_id, len);
         let done = self.server_round_trip(at + fs, IoOp::Read, offset, len);
-        NbdIoResult { done, latency: done - at, server_ios: 1 }
+        NbdIoResult {
+            done,
+            latency: done - at,
+            server_ios: 1,
+        }
     }
 
     /// Writes `len` bytes of file `file_id` through ext4 over NBD.
@@ -169,7 +190,11 @@ impl NbdSystem {
             let io_len = if i == 0 { len } else { 4096 };
             t = self.server_round_trip(t, IoOp::Write, offset, io_len);
         }
-        NbdIoResult { done: t, latency: t - at, server_ios: sync_ios }
+        NbdIoResult {
+            done: t,
+            latency: t - at,
+            server_ios: sync_ios,
+        }
     }
 }
 
@@ -200,7 +225,10 @@ mod tests {
         let spdk = mean_latency(NbdServerKind::Spdk, false, 2000);
         let gain = (kernel - spdk) / kernel;
         // Paper fig. 23: ~39% for reads.
-        assert!(gain > 0.25 && gain < 0.55, "kernel={kernel:.1} spdk={spdk:.1} gain={gain:.2}");
+        assert!(
+            gain > 0.25 && gain < 0.55,
+            "kernel={kernel:.1} spdk={spdk:.1} gain={gain:.2}"
+        );
     }
 
     #[test]
@@ -209,7 +237,10 @@ mod tests {
         let spdk = mean_latency(NbdServerKind::Spdk, true, 4000);
         let gain = (kernel - spdk) / kernel;
         // Paper fig. 23: ~4-5% for writes (client-side ext4 dominates).
-        assert!(gain > 0.0 && gain < 0.15, "kernel={kernel:.1} spdk={spdk:.1} gain={gain:.2}");
+        assert!(
+            gain > 0.0 && gain < 0.15,
+            "kernel={kernel:.1} spdk={spdk:.1} gain={gain:.2}"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! strings, MDTS, namespace count, namespace size/capacity, LBA format).
 
 use crate::command::LBA_BYTES;
+use crate::wire::{le_u32, le_u64};
 
 /// Identify Controller data (CNS 01h), 4096 bytes on the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,7 +61,7 @@ impl IdentifyController {
             model: get_ascii(&p[24..64]),
             firmware: get_ascii(&p[64..72]),
             mdts: p[77],
-            nn: u32::from_le_bytes(p[516..520].try_into().expect("4 bytes")),
+            nn: le_u32(&p[516..520]),
         }
     }
 
@@ -86,7 +87,11 @@ impl IdentifyNamespace {
     /// Builds the namespace page for a device of `capacity_bytes`.
     pub fn for_capacity(capacity_bytes: u64) -> Self {
         let blocks = capacity_bytes / LBA_BYTES as u64;
-        IdentifyNamespace { nsze: blocks, ncap: blocks, lbads: LBA_BYTES.trailing_zeros() as u8 }
+        IdentifyNamespace {
+            nsze: blocks,
+            ncap: blocks,
+            lbads: LBA_BYTES.trailing_zeros() as u8,
+        }
     }
 
     /// Encodes the 4096-byte Identify Namespace page.
@@ -102,8 +107,8 @@ impl IdentifyNamespace {
     /// Decodes an Identify Namespace page.
     pub fn decode(p: &[u8; 4096]) -> Self {
         IdentifyNamespace {
-            nsze: u64::from_le_bytes(p[0..8].try_into().expect("8 bytes")),
-            ncap: u64::from_le_bytes(p[8..16].try_into().expect("8 bytes")),
+            nsze: le_u64(&p[0..8]),
+            ncap: le_u64(&p[8..16]),
             lbads: p[130],
         }
     }

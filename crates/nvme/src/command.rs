@@ -79,7 +79,12 @@ impl NvmeCommand {
 
     /// Builds a flush command.
     pub fn flush(cid: u16) -> Self {
-        NvmeCommand { opcode: Opcode::Flush, cid, slba: 0, nlb: 0 }
+        NvmeCommand {
+            opcode: Opcode::Flush,
+            cid,
+            slba: 0,
+            nlb: 0,
+        }
     }
 
     fn io(opcode: Opcode, cid: u16, offset: u64, bytes: u32) -> Self {
@@ -89,7 +94,12 @@ impl NvmeCommand {
             "I/O must be LBA-aligned: offset={offset} bytes={bytes}"
         );
         let nlb = (bytes / LBA_BYTES - 1) as u16;
-        NvmeCommand { opcode, cid, slba: offset / LBA_BYTES as u64, nlb }
+        NvmeCommand {
+            opcode,
+            cid,
+            slba: offset / LBA_BYTES as u64,
+            nlb,
+        }
     }
 
     /// Byte offset this command addresses.
@@ -123,7 +133,7 @@ impl NvmeCommand {
         Ok(NvmeCommand {
             opcode,
             cid: u16::from_le_bytes([e[2], e[3]]),
-            slba: u64::from_le_bytes(e[40..48].try_into().expect("8 bytes")),
+            slba: crate::wire::le_u64(&e[40..48]),
             nlb: u16::from_le_bytes([e[48], e[49]]),
         })
     }
@@ -223,7 +233,12 @@ mod tests {
     fn completion_round_trips_with_phase() {
         for phase in [false, true] {
             for success in [false, true] {
-                let c = Completion { cid: 7, sqhd: 99, success, phase };
+                let c = Completion {
+                    cid: 7,
+                    sqhd: 99,
+                    success,
+                    phase,
+                };
                 assert_eq!(Completion::decode(&c.encode()), c);
             }
         }

@@ -7,7 +7,7 @@
 //! differs.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use ull_simkit::{SimDuration, SimTime};
 use ull_ssd::{DeviceCompletion, Ssd};
@@ -30,7 +30,11 @@ pub struct QueuePair {
 
 impl QueuePair {
     fn new(size: u16) -> Self {
-        QueuePair { sq: SubmissionQueue::new(size), cq: CompletionQueue::new(size), pending: BinaryHeap::new() }
+        QueuePair {
+            sq: SubmissionQueue::new(size),
+            cq: CompletionQueue::new(size),
+            pending: BinaryHeap::new(),
+        }
     }
 }
 
@@ -59,7 +63,7 @@ pub struct NvmeController {
     /// PCIe MSI delivery latency (completion instant -> host IRQ).
     msi_latency: SimDuration,
     /// Per-command device detail, retrievable once after completion.
-    details: HashMap<(u16, u16), DeviceCompletion>,
+    details: BTreeMap<(u16, u16), DeviceCompletion>,
 }
 
 impl NvmeController {
@@ -78,7 +82,7 @@ impl NvmeController {
             ssd,
             qpairs: (0..queues).map(|_| QueuePair::new(qsize)).collect(),
             msi_latency: Self::DEFAULT_MSI_LATENCY,
-            details: HashMap::new(),
+            details: BTreeMap::new(),
         }
     }
 
@@ -144,7 +148,12 @@ impl NvmeController {
                 Opcode::Write => self.ssd.write(at, cmd.offset(), cmd.bytes()),
                 Opcode::Flush => {
                     let done = self.ssd.flush(at);
-                    DeviceCompletion { done, dram_hit: false, suspended: false, gc_stalled: false }
+                    DeviceCompletion {
+                        done,
+                        dram_hit: false,
+                        suspended: false,
+                        gc_stalled: false,
+                    }
                 }
             };
             self.details.insert((qid, cmd.cid), completion);
@@ -157,7 +166,10 @@ impl NvmeController {
     /// Earliest instant at which a pending completion becomes visible on
     /// this queue (before MSI latency).
     pub fn next_completion_at(&self, qid: u16) -> Option<SimTime> {
-        self.qpairs[qid as usize].pending.peek().map(|Reverse((t, _))| SimTime::from_nanos(*t))
+        self.qpairs[qid as usize]
+            .pending
+            .peek()
+            .map(|Reverse((t, _))| SimTime::from_nanos(*t))
     }
 
     /// Earliest instant the host IRQ for this queue would fire.
@@ -239,8 +251,12 @@ mod tests {
         c.submit(0, NvmeCommand::read(1, 0, 128 * 1024)).unwrap();
         c.submit(0, NvmeCommand::flush(2)).unwrap();
         c.ring_sq_doorbell(0, SimTime::ZERO);
-        let first = c.poll(0, SimTime::ZERO + ull_simkit::SimDuration::from_millis(10)).unwrap();
-        let second = c.poll(0, SimTime::ZERO + ull_simkit::SimDuration::from_millis(10)).unwrap();
+        let first = c
+            .poll(0, SimTime::ZERO + ull_simkit::SimDuration::from_millis(10))
+            .unwrap();
+        let second = c
+            .poll(0, SimTime::ZERO + ull_simkit::SimDuration::from_millis(10))
+            .unwrap();
         assert_eq!(first.cid, 2);
         assert_eq!(second.cid, 1);
         let flush_done = c.take_detail(0, 2).unwrap().done;
@@ -272,7 +288,8 @@ mod tests {
     fn cq_backpressure_retries_delivery() {
         let mut c = NvmeController::new(Ssd::new(presets::ull_800g()).unwrap(), 1, 4);
         for cid in 0..3 {
-            c.submit(0, NvmeCommand::read(cid, cid as u64 * 4096, 4096)).unwrap();
+            c.submit(0, NvmeCommand::read(cid, cid as u64 * 4096, 4096))
+                .unwrap();
         }
         c.ring_sq_doorbell(0, SimTime::ZERO);
         let late = SimTime::ZERO + ull_simkit::SimDuration::from_millis(100);

@@ -29,6 +29,7 @@ mod admin;
 mod command;
 mod controller;
 mod queue;
+mod wire;
 
 pub use admin::{IdentifyController, IdentifyNamespace};
 pub use command::{Completion, DecodeError, NvmeCommand, Opcode, LBA_BYTES};

@@ -51,7 +51,12 @@ impl SubmissionQueue {
     /// Panics if `size < 2`.
     pub fn new(size: u16) -> Self {
         assert!(size >= 2, "an NVMe queue needs at least 2 slots");
-        SubmissionQueue { entries: vec![[0; 64]; size as usize], head: 0, tail: 0, size }
+        SubmissionQueue {
+            entries: vec![[0; 64]; size as usize],
+            head: 0,
+            tail: 0,
+            size,
+        }
     }
 
     /// Slots in the ring.
@@ -90,14 +95,17 @@ impl SubmissionQueue {
     }
 
     /// Controller side: consume the entry at the head.
+    ///
+    /// The slot is consumed either way; `push` only writes encodable
+    /// entries, so decode cannot fail in practice and a (theoretical)
+    /// undecodable slot is skipped rather than panicking.
     pub fn pop(&mut self) -> Option<NvmeCommand> {
         if self.is_empty() {
             return None;
         }
-        let cmd = NvmeCommand::decode(&self.entries[self.head as usize])
-            .expect("ring contains only entries written by push");
+        let raw = self.entries[self.head as usize];
         self.head = (self.head + 1) % self.size;
-        Some(cmd)
+        NvmeCommand::decode(&raw).ok()
     }
 
     /// Current head index (reported back in completions as `sqhd`).
@@ -169,7 +177,12 @@ impl CompletionQueue {
         if (self.tail + 1) % self.size == self.head {
             return Err(QueueFull);
         }
-        let c = Completion { cid, sqhd, success, phase: self.producer_phase };
+        let c = Completion {
+            cid,
+            sqhd,
+            success,
+            phase: self.producer_phase,
+        };
         self.entries[self.tail as usize] = c.encode();
         self.tail = (self.tail + 1) % self.size;
         if self.tail == 0 {
@@ -193,7 +206,10 @@ impl CompletionQueue {
     ///
     /// Panics in debug builds if no visible entry exists.
     pub fn advance(&mut self) {
-        debug_assert!(self.peek().is_some(), "advancing past an unposted completion");
+        debug_assert!(
+            self.peek().is_some(),
+            "advancing past an unposted completion"
+        );
         self.head = (self.head + 1) % self.size;
         if self.head == 0 {
             self.consumer_phase = !self.consumer_phase;

@@ -1,0 +1,51 @@
+//! Panic-free little-endian field extraction for on-wire structures.
+//!
+//! NVMe pages and queue entries are fixed-size byte arrays; decoding their
+//! fields with `slice.try_into().expect(..)` is infallible in practice but
+//! introduces a panicking path into library code (simlint rule S006).
+//! These helpers copy at most the needed bytes and zero-fill any shortfall,
+//! so no input can panic; short input (impossible for the fixed-size pages
+//! used here) decodes as if zero-padded.
+
+/// Reads a little-endian `u32` from the first 4 bytes of `p`.
+pub(crate) fn le_u32(p: &[u8]) -> u32 {
+    let mut b = [0u8; 4];
+    for (d, s) in b.iter_mut().zip(p) {
+        *d = *s;
+    }
+    u32::from_le_bytes(b)
+}
+
+/// Reads a little-endian `u64` from the first 8 bytes of `p`.
+pub(crate) fn le_u64(p: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    for (d, s) in b.iter_mut().zip(p) {
+        *d = *s;
+    }
+    u64::from_le_bytes(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_width_round_trips() {
+        assert_eq!(le_u32(&0xDEAD_BEEFu32.to_le_bytes()), 0xDEAD_BEEF);
+        assert_eq!(
+            le_u64(&0x0123_4567_89AB_CDEFu64.to_le_bytes()),
+            0x0123_4567_89AB_CDEF
+        );
+    }
+
+    #[test]
+    fn short_input_zero_pads_instead_of_panicking() {
+        assert_eq!(le_u32(&[0xFF]), 0xFF);
+        assert_eq!(le_u64(&[]), 0);
+    }
+
+    #[test]
+    fn long_input_ignores_tail() {
+        assert_eq!(le_u32(&[1, 0, 0, 0, 0xAA, 0xBB]), 1);
+    }
+}

@@ -46,7 +46,13 @@ impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
         // 64 magnitudes x SUB_COUNT sub-buckets covers the whole u64 range.
-        Histogram { counts: vec![0; 64 * SUB_COUNT as usize], total: 0, min: u64::MAX, max: 0, sum: 0 }
+        Histogram {
+            counts: vec![0; 64 * SUB_COUNT as usize],
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
     }
 
     fn index_of(value: u64) -> usize {
@@ -98,7 +104,11 @@ impl Histogram {
 
     /// Exact minimum recorded sample.
     pub fn min(&self) -> SimDuration {
-        if self.total == 0 { SimDuration::ZERO } else { SimDuration::from_nanos(self.min) }
+        if self.total == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.min)
+        }
     }
 
     /// Exact maximum recorded sample.
@@ -113,7 +123,10 @@ impl Histogram {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> SimDuration {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         if self.total == 0 {
             return SimDuration::ZERO;
         }
@@ -193,7 +206,10 @@ mod tests {
         for &q in &[0.5, 0.9, 0.99, 0.999, 0.99999] {
             let est = h.quantile(q).as_nanos() as f64;
             let exact = (q * 100_000.0).ceil() * 17.0;
-            assert!((est - exact).abs() / exact < 0.02, "q={q} est={est} exact={exact}");
+            assert!(
+                (est - exact).abs() / exact < 0.02,
+                "q={q} est={est} exact={exact}"
+            );
         }
     }
 
@@ -230,7 +246,11 @@ mod tests {
         for i in 0..1000u64 {
             let v = SimDuration::from_nanos(i * i + 1);
             whole.record(v);
-            if i % 2 == 0 { a.record(v) } else { b.record(v) }
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
         }
         a.merge(&b);
         assert_eq!(a.count(), whole.count());

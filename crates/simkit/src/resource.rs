@@ -59,7 +59,11 @@ impl Timeline {
         self.busy_until = end;
         self.busy_accum += dur;
         self.reservations += 1;
-        Slot { start, end, suspended_other: false }
+        Slot {
+            start,
+            end,
+            suspended_other: false,
+        }
     }
 
     /// Reserves `dur` with priority, suspending in-progress normal work.
@@ -93,7 +97,11 @@ impl Timeline {
         }
         self.busy_accum += dur;
         self.reservations += 1;
-        Slot { start, end, suspended_other: suspends }
+        Slot {
+            start,
+            end,
+            suspended_other: suspends,
+        }
     }
 
     /// The instant at which all currently reserved work finishes.
@@ -119,7 +127,7 @@ impl Timeline {
         if now == SimTime::ZERO {
             return 0.0;
         }
-        (self.busy_accum.as_nanos() as f64 / now.as_nanos() as f64).min(1.0)
+        (self.busy_accum.as_nanos_f64() / now.as_nanos_f64()).min(1.0)
     }
 }
 
@@ -151,7 +159,9 @@ impl ServerPool {
     /// Panics if `n` is zero.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "a server pool needs at least one server");
-        ServerPool { servers: vec![Timeline::new(); n] }
+        ServerPool {
+            servers: vec![Timeline::new(); n],
+        }
     }
 
     /// Number of servers.

@@ -33,8 +33,14 @@ impl TimeSeries {
     ///
     /// Panics if `bin_width` is zero.
     pub fn new(bin_width: SimDuration) -> Self {
-        assert!(!bin_width.is_zero(), "time-series bin width must be non-zero");
-        TimeSeries { bin_width, bins: Vec::new() }
+        assert!(
+            !bin_width.is_zero(),
+            "time-series bin width must be non-zero"
+        );
+        TimeSeries {
+            bin_width,
+            bins: Vec::new(),
+        }
     }
 
     /// Records one sample at instant `at`.
@@ -57,7 +63,12 @@ impl TimeSeries {
         self.bins
             .iter()
             .enumerate()
-            .map(|(i, s)| (SimTime::from_nanos(i as u64 * self.bin_width.as_nanos()), s.mean()))
+            .map(|(i, s)| {
+                (
+                    SimTime::from_nanos(i as u64 * self.bin_width.as_nanos()),
+                    s.mean(),
+                )
+            })
             .collect()
     }
 

@@ -33,7 +33,14 @@ pub struct Summary {
 impl Summary {
     /// Creates an empty summary.
     pub fn new() -> Self {
-        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
     }
 
     /// Records one sample.
@@ -64,7 +71,11 @@ impl Summary {
 
     /// Arithmetic mean, or 0.0 when empty.
     pub fn mean(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.mean }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
     }
 
     /// Mean interpreted as microseconds, returned as a duration.
@@ -74,7 +85,11 @@ impl Summary {
 
     /// Population variance, or 0.0 with fewer than two samples.
     pub fn variance(&self) -> f64 {
-        if self.count < 2 { 0.0 } else { self.m2 / self.count as f64 }
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
     }
 
     /// Population standard deviation.
@@ -84,12 +99,20 @@ impl Summary {
 
     /// Smallest sample, or 0.0 when empty.
     pub fn min(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.min }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
     }
 
     /// Largest sample, or 0.0 when empty.
     pub fn max(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.max }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
     }
 
     /// Merges another summary into this one.
@@ -133,6 +156,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::float_cmp)] // exact constants by construction
     fn empty_summary_is_zeroed() {
         let s = Summary::new();
         assert_eq!(s.count(), 0);
@@ -155,6 +179,8 @@ mod tests {
     }
 
     #[test]
+    // min/max flow through merge untouched; bit-equality is the point.
+    #[allow(clippy::float_cmp)]
     fn merge_equals_concatenation() {
         let xs: Vec<f64> = (0..50).map(|i| (i * 7 % 13) as f64).collect();
         let mut whole = Summary::new();
@@ -164,7 +190,11 @@ mod tests {
         let mut a = Summary::new();
         let mut b = Summary::new();
         for (i, &x) in xs.iter().enumerate() {
-            if i % 2 == 0 { a.record(x) } else { b.record(x) }
+            if i % 2 == 0 {
+                a.record(x)
+            } else {
+                b.record(x)
+            }
         }
         a.merge(&b);
         assert_eq!(a.count(), whole.count());

@@ -61,6 +61,15 @@ impl SimTime {
         self.0
     }
 
+    /// Nanoseconds since simulation start, as a float (for reporting).
+    ///
+    /// This is the *only* sanctioned route from integer sim time into
+    /// floating point; simlint rule S004 flags raw `as_nanos() as f64`
+    /// casts elsewhere.
+    pub fn as_nanos_f64(self) -> f64 {
+        self.0 as f64
+    }
+
     /// Microseconds since simulation start, as a float (for reporting).
     pub fn as_micros_f64(self) -> f64 {
         self.0 as f64 / 1_000.0
@@ -121,6 +130,14 @@ impl SimDuration {
     /// Length in nanoseconds.
     pub const fn as_nanos(self) -> u64 {
         self.0
+    }
+
+    /// Length in nanoseconds, as a float (for reporting).
+    ///
+    /// The sanctioned escape from integer sim time into floating point;
+    /// simlint rule S004 flags raw `as_nanos() as f64` casts elsewhere.
+    pub fn as_nanos_f64(self) -> f64 {
+        self.0 as f64
     }
 
     /// Length in microseconds, as a float (for reporting).
@@ -297,7 +314,10 @@ mod tests {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
         assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
         assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1000));
-        assert_eq!(SimDuration::from_micros_f64(1.5), SimDuration::from_nanos(1500));
+        assert_eq!(
+            SimDuration::from_micros_f64(1.5),
+            SimDuration::from_nanos(1500)
+        );
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! The `ull-simlint` binary: run the determinism & sim-purity analyzer
+//! over the workspace.
+//!
+//! ```text
+//! cargo run -p ull-simlint            # human output, exit 1 on findings
+//! cargo run -p ull-simlint -- --json  # machine-readable report
+//! cargo run -p ull-simlint -- --list-rules
+//! cargo run -p ull-simlint -- --root /path/to/workspace
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("simlint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: simlint [--json] [--list-rules] [--root <workspace-dir>]\n\
+                     Statically enforces determinism rules S001-S006 over the workspace.\n\
+                     Exit codes: 0 clean, 1 findings, 2 usage/io error."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("simlint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for r in ull_simlint::RULES {
+            println!("{}  {}\n      scope: {}", r.code, r.summary, r.scope);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("simlint: cannot determine current directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = root.or_else(|| ull_simlint::find_workspace_root(&cwd)) else {
+        eprintln!("simlint: no workspace root found above {}", cwd.display());
+        return ExitCode::from(2);
+    };
+
+    match ull_simlint::analyze_workspace(&root) {
+        Ok(analysis) => {
+            if json {
+                println!(
+                    "{}",
+                    ull_simlint::render_json(&analysis.findings, analysis.files_scanned)
+                );
+            } else {
+                print!(
+                    "{}",
+                    ull_simlint::render_human(&analysis.findings, analysis.files_scanned)
+                );
+            }
+            if analysis.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("simlint: io error while scanning {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

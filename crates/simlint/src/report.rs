@@ -1,0 +1,161 @@
+//! Findings and their human / JSON renderings.
+//!
+//! The JSON writer is hand-rolled (the analyzer must build with zero
+//! dependencies so it can run as a tier-1 gate on an offline builder); the
+//! schema is documented in docs/DETERMINISM.md.
+
+use core::fmt;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule code, e.g. `"S003"`.
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// What is wrong and how to fix it.
+    pub message: String,
+}
+
+impl Finding {
+    /// Creates a finding, trimming and bounding the snippet.
+    pub fn new(rule: &'static str, path: &str, line: usize, raw: &str, message: String) -> Self {
+        let mut snippet = raw.trim().to_string();
+        if snippet.len() > 160 {
+            let mut cut = 157;
+            while !snippet.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            snippet.truncate(cut);
+            snippet.push_str("...");
+        }
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            snippet,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )?;
+        write!(f, "    | {}", self.snippet)
+    }
+}
+
+/// Renders findings as the human report.
+pub fn render_human(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    if findings.is_empty() {
+        out.push_str(&format!(
+            "simlint: OK — 0 findings in {files_scanned} files (rules S001-S006)\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "simlint: {} finding(s) in {files_scanned} files scanned\n",
+            findings.len()
+        ));
+    }
+    out
+}
+
+/// Renders findings as a stable JSON document.
+pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::from("{\"files_scanned\":");
+    out.push_str(&files_scanned.to_string());
+    out.push_str(",\"count\":");
+    out.push_str(&findings.len().to_string());
+    out.push_str(",\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"rule\":");
+        json_string(&mut out, f.rule);
+        out.push_str(",\"path\":");
+        json_string(&mut out, &f.path);
+        out.push_str(",\"line\":");
+        out.push_str(&f.line.to_string());
+        out.push_str(",\"message\":");
+        json_string(&mut out, &f.message);
+        out.push_str(",\"snippet\":");
+        json_string(&mut out, &f.snippet);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let f = Finding::new(
+            "S001",
+            "a/b.rs",
+            3,
+            "let s = \"x\\y\";",
+            "bad \"time\"".into(),
+        );
+        let j = render_json(&[f], 1);
+        assert!(j.contains("\\\"time\\\""));
+        assert!(j.contains("\\\\y"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn long_snippets_are_bounded() {
+        let long = "x".repeat(400);
+        let f = Finding::new("S006", "a.rs", 1, &long, "m".into());
+        assert!(f.snippet.len() <= 160);
+        assert!(f.snippet.ends_with("..."));
+    }
+
+    #[test]
+    fn human_report_has_location_and_verdict() {
+        let f = Finding::new(
+            "S003",
+            "crates/x/src/l.rs",
+            12,
+            "m.iter()",
+            "iteration".into(),
+        );
+        let h = render_human(&[f], 9);
+        assert!(h.contains("crates/x/src/l.rs:12: [S003]"));
+        assert!(h.contains("1 finding(s) in 9 files"));
+        assert!(render_human(&[], 9).contains("OK"));
+    }
+}

@@ -1,0 +1,390 @@
+//! The sim-purity rule catalogue, S001-S006.
+//!
+//! Each rule walks the stripped [`SourceFile`] lines of files inside its
+//! scope and reports [`Finding`]s. The scope of every rule — which crates
+//! and paths it applies to, and why — is part of the rule definition, so
+//! the catalogue below is the single source of truth that docs/DETERMINISM.md
+//! documents and the tier-1 gate enforces.
+
+use crate::report::Finding;
+use crate::source::{token_positions, SourceFile};
+
+/// Crates whose `src/` trees are simulation code: everything that feeds
+/// simulated time, ordering or randomness. `bench` is deliberately absent —
+/// it is the wall-clock *measurement* harness. `simlint` is absent from the
+/// purity scopes but still walked for S003.
+pub const SIM_CRATES: [&str; 9] = [
+    "simkit", "flash", "ssd", "nvme", "stack", "netblock", "workload", "core", "root",
+];
+
+/// Crates whose library code must not contain panicking escape hatches
+/// (S006): the layers every experiment sits on.
+pub const PANIC_FREE_CRATES: [&str; 4] = ["simkit", "ssd", "nvme", "stack"];
+
+/// Static description of one rule, for `--list-rules` and the docs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule code, e.g. `"S001"`.
+    pub code: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Which files the rule applies to, in words.
+    pub scope: &'static str,
+}
+
+/// The rule catalogue.
+pub const RULES: [RuleInfo; 6] = [
+    RuleInfo {
+        code: "S001",
+        summary: "no wall-clock access (std::time::Instant / SystemTime) in simulation code; \
+                  all timing must flow through SimTime/SimDuration",
+        scope: "src/ of simulation crates (simkit, flash, ssd, nvme, stack, netblock, workload, core, root)",
+    },
+    RuleInfo {
+        code: "S002",
+        summary: "no ambient or OS-seeded randomness (thread_rng, rand::random, from_entropy, \
+                  OsRng, getrandom, RandomState); every stream must fork from a seeded SplitMix64",
+        scope: "src/ of simulation crates",
+    },
+    RuleInfo {
+        code: "S003",
+        summary: "no order-dependent iteration over HashMap/HashSet (.iter/.keys/.values/.drain/\
+                  .retain/for-in); iterated maps must be BTreeMap/BTreeSet or sorted first",
+        scope: "src/ of every workspace crate",
+    },
+    RuleInfo {
+        code: "S004",
+        summary: "no f64 round-trips in simulation-time arithmetic (as_nanos() as f64, \
+                  from_micros_f64(x.as_micros_f64()*...)); use the integer ops or the \
+                  as_*_f64() reporting accessors one-way only",
+        scope: "src/ of simulation crates, except simkit/src/time.rs which defines the accessors",
+    },
+    RuleInfo {
+        code: "S005",
+        summary: "no host threading or blocking primitives (thread::spawn/sleep, Mutex, RwLock, \
+                  Condvar, mpsc) inside the event-loop crates; the simulator is single-threaded \
+                  by construction",
+        scope: "src/ of simulation crates",
+    },
+    RuleInfo {
+        code: "S006",
+        summary: "no unwrap()/expect()/panic!/unreachable!/todo!/unimplemented! in library code \
+                  paths; return Result or justify the invariant with an allow directive",
+        scope: "src/ of simkit, ssd, nvme, stack (tests and benches exempt)",
+    },
+];
+
+/// Runs every applicable rule over one parsed file belonging to
+/// `crate_name` (the directory under `crates/`, or `"root"`).
+pub fn check_file(crate_name: &str, file: &SourceFile) -> Vec<Finding> {
+    let sim = SIM_CRATES.contains(&crate_name);
+    let panic_free = PANIC_FREE_CRATES.contains(&crate_name);
+    let is_time_rs = file.path.ends_with("simkit/src/time.rs");
+
+    let mut out = Vec::new();
+    if sim {
+        check_tokens(file, "S001", &S001_TOKENS, S001_MSG, &mut out);
+        check_tokens(file, "S002", &S002_TOKENS, S002_MSG, &mut out);
+        check_tokens(file, "S005", &S005_TOKENS, S005_MSG, &mut out);
+        if !is_time_rs {
+            check_s004(file, &mut out);
+        }
+    }
+    check_s003(file, &mut out);
+    if panic_free {
+        check_s006(file, &mut out);
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+const S001_TOKENS: [&str; 4] = ["std::time", "Instant::now", "SystemTime", "clock_gettime"];
+const S001_MSG: &str =
+    "wall-clock access in simulation code; derive all timing from SimTime/SimDuration";
+
+const S002_TOKENS: [&str; 6] = [
+    "thread_rng",
+    "rand::random",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+    "RandomState",
+];
+const S002_MSG: &str = "ambient/unseeded randomness; fork a seeded SplitMix64 stream instead";
+
+const S005_TOKENS: [&str; 7] = [
+    "thread::spawn",
+    "thread::sleep",
+    "thread::Builder",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "mpsc::",
+];
+const S005_MSG: &str = "host threading/blocking primitive inside the single-threaded event loop";
+
+fn check_tokens(
+    file: &SourceFile,
+    rule: &'static str,
+    tokens: &[&str],
+    msg: &str,
+    out: &mut Vec<Finding>,
+) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if line.in_test || file.allowed(lineno, rule) {
+            continue;
+        }
+        for tok in tokens {
+            if crate::source::contains_token(&line.code, tok) {
+                out.push(Finding::new(
+                    rule,
+                    &file.path,
+                    lineno,
+                    &line.raw,
+                    format!("`{tok}`: {msg}"),
+                ));
+                break; // one finding per line per rule
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ S003
+
+/// Methods whose result order leaks HashMap/HashSet bucket order.
+const ORDER_METHODS: [&str; 10] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".retain(",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+];
+
+fn check_s003(file: &SourceFile, out: &mut Vec<Finding>) {
+    let hash_names = collect_hash_bindings(file);
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if line.in_test || file.allowed(lineno, "S003") {
+            continue;
+        }
+        let code = &line.code;
+        let mut hit: Option<String> = None;
+        for m in ORDER_METHODS {
+            for pos in find_all(code, m) {
+                if let Some(name) = ident_ending_at(code, pos) {
+                    if hash_names.contains(name) {
+                        hit = Some(format!("`{name}{m}`"));
+                    }
+                }
+            }
+        }
+        // for PAT in [&[mut]] NAME ...
+        if hit.is_none() {
+            for pos in token_positions(code, "for") {
+                if let Some(name) = for_loop_iterable(code, pos) {
+                    if hash_names.contains(name.as_str()) {
+                        hit = Some(format!("`for _ in {name}`"));
+                    }
+                }
+            }
+        }
+        if let Some(what) = hit {
+            out.push(Finding::new(
+                "S003",
+                &file.path,
+                lineno,
+                &line.raw,
+                format!(
+                    "{what} iterates a HashMap/HashSet in bucket order; switch the map to \
+                     BTreeMap/BTreeSet or sort before iterating"
+                ),
+            ));
+        }
+    }
+}
+
+/// Collects identifiers bound to a HashMap/HashSet anywhere in the file:
+/// `name: HashMap<..>` (fields, params, typed lets) and
+/// `[let [mut]] name = HashMap::new()/with_capacity/from(..)`.
+fn collect_hash_bindings(file: &SourceFile) -> std::collections::BTreeSet<String> {
+    let mut names = std::collections::BTreeSet::new();
+    for line in &file.lines {
+        let code = &line.code;
+        for ty in ["HashMap", "HashSet"] {
+            for pos in token_positions(code, ty) {
+                // Walk back over `std::collections::` / whitespace.
+                let mut head = code[..pos].trim_end();
+                if let Some(stripped) = head.strip_suffix("std::collections::") {
+                    head = stripped.trim_end();
+                } else if let Some(stripped) = head.strip_suffix("collections::") {
+                    head = stripped.trim_end();
+                }
+                if let Some(rest) = head.strip_suffix(':') {
+                    // `name: HashMap<..>` — reject `::` paths.
+                    let rest = rest.strip_suffix(':').map(|_| "").unwrap_or(rest);
+                    if let Some(name) = trailing_ident(rest.trim_end()) {
+                        names.insert(name.to_string());
+                    }
+                } else if let Some(rest) = head.strip_suffix('=') {
+                    // `name = HashMap::new()` / `let mut name = HashMap::...`.
+                    if let Some(name) = trailing_ident(rest.trim_end()) {
+                        names.insert(name.to_string());
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// The iterable identifier of a `for PAT in EXPR` header starting at the
+/// `for` token, if EXPR is a plain (possibly `&`/`&mut`/`self.`-prefixed)
+/// identifier not followed by a call or field access.
+fn for_loop_iterable(code: &str, for_pos: usize) -> Option<String> {
+    let after = &code[for_pos + 3..];
+    let in_rel = token_positions(after, "in").into_iter().next()?;
+    let mut rest = after[in_rel + 2..].trim_start();
+    rest = rest.strip_prefix("&mut ").unwrap_or(rest);
+    rest = rest.strip_prefix('&').unwrap_or(rest).trim_start();
+    rest = rest.strip_prefix("self.").unwrap_or(rest);
+    let end = rest
+        .char_indices()
+        .find(|&(_, c)| !(c.is_ascii_alphanumeric() || c == '_'))
+        .map(|(i, _)| i)
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    // `map.keys()` is handled by the method pass; `m[0]`, `0..n` are not idents.
+    let follow = rest[end..].trim_start();
+    if follow.starts_with('.') || follow.starts_with('(') || follow.starts_with('[') {
+        return None;
+    }
+    let name = &rest[..end];
+    if name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+fn find_all(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = code[from..].find(needle) {
+        out.push(from + p);
+        from += p + needle.len();
+    }
+    out
+}
+
+/// The identifier a string ends with, if any.
+fn trailing_ident(s: &str) -> Option<&str> {
+    ident_ending_at(s, s.len())
+}
+
+/// The identifier (last path segment) ending right before byte `end`.
+fn ident_ending_at(code: &str, end: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    let mut start = end;
+    while start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
+        start -= 1;
+    }
+    if start == end {
+        return None;
+    }
+    Some(&code[start..end])
+}
+
+// ------------------------------------------------------------------ S004
+
+fn check_s004(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if line.in_test || file.allowed(lineno, "S004") {
+            continue;
+        }
+        let code = &line.code;
+        let raw_cast = code.contains(".as_nanos() as f64") || code.contains(".as_nanos() as f32");
+        let round_trip = code.contains("from_micros_f64(")
+            && [
+                ".as_micros_f64()",
+                ".as_secs_f64()",
+                ".as_nanos_f64()",
+                ".as_millis_f64()",
+            ]
+            .iter()
+            .any(|a| code.contains(a));
+        if raw_cast {
+            out.push(Finding::new(
+                "S004",
+                &file.path,
+                lineno,
+                &line.raw,
+                "raw float cast of sim time (`as_nanos() as f64`); use the as_*_f64() \
+                 reporting accessors or SimDuration::ratio()"
+                    .to_string(),
+            ));
+        } else if round_trip {
+            out.push(Finding::new(
+                "S004",
+                &file.path,
+                lineno,
+                &line.raw,
+                "sim time round-trips through f64 (accessor feeding from_micros_f64); \
+                 keep the arithmetic in integer nanoseconds (mul_f64, Mul/Div) instead"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------------------ S006
+
+const PANIC_METHODS: [&str; 2] = [".unwrap()", ".expect("];
+const PANIC_MACROS: [&str; 4] = ["panic!", "unreachable!", "todo!", "unimplemented!"];
+
+fn check_s006(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if line.in_test || file.allowed(lineno, "S006") {
+            continue;
+        }
+        let code = &line.code;
+        let mut what: Option<&str> = None;
+        for m in PANIC_METHODS {
+            if code.contains(m) {
+                what = Some(m);
+                break;
+            }
+        }
+        if what.is_none() {
+            for m in PANIC_MACROS {
+                if token_positions(code, m.trim_end_matches('!'))
+                    .iter()
+                    .any(|&p| code[p..].starts_with(m))
+                {
+                    what = Some(m);
+                    break;
+                }
+            }
+        }
+        if let Some(w) = what {
+            out.push(Finding::new(
+                "S006",
+                &file.path,
+                lineno,
+                &line.raw,
+                format!(
+                    "`{w}` in library code; return a Result/Option, restructure, or justify the \
+                     invariant with `// simlint: allow(S006): <why>`"
+                ),
+            ));
+        }
+    }
+}

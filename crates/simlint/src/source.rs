@@ -1,0 +1,391 @@
+//! Lexical source model: comment/string stripping, `#[cfg(test)]` region
+//! tracking and `// simlint: allow(...)` escape-hatch directives.
+//!
+//! simlint deliberately works on a *lexical* model rather than a full AST:
+//! the rules it enforces (wall-clock access, ambient RNG, unordered map
+//! iteration, float time arithmetic, threading, panics) are all visible at
+//! the token level, and a lexical pass keeps the analyzer dependency-free
+//! so it can run inside `cargo test` on an offline builder. The trade-off —
+//! identifier-level rather than type-level resolution for S003 — is
+//! documented in docs/DETERMINISM.md together with the escape hatch.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// One physical line of a parsed source file.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Source text with comments removed and string/char literal *contents*
+    /// blanked (delimiters kept), so rules never match inside literals.
+    pub code: String,
+    /// The raw line as written.
+    pub raw: String,
+    /// Comment text found on this line (line + block comments), used only
+    /// for `simlint:` directives.
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)] mod { ... }` region.
+    pub in_test: bool,
+}
+
+/// A parsed source file ready for rule checks.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, used in findings.
+    pub path: String,
+    /// Parsed lines, in order.
+    pub lines: Vec<Line>,
+    /// Rule codes allowed per 1-based line number.
+    line_allows: BTreeMap<usize, BTreeSet<String>>,
+    /// Rule codes allowed for the whole file.
+    file_allows: BTreeSet<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LexState {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+impl SourceFile {
+    /// Parses `text` into the lexical model.
+    pub fn parse(path: impl Into<String>, text: &str) -> Self {
+        let mut lines = Vec::new();
+        let mut state = LexState::Code;
+        for raw in text.lines() {
+            let (code, comment, next) = strip_line(raw, state);
+            state = next;
+            lines.push(Line {
+                code,
+                comment,
+                raw: raw.to_string(),
+                in_test: false,
+            });
+        }
+        mark_test_regions(&mut lines);
+        let (line_allows, file_allows) = collect_directives(&lines);
+        SourceFile {
+            path: path.into(),
+            lines,
+            line_allows,
+            file_allows,
+        }
+    }
+
+    /// Whether `rule` (e.g. `"S003"`) is allowed on 1-based line `lineno`
+    /// via an escape-hatch directive.
+    pub fn allowed(&self, lineno: usize, rule: &str) -> bool {
+        if self.file_allows.contains(rule) {
+            return true;
+        }
+        self.line_allows
+            .get(&lineno)
+            .is_some_and(|s| s.contains(rule))
+    }
+}
+
+/// Strips one line given the lexer state carried over from the previous
+/// line; returns (code text, comment text, state after the line).
+fn strip_line(raw: &str, mut state: LexState) -> (String, String, LexState) {
+    let b: Vec<char> = raw.chars().collect();
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        match state {
+            LexState::Code => {
+                if c == '/' && next == Some('/') {
+                    state = LexState::LineComment;
+                    comment.extend(&b[i..]);
+                    break;
+                } else if c == '/' && next == Some('*') {
+                    state = LexState::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    state = LexState::Str;
+                    i += 1;
+                } else if c == 'r' && matches!(next, Some('"') | Some('#')) && raw_string_at(&b, i)
+                {
+                    let hashes = count_hashes(&b, i + 1);
+                    code.push('r');
+                    code.push('"');
+                    state = LexState::RawStr(hashes);
+                    i += 2 + hashes as usize;
+                } else if c == '\'' {
+                    // Char literal vs lifetime: a literal is 'x' or '\x...'.
+                    if next == Some('\\') {
+                        code.push('\'');
+                        state = LexState::Char;
+                        i += 3; // skip the backslash and the escaped char
+                    } else if b.get(i + 2) == Some(&'\'') {
+                        code.push_str("' '");
+                        i += 3;
+                    } else {
+                        code.push(c); // lifetime marker
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            LexState::LineComment => unreachable!("line comments consume the rest of the line"),
+            LexState::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        LexState::Code
+                    } else {
+                        LexState::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = LexState::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            LexState::Str => {
+                if c == '\\' {
+                    i += 2; // skip escaped char (blanked)
+                } else if c == '"' {
+                    code.push('"');
+                    state = LexState::Code;
+                    i += 1;
+                } else {
+                    code.push(' '); // blank literal contents
+                    i += 1;
+                }
+            }
+            LexState::RawStr(hashes) => {
+                if c == '"' && hashes_follow(&b, i + 1, hashes) {
+                    code.push('"');
+                    state = LexState::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            LexState::Char => {
+                if c == '\'' {
+                    code.push('\'');
+                    state = LexState::Code;
+                } else {
+                    code.push(' ');
+                }
+                i += 1;
+            }
+        }
+    }
+    // Line comments end at the newline; unterminated "..." strings cannot
+    // span lines in Rust (only raw strings and block comments carry over).
+    match state {
+        LexState::LineComment => state = LexState::Code,
+        LexState::Str | LexState::Char => state = LexState::Code,
+        _ => {}
+    }
+    (code, comment, state)
+}
+
+/// Is the `r` at `i` genuinely a raw-string opener (`r"`, `r#...#"`) and
+/// not the tail of an identifier like `var"`?
+fn raw_string_at(b: &[char], i: usize) -> bool {
+    if i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_') {
+        return false;
+    }
+    let hashes = count_hashes(b, i + 1);
+    b.get(i + 1 + hashes as usize) == Some(&'"')
+}
+
+fn count_hashes(b: &[char], mut i: usize) -> u32 {
+    let mut n = 0;
+    while b.get(i) == Some(&'#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn hashes_follow(b: &[char], mut i: usize, hashes: u32) -> bool {
+    for _ in 0..hashes {
+        if b.get(i) != Some(&'#') {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// Marks lines inside `#[cfg(test)] mod ... { ... }` regions by tracking
+/// brace depth over the stripped code.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut armed = false; // saw #[cfg(test)], waiting for the mod brace
+    let mut regions: Vec<i64> = Vec::new(); // depths at which test mods opened
+    for line in lines.iter_mut() {
+        if line.code.contains("#[cfg(test)]") {
+            armed = true;
+        }
+        let opens_mod = armed && contains_token(&line.code, "mod");
+        let mut line_in_test = !regions.is_empty();
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if opens_mod && armed {
+                        regions.push(depth);
+                        armed = false;
+                        line_in_test = true;
+                    }
+                }
+                '}' => {
+                    if regions.last().is_some_and(|&d| d == depth) {
+                        regions.pop();
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        line.in_test = line_in_test || !regions.is_empty();
+    }
+}
+
+/// Word-boundary token search.
+pub fn contains_token(code: &str, token: &str) -> bool {
+    !token_positions(code, token).is_empty()
+}
+
+/// All word-boundary occurrences of `token` in `code`.
+pub fn token_positions(code: &str, token: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(token) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + token.len();
+        let token_ends_ident = token.as_bytes().last().is_some_and(|&b| is_ident_byte(b));
+        let after_ok = !token_ends_ident || end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + token.len().max(1);
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Collects `simlint: allow(...)` and `simlint: allow-file(...)` directives
+/// from comment text. A line-level directive covers its own line and the
+/// following line, so both trailing and preceding-line comments work.
+fn collect_directives(lines: &[Line]) -> (BTreeMap<usize, BTreeSet<String>>, BTreeSet<String>) {
+    let mut per_line: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    let mut file: BTreeSet<String> = BTreeSet::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        for (needle, is_file) in [("simlint: allow-file(", true), ("simlint: allow(", false)] {
+            let Some(at) = line.comment.find(needle) else {
+                continue;
+            };
+            let rest = &line.comment[at + needle.len()..];
+            let Some(close) = rest.find(')') else {
+                continue;
+            };
+            for code in rest[..close].split(',') {
+                let code = code.trim().to_string();
+                if code.is_empty() {
+                    continue;
+                }
+                if is_file {
+                    file.insert(code);
+                } else {
+                    per_line.entry(lineno).or_default().insert(code.clone());
+                    per_line.entry(lineno + 1).or_default().insert(code);
+                }
+            }
+        }
+    }
+    (per_line, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let f = SourceFile::parse(
+            "t.rs",
+            "let x = \"thread_rng\"; // thread_rng here\nlet y = 1; /* SystemTime */ let z = 2;\n",
+        );
+        assert!(!f.lines[0].code.contains("thread_rng"));
+        assert!(f.lines[0].comment.contains("thread_rng"));
+        assert!(!f.lines[1].code.contains("SystemTime"));
+        assert!(f.lines[1].code.contains("let z"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let f = SourceFile::parse(
+            "t.rs",
+            "let s = r#\"panic!(\"x\")\"#;\nlet c = '\\n'; let l: &'static str = \"\";\n",
+        );
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(f.lines[1].code.contains("'static"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = SourceFile::parse("t.rs", "/* a\nthread_rng()\n*/ let x = 1;\n");
+        assert!(!f.lines[1].code.contains("thread_rng"));
+        assert!(f.lines[2].code.contains("let x"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn allow_directives_cover_their_line_and_the_next() {
+        let src =
+            "a(); // simlint: allow(S001)\nb();\n// simlint: allow(S002): reason\nc();\nd();\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.allowed(1, "S001"));
+        assert!(f.allowed(2, "S001")); // next line too
+        assert!(!f.allowed(2, "S002"));
+        assert!(f.allowed(4, "S002"));
+        assert!(!f.allowed(5, "S002"));
+    }
+
+    #[test]
+    fn allow_file_covers_everything() {
+        let f = SourceFile::parse("t.rs", "// simlint: allow-file(S006): harness\nx();\n");
+        assert!(f.allowed(100, "S006"));
+        assert!(!f.allowed(100, "S001"));
+    }
+
+    #[test]
+    fn token_positions_respect_boundaries() {
+        assert!(contains_token("use std::sync::Mutex;", "Mutex"));
+        assert!(!contains_token("struct MutexLike;", "Mutex"));
+        assert!(!contains_token("let premutex = 1;", "mutex"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Per-rule fixture tests: for every rule S001-S006 one fixture that
+//! triggers it and one that passes, plus escape-hatch and scoping checks.
+//!
+//! These are the analyzer's regression suite: each fixture encodes the
+//! hazard the rule exists to catch (wall-clock leakage, ambient RNG,
+//! bucket-order iteration, float time drift, host threading, panicking
+//! library paths) in its smallest reproducible form.
+
+use ull_simlint::check_source;
+
+/// Convenience: analyze `src` as a file of the `ssd` sim crate.
+fn sim(src: &str) -> Vec<String> {
+    check_source("ssd", "crates/ssd/src/fixture.rs", src)
+        .into_iter()
+        .map(|f| format!("{}:{}", f.rule, f.line))
+        .collect()
+}
+
+// ------------------------------------------------------------------ S001
+
+#[test]
+fn s001_flags_wall_clock_access() {
+    let bad = "pub fn now() -> std::time::Instant {\n    std::time::Instant::now()\n}\n";
+    let rules = sim(bad);
+    assert_eq!(
+        rules,
+        ["S001:1", "S001:2"],
+        "every wall-clock line is a finding"
+    );
+}
+
+#[test]
+fn s001_passes_sim_time() {
+    let good = "use ull_simkit::SimTime;\npub fn now(t: SimTime) -> u64 { t.as_nanos() }\n";
+    assert!(sim(good).is_empty());
+}
+
+#[test]
+fn s001_ignores_strings_and_comments() {
+    let ok = "// std::time::Instant is banned here\npub const DOC: &str = \"SystemTime\";\n";
+    assert!(sim(ok).is_empty());
+}
+
+// ------------------------------------------------------------------ S002
+
+#[test]
+fn s002_flags_ambient_rng() {
+    let bad = "pub fn roll() -> u64 {\n    let mut r = thread_rng();\n    r.gen()\n}\n";
+    assert_eq!(sim(bad), ["S002:2"]);
+    assert_eq!(
+        sim("pub fn seed() -> u64 { OsRng.next_u64() }\n"),
+        ["S002:1"]
+    );
+}
+
+#[test]
+fn s002_passes_seeded_splitmix() {
+    let good = "use ull_simkit::SplitMix64;\n\
+                pub fn roll(seed: u64) -> u64 { SplitMix64::new(seed).next_u64() }\n";
+    assert!(sim(good).is_empty());
+}
+
+// ------------------------------------------------------------------ S003
+
+#[test]
+fn s003_flags_hashmap_iteration() {
+    let bad = "use std::collections::HashMap;\n\
+               pub fn sum(m: HashMap<u64, u64>) -> u64 {\n\
+                   let mut s = 0;\n\
+                   for v in m.values() { s += v; }\n\
+                   s\n\
+               }\n";
+    assert_eq!(sim(bad), ["S003:4"]);
+}
+
+#[test]
+fn s003_flags_retain_and_for_loops() {
+    let retain = "use std::collections::HashMap;\n\
+                  pub struct S { live: HashMap<u64, u64> }\n\
+                  impl S { pub fn gc(&mut self) { self.live.retain(|_, v| *v > 0); } }\n";
+    assert_eq!(sim(retain), ["S003:3"]);
+    let for_loop = "use std::collections::HashSet;\n\
+                    pub fn f(seen: HashSet<u32>) -> u32 {\n\
+                        let mut n = 0;\n\
+                        for _ in &seen { n += 1; }\n\
+                        n\n\
+                    }\n";
+    assert_eq!(sim(for_loop), ["S003:4"]);
+}
+
+#[test]
+fn s003_passes_btreemap_and_non_iterating_hashmap() {
+    let btree = "use std::collections::BTreeMap;\n\
+                 pub fn sum(m: &BTreeMap<u64, u64>) -> u64 { m.values().sum() }\n";
+    assert!(sim(btree).is_empty());
+    // Point lookups / inserts on a HashMap are order-independent and fine.
+    let point = "use std::collections::HashMap;\n\
+                 pub fn touch(m: &mut HashMap<u64, u64>, k: u64) {\n\
+                     m.insert(k, m.get(&k).copied().unwrap_or(0) + 1);\n\
+                 }\n";
+    assert_eq!(
+        check_source("workload", "crates/workload/src/f.rs", point).len(),
+        0
+    );
+}
+
+// ------------------------------------------------------------------ S004
+
+#[test]
+fn s004_flags_raw_time_casts_and_round_trips() {
+    let cast = "use ull_simkit::SimDuration;\n\
+                pub fn us(d: SimDuration) -> f64 { d.as_nanos() as f64 / 1e3 }\n";
+    assert_eq!(sim(cast), ["S004:2"]);
+    let round_trip = "use ull_simkit::SimDuration;\n\
+                      pub fn double(d: SimDuration) -> SimDuration {\n\
+                          SimDuration::from_micros_f64(d.as_micros_f64() * 2.0)\n\
+                      }\n";
+    assert_eq!(sim(round_trip), ["S004:3"]);
+}
+
+#[test]
+fn s004_passes_integer_arithmetic_and_reporting_accessors() {
+    let good = "use ull_simkit::SimDuration;\n\
+                pub fn double(d: SimDuration) -> SimDuration { d * 2 }\n\
+                pub fn report(d: SimDuration) -> f64 { d.as_micros_f64() }\n";
+    assert!(sim(good).is_empty());
+}
+
+#[test]
+fn s004_exempts_the_accessor_definitions_in_time_rs() {
+    // simkit/src/time.rs *defines* the reporting accessors; the raw cast
+    // there is the sanctioned implementation, not a violation.
+    let defs = "impl SimDuration {\n\
+                    pub fn as_micros_f64(self) -> f64 { self.as_nanos() as f64 / 1e3 }\n\
+                }\n";
+    assert!(check_source("simkit", "crates/simkit/src/time.rs", defs).is_empty());
+    // The same source anywhere else in simkit is a finding.
+    let elsewhere = check_source("simkit", "crates/simkit/src/hist.rs", defs);
+    assert_eq!(elsewhere.len(), 1);
+    assert_eq!(elsewhere[0].rule, "S004");
+}
+
+// ------------------------------------------------------------------ S005
+
+#[test]
+fn s005_flags_threading_primitives() {
+    let bad = "use std::sync::Mutex;\n\
+               pub fn run() {\n\
+                   std::thread::spawn(|| {});\n\
+               }\n";
+    let rules = sim(bad);
+    assert!(
+        rules.contains(&"S005:1".to_string()),
+        "Mutex import flagged: {rules:?}"
+    );
+    assert!(
+        rules.contains(&"S005:3".to_string()),
+        "thread::spawn flagged: {rules:?}"
+    );
+}
+
+#[test]
+fn s005_passes_single_threaded_event_loop() {
+    let good = "use ull_simkit::EventQueue;\n\
+                pub fn drain(q: &mut EventQueue<u64>) { while q.pop().is_some() {} }\n";
+    assert!(sim(good).is_empty());
+}
+
+#[test]
+fn s005_does_not_apply_to_the_bench_harness() {
+    // bench is the wall-clock measurement harness: threads and Instant are
+    // its job, so neither S001 nor S005 applies there.
+    let harness = "use std::sync::Mutex;\n\
+                   pub fn t0() -> std::time::Instant { std::time::Instant::now() }\n";
+    assert!(check_source("bench", "crates/bench/src/lib.rs", harness).is_empty());
+}
+
+// ------------------------------------------------------------------ S006
+
+#[test]
+fn s006_flags_panicking_library_code() {
+    let bad = "pub fn get(v: &[u8]) -> u8 {\n\
+                   let x = v.first().unwrap();\n\
+                   if *x == 0 { panic!(\"zero\") }\n\
+                   *x\n\
+               }\n";
+    assert_eq!(sim(bad), ["S006:2", "S006:3"]);
+}
+
+#[test]
+fn s006_passes_result_based_code_and_test_modules() {
+    let good = "pub fn get(v: &[u8]) -> Option<u8> { v.first().copied() }\n\
+                #[cfg(test)]\n\
+                mod tests {\n\
+                    #[test]\n\
+                    fn t() { assert_eq!(super::get(&[7]).unwrap(), 7); }\n\
+                }\n";
+    assert!(
+        sim(good).is_empty(),
+        "unwrap inside #[cfg(test)] mod is exempt"
+    );
+}
+
+#[test]
+fn s006_only_applies_to_panic_free_crates() {
+    let uw = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert_eq!(check_source("nvme", "crates/nvme/src/f.rs", uw).len(), 1);
+    // workload/core drive experiments; panics there abort a run, not the sim.
+    assert!(check_source("workload", "crates/workload/src/f.rs", uw).is_empty());
+    assert!(check_source("core", "crates/core/src/f.rs", uw).is_empty());
+}
+
+// ------------------------------------------------------- escape hatches
+
+#[test]
+fn allow_directive_suppresses_on_same_and_next_line() {
+    let trailing = "pub fn f(x: Option<u8>) -> u8 {\n\
+                        x.unwrap() // simlint: allow(S006): checked by caller\n\
+                    }\n";
+    assert!(sim(trailing).is_empty());
+    let preceding = "pub fn f(x: Option<u8>) -> u8 {\n\
+                         // simlint: allow(S006): checked by caller\n\
+                         x.unwrap()\n\
+                     }\n";
+    assert!(sim(preceding).is_empty());
+}
+
+#[test]
+fn allow_directive_is_rule_specific_and_line_local() {
+    // An S006 allow does not silence an S002 finding on the same line...
+    let wrong_rule = "pub fn f() -> u64 { thread_rng().gen() } // simlint: allow(S006): nope\n";
+    assert_eq!(sim(wrong_rule), ["S002:1"]);
+    // ...and does not leak past the following line.
+    let far = "// simlint: allow(S006): only lines 1-2\n\
+               pub fn a(x: Option<u8>) -> u8 { x.unwrap() }\n\
+               pub fn b(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert_eq!(sim(far), ["S006:3"]);
+}
+
+#[test]
+fn allow_file_directive_suppresses_the_whole_file() {
+    let src = "// simlint: allow-file(S006): FFI shim, panics convert to aborts deliberately\n\
+               pub fn a(x: Option<u8>) -> u8 { x.unwrap() }\n\
+               pub fn b(x: Option<u8>) -> u8 { x.expect(\"b\") }\n";
+    assert!(sim(src).is_empty());
+}
+
+// ------------------------------------------------------------- reporting
+
+#[test]
+fn findings_carry_location_and_ordering() {
+    let src = "pub fn f(x: Option<u8>) -> u8 {\n\
+                   let t = std::time::Instant::now();\n\
+                   x.unwrap()\n\
+               }\n";
+    let f = check_source("stack", "crates/stack/src/fixture.rs", src);
+    assert_eq!(f.len(), 2);
+    assert_eq!((f[0].rule, f[0].line), ("S001", 2));
+    assert_eq!((f[1].rule, f[1].line), ("S006", 3));
+    assert_eq!(f[0].path, "crates/stack/src/fixture.rs");
+    assert!(f[0].snippet.contains("Instant::now"));
+}

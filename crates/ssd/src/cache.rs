@@ -9,7 +9,7 @@
 //! latency cliff.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use ull_simkit::{SimDuration, SimTime, SplitMix64};
 
@@ -36,8 +36,9 @@ pub struct WriteBuffer {
     capacity: usize,
     releases: BinaryHeap<Reverse<u64>>,
     /// lpn -> time at which the buffered copy stops being addressable
-    /// (program end); reads before that are DRAM hits.
-    resident: HashMap<u64, u64>,
+    /// (program end); reads before that are DRAM hits. A `BTreeMap` so the
+    /// periodic `sweep` retains entries in a deterministic order (S003).
+    resident: BTreeMap<u64, u64>,
     admitted: u64,
 }
 
@@ -52,7 +53,7 @@ impl WriteBuffer {
         WriteBuffer {
             capacity: capacity as usize,
             releases: BinaryHeap::new(),
-            resident: HashMap::new(),
+            resident: BTreeMap::new(),
             admitted: 0,
         }
     }
@@ -61,11 +62,15 @@ impl WriteBuffer {
     /// enters DRAM (possibly delayed by a full buffer).
     pub fn admit(&mut self, at: SimTime, lpn: u64) -> SimTime {
         self.admitted += 1;
+        // A full buffer (`len >= capacity >= 1`) always has a pending
+        // release, so the else-branch of the inner `if let` is unreachable;
+        // admitting immediately there is a safe, panic-free fallback.
         let admitted_at = if self.releases.len() < self.capacity {
             at
-        } else {
-            let Reverse(earliest) = self.releases.pop().expect("buffer non-empty when full");
+        } else if let Some(Reverse(earliest)) = self.releases.pop() {
             at.max(SimTime::from_nanos(earliest))
+        } else {
+            at
         };
         self.resident.insert(lpn, u64::MAX); // provisional until retire()
         if self.admitted.is_multiple_of(4096) {
@@ -84,7 +89,9 @@ impl WriteBuffer {
     /// Whether a read of `lpn` issued at `at` can be served from the
     /// buffered copy.
     pub fn holds(&self, lpn: u64, at: SimTime) -> bool {
-        self.resident.get(&lpn).is_some_and(|&until| at.as_nanos() < until)
+        self.resident
+            .get(&lpn)
+            .is_some_and(|&until| at.as_nanos() < until)
     }
 
     /// Total units ever admitted.
@@ -99,7 +106,8 @@ impl WriteBuffer {
 
     fn sweep(&mut self, now: SimTime) {
         let now = now.as_nanos();
-        self.resident.retain(|_, &mut until| until == u64::MAX || until > now);
+        self.resident
+            .retain(|_, &mut until| until == u64::MAX || until > now);
     }
 }
 
@@ -130,7 +138,13 @@ pub struct ReadCache {
 impl ReadCache {
     /// Creates a cache with the given policy and RNG seed.
     pub fn new(policy: ReadCachePolicy, seed: u64) -> Self {
-        ReadCache { policy, expected_next: None, rng: SplitMix64::new(seed), hits: 0, lookups: 0 }
+        ReadCache {
+            policy,
+            expected_next: None,
+            rng: SplitMix64::new(seed),
+            hits: 0,
+            lookups: 0,
+        }
     }
 
     /// Classifies a read of `units` 4 KB units starting at `lpn`.
@@ -138,7 +152,11 @@ impl ReadCache {
         self.lookups += 1;
         let sequential = self.expected_next == Some(lpn);
         self.expected_next = Some(lpn + units);
-        let p = if sequential { self.policy.seq_hit_prob } else { self.policy.rnd_hit_prob };
+        let p = if sequential {
+            self.policy.seq_hit_prob
+        } else {
+            self.policy.rnd_hit_prob
+        };
         let hit = self.rng.chance(p);
         if hit {
             self.hits += 1;
@@ -153,7 +171,11 @@ impl ReadCache {
 
     /// Observed hit fraction so far.
     pub fn hit_rate(&self) -> f64 {
-        if self.lookups == 0 { 0.0 } else { self.hits as f64 / self.lookups as f64 }
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
     }
 }
 
@@ -163,14 +185,21 @@ mod tests {
     use ull_simkit::SimDuration;
 
     fn policy(seq: f64, rnd: f64) -> ReadCachePolicy {
-        ReadCachePolicy { seq_hit_prob: seq, rnd_hit_prob: rnd, hit_latency: SimDuration::from_micros(2) }
+        ReadCachePolicy {
+            seq_hit_prob: seq,
+            rnd_hit_prob: rnd,
+            hit_latency: SimDuration::from_micros(2),
+        }
     }
 
     #[test]
     fn buffer_admits_immediately_when_free() {
         let mut b = WriteBuffer::new(4);
         for lpn in 0..4 {
-            assert_eq!(b.admit(SimTime::from_micros(1), lpn), SimTime::from_micros(1));
+            assert_eq!(
+                b.admit(SimTime::from_micros(1), lpn),
+                SimTime::from_micros(1)
+            );
         }
         assert_eq!(b.admitted(), 4);
     }
@@ -183,10 +212,16 @@ mod tests {
         b.admit(SimTime::ZERO, 1);
         b.retire(1, SimTime::from_micros(100));
         // Both slots busy; earliest frees at 100us.
-        assert_eq!(b.admit(SimTime::from_micros(5), 2), SimTime::from_micros(100));
+        assert_eq!(
+            b.admit(SimTime::from_micros(5), 2),
+            SimTime::from_micros(100)
+        );
         b.retire(2, SimTime::from_micros(400));
         // Next earliest is 300us.
-        assert_eq!(b.admit(SimTime::from_micros(5), 3), SimTime::from_micros(300));
+        assert_eq!(
+            b.admit(SimTime::from_micros(5), 3),
+            SimTime::from_micros(300)
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub struct TailEvent {
 
 impl TailEvent {
     /// An event that never fires.
-    pub const NONE: TailEvent = TailEvent { probability: 0.0, delay: SimDuration::ZERO };
+    pub const NONE: TailEvent = TailEvent {
+        probability: 0.0,
+        delay: SimDuration::ZERO,
+    };
 }
 
 /// Read-cache behaviour of the device's internal DRAM.
@@ -179,7 +182,8 @@ impl SsdConfig {
 
     /// Pages per erase block after any scaled-geometry override.
     pub fn effective_pages_per_block(&self) -> u32 {
-        self.pages_per_block_override.unwrap_or(self.flash.pages_per_block)
+        self.pages_per_block_override
+            .unwrap_or(self.flash.pages_per_block)
     }
 
     /// 4 KB units per flash program row: one split pair of 2 KB pages for
@@ -207,16 +211,22 @@ impl SsdConfig {
             return Err(ConfigError::new("planes must be non-zero"));
         }
         if self.super_channel && !self.channels.is_multiple_of(2) {
-            return Err(ConfigError::new("super-channels require an even channel count"));
+            return Err(ConfigError::new(
+                "super-channels require an even channel count",
+            ));
         }
         if self.split_dma && !self.super_channel {
             return Err(ConfigError::new("split-DMA requires super-channels"));
         }
         if self.suspend_resume && !self.flash.program_suspend {
-            return Err(ConfigError::new("suspend/resume requires flash with program suspend"));
+            return Err(ConfigError::new(
+                "suspend/resume requires flash with program suspend",
+            ));
         }
         if self.capacity_bytes == 0 || !self.capacity_bytes.is_multiple_of(MAP_UNIT_BYTES as u64) {
-            return Err(ConfigError::new("capacity must be a non-zero multiple of 4KB"));
+            return Err(ConfigError::new(
+                "capacity must be a non-zero multiple of 4KB",
+            ));
         }
         if !(0.0..=1.0).contains(&self.overprovision) {
             return Err(ConfigError::new("overprovision must be in [0, 1]"));
@@ -375,7 +385,11 @@ mod tests {
 
     #[test]
     fn rejects_split_dma_without_super_channel() {
-        let r = presets::ull_800g().builder().super_channel(false).split_dma(true).build();
+        let r = presets::ull_800g()
+            .builder()
+            .super_channel(false)
+            .split_dma(true)
+            .build();
         assert!(r.is_err());
     }
 

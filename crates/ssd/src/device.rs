@@ -107,7 +107,9 @@ impl Ssd {
         let rcache = ReadCache::new(cfg.read_cache, cfg.seed ^ 0xCACE);
         let row_units = cfg.units_per_row() * cfg.planes;
         Ok(Ssd {
-            dies: (0..topo.dies()).map(|_| FlashDie::new(Arc::clone(&spec))).collect(),
+            dies: (0..topo.dies())
+                .map(|_| FlashDie::new(Arc::clone(&spec)))
+                .collect(),
             channels: (0..cfg.channels).map(|_| Timeline::new()).collect(),
             pcie: Timeline::new(),
             controller: Timeline::new(),
@@ -233,7 +235,12 @@ impl Ssd {
 
         let done = self.pcie.reserve(ready, self.pcie_time(len)).end;
         self.last_activity = self.last_activity.max(done);
-        DeviceCompletion { done, dram_hit: !any_flash, suspended, gc_stalled }
+        DeviceCompletion {
+            done,
+            dram_hit: !any_flash,
+            suspended,
+            gc_stalled,
+        }
     }
 
     /// Reads one 4 KB unit from flash; returns (data-on-channel end, suspended?).
@@ -304,14 +311,21 @@ impl Ssd {
             let lane = placement.ppa.lane;
             // Charge GC flash work (incremental and forced alike).
             if gc_work.migrated_units > 0 || gc_work.erased_blocks > 0 {
-                let gc_end = self.charge_gc(admit, lane, gc_work.migrated_units, gc_work.erased_blocks);
+                let gc_end =
+                    self.charge_gc(admit, lane, gc_work.migrated_units, gc_work.erased_blocks);
                 if placement.forced_migrations > 0 || placement.forced_erase {
                     // Foreground GC: the host write waits for the reclaim.
                     gc_stalled = true;
                     done = done.max(gc_end);
                 }
             }
-            self.enqueue_drain(lane, PendingUnit { lpn: u, ready: admit });
+            self.enqueue_drain(
+                lane,
+                PendingUnit {
+                    lpn: u,
+                    ready: admit,
+                },
+            );
         }
 
         if self.rng.chance(self.cfg.write_tail.probability) {
@@ -320,7 +334,12 @@ impl Ssd {
         }
 
         self.last_activity = self.last_activity.max(done);
-        DeviceCompletion { done, dram_hit: true, suspended: false, gc_stalled }
+        DeviceCompletion {
+            done,
+            dram_hit: true,
+            suspended: false,
+            gc_stalled,
+        }
     }
 
     /// Adds a unit to its lane's open program row, flushing full or stale
@@ -348,7 +367,10 @@ impl Ssd {
         if units.is_empty() {
             return;
         }
-        let ready = units.iter().map(|u| u.ready).fold(SimTime::ZERO, SimTime::max);
+        let ready = units
+            .iter()
+            .map(|u| u.ready)
+            .fold(SimTime::ZERO, SimTime::max);
         let (a, b) = self.topo.lane_dies(lane);
         let per_die_bytes = self.spec.page_size * self.cfg.planes;
         let program_energy = self.spec.program_energy_nj() * self.cfg.planes as f64;
@@ -378,9 +400,8 @@ impl Ssd {
         } else {
             self.spec.t_read + self.spec.t_prog
         };
-        let unit_energy = self.spec.read_energy_nj()
-            + self.spec.program_energy_nj()
-            + self.cfg.power.gc_unit_nj;
+        let unit_energy =
+            self.spec.read_energy_nj() + self.spec.program_energy_nj() + self.cfg.power.gc_unit_nj;
         let mut end = at;
         for die_id in [Some(a), b].into_iter().flatten() {
             let die = &mut self.dies[die_id.0 as usize];

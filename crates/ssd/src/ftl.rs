@@ -35,8 +35,12 @@ pub struct WearConfig {
 
 impl WearConfig {
     /// No wear-out (the default for short experiments).
-    pub const NONE: WearConfig =
-        WearConfig { per_erase_prob: 0.0, remap_enabled: false, spares_per_lane: 0, seed: 0 };
+    pub const NONE: WearConfig = WearConfig {
+        per_erase_prob: 0.0,
+        remap_enabled: false,
+        spares_per_lane: 0,
+        seed: 0,
+    };
 }
 
 /// A physical address: lane, block within lane, 4 KB slot within block.
@@ -94,13 +98,20 @@ struct Victim {
 
 impl Lane {
     fn new(blocks: u32, units_per_block: u32) -> Self {
-        assert!(blocks >= 4, "a lane needs >= 4 blocks (open + gc-open + free + victim)");
+        assert!(
+            blocks >= 4,
+            "a lane needs >= 4 blocks (open + gc-open + free + victim)"
+        );
         // Block 0 is the host open block, block 1 the GC destination block,
         // the rest start free.
         let free: Vec<u32> = (2..blocks).rev().collect();
         Lane {
-            blocks: (0..blocks).map(|_| BlockState::new(units_per_block)).collect(),
-            p2l: (0..blocks).map(|_| vec![u64::MAX; units_per_block as usize]).collect(),
+            blocks: (0..blocks)
+                .map(|_| BlockState::new(units_per_block))
+                .collect(),
+            p2l: (0..blocks)
+                .map(|_| vec![u64::MAX; units_per_block as usize])
+                .collect(),
             free,
             open: 0,
             gc_open: 1,
@@ -129,8 +140,7 @@ impl Lane {
             // once full they are ordinary victims (hot data concentrates
             // invalidations in the host open block, so excluding it forever
             // would strand reclaimable space).
-            let active_append_point =
-                (i == self.open || i == self.gc_open) && b.free_pages() > 0;
+            let active_append_point = (i == self.open || i == self.gc_open) && b.free_pages() > 0;
             if active_append_point || self.free.contains(&i) || b.is_bad() {
                 continue;
             }
@@ -144,7 +154,11 @@ impl Lane {
         }
         let (block, _) = best?;
         let destination_capacity = self.blocks[self.gc_open as usize].free_pages()
-            + if self.free.is_empty() { 0 } else { units_per_block };
+            + if self.free.is_empty() {
+                0
+            } else {
+                units_per_block
+            };
         if self.blocks[block as usize].valid_count() > destination_capacity {
             return None;
         }
@@ -195,11 +209,16 @@ impl Ftl {
     ///
     /// Panics if any dimension is zero or `blocks_per_lane < 4`.
     pub fn new(lanes: u32, blocks_per_lane: u32, units_per_block: u32, gc: GcPolicy) -> Self {
-        assert!(lanes > 0 && units_per_block > 0, "FTL dimensions must be non-zero");
+        assert!(
+            lanes > 0 && units_per_block > 0,
+            "FTL dimensions must be non-zero"
+        );
         let physical_units = lanes as u64 * blocks_per_lane as u64 * units_per_block as u64;
         Ftl {
             l2p: vec![None; physical_units as usize], // sized generously; device narrows use
-            lanes: (0..lanes).map(|_| Lane::new(blocks_per_lane, units_per_block)).collect(),
+            lanes: (0..lanes)
+                .map(|_| Lane::new(blocks_per_lane, units_per_block))
+                .collect(),
             units_per_block,
             next_lane: 0,
             gc,
@@ -208,7 +227,9 @@ impl Ftl {
             forced_gc_events: 0,
             wear: WearConfig::NONE,
             wear_rng: SplitMix64::new(0),
-            remap: (0..lanes).map(|_| RemapChecker::new(blocks_per_lane, 0)).collect(),
+            remap: (0..lanes)
+                .map(|_| RemapChecker::new(blocks_per_lane, 0))
+                .collect(),
             blocks_per_virtual: 1,
             remapped_blocks: 0,
             physical_blocks_lost: 0,
@@ -313,7 +334,11 @@ impl Ftl {
             return true;
         }
         let dest = l.blocks[l.gc_open as usize].free_pages()
-            + if l.free.is_empty() { 0 } else { self.units_per_block };
+            + if l.free.is_empty() {
+                0
+            } else {
+                self.units_per_block
+            };
         l.blocks.iter().enumerate().any(|(i, b)| {
             let i = i as u32;
             let active = (i == l.open || i == l.gc_open) && b.free_pages() > 0;
@@ -362,14 +387,25 @@ impl Ftl {
             }
         };
         self.l2p[lpn as usize] = Some(ppa);
-        (Placement { ppa, forced_migrations, forced_erase }, gc_work)
+        (
+            Placement {
+                ppa,
+                forced_migrations,
+                forced_erase,
+            },
+            gc_work,
+        )
     }
 
     fn try_place_with_reserve(&mut self, lane_id: LaneId, lpn: u64, reserve: usize) -> Option<Ppa> {
         let lane = &mut self.lanes[lane_id.0 as usize];
         if let Some(slot) = lane.blocks[lane.open as usize].append() {
             lane.p2l[lane.open as usize][slot as usize] = lpn;
-            return Some(Ppa { lane: lane_id, block: lane.open, slot });
+            return Some(Ppa {
+                lane: lane_id,
+                block: lane.open,
+                slot,
+            });
         }
         // Open block is full: rotate to a free block, honouring the reserve.
         if lane.free.len() <= reserve {
@@ -377,9 +413,15 @@ impl Ftl {
         }
         let next = lane.free.pop()?;
         lane.open = next;
-        let slot = lane.blocks[next as usize].append().expect("free block accepts appends");
+        // A block from the free list is erased, so append cannot fail; `?`
+        // keeps the path panic-free regardless.
+        let slot = lane.blocks[next as usize].append()?;
         lane.p2l[next as usize][slot as usize] = lpn;
-        Some(Ppa { lane: lane_id, block: next, slot })
+        Some(Ppa {
+            lane: lane_id,
+            block: next,
+            slot,
+        })
     }
 
     /// Places a GC relocation into the lane's dedicated GC destination
@@ -389,16 +431,28 @@ impl Ftl {
         let lane = &mut self.lanes[lane_id.0 as usize];
         if let Some(slot) = lane.blocks[lane.gc_open as usize].append() {
             lane.p2l[lane.gc_open as usize][slot as usize] = lpn;
-            return Ppa { lane: lane_id, block: lane.gc_open, slot };
+            return Ppa {
+                lane: lane_id,
+                block: lane.gc_open,
+                slot,
+            };
         }
         let next = lane
             .free
             .pop()
+            // simlint: allow(S006): pick_victim's capacity guard (free.len() > 0 before a drain starts) is this fn's documented precondition
             .expect("capacity guard guarantees a free GC destination block");
         lane.gc_open = next;
-        let slot = lane.blocks[next as usize].append().expect("free block accepts appends");
+        let slot = lane.blocks[next as usize]
+            .append()
+            // simlint: allow(S006): `next` was just popped from the free list, i.e. erased, and an erased block always accepts an append
+            .expect("free block accepts appends");
         lane.p2l[next as usize][slot as usize] = lpn;
-        Ppa { lane: lane_id, block: next, slot }
+        Ppa {
+            lane: lane_id,
+            block: next,
+            slot,
+        }
     }
 
     fn invalidate(&mut self, ppa: Ppa) {
@@ -421,6 +475,7 @@ impl Ftl {
             let (next_valid, exhausted) = {
                 let lane = &self.lanes[lane_id.0 as usize];
                 let block = &lane.blocks[victim_block as usize];
+                // simlint: allow(S006): pick_victim returned Some above, which always installs `lane.victim`
                 let cursor = lane.victim.as_ref().expect("victim set").cursor;
                 let mut found = None;
                 let mut c = cursor;
@@ -431,7 +486,10 @@ impl Ftl {
                     }
                     c += 1;
                 }
-                (found.map(|s| (s, lane.p2l[victim_block as usize][s as usize])), found.is_none())
+                (
+                    found.map(|s| (s, lane.p2l[victim_block as usize][s as usize])),
+                    found.is_none(),
+                )
             };
             if exhausted {
                 // Victim fully drained: erase it. If the victim *is* an
@@ -439,13 +497,14 @@ impl Ftl {
                 // append point — now empty — instead of entering the free
                 // list, so the pointer is never left dangling at a freed
                 // block.
-                let worn =
-                    self.wear.per_erase_prob > 0.0 && self.wear_rng.chance(self.wear.per_erase_prob);
+                let worn = self.wear.per_erase_prob > 0.0
+                    && self.wear_rng.chance(self.wear.per_erase_prob);
                 let lane = &mut self.lanes[lane_id.0 as usize];
                 lane.blocks[victim_block as usize].erase();
-                lane.p2l[victim_block as usize].iter_mut().for_each(|l| *l = u64::MAX);
-                let is_append_point =
-                    victim_block == lane.open || victim_block == lane.gc_open;
+                lane.p2l[victim_block as usize]
+                    .iter_mut()
+                    .for_each(|l| *l = u64::MAX);
+                let is_append_point = victim_block == lane.open || victim_block == lane.gc_open;
                 let mut usable = true;
                 if worn {
                     let checker = &mut self.remap[lane_id.0 as usize];
@@ -453,8 +512,11 @@ impl Ftl {
                         // The remap checker substitutes a same-channel
                         // spare; the semi-virtual block stays usable and,
                         // for pairs, the partner block is not stranded.
-                        checker.retire(victim_block).expect("spares checked");
-                        self.remapped_blocks += 1;
+                        // spares_left() > 0 was checked above; treat a
+                        // (theoretically impossible) failure as no-remap.
+                        if checker.retire(victim_block).is_ok() {
+                            self.remapped_blocks += 1;
+                        }
                     } else if !is_append_point {
                         lane.blocks[victim_block as usize].mark_bad();
                         self.physical_blocks_lost += self.blocks_per_virtual as u64;
@@ -473,14 +535,18 @@ impl Ftl {
                 }
                 continue;
             }
-            let (slot, lpn) = next_valid.expect("either exhausted or found");
+            // `exhausted` was handled above, so next_valid is Some; break
+            // is the safe (unreachable) fallback rather than a panic.
+            let Some((slot, lpn)) = next_valid else { break };
             debug_assert_ne!(lpn, u64::MAX, "valid slot must have a reverse mapping");
             // Invalidate the old copy and advance the cursor...
             {
                 let lane = &mut self.lanes[lane_id.0 as usize];
                 lane.blocks[victim_block as usize].invalidate(slot);
                 lane.p2l[victim_block as usize][slot as usize] = u64::MAX;
-                lane.victim.as_mut().expect("victim set").cursor = slot + 1;
+                if let Some(v) = lane.victim.as_mut() {
+                    v.cursor = slot + 1;
+                }
             }
             // ...then re-place the unit into the GC destination block.
             let ppa = self.place_gc(lane_id, lpn);
@@ -498,7 +564,11 @@ mod tests {
     use super::*;
 
     fn gc() -> GcPolicy {
-        GcPolicy { low_watermark: 3, units_per_host_write: 4, parallel: false }
+        GcPolicy {
+            low_watermark: 3,
+            units_per_host_write: 4,
+            parallel: false,
+        }
     }
 
     fn small_ftl() -> Ftl {
@@ -589,8 +659,12 @@ mod tests {
         // Every erase wears its block out, but a deep spare pool lets the
         // remap checker absorb all of it: no capacity is ever stranded and
         // the lane keeps cycling.
-        let wear =
-            WearConfig { per_erase_prob: 1.0, remap_enabled: true, spares_per_lane: 512, seed: 1 };
+        let wear = WearConfig {
+            per_erase_prob: 1.0,
+            remap_enabled: true,
+            spares_per_lane: 512,
+            seed: 1,
+        };
         let mut f = Ftl::new(1, 8, 4, gc()).with_wear(wear, 2);
         for round in 0..20u64 {
             for lpn in 0..16u64 {
@@ -609,15 +683,22 @@ mod tests {
     fn unremapped_wear_strands_pair_capacity_until_wedged() {
         // Without the remap checker every worn block strands its pair
         // partner too; the lane loses capacity and eventually wedges.
-        let wear =
-            WearConfig { per_erase_prob: 1.0, remap_enabled: false, spares_per_lane: 0, seed: 1 };
+        let wear = WearConfig {
+            per_erase_prob: 1.0,
+            remap_enabled: false,
+            spares_per_lane: 0,
+            seed: 1,
+        };
         let mut f = Ftl::new(1, 24, 4, gc()).with_wear(wear, 2);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             for i in 0..100_000u64 {
                 f.append(i % 16);
             }
         }));
-        assert!(outcome.is_err(), "total wear without remap must wedge the lane");
+        assert!(
+            outcome.is_err(),
+            "total wear without remap must wedge the lane"
+        );
         assert!(f.physical_blocks_lost() > 0, "no capacity stranded");
         // Pair-lane accounting: each lost virtual block strands 2 physical.
         assert_eq!(f.physical_blocks_lost() % 2, 0);
@@ -628,8 +709,16 @@ mod tests {
     #[should_panic(expected = "GC deadlock")]
     fn overfull_logical_space_is_detected() {
         // Logical space == physical space: GC has nothing to reclaim.
-        let mut f =
-            Ftl::new(1, 4, 2, GcPolicy { low_watermark: 0, units_per_host_write: 0, parallel: false });
+        let mut f = Ftl::new(
+            1,
+            4,
+            2,
+            GcPolicy {
+                low_watermark: 0,
+                units_per_host_write: 0,
+                parallel: false,
+            },
+        );
         for lpn in 0..8u64 {
             f.append(lpn);
         }

@@ -61,15 +61,26 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::float_cmp)] // exact constants by construction
     fn write_amplification_counts_migrations() {
-        let m = SsdMetrics { write_units: 100, gc_migrated_units: 50, ..Default::default() };
+        let m = SsdMetrics {
+            write_units: 100,
+            gc_migrated_units: 50,
+            ..Default::default()
+        };
         assert!((m.write_amplification() - 1.5).abs() < 1e-12);
         assert_eq!(SsdMetrics::default().write_amplification(), 1.0);
     }
 
     #[test]
+    #[allow(clippy::float_cmp)] // exact constants by construction
     fn hit_rate_combines_buffer_and_cache() {
-        let m = SsdMetrics { read_units: 10, buffer_hits: 2, cache_hits: 3, ..Default::default() };
+        let m = SsdMetrics {
+            read_units: 10,
+            buffer_hits: 2,
+            cache_hits: 3,
+            ..Default::default()
+        };
         assert!((m.dram_hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(SsdMetrics::default().dram_hit_rate(), 0.0);
     }

@@ -38,7 +38,12 @@ impl EnergyLedger {
     /// Panics if `bin_width` is zero.
     pub fn new(bin_width: SimDuration, idle_w: f64) -> Self {
         assert!(!bin_width.is_zero(), "energy bin width must be non-zero");
-        EnergyLedger { bin_width, idle_w, bins_nj: Vec::new(), total_nj: 0.0 }
+        EnergyLedger {
+            bin_width,
+            idle_w,
+            bins_nj: Vec::new(),
+            total_nj: 0.0,
+        }
     }
 
     /// Charges `nanojoules` of work at instant `at`.
@@ -67,7 +72,7 @@ impl EnergyLedger {
         if until == SimTime::ZERO {
             return self.idle_w;
         }
-        self.idle_w + self.total_nj / until.as_nanos() as f64
+        self.idle_w + self.total_nj / until.as_nanos_f64()
     }
 
     /// Per-bin `(bin start, watts)` series up to `until`.
@@ -77,7 +82,7 @@ impl EnergyLedger {
             .map(|i| {
                 let start = SimTime::from_nanos(i as u64 * self.bin_width.as_nanos());
                 let nj = self.bins_nj.get(i).copied().unwrap_or(0.0);
-                (start, self.idle_w + nj / self.bin_width.as_nanos() as f64)
+                (start, self.idle_w + nj / self.bin_width.as_nanos_f64())
             })
             .collect()
     }
@@ -85,7 +90,11 @@ impl EnergyLedger {
 
 /// Converts nanojoules spread over a duration into watts.
 pub fn nj_over(nj: f64, d: SimDuration) -> f64 {
-    if d.is_zero() { 0.0 } else { nj / d.as_nanos() as f64 }
+    if d.is_zero() {
+        0.0
+    } else {
+        nj / d.as_nanos_f64()
+    }
 }
 
 #[cfg(test)]
@@ -113,12 +122,14 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::float_cmp)] // exact constants by construction
     fn nj_over_handles_zero() {
         assert_eq!(nj_over(100.0, SimDuration::ZERO), 0.0);
         assert!((nj_over(1000.0, SimDuration::from_micros(1)) - 1.0).abs() < 1e-12);
     }
 
     #[test]
+    #[allow(clippy::float_cmp)] // exact constants by construction
     fn empty_ledger_reports_idle() {
         let e = EnergyLedger::new(SimDuration::from_millis(1), 3.8);
         assert_eq!(e.average_power(SimTime::ZERO), 3.8);

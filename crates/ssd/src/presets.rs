@@ -53,7 +53,11 @@ pub fn ull_800g() -> SsdConfig {
             rnd_hit_prob: 0.02,
             hit_latency: SimDuration::from_micros(1),
         },
-        gc: GcPolicy { low_watermark: 3, units_per_host_write: 2, parallel: true },
+        gc: GcPolicy {
+            low_watermark: 3,
+            units_per_host_write: 2,
+            parallel: true,
+        },
         wear: WearConfig {
             per_erase_prob: 1e-4,
             remap_enabled: true,
@@ -115,7 +119,11 @@ pub fn nvme750() -> SsdConfig {
             rnd_hit_prob: 0.02,
             hit_latency: SimDuration::from_micros(2),
         },
-        gc: GcPolicy { low_watermark: 3, units_per_host_write: 2, parallel: false },
+        gc: GcPolicy {
+            low_watermark: 3,
+            units_per_host_write: 2,
+            parallel: false,
+        },
         wear: WearConfig {
             per_erase_prob: 1e-4,
             remap_enabled: true,

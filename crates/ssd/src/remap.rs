@@ -7,7 +7,7 @@
 //! exposes a dense "semi-virtual" block space to the FTL, so pairing always
 //! resolves and no capacity is stranded beyond the spare itself.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-channel bad-block remapping table.
 ///
@@ -27,7 +27,7 @@ pub struct RemapChecker {
     data_blocks: u32,
     spares_total: u32,
     spares_used: u32,
-    map: HashMap<u32, u32>,
+    map: BTreeMap<u32, u32>,
 }
 
 /// Error when retiring a block with no spares left.
@@ -46,7 +46,12 @@ impl RemapChecker {
     /// Creates a checker managing `data_blocks` semi-virtual blocks backed
     /// by `spares` physical spares.
     pub fn new(data_blocks: u32, spares: u32) -> Self {
-        RemapChecker { data_blocks, spares_total: spares, spares_used: 0, map: HashMap::new() }
+        RemapChecker {
+            data_blocks,
+            spares_total: spares,
+            spares_used: 0,
+            map: BTreeMap::new(),
+        }
     }
 
     /// Number of semi-virtual (always usable) blocks exposed to the FTL.
@@ -76,7 +81,10 @@ impl RemapChecker {
     /// caller should then shrink usable capacity (the failure mode the remap
     /// checker exists to postpone).
     pub fn retire(&mut self, virt: u32) -> Result<u32, OutOfSpares> {
-        assert!(virt < self.data_blocks, "retiring out-of-range block {virt}");
+        assert!(
+            virt < self.data_blocks,
+            "retiring out-of-range block {virt}"
+        );
         if self.spares_used == self.spares_total {
             return Err(OutOfSpares);
         }

@@ -42,8 +42,15 @@ impl Topology {
     /// with an odd channel count.
     pub fn new(channels: u32, ways: u32, paired: bool) -> Self {
         assert!(channels > 0 && ways > 0, "topology must have dies");
-        assert!(!paired || channels.is_multiple_of(2), "pairing needs an even channel count");
-        Topology { channels, ways, paired }
+        assert!(
+            !paired || channels.is_multiple_of(2),
+            "pairing needs an even channel count"
+        );
+        Topology {
+            channels,
+            ways,
+            paired,
+        }
     }
 
     /// Number of channels.
@@ -68,7 +75,11 @@ impl Topology {
 
     /// Total allocation lanes.
     pub fn lanes(&self) -> u32 {
-        if self.paired { self.dies() / 2 } else { self.dies() }
+        if self.paired {
+            self.dies() / 2
+        } else {
+            self.dies()
+        }
     }
 
     /// The channel a die sits on.

@@ -47,7 +47,10 @@ fn writes_are_acknowledged_from_dram_well_below_t_prog() {
             sum += (c.done - at).as_micros_f64();
         }
         let mean = sum / 1000.0;
-        assert!(mean < t_prog / 3.0, "write ack {mean:.1}us vs tPROG {t_prog:.0}us");
+        assert!(
+            mean < t_prog / 3.0,
+            "write ack {mean:.1}us vs tPROG {t_prog:.0}us"
+        );
     }
 }
 
@@ -104,7 +107,10 @@ fn ull_reads_stay_fast_while_writes_are_in_flight() {
     let ull_blowup = ull_mixed / ull_alone;
     let nvme_blowup = nvme_mixed / nvme_alone;
     assert!(ull_blowup < 2.0, "ULL mixed/alone = {ull_blowup:.2}");
-    assert!(nvme_blowup > 1.5 * ull_blowup, "nvme={nvme_blowup:.2} ull={ull_blowup:.2}");
+    assert!(
+        nvme_blowup > 1.5 * ull_blowup,
+        "nvme={nvme_blowup:.2} ull={ull_blowup:.2}"
+    );
 }
 
 #[test]
@@ -135,7 +141,9 @@ fn preconditioned_overwrites_trigger_gc() {
     let mut clock = SimTime::ZERO;
     let mut rng = 1234567u64;
     for _ in 0..(logical_units / 2) {
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let lpn = (rng >> 33) % logical_units;
         let c = ssd.write(clock, lpn * UNIT, UNIT as u32);
         clock = clock + (c.done - clock) / 4;
@@ -143,7 +151,11 @@ fn preconditioned_overwrites_trigger_gc() {
     let m = ssd.metrics();
     assert!(m.gc_migrated_units > 0, "GC never migrated: {m:?}");
     assert!(m.flash_erases > 0, "GC never erased: {m:?}");
-    assert!(m.write_amplification() > 1.01, "WA = {}", m.write_amplification());
+    assert!(
+        m.write_amplification() > 1.01,
+        "WA = {}",
+        m.write_amplification()
+    );
 }
 
 #[test]
@@ -176,7 +188,10 @@ fn larger_requests_cost_more_but_sublinearly() {
             small += lat(&mut ssd, 2 * i, 4096) / 200.0;
             large += lat(&mut ssd, 2 * i + 1, 32 * 1024) / 200.0;
         }
-        assert!(large > small, "32K ({large:.1}) should cost more than 4K ({small:.1})");
+        assert!(
+            large > small,
+            "32K ({large:.1}) should cost more than 4K ({small:.1})"
+        );
         assert!(large < 8.0 * small, "32K should fan out, not serialize 8x");
     }
 }

@@ -39,7 +39,10 @@ impl TagSet {
     /// Panics if `n` is zero.
     pub fn new(n: u16) -> Self {
         assert!(n > 0, "a tag set needs at least one tag");
-        TagSet { free: (0..n).rev().collect(), total: n }
+        TagSet {
+            free: (0..n).rev().collect(),
+            total: n,
+        }
     }
 
     /// Acquires a tag, or `None` when all are in flight.

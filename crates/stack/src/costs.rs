@@ -31,7 +31,12 @@ pub struct Segment {
 impl Segment {
     /// A segment whose latency is fully CPU-busy.
     pub const fn busy_ns(ns: u64, loads: u64, stores: u64) -> Segment {
-        Segment { latency: SimDuration::from_nanos(ns), busy: SimDuration::from_nanos(ns), loads, stores }
+        Segment {
+            latency: SimDuration::from_nanos(ns),
+            busy: SimDuration::from_nanos(ns),
+            loads,
+            stores,
+        }
     }
 
     /// A segment with separate latency and busy durations.
@@ -158,7 +163,10 @@ impl SoftwareCosts {
 
     /// Total kernel submission-path segment (syscall through doorbell).
     pub fn kernel_submit_latency(&self) -> SimDuration {
-        self.syscall.latency + self.vfs.latency + self.block_layer.latency + self.driver_submit.latency
+        self.syscall.latency
+            + self.vfs.latency
+            + self.block_layer.latency
+            + self.driver_submit.latency
     }
 
     /// Total interrupt-side completion latency (after MSI delivery).
@@ -216,8 +224,18 @@ mod tests {
     fn busy_never_exceeds_latency() {
         let c = SoftwareCosts::linux_4_14();
         for s in [
-            c.user_per_io, c.syscall, c.vfs, c.block_layer, c.driver_submit, c.isr, c.softirq,
-            c.wakeup, c.poll_complete, c.hybrid_setup, c.hybrid_wake, c.spdk_submit,
+            c.user_per_io,
+            c.syscall,
+            c.vfs,
+            c.block_layer,
+            c.driver_submit,
+            c.isr,
+            c.softirq,
+            c.wakeup,
+            c.poll_complete,
+            c.hybrid_setup,
+            c.hybrid_wake,
+            c.spdk_submit,
             c.spdk_complete,
         ] {
             assert!(s.busy <= s.latency, "{s:?}");

@@ -83,7 +83,10 @@ impl MemCounts {
 impl core::ops::Add for MemCounts {
     type Output = MemCounts;
     fn add(self, rhs: MemCounts) -> MemCounts {
-        MemCounts { loads: self.loads + rhs.loads, stores: self.stores + rhs.stores }
+        MemCounts {
+            loads: self.loads + rhs.loads,
+            stores: self.stores + rhs.stores,
+        }
     }
 }
 
@@ -112,7 +115,11 @@ impl CpuAccounting {
     /// Creates a ledger for a core at `freq_ghz` GHz (the paper's testbed
     /// runs a 4.6 GHz i7-8700 pinned to its maximum frequency).
     pub fn new(freq_ghz: f64) -> Self {
-        CpuAccounting { freq_ghz, busy: BTreeMap::new(), mem: BTreeMap::new() }
+        CpuAccounting {
+            freq_ghz,
+            busy: BTreeMap::new(),
+            mem: BTreeMap::new(),
+        }
     }
 
     /// Core frequency in GHz.
@@ -134,7 +141,11 @@ impl CpuAccounting {
 
     /// Total busy time in one mode.
     pub fn busy(&self, mode: Mode) -> SimDuration {
-        self.busy.iter().filter(|((m, _), _)| *m == mode).map(|(_, d)| *d).sum()
+        self.busy
+            .iter()
+            .filter(|((m, _), _)| *m == mode)
+            .map(|(_, d)| *d)
+            .sum()
     }
 
     /// Total busy time across modes.
@@ -144,12 +155,16 @@ impl CpuAccounting {
 
     /// Busy time of one function (across modes).
     pub fn busy_of(&self, func: StackFn) -> SimDuration {
-        self.busy.iter().filter(|((_, f), _)| *f == func).map(|(_, d)| *d).sum()
+        self.busy
+            .iter()
+            .filter(|((_, f), _)| *f == func)
+            .map(|(_, d)| *d)
+            .sum()
     }
 
     /// Busy cycles of one function, at the configured frequency.
     pub fn cycles_of(&self, func: StackFn) -> f64 {
-        self.busy_of(func).as_nanos() as f64 * self.freq_ghz
+        self.busy_of(func).as_nanos_f64() * self.freq_ghz
     }
 
     /// Utilization of one mode over an `elapsed` wall-clock window,
@@ -168,7 +183,10 @@ impl CpuAccounting {
 
     /// Total memory instruction counts.
     pub fn mem_total(&self) -> MemCounts {
-        self.mem.values().copied().fold(MemCounts::default(), |a, b| a + b)
+        self.mem
+            .values()
+            .copied()
+            .fold(MemCounts::default(), |a, b| a + b)
     }
 
     /// Per-function busy-time breakdown, largest first.
@@ -215,10 +233,19 @@ mod tests {
     }
 
     #[test]
+    // The clamp returns the literal 1.0 / 0.0; bit-equality is the point.
+    #[allow(clippy::float_cmp)]
     fn utilization_clamps_to_one() {
         let mut cpu = CpuAccounting::new(4.6);
-        cpu.charge(Mode::Kernel, StackFn::BlkMqPoll, SimDuration::from_micros(20));
-        assert_eq!(cpu.utilization(Mode::Kernel, SimDuration::from_micros(10)), 1.0);
+        cpu.charge(
+            Mode::Kernel,
+            StackFn::BlkMqPoll,
+            SimDuration::from_micros(20),
+        );
+        assert_eq!(
+            cpu.utilization(Mode::Kernel, SimDuration::from_micros(10)),
+            1.0
+        );
         assert_eq!(cpu.utilization(Mode::User, SimDuration::ZERO), 0.0);
     }
 
@@ -228,7 +255,13 @@ mod tests {
         cpu.mem(StackFn::NvmePoll, 10, 4);
         cpu.mem(StackFn::BlkMqPoll, 20, 6);
         cpu.mem(StackFn::NvmePoll, 5, 1);
-        assert_eq!(cpu.mem_of(StackFn::NvmePoll), MemCounts { loads: 15, stores: 5 });
+        assert_eq!(
+            cpu.mem_of(StackFn::NvmePoll),
+            MemCounts {
+                loads: 15,
+                stores: 5
+            }
+        );
         assert_eq!(cpu.mem_total().total(), 46);
     }
 
@@ -236,7 +269,11 @@ mod tests {
     fn breakdown_sorts_descending() {
         let mut cpu = CpuAccounting::new(4.6);
         cpu.charge(Mode::Kernel, StackFn::Isr, SimDuration::from_micros(1));
-        cpu.charge(Mode::Kernel, StackFn::BlkMqPoll, SimDuration::from_micros(9));
+        cpu.charge(
+            Mode::Kernel,
+            StackFn::BlkMqPoll,
+            SimDuration::from_micros(9),
+        );
         let b = cpu.busy_breakdown();
         assert_eq!(b[0].0, StackFn::BlkMqPoll);
         assert_eq!(b[1].0, StackFn::Isr);

@@ -95,11 +95,12 @@ pub struct Host {
     costs: SoftwareCosts,
     path: IoPath,
     rng: SplitMix64,
-    /// EWMA of recent completion latencies, microseconds (hybrid polling's
-    /// sleep source).
-    hybrid_mean_us: f64,
+    /// EWMA of recent completion latencies, integer nanoseconds (hybrid
+    /// polling's sleep source). Kept in integer arithmetic so the control
+    /// loop cannot accumulate float drift across runs.
+    hybrid_mean_ns: u64,
     next_cid: u16,
-    outstanding: std::collections::HashMap<u16, Outstanding>,
+    outstanding: std::collections::BTreeMap<u16, Outstanding>,
     /// Driver tag set bounding in-flight NVMe commands (blk-mq semantics).
     tags: TagSet,
     /// Requests beyond this split into multiple commands
@@ -130,9 +131,9 @@ impl Host {
             costs,
             path,
             rng: SplitMix64::new(0x57AC_u64),
-            hybrid_mean_us: 10.0,
+            hybrid_mean_ns: 10_000,
             next_cid: 0,
-            outstanding: std::collections::HashMap::new(),
+            outstanding: std::collections::BTreeMap::new(),
             tags: TagSet::new(Self::TAGS),
             max_transfer: Self::MAX_TRANSFER,
             horizon: SimTime::ZERO,
@@ -214,7 +215,11 @@ impl Host {
                 t += self.costs.syscall.latency + self.costs.vfs.latency;
                 for _ in &parts {
                     self.charge(Mode::Kernel, StackFn::BlockLayer, self.costs.block_layer);
-                    self.charge(Mode::Kernel, StackFn::NvmeDriverSubmit, self.costs.driver_submit);
+                    self.charge(
+                        Mode::Kernel,
+                        StackFn::NvmeDriverSubmit,
+                        self.costs.driver_submit,
+                    );
                     t += self.costs.block_layer.latency + self.costs.driver_submit.latency;
                 }
             }
@@ -225,6 +230,7 @@ impl Host {
             let tag = self
                 .tags
                 .acquire()
+                // simlint: allow(S006): TAGS (1024) equals the NVMe queue size; every submit holds at most iodepth <= 1024 tags, and release_tags runs on every completion path
                 .expect("driver tag set exhausted: engine exceeded queue-depth bound");
             tags.push(tag);
             let cid = self.next_cid;
@@ -233,7 +239,10 @@ impl Host {
                 IoOp::Read => NvmeCommand::read(cid, part_off, part_len),
                 IoOp::Write => NvmeCommand::write(cid, part_off, part_len),
             };
-            self.ctrl.submit(0, cmd).expect("engine keeps queue depth below ring size");
+            self.ctrl
+                .submit(0, cmd)
+                // simlint: allow(S006): ring size >= TAGS and a tag was acquired above, so the SQ cannot be full here
+                .expect("engine keeps queue depth below ring size");
             cids.push(cid);
         }
         self.ctrl.ring_sq_doorbell(0, t);
@@ -244,6 +253,7 @@ impl Host {
     fn collect_parts(&mut self, cids: &[u16]) -> DeviceCompletion {
         let mut agg: Option<DeviceCompletion> = None;
         for &cid in cids {
+            // simlint: allow(S006): every cid in `cids` was submitted by submit_path immediately before this call and details are taken exactly once
             let d = self.ctrl.take_detail(0, cid).expect("command was started");
             agg = Some(match agg {
                 None => d,
@@ -255,6 +265,7 @@ impl Host {
                 },
             });
         }
+        // simlint: allow(S006): split_request returns at least one part, so the loop above always runs
         agg.expect("at least one part")
     }
 
@@ -272,10 +283,14 @@ impl Host {
         let iters = (wait.as_nanos().div_ceil(iter.as_nanos())).max(1);
         let b = self.costs.poll_iter_blkmq;
         let n = self.costs.poll_iter_nvme;
-        self.cpu.charge(Mode::Kernel, StackFn::BlkMqPoll, b.duration * iters);
-        self.cpu.charge(Mode::Kernel, StackFn::NvmePoll, n.duration * iters);
-        self.cpu.mem(StackFn::BlkMqPoll, b.loads * iters, b.stores * iters);
-        self.cpu.mem(StackFn::NvmePoll, n.loads * iters, n.stores * iters);
+        self.cpu
+            .charge(Mode::Kernel, StackFn::BlkMqPoll, b.duration * iters);
+        self.cpu
+            .charge(Mode::Kernel, StackFn::NvmePoll, n.duration * iters);
+        self.cpu
+            .mem(StackFn::BlkMqPoll, b.loads * iters, b.stores * iters);
+        self.cpu
+            .mem(StackFn::NvmePoll, n.loads * iters, n.stores * iters);
         from + iter * iters
     }
 
@@ -324,7 +339,11 @@ impl Host {
                     // Preempted while polling: the request sits completed in
                     // the CQ until the thread is rescheduled.
                     let stall = self.costs.resched_delay;
-                    self.cpu.charge(Mode::Kernel, StackFn::ContextSwitch, SimDuration::from_nanos(500));
+                    self.cpu.charge(
+                        Mode::Kernel,
+                        StackFn::ContextSwitch,
+                        SimDuration::from_nanos(500),
+                    );
                     detect += stall;
                 }
                 self.charge(Mode::Kernel, StackFn::BlkMqPoll, self.costs.poll_complete);
@@ -333,9 +352,10 @@ impl Host {
             }
             IoPath::KernelHybrid => {
                 self.charge(Mode::Kernel, StackFn::HybridSleep, self.costs.hybrid_setup);
-                let sleep =
-                    SimDuration::from_micros_f64(self.hybrid_mean_us * self.costs.hybrid_sleep_fraction);
-                let wake = t + self.costs.hybrid_setup.latency + sleep + self.costs.hybrid_wake.latency;
+                let sleep = SimDuration::from_nanos(self.hybrid_mean_ns)
+                    .mul_f64(self.costs.hybrid_sleep_fraction);
+                let wake =
+                    t + self.costs.hybrid_setup.latency + sleep + self.costs.hybrid_wake.latency;
                 self.charge(Mode::Kernel, StackFn::HybridSleep, self.costs.hybrid_wake);
                 // Poll resumes at wake-up; an overslept completion is
                 // detected on the first iteration.
@@ -354,17 +374,27 @@ impl Host {
         self.release_tags(&tags);
 
         if self.path == IoPath::KernelHybrid {
-            let sample = (done.saturating_since(t)).as_micros_f64();
-            self.hybrid_mean_us = 0.7 * self.hybrid_mean_us + 0.3 * sample;
+            // EWMA with alpha = 0.3, in integer nanoseconds: exact and
+            // reproducible (0.7*m + 0.3*s rendered as (7m + 3s) / 10).
+            let sample = done.saturating_since(t).as_nanos();
+            self.hybrid_mean_ns = (7 * self.hybrid_mean_ns + 3 * sample) / 10;
         }
         self.horizon = self.horizon.max(user_visible);
-        IoResult { submitted: at, user_visible, latency: user_visible - at, device }
+        IoResult {
+            submitted: at,
+            user_visible,
+            latency: user_visible - at,
+            device,
+        }
     }
 
     fn consume_cqes(&mut self, at: SimTime, n: usize) {
         for _ in 0..n {
             let consumed = self.ctrl.poll(0, at);
-            debug_assert!(consumed.is_some(), "completion must be visible at consume time");
+            debug_assert!(
+                consumed.is_some(),
+                "completion must be visible at consume time"
+            );
         }
     }
 
@@ -384,7 +414,14 @@ impl Host {
         let nparts = cids.len();
         let device = self.collect_parts(&cids);
         let token = cids[0];
-        self.outstanding.insert(token, Outstanding { submitted: at, nparts, tags });
+        self.outstanding.insert(
+            token,
+            Outstanding {
+                submitted: at,
+                nparts,
+                tags,
+            },
+        );
         (token, device)
     }
 
@@ -398,6 +435,7 @@ impl Host {
     ///
     /// Panics if `cid` was not submitted via [`Host::submit_async`].
     pub fn finish_async(&mut self, cid: u16, device: DeviceCompletion) -> IoResult {
+        // simlint: allow(S006): documented contract — the fn's `# Panics` section requires cid from a prior submit_async
         let out = self.outstanding.remove(&cid).expect("cid is outstanding");
         let done = device.done;
         let nparts = out.nparts;
@@ -416,7 +454,10 @@ impl Host {
                 irq + self.costs.interrupt_completion_latency()
             }
         };
-        self.consume_cqes(user_visible.max(done + NvmeController::DEFAULT_MSI_LATENCY), nparts);
+        self.consume_cqes(
+            user_visible.max(done + NvmeController::DEFAULT_MSI_LATENCY),
+            nparts,
+        );
         self.release_tags(&out.tags);
         self.horizon = self.horizon.max(user_visible);
         IoResult {
@@ -486,7 +527,10 @@ mod tests {
         let poll = mean_sync_read(IoPath::KernelPolled, 3000);
         // Paper fig. 10: ~16% faster reads under polling.
         let gain = (int - poll) / int;
-        assert!(gain > 0.08 && gain < 0.35, "int={int:.1} poll={poll:.1} gain={gain:.2}");
+        assert!(
+            gain > 0.08 && gain < 0.35,
+            "int={int:.1} poll={poll:.1} gain={gain:.2}"
+        );
     }
 
     #[test]
@@ -504,7 +548,10 @@ mod tests {
         let spdk = mean_sync_read(IoPath::Spdk, 3000);
         let gain = (int - spdk) / int;
         // Paper fig. 18: ~25% on sequential reads.
-        assert!(gain > 0.15 && gain < 0.40, "int={int:.1} spdk={spdk:.1} gain={gain:.2}");
+        assert!(
+            gain > 0.15 && gain < 0.40,
+            "int={int:.1} spdk={spdk:.1} gain={gain:.2}"
+        );
     }
 
     #[test]
@@ -529,7 +576,8 @@ mod tests {
             at = r.user_visible;
         }
         let elapsed = at - SimTime::ZERO;
-        let total = h.cpu().utilization(Mode::Kernel, elapsed) + h.cpu().utilization(Mode::User, elapsed);
+        let total =
+            h.cpu().utilization(Mode::Kernel, elapsed) + h.cpu().utilization(Mode::User, elapsed);
         assert!(total < 0.45, "total util {total:.2}");
     }
 
@@ -550,7 +598,10 @@ mod tests {
         let load_ratio = poll.loads as f64 / int.loads as f64;
         assert!(load_ratio > 1.5, "poll/int loads {load_ratio:.2}");
         let spdk_ratio = spdk.loads as f64 / int.loads as f64;
-        assert!(spdk_ratio > 2.0 * load_ratio, "spdk/int loads {spdk_ratio:.2}");
+        assert!(
+            spdk_ratio > 2.0 * load_ratio,
+            "spdk/int loads {spdk_ratio:.2}"
+        );
     }
 
     #[test]
@@ -571,7 +622,10 @@ mod tests {
         let big = h.io_sync(IoOp::Read, 64 << 20, 8 * Host::MAX_TRANSFER, at);
         // Eight split commands must pipeline: well below 8x one part.
         let ratio = big.latency.as_micros_f64() / small.latency.as_micros_f64();
-        assert!(ratio > 1.5 && ratio < 8.0, "split pipeline ratio {ratio:.1}");
+        assert!(
+            ratio > 1.5 && ratio < 8.0,
+            "split pipeline ratio {ratio:.1}"
+        );
         assert_eq!(h.in_flight(), 0, "tags and outstanding drained");
     }
 
@@ -582,7 +636,10 @@ mod tests {
         assert_eq!(h.in_flight(), 1);
         let r = h.finish_async(token, dev);
         assert_eq!(h.in_flight(), 0);
-        assert!(r.latency.as_micros_f64() > 100.0, "1MB write takes real time");
+        assert!(
+            r.latency.as_micros_f64() > 100.0,
+            "1MB write takes real time"
+        );
     }
 
     #[test]

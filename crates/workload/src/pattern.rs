@@ -38,7 +38,11 @@ impl AddressStream {
     ///
     /// Panics if the block size exceeds the usable span.
     pub fn new(spec: &JobSpec, capacity: u64) -> Self {
-        let span = if spec.working_set == 0 { capacity } else { spec.working_set.min(capacity) };
+        let span = if spec.working_set == 0 {
+            capacity
+        } else {
+            spec.working_set.min(capacity)
+        };
         let span_blocks = span / spec.block_size as u64;
         assert!(span_blocks > 0, "working set smaller than one block");
         let zipf_harmonic = if spec.pattern == Pattern::Zipf {
@@ -106,7 +110,9 @@ mod tests {
 
     #[test]
     fn sequential_wraps_at_span() {
-        let job = JobSpec::new("s").pattern(Pattern::Sequential).block_size(4096);
+        let job = JobSpec::new("s")
+            .pattern(Pattern::Sequential)
+            .block_size(4096);
         let mut s = AddressStream::new(&job, 3 * 4096);
         let offs: Vec<u64> = (0..6).map(|_| s.next_io().1).collect();
         assert_eq!(offs, vec![0, 4096, 8192, 0, 4096, 8192]);
@@ -114,7 +120,10 @@ mod tests {
 
     #[test]
     fn random_covers_span_uniformly() {
-        let job = JobSpec::new("r").pattern(Pattern::Random).block_size(4096).seed(3);
+        let job = JobSpec::new("r")
+            .pattern(Pattern::Random)
+            .block_size(4096)
+            .seed(3);
         let mut s = AddressStream::new(&job, 16 * 4096);
         let mut counts = [0u32; 16];
         for _ in 0..16_000 {
@@ -130,13 +139,18 @@ mod tests {
     fn mixed_ops_follow_read_fraction() {
         let job = JobSpec::new("m").read_fraction(0.8).seed(9);
         let mut s = AddressStream::new(&job, 1 << 20);
-        let reads = (0..10_000).filter(|_| matches!(s.next_io().0, IoOp::Read)).count();
+        let reads = (0..10_000)
+            .filter(|_| matches!(s.next_io().0, IoOp::Read))
+            .count();
         assert!((reads as f64 / 10_000.0 - 0.8).abs() < 0.02);
     }
 
     #[test]
     fn zipf_is_skewed() {
-        let job = JobSpec::new("z").pattern(Pattern::Zipf).block_size(4096).seed(5);
+        let job = JobSpec::new("z")
+            .pattern(Pattern::Zipf)
+            .block_size(4096)
+            .seed(5);
         let mut s = AddressStream::new(&job, 1024 * 4096);
         let mut counts = std::collections::HashMap::new();
         for _ in 0..20_000 {

@@ -91,7 +91,11 @@ impl JobReport {
 
     /// CPU busy time of one function across modes.
     pub fn busy_of(&self, f: StackFn) -> SimDuration {
-        self.busy_by_fn.iter().filter(|(g, _, _)| *g == f).map(|(_, _, d)| *d).sum()
+        self.busy_by_fn
+            .iter()
+            .filter(|(g, _, _)| *g == f)
+            .map(|(_, _, d)| *d)
+            .sum()
     }
 }
 
@@ -140,8 +144,17 @@ mod tests {
             write_latency: Histogram::new(),
             user_util: 0.1,
             kernel_util: 0.2,
-            mem: MemCounts { loads: 5, stores: 3 },
-            mem_by_fn: vec![(StackFn::NvmePoll, MemCounts { loads: 5, stores: 3 })],
+            mem: MemCounts {
+                loads: 5,
+                stores: 3,
+            },
+            mem_by_fn: vec![(
+                StackFn::NvmePoll,
+                MemCounts {
+                    loads: 5,
+                    stores: 3,
+                },
+            )],
             busy_by_fn: vec![(StackFn::NvmePoll, Mode::Kernel, SimDuration::from_micros(3))],
             device: SsdMetrics::default(),
             avg_power_w: 4.0,

@@ -1,6 +1,6 @@
 //! The job runner: drives a [`crate::JobSpec`] against a host.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ull_simkit::{EventQueue, Histogram, SimDuration, SimTime, TimeSeries};
 use ull_ssd::DeviceCompletion;
@@ -70,7 +70,14 @@ impl Recorder {
         }
     }
 
-    fn record(&mut self, op: IoOp, submitted: SimTime, latency: SimDuration, bytes: u32, done: SimTime) {
+    fn record(
+        &mut self,
+        op: IoOp,
+        submitted: SimTime,
+        latency: SimDuration,
+        bytes: u32,
+        done: SimTime,
+    ) {
         self.latency.record(latency);
         match op {
             IoOp::Read => self.read_latency.record(latency),
@@ -142,14 +149,14 @@ fn run_sync(host: &mut Host, spec: &JobSpec, stream: &mut AddressStream, rec: &m
 
 fn run_async(host: &mut Host, spec: &JobSpec, stream: &mut AddressStream, rec: &mut Recorder) {
     let mut events: EventQueue<u16> = EventQueue::new();
-    let mut in_flight: HashMap<u16, (IoOp, DeviceCompletion)> = HashMap::new();
+    let mut in_flight: BTreeMap<u16, (IoOp, DeviceCompletion)> = BTreeMap::new();
     let mut submitted = 0u64;
 
     let submit = |host: &mut Host,
-                      stream: &mut AddressStream,
-                      events: &mut EventQueue<u16>,
-                      in_flight: &mut HashMap<u16, (IoOp, DeviceCompletion)>,
-                      at: SimTime| {
+                  stream: &mut AddressStream,
+                  events: &mut EventQueue<u16>,
+                  in_flight: &mut BTreeMap<u16, (IoOp, DeviceCompletion)>,
+                  at: SimTime| {
         let (op, offset) = stream.next_io();
         let (cid, dev) = host.submit_async(op, offset, spec.block_size, at);
         events.schedule(dev.done, cid);
@@ -163,7 +170,9 @@ fn run_async(host: &mut Host, spec: &JobSpec, stream: &mut AddressStream, rec: &
     }
 
     while let Some((_, cid)) = events.pop() {
-        let (op, dev) = in_flight.remove(&cid).expect("completion for an in-flight cid");
+        let (op, dev) = in_flight
+            .remove(&cid)
+            .expect("completion for an in-flight cid");
         let r = host.finish_async(cid, dev);
         rec.record(op, r.submitted, r.latency, spec.block_size, r.user_visible);
         if submitted < spec.ios {
@@ -226,7 +235,10 @@ mod tests {
     #[test]
     fn spdk_plugin_requires_spdk_path() {
         let mut h = host(IoPath::Spdk);
-        let spec = JobSpec::new("spdk").engine(Engine::SpdkPlugin).iodepth(4).ios(1000);
+        let spec = JobSpec::new("spdk")
+            .engine(Engine::SpdkPlugin)
+            .iodepth(4)
+            .ios(1000);
         let r = run_job(&mut h, &spec);
         assert_eq!(r.completed, 1000);
         // Fig. 20: the reactor owns the core.

@@ -110,7 +110,10 @@ impl JobSpec {
     ///
     /// Panics if zero or not 4 KB-aligned.
     pub fn block_size(mut self, bs: u32) -> Self {
-        assert!(bs > 0 && bs.is_multiple_of(4096), "block size must be a positive multiple of 4KB");
+        assert!(
+            bs > 0 && bs.is_multiple_of(4096),
+            "block size must be a positive multiple of 4KB"
+        );
         self.block_size = bs;
         self
     }
@@ -182,6 +185,9 @@ mod tests {
     use super::*;
 
     #[test]
+    // Exact constants flow through the builder untouched; bit-equality is
+    // the point of the assertion.
+    #[allow(clippy::float_cmp)]
     fn defaults_are_fio_like() {
         let j = JobSpec::new("x");
         assert_eq!(j.block_size, 4096);
@@ -191,6 +197,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::float_cmp)]
     fn rw_shorthand() {
         let j = JobSpec::new("x").rw("randwrite");
         assert_eq!(j.pattern, Pattern::Random);

@@ -10,7 +10,7 @@
 //! 12.5,W,1048576,8192
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ull_simkit::{EventQueue, Histogram, SimDuration, SimTime};
 use ull_ssd::DeviceCompletion;
@@ -68,25 +68,37 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceOp>, ParseTraceError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let err = |message: String| ParseTraceError { line: i + 1, message };
+        let err = |message: String| ParseTraceError {
+            line: i + 1,
+            message,
+        };
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         if fields.len() != 4 {
             return Err(err(format!("expected 4 fields, got {}", fields.len())));
         }
-        let at_us: f64 =
-            fields[0].parse().map_err(|_| err(format!("bad time {:?}", fields[0])))?;
+        let at_us: f64 = fields[0]
+            .parse()
+            .map_err(|_| err(format!("bad time {:?}", fields[0])))?;
         let op = match fields[1] {
             "R" | "r" => IoOp::Read,
             "W" | "w" => IoOp::Write,
             other => return Err(err(format!("bad op {other:?}, expected R or W"))),
         };
-        let offset: u64 =
-            fields[2].parse().map_err(|_| err(format!("bad offset {:?}", fields[2])))?;
-        let len: u32 = fields[3].parse().map_err(|_| err(format!("bad len {:?}", fields[3])))?;
+        let offset: u64 = fields[2]
+            .parse()
+            .map_err(|_| err(format!("bad offset {:?}", fields[2])))?;
+        let len: u32 = fields[3]
+            .parse()
+            .map_err(|_| err(format!("bad len {:?}", fields[3])))?;
         if len == 0 {
             return Err(err("zero-length record".into()));
         }
-        ops.push(TraceOp { at: SimDuration::from_micros_f64(at_us), op, offset, len });
+        ops.push(TraceOp {
+            at: SimDuration::from_micros_f64(at_us),
+            op,
+            offset,
+            len,
+        });
     }
     Ok(ops)
 }
@@ -120,7 +132,7 @@ impl TraceReport {
 /// Panics if any record exceeds the device capacity.
 pub fn replay(host: &mut Host, ops: &[TraceOp]) -> TraceReport {
     let mut events: EventQueue<u16> = EventQueue::new();
-    let mut in_flight: HashMap<u16, (SimTime, DeviceCompletion)> = HashMap::new();
+    let mut in_flight: BTreeMap<u16, (SimTime, DeviceCompletion)> = BTreeMap::new();
     let mut latency = Histogram::new();
     let mut completed = 0u64;
     let mut slipped = 0u64;
@@ -164,7 +176,12 @@ pub fn replay(host: &mut Host, ops: &[TraceOp]) -> TraceReport {
             free_at = free_at.max(r.user_visible);
         }
     }
-    TraceReport { completed, latency, elapsed: end.saturating_since(SimTime::ZERO), slipped }
+    TraceReport {
+        completed,
+        latency,
+        elapsed: end.saturating_since(SimTime::ZERO),
+        slipped,
+    }
 }
 
 #[cfg(test)]
@@ -191,16 +208,30 @@ mod tests {
     #[test]
     fn rejects_malformed_lines() {
         assert_eq!(parse_trace("0,R,0").unwrap_err().line, 1);
-        assert!(parse_trace("0,X,0,4096").unwrap_err().message.contains("bad op"));
-        assert!(parse_trace("zz,R,0,4096").unwrap_err().message.contains("bad time"));
-        assert!(parse_trace("0,R,0,0").unwrap_err().message.contains("zero-length"));
+        assert!(parse_trace("0,X,0,4096")
+            .unwrap_err()
+            .message
+            .contains("bad op"));
+        assert!(parse_trace("zz,R,0,4096")
+            .unwrap_err()
+            .message
+            .contains("bad time"));
+        assert!(parse_trace("0,R,0,0")
+            .unwrap_err()
+            .message
+            .contains("zero-length"));
     }
 
     #[test]
     fn replay_completes_all_records() {
         let mut text = String::new();
         for i in 0..500u64 {
-            text.push_str(&format!("{},{},{},4096\n", i * 20, if i % 3 == 0 { 'W' } else { 'R' }, (i % 1000) * 4096));
+            text.push_str(&format!(
+                "{},{},{},4096\n",
+                i * 20,
+                if i % 3 == 0 { 'W' } else { 'R' },
+                (i % 1000) * 4096
+            ));
         }
         let ops = parse_trace(&text).unwrap();
         let mut h = host();
@@ -213,7 +244,9 @@ mod tests {
     #[test]
     fn bursty_traces_slip() {
         // 200 records all at t=0: the single submitting thread must slip.
-        let text: String = (0..200).map(|i| format!("0,R,{},4096\n", i * 4096)).collect();
+        let text: String = (0..200)
+            .map(|i| format!("0,R,{},4096\n", i * 4096))
+            .collect();
         let ops = parse_trace(&text).unwrap();
         let mut h = host();
         let r = replay(&mut h, &ops);

@@ -35,7 +35,12 @@ fn main() {
         let step = (bins.len() / 12).max(1);
         for (t, lat) in bins.iter().step_by(step) {
             let bar_len = (lat.log10().max(0.0) * 12.0) as usize;
-            println!("    {:>7.2}s {:>10.1}us |{}", t.as_secs_f64(), lat, "#".repeat(bar_len));
+            println!(
+                "    {:>7.2}s {:>10.1}us |{}",
+                t.as_secs_f64(),
+                lat,
+                "#".repeat(bar_len)
+            );
         }
         println!("  power over time (sampled):");
         let step = (r.power_series.len() / 8).max(1);

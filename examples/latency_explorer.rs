@@ -12,7 +12,10 @@ fn main() {
     let ios = 8_000u64;
 
     println!("== queue-depth sweep: 4KB random reads, libaio, kernel interrupt ==");
-    println!("{:10}{:>6}{:>12}{:>12}{:>12}", "device", "qd", "avg(us)", "p99(us)", "KIOPS");
+    println!(
+        "{:10}{:>6}{:>12}{:>12}{:>12}",
+        "device", "qd", "avg(us)", "p99(us)", "KIOPS"
+    );
     for device in [Device::Ull, Device::Nvme750] {
         for qd in [1u32, 4, 16, 64] {
             let mut host = ull_study::host(device, IoPath::KernelInterrupt);
@@ -34,7 +37,10 @@ fn main() {
     }
 
     println!("\n== software-path sweep: 4KB sequential reads, qd1 ==");
-    println!("{:10}{:>11}{:>12}{:>10}{:>10}", "device", "path", "avg(us)", "usr%", "sys%");
+    println!(
+        "{:10}{:>11}{:>12}{:>10}{:>10}",
+        "device", "path", "avg(us)", "usr%", "sys%"
+    );
     for device in [Device::Ull, Device::Nvme750] {
         for path in [
             IoPath::KernelInterrupt,
@@ -43,8 +49,15 @@ fn main() {
             IoPath::Spdk,
         ] {
             let mut host = ull_study::host(device, path);
-            let engine = if path == IoPath::Spdk { Engine::SpdkPlugin } else { Engine::Pvsync2 };
-            let spec = JobSpec::new("path").pattern(Pattern::Sequential).engine(engine).ios(ios);
+            let engine = if path == IoPath::Spdk {
+                Engine::SpdkPlugin
+            } else {
+                Engine::Pvsync2
+            };
+            let spec = JobSpec::new("path")
+                .pattern(Pattern::Sequential)
+                .engine(engine)
+                .ios(ios);
             let r = run_job(&mut host, &spec);
             println!(
                 "{:10}{:>11}{:>12.1}{:>10.1}{:>10.1}",
@@ -58,11 +71,18 @@ fn main() {
     }
 
     println!("\n== block-size sweep: ULL sequential reads, SPDK vs kernel ==");
-    println!("{:>8}{:>14}{:>12}{:>8}", "bs", "kernel(us)", "spdk(us)", "gain%");
+    println!(
+        "{:>8}{:>14}{:>12}{:>8}",
+        "bs", "kernel(us)", "spdk(us)", "gain%"
+    );
     for bs in [4u32 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20] {
         let lat = |path: IoPath| {
             let mut host = ull_study::host(Device::Ull, path);
-            let engine = if path == IoPath::Spdk { Engine::SpdkPlugin } else { Engine::Pvsync2 };
+            let engine = if path == IoPath::Spdk {
+                Engine::SpdkPlugin
+            } else {
+                Engine::Pvsync2
+            };
             let spec = JobSpec::new("bs")
                 .pattern(Pattern::Sequential)
                 .block_size(bs)
@@ -72,6 +92,12 @@ fn main() {
         };
         let k = lat(IoPath::KernelInterrupt);
         let s = lat(IoPath::Spdk);
-        println!("{:>7}K{:>14.1}{:>12.1}{:>8.1}", bs / 1024, k, s, (k - s) / k * 100.0);
+        println!(
+            "{:>7}K{:>14.1}{:>12.1}{:>8.1}",
+            bs / 1024,
+            k,
+            s,
+            (k - s) / k * 100.0
+        );
     }
 }

@@ -19,7 +19,10 @@ fn main() {
     for write in [false, true] {
         for size in [4u32 << 10, 16 << 10, 64 << 10] {
             let mut lat = [0.0f64; 2];
-            for (i, kind) in [NbdServerKind::Kernel, NbdServerKind::Spdk].iter().enumerate() {
+            for (i, kind) in [NbdServerKind::Kernel, NbdServerKind::Spdk]
+                .iter()
+                .enumerate()
+            {
                 let mut sys =
                     NbdSystem::new(presets::ull_800g(), *kind, 0xD15C).expect("valid preset");
                 let mut at = SimTime::ZERO;

@@ -21,8 +21,15 @@ fn main() {
         IoPath::Spdk,
     ] {
         let mut host = ull_study::host(Device::Ull, path);
-        let engine = if path == IoPath::Spdk { Engine::SpdkPlugin } else { Engine::Pvsync2 };
-        let spec = JobSpec::new("tradeoff").pattern(Pattern::Sequential).engine(engine).ios(60_000);
+        let engine = if path == IoPath::Spdk {
+            Engine::SpdkPlugin
+        } else {
+            Engine::Pvsync2
+        };
+        let spec = JobSpec::new("tradeoff")
+            .pattern(Pattern::Sequential)
+            .engine(engine)
+            .ios(60_000);
         let r = run_job(&mut host, &spec);
         println!(
             "{:>11}{:>10.1}{:>14.1}{:>8.1}{:>8.1}{:>12.0}{:>12.0}",
@@ -39,9 +46,18 @@ fn main() {
     println!("\nwhere the polled path's cycles go (the fig. 14 view):");
     let mut host = ull_study::host(Device::Ull, IoPath::KernelPolled);
     let r = run_job(&mut host, &JobSpec::new("breakdown").ios(20_000));
-    let total = r.busy_by_fn.iter().map(|(_, _, d)| d.as_nanos()).sum::<u64>() as f64;
+    let total = r
+        .busy_by_fn
+        .iter()
+        .map(|(_, _, d)| d.as_nanos())
+        .sum::<u64>() as f64;
     for (f, m, d) in r.busy_by_fn.iter().take(6) {
-        println!("  {:?} {:?}: {:.1}%", m, f, d.as_nanos() as f64 / total * 100.0);
+        println!(
+            "  {:?} {:?}: {:.1}%",
+            m,
+            f,
+            d.as_nanos() as f64 / total * 100.0
+        );
     }
     let _ = StackFn::BlkMqPoll; // re-exported for users who want raw queries
 }

@@ -17,17 +17,33 @@ fn headline_latency_ordering_holds_end_to_end() {
     // and every ULL config beats the NVMe device's random reads.
     let mean = |device, path| {
         let mut host = ull_study::host(device, path);
-        let engine = if path == IoPath::Spdk { Engine::SpdkPlugin } else { Engine::Pvsync2 };
-        let spec = JobSpec::new("e2e").pattern(Pattern::Random).engine(engine).ios(6_000);
+        let engine = if path == IoPath::Spdk {
+            Engine::SpdkPlugin
+        } else {
+            Engine::Pvsync2
+        };
+        let spec = JobSpec::new("e2e")
+            .pattern(Pattern::Random)
+            .engine(engine)
+            .ios(6_000);
         run_job(&mut host, &spec).mean_latency().as_micros_f64()
     };
     let ull_int = mean(Device::Ull, IoPath::KernelInterrupt);
     let ull_poll = mean(Device::Ull, IoPath::KernelPolled);
     let ull_spdk = mean(Device::Ull, IoPath::Spdk);
     let nvme_int = mean(Device::Nvme750, IoPath::KernelInterrupt);
-    assert!(ull_spdk < ull_poll, "spdk {ull_spdk:.1} !< poll {ull_poll:.1}");
-    assert!(ull_poll < ull_int, "poll {ull_poll:.1} !< interrupt {ull_int:.1}");
-    assert!(nvme_int > 3.0 * ull_int, "NVMe {nvme_int:.1} !>> ULL {ull_int:.1}");
+    assert!(
+        ull_spdk < ull_poll,
+        "spdk {ull_spdk:.1} !< poll {ull_poll:.1}"
+    );
+    assert!(
+        ull_poll < ull_int,
+        "poll {ull_poll:.1} !< interrupt {ull_int:.1}"
+    );
+    assert!(
+        nvme_int > 3.0 * ull_int,
+        "NVMe {nvme_int:.1} !>> ULL {ull_int:.1}"
+    );
 }
 
 #[test]
@@ -63,9 +79,16 @@ fn device_metrics_flow_to_reports() {
 #[test]
 fn suspend_resume_reaches_the_report_layer() {
     let mut host = ull_study::host(Device::Ull, IoPath::KernelInterrupt);
-    let spec = JobSpec::new("mix").pattern(Pattern::Random).read_fraction(0.5).ios(20_000);
+    let spec = JobSpec::new("mix")
+        .pattern(Pattern::Random)
+        .read_fraction(0.5)
+        .ios(20_000);
     let r = run_job(&mut host, &spec);
-    assert!(r.device.program_suspensions > 0, "Z-NAND suspend/resume must fire: {:?}", r.device);
+    assert!(
+        r.device.program_suspensions > 0,
+        "Z-NAND suspend/resume must fire: {:?}",
+        r.device
+    );
 }
 
 #[test]
@@ -95,8 +118,16 @@ fn polling_burns_cpu_but_wins_latency_everywhere_it_should() {
 fn big_requests_erase_the_stack_advantage() {
     let mean = |path: IoPath, bs: u32| {
         let mut host = ull_study::host(Device::Ull, path);
-        let engine = if path == IoPath::Spdk { Engine::SpdkPlugin } else { Engine::Pvsync2 };
-        let spec = JobSpec::new("big").pattern(Pattern::Sequential).block_size(bs).engine(engine).ios(800);
+        let engine = if path == IoPath::Spdk {
+            Engine::SpdkPlugin
+        } else {
+            Engine::Pvsync2
+        };
+        let spec = JobSpec::new("big")
+            .pattern(Pattern::Sequential)
+            .block_size(bs)
+            .engine(engine)
+            .ios(800);
         run_job(&mut host, &spec).mean_latency().as_micros_f64()
     };
     let small_gain = (mean(IoPath::KernelInterrupt, 4096) - mean(IoPath::Spdk, 4096))
@@ -104,5 +135,8 @@ fn big_requests_erase_the_stack_advantage() {
     let big_gain = (mean(IoPath::KernelInterrupt, 1 << 20) - mean(IoPath::Spdk, 1 << 20))
         / mean(IoPath::KernelInterrupt, 1 << 20);
     assert!(small_gain > 0.12, "small-block SPDK gain {small_gain:.2}");
-    assert!(big_gain < small_gain / 3.0, "big-block gain {big_gain:.2} must collapse");
+    assert!(
+        big_gain < small_gain / 3.0,
+        "big-block gain {big_gain:.2} must collapse"
+    );
 }

@@ -1,19 +1,38 @@
-//! Property-based tests on the core data structures and invariants
-//! (DESIGN.md §7).
-
-use proptest::prelude::*;
+//! Randomized-but-deterministic tests on the core data structures and
+//! invariants (DESIGN.md §7).
+//!
+//! These used to be `proptest` properties; they are now driven by the
+//! workspace's own seeded [`SplitMix64`] generator so the whole test suite
+//! builds offline and — more importantly — every run explores *exactly* the
+//! same cases. Each property walks a fixed set of seeds and generates the
+//! same shapes the proptest strategies did.
 
 use ull_ssd_study::nvme::{CompletionQueue, NvmeCommand, SubmissionQueue};
-use ull_ssd_study::simkit::{EventQueue, Histogram, SimDuration, SimTime, Timeline};
+use ull_ssd_study::simkit::{EventQueue, Histogram, SimDuration, SimTime, SplitMix64, Timeline};
 use ull_ssd_study::ssd::{Ftl, GcPolicy, LaneId, RemapChecker, WriteBuffer};
 use ull_ssd_study::stack::split_request;
 
-proptest! {
-    /// Histogram quantiles stay within one bucket (<2% relative error) of
-    /// the exact order statistic.
-    #[test]
-    fn histogram_quantiles_track_exact(values in prop::collection::vec(1u64..10_000_000, 50..400),
-                                       q in 0.0f64..1.0) {
+/// Seeds each property iterates; chosen arbitrarily but fixed forever.
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 0xDEAD_BEEF, 0x5EED_CAFE];
+
+fn vec_u64(rng: &mut SplitMix64, len_lo: u64, len_hi: u64, lo: u64, hi: u64) -> Vec<u64> {
+    let len = len_lo + rng.below(len_hi - len_lo);
+    (0..len).map(|_| lo + rng.below(hi - lo)).collect()
+}
+
+fn vec_bool(rng: &mut SplitMix64, len_lo: u64, len_hi: u64) -> Vec<bool> {
+    let len = len_lo + rng.below(len_hi - len_lo);
+    (0..len).map(|_| rng.chance(0.5)).collect()
+}
+
+/// Histogram quantiles stay within one bucket (<2% relative error) of the
+/// exact order statistic.
+#[test]
+fn histogram_quantiles_track_exact() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let values = vec_u64(&mut rng, 50, 400, 1, 10_000_000);
+        let q = rng.next_f64();
         let mut h = Histogram::new();
         for &v in &values {
             h.record(SimDuration::from_nanos(v));
@@ -25,27 +44,41 @@ proptest! {
         let est = h.quantile(q).as_nanos() as f64;
         // The estimate is the bucket's upper edge: never below the exact
         // value, and within the bucket's relative width above it.
-        prop_assert!(est >= exact - 1.0, "est {est} below exact {exact}");
-        prop_assert!(est <= exact * 1.02 + 1.0, "est {est} too far above exact {exact}");
+        assert!(
+            est >= exact - 1.0,
+            "seed {seed}: est {est} below exact {exact}"
+        );
+        assert!(
+            est <= exact * 1.02 + 1.0,
+            "seed {seed}: est {est} too far above exact {exact}"
+        );
     }
+}
 
-    /// Histograms record exact count/min/max/mean.
-    #[test]
-    fn histogram_moments_exact(values in prop::collection::vec(0u64..1_000_000, 1..300)) {
+/// Histograms record exact count/min/max/mean.
+#[test]
+fn histogram_moments_exact() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let values = vec_u64(&mut rng, 1, 300, 0, 1_000_000);
         let mut h = Histogram::new();
         for &v in &values {
             h.record(SimDuration::from_nanos(v));
         }
-        prop_assert_eq!(h.count(), values.len() as u64);
-        prop_assert_eq!(h.min().as_nanos(), *values.iter().min().unwrap());
-        prop_assert_eq!(h.max().as_nanos(), *values.iter().max().unwrap());
+        assert_eq!(h.count(), values.len() as u64);
+        assert_eq!(h.min().as_nanos(), *values.iter().min().expect("non-empty"));
+        assert_eq!(h.max().as_nanos(), *values.iter().max().expect("non-empty"));
         let mean = values.iter().sum::<u64>() / values.len() as u64;
-        prop_assert_eq!(h.mean().as_nanos(), mean);
+        assert_eq!(h.mean().as_nanos(), mean);
     }
+}
 
-    /// The event queue is a stable time-ordered priority queue.
-    #[test]
-    fn event_queue_is_stable_sort(times in prop::collection::vec(0u64..1000, 1..200)) {
+/// The event queue is a stable time-ordered priority queue.
+#[test]
+fn event_queue_is_stable_sort() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let times = vec_u64(&mut rng, 1, 200, 0, 1000);
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_nanos(t), i);
@@ -57,79 +90,107 @@ proptest! {
         while let Some((t, i)) = q.pop() {
             popped.push((t.as_nanos(), i));
         }
-        prop_assert_eq!(popped, expected);
+        assert_eq!(popped, expected, "seed {seed}");
     }
+}
 
-    /// Timelines serve FIFO: completions are monotone, never start before
-    /// the request arrives, and busy time equals the sum of durations.
-    #[test]
-    fn timeline_fifo_invariants(reqs in prop::collection::vec((0u64..10_000, 1u64..500), 1..200)) {
-        let mut tl = Timeline::new();
-        let mut arrivals: Vec<(u64, u64)> = reqs.clone();
+/// Timelines serve FIFO: completions are monotone, never start before the
+/// request arrives, and busy time equals the sum of durations.
+#[test]
+fn timeline_fifo_invariants() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let n = 1 + rng.below(199);
+        let mut arrivals: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.below(10_000), 1 + rng.below(499)))
+            .collect();
         arrivals.sort_by_key(|r| r.0); // submit in arrival order
+        let mut tl = Timeline::new();
         let mut last_end = SimTime::ZERO;
         let mut total = 0u64;
         for &(at, dur) in &arrivals {
             let slot = tl.reserve(SimTime::from_nanos(at), SimDuration::from_nanos(dur));
-            prop_assert!(slot.start >= SimTime::from_nanos(at));
-            prop_assert!(slot.start >= last_end);
-            prop_assert_eq!(slot.end - slot.start, SimDuration::from_nanos(dur));
+            assert!(slot.start >= SimTime::from_nanos(at));
+            assert!(slot.start >= last_end);
+            assert_eq!(slot.end - slot.start, SimDuration::from_nanos(dur));
             last_end = slot.end;
             total += dur;
         }
-        prop_assert_eq!(tl.busy_time().as_nanos(), total);
+        assert_eq!(tl.busy_time().as_nanos(), total, "seed {seed}");
     }
+}
 
-    /// Priority reservations never finish after "waiting like normal work"
-    /// would, and normal work is pushed back by at most dur + resume cost.
-    #[test]
-    fn priority_reservation_bounds(base in 1u64..1000, arrive in 0u64..800, dur in 1u64..200) {
-        let mut tl = Timeline::new();
-        tl.reserve(SimTime::ZERO, SimDuration::from_nanos(base));
-        let before = tl.busy_until();
-        let sus = SimDuration::from_nanos(5);
-        let res = SimDuration::from_nanos(7);
-        let slot = tl.reserve_priority(
-            SimTime::from_nanos(arrive),
-            SimDuration::from_nanos(dur),
-            sus,
-            res,
-        );
-        // FIFO alternative would start at max(arrive, base).
-        let fifo_start = arrive.max(base);
-        prop_assert!(slot.start.as_nanos() <= fifo_start + sus.as_nanos());
-        // Normal work resumes no later than the resume penalty after the
-        // later of (its own old end, the priority slot's end).
-        prop_assert!(tl.busy_until() <= before.max(slot.end) + res);
+/// Priority reservations never finish after "waiting like normal work"
+/// would, and normal work is pushed back by at most dur + resume cost.
+#[test]
+fn priority_reservation_bounds() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..32 {
+            let base = 1 + rng.below(999);
+            let arrive = rng.below(800);
+            let dur = 1 + rng.below(199);
+            let mut tl = Timeline::new();
+            tl.reserve(SimTime::ZERO, SimDuration::from_nanos(base));
+            let before = tl.busy_until();
+            let sus = SimDuration::from_nanos(5);
+            let res = SimDuration::from_nanos(7);
+            let slot = tl.reserve_priority(
+                SimTime::from_nanos(arrive),
+                SimDuration::from_nanos(dur),
+                sus,
+                res,
+            );
+            // FIFO alternative would start at max(arrive, base).
+            let fifo_start = arrive.max(base);
+            assert!(slot.start.as_nanos() <= fifo_start + sus.as_nanos());
+            // Normal work resumes no later than the resume penalty after the
+            // later of (its own old end, the priority slot's end).
+            assert!(tl.busy_until() <= before.max(slot.end) + res);
+        }
     }
+}
 
-    /// The FTL keeps L2P exact under arbitrary overwrite streams: every
-    /// written lpn resolves, and total valid units equals the number of
-    /// distinct lpns written.
-    #[test]
-    fn ftl_mapping_is_exact_under_overwrites(ops in prop::collection::vec(0u64..48, 1..600)) {
-        let gc = GcPolicy { low_watermark: 2, units_per_host_write: 4, parallel: false };
+/// The FTL keeps L2P exact under arbitrary overwrite streams: every written
+/// lpn resolves, and unwritten lpns never do.
+#[test]
+fn ftl_mapping_is_exact_under_overwrites() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let ops = vec_u64(&mut rng, 1, 600, 0, 48);
+        let gc = GcPolicy {
+            low_watermark: 2,
+            units_per_host_write: 4,
+            parallel: false,
+        };
         // 2 lanes x 12 blocks x 8 units = 192 physical for 48 logical.
         let mut ftl = Ftl::new(2, 12, 8, gc);
-        let mut written = std::collections::HashSet::new();
+        let mut written = std::collections::BTreeSet::new();
         for &lpn in &ops {
             ftl.append(lpn);
             written.insert(lpn);
         }
         for &lpn in &written {
-            prop_assert!(ftl.lookup(lpn).is_some(), "lost mapping for {lpn}");
+            assert!(
+                ftl.lookup(lpn).is_some(),
+                "seed {seed}: lost mapping for {lpn}"
+            );
         }
         for lpn in 0..48u64 {
             if !written.contains(&lpn) {
-                prop_assert!(ftl.lookup(lpn).is_none());
+                assert!(ftl.lookup(lpn).is_none());
             }
         }
     }
+}
 
-    /// NVMe submission rings deliver commands FIFO with exact contents
-    /// under arbitrary interleavings of pushes and pops.
-    #[test]
-    fn sq_ring_matches_model(ops in prop::collection::vec(any::<bool>(), 1..300)) {
+/// NVMe submission rings deliver commands FIFO with exact contents under
+/// arbitrary interleavings of pushes and pops.
+#[test]
+fn sq_ring_matches_model() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let ops = vec_bool(&mut rng, 1, 300);
         let mut sq = SubmissionQueue::new(8);
         let mut model = std::collections::VecDeque::new();
         let mut next = 0u16;
@@ -141,19 +202,23 @@ proptest! {
                         model.push_back(cmd);
                         next = next.wrapping_add(1);
                     }
-                    Err(_) => prop_assert_eq!(model.len(), 7), // size-1 capacity
+                    Err(_) => assert_eq!(model.len(), 7), // size-1 capacity
                 }
             } else {
-                prop_assert_eq!(sq.pop(), model.pop_front());
+                assert_eq!(sq.pop(), model.pop_front());
             }
-            prop_assert_eq!(sq.len() as usize, model.len());
+            assert_eq!(sq.len() as usize, model.len());
         }
     }
+}
 
-    /// Completion rings never deliver an entry twice nor invent one, across
-    /// arbitrary post/consume interleavings (phase-tag correctness).
-    #[test]
-    fn cq_phase_tags_exact(ops in prop::collection::vec(any::<bool>(), 1..400)) {
+/// Completion rings never deliver an entry twice nor invent one, across
+/// arbitrary post/consume interleavings (phase-tag correctness).
+#[test]
+fn cq_phase_tags_exact() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let ops = vec_bool(&mut rng, 1, 400);
         let mut cq = CompletionQueue::new(5);
         let mut posted = std::collections::VecDeque::new();
         let mut next = 0u16;
@@ -166,85 +231,114 @@ proptest! {
             } else {
                 match cq.peek() {
                     Some(c) => {
-                        prop_assert_eq!(Some(c.cid), posted.pop_front());
+                        assert_eq!(Some(c.cid), posted.pop_front());
                         cq.advance();
                     }
-                    None => prop_assert!(posted.is_empty()),
+                    None => assert!(posted.is_empty()),
                 }
             }
         }
     }
+}
 
-    /// The write buffer never admits more units than its capacity before
-    /// the corresponding releases, and admission times are monotone per
-    /// arrival order.
-    #[test]
-    fn write_buffer_conserves_slots(cap in 1u32..32,
-                                    prog_ns in prop::collection::vec(1u64..5000, 1..200)) {
+/// The write buffer never admits more units than its capacity before the
+/// corresponding releases, and admission times are monotone per arrival
+/// order.
+#[test]
+fn write_buffer_conserves_slots() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let cap = 1 + rng.below(31) as u32;
+        let prog_ns = vec_u64(&mut rng, 1, 200, 1, 5000);
         let mut buf = WriteBuffer::new(cap);
         let mut admitted_before_release = 0u64;
         let mut last_admit = SimTime::ZERO;
         for (i, &p) in prog_ns.iter().enumerate() {
             let at = SimTime::from_nanos(i as u64 * 10);
             let admit = buf.admit(at, i as u64);
-            prop_assert!(admit >= at, "admission cannot precede arrival");
-            prop_assert!(admit >= last_admit || admit >= at,
-                "admission times regress");
+            assert!(admit >= at, "admission cannot precede arrival");
+            assert!(
+                admit >= last_admit || admit >= at,
+                "admission times regress"
+            );
             last_admit = admit;
             buf.retire(i as u64, admit + SimDuration::from_nanos(p));
             admitted_before_release += 1;
         }
-        prop_assert_eq!(buf.admitted(), admitted_before_release);
-        prop_assert!(buf.in_flight() <= prog_ns.len());
+        assert_eq!(buf.admitted(), admitted_before_release);
+        assert!(buf.in_flight() <= prog_ns.len());
     }
+}
 
-    /// Request splitting always covers the byte range exactly, contiguously
-    /// and within the limit.
-    #[test]
-    fn split_request_partitions_exactly(offset in 0u64..1_000_000,
-                                        len in 1u32..4_000_000,
-                                        max in 1u32..300_000) {
-        let parts = split_request(offset, len, max);
-        prop_assert_eq!(parts[0].0, offset);
-        let mut expect = offset;
-        let mut total = 0u64;
-        for &(o, l) in &parts {
-            prop_assert_eq!(o, expect, "non-contiguous split");
-            prop_assert!(l >= 1 && l <= max);
-            expect = o + l as u64;
-            total += l as u64;
+/// Request splitting always covers the byte range exactly, contiguously and
+/// within the limit.
+#[test]
+fn split_request_partitions_exactly() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..64 {
+            let offset = rng.below(1_000_000);
+            let len = 1 + rng.below(3_999_999) as u32;
+            let max = 1 + rng.below(299_999) as u32;
+            let parts = split_request(offset, len, max);
+            assert_eq!(parts[0].0, offset);
+            let mut expect = offset;
+            let mut total = 0u64;
+            for &(o, l) in &parts {
+                assert_eq!(o, expect, "non-contiguous split");
+                assert!(l >= 1 && l <= max);
+                expect = o + l as u64;
+                total += l as u64;
+            }
+            assert_eq!(total, len as u64);
         }
-        prop_assert_eq!(total, len as u64);
     }
+}
 
-    /// The remap checker stays injective no matter which blocks die.
-    #[test]
-    fn remap_checker_injective(bad in prop::collection::hash_set(0u32..64, 0..16)) {
+/// The remap checker stays injective no matter which blocks die.
+#[test]
+fn remap_checker_injective() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let bad: std::collections::BTreeSet<u32> =
+            (0..rng.below(16)).map(|_| rng.below(64) as u32).collect();
         let mut r = RemapChecker::new(64, 16);
         for &b in &bad {
-            r.retire(b).unwrap();
+            r.retire(b)
+                .expect("spares cover at most 16 distinct bad blocks");
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for v in 0..64 {
-            prop_assert!(seen.insert(r.resolve(v).unwrap()));
+            assert!(
+                seen.insert(r.resolve(v).expect("in range")),
+                "seed {seed}: collision at {v}"
+            );
         }
     }
 }
 
 /// Valid-unit conservation under heavy GC churn (deterministic, heavier
-/// than the proptest cases).
+/// than the randomized cases).
 #[test]
 fn ftl_conserves_valid_units_under_churn() {
-    let gc = GcPolicy { low_watermark: 2, units_per_host_write: 4, parallel: false };
+    let gc = GcPolicy {
+        low_watermark: 2,
+        units_per_host_write: 4,
+        parallel: false,
+    };
     let mut ftl = Ftl::new(4, 16, 8, gc);
     let logical = 256u64;
     let mut x = 0x12345u64;
     for _ in 0..20_000 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ftl.append((x >> 33) % logical);
     }
     for lpn in 0..logical {
-        let ppa = ftl.lookup(lpn).expect("all lpns written at least once eventually");
+        let ppa = ftl
+            .lookup(lpn)
+            .expect("all lpns written at least once eventually");
         assert!(ppa.lane <= LaneId(3));
     }
     assert!(ftl.migrated_units() > 0);

@@ -1,0 +1,41 @@
+//! Tier-1 gate: the whole workspace must be simlint-clean.
+//!
+//! This test is what makes the determinism rules *enforced* rather than
+//! advisory: `cargo test` fails on any S001-S006 finding, so a PR cannot
+//! land wall-clock access, ambient RNG, bucket-order iteration, float time
+//! arithmetic, threading or new panicking library paths without either
+//! fixing them or writing a justified `// simlint: allow(...)` that shows
+//! up in review. See docs/DETERMINISM.md for the rule catalogue.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_simlint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let analysis = ull_simlint::analyze_workspace(root).expect("workspace scan must succeed");
+    // Guard against a silently truncated walk (e.g. a moved crates/ dir)
+    // making the gate vacuous.
+    assert!(
+        analysis.files_scanned >= 50,
+        "suspiciously few files scanned ({}); did the workspace layout change?",
+        analysis.files_scanned
+    );
+    assert!(
+        analysis.findings.is_empty(),
+        "simlint findings in the workspace:\n{}",
+        ull_simlint::render_human(&analysis.findings, analysis.files_scanned)
+    );
+}
+
+#[test]
+fn rule_catalogue_is_complete_and_ordered() {
+    let codes: Vec<&str> = ull_simlint::RULES.iter().map(|r| r.code).collect();
+    assert_eq!(codes, ["S001", "S002", "S003", "S004", "S005", "S006"]);
+    for r in ull_simlint::RULES {
+        assert!(
+            !r.summary.is_empty() && !r.scope.is_empty(),
+            "{} undocumented",
+            r.code
+        );
+    }
+}
