@@ -1,20 +1,7 @@
 //! Bench target for fig. 4 (latency vs queue depth).
-//!
-//! Regenerates the figure at `Scale::Quick` (rows + shape verdict printed
-//! into the bench log) and times a representative simulation kernel.
-
-use std::hint::black_box;
-
-use ull_bench::Scale;
-use ull_study::experiments::device_level;
 
 fn main() {
-    let r = device_level::fig04_run(Scale::Quick);
-    ull_bench::announce("Fig 4", &r, r.check());
-    let mut g = ull_bench::BenchGroup::new("fig04");
-    g.sample_size(10);
-    g.bench_function("ull_randread_qd16_1k_ios", |b| {
-        b.iter(|| black_box(ull_bench::ull_randread_point(1_000)))
+    ull_bench::figure_bench(Some("fig4"), "fig04", "ull_randread_qd16_1k_ios", || {
+        ull_bench::ull_randread_point(1_000)
     });
-    g.finish();
 }

@@ -1,37 +1,21 @@
 //! Bench target for fig. 5 (bandwidth vs queue depth).
-//!
-//! Regenerates the figure at `Scale::Quick` (rows + shape verdict printed
-//! into the bench log) and times a representative simulation kernel.
 
-use std::hint::black_box;
-
-use ull_bench::Scale;
 use ull_stack::IoPath;
-use ull_study::experiments::device_level;
 use ull_study::testbed::Device;
 use ull_workload::{Engine, Pattern};
 
 fn main() {
-    let r = device_level::fig05_run(Scale::Quick);
-    ull_bench::announce("Fig 5", &r, r.check());
-    let mut g = ull_bench::BenchGroup::new("fig05");
-    g.sample_size(10);
-    g.bench_function("ull_seqread_qd32_1k_ios", |b| {
-        b.iter(|| {
-            black_box(
-                ull_bench::job_kernel(
-                    Device::Ull,
-                    IoPath::KernelInterrupt,
-                    Engine::Libaio,
-                    Pattern::Sequential,
-                    1.0,
-                    4096,
-                    32,
-                    1_000,
-                )
-                .bandwidth_mbps(),
-            )
-        })
+    ull_bench::figure_bench(Some("fig5"), "fig05", "ull_seqread_qd32_1k_ios", || {
+        ull_bench::job_kernel(
+            Device::Ull,
+            IoPath::KernelInterrupt,
+            Engine::Libaio,
+            Pattern::Sequential,
+            1.0,
+            4096,
+            32,
+            1_000,
+        )
+        .bandwidth_mbps()
     });
-    g.finish();
 }

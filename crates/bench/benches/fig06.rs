@@ -1,37 +1,21 @@
 //! Bench target for fig. 6 (read/write interference).
-//!
-//! Regenerates the figure at `Scale::Quick` (rows + shape verdict printed
-//! into the bench log) and times a representative simulation kernel.
 
-use std::hint::black_box;
-
-use ull_bench::Scale;
 use ull_stack::IoPath;
-use ull_study::experiments::device_level;
 use ull_study::testbed::Device;
 use ull_workload::{Engine, Pattern};
 
 fn main() {
-    let r = device_level::fig06_run(Scale::Quick);
-    ull_bench::announce("Fig 6", &r, r.check());
-    let mut g = ull_bench::BenchGroup::new("fig06");
-    g.sample_size(10);
-    g.bench_function("nvme_mixed_qd4_1k_ios", |b| {
-        b.iter(|| {
-            black_box(
-                ull_bench::job_kernel(
-                    Device::Nvme750,
-                    IoPath::KernelInterrupt,
-                    Engine::Libaio,
-                    Pattern::Random,
-                    0.8,
-                    4096,
-                    4,
-                    1_000,
-                )
-                .mean_latency(),
-            )
-        })
+    ull_bench::figure_bench(Some("fig6"), "fig06", "nvme_mixed_qd4_1k_ios", || {
+        ull_bench::job_kernel(
+            Device::Nvme750,
+            IoPath::KernelInterrupt,
+            Engine::Libaio,
+            Pattern::Random,
+            0.8,
+            4096,
+            4,
+            1_000,
+        )
+        .mean_latency()
     });
-    g.finish();
 }

@@ -1,37 +1,21 @@
 //! Bench target for fig. 7a (average power).
-//!
-//! Regenerates the figure at `Scale::Quick` (rows + shape verdict printed
-//! into the bench log) and times a representative simulation kernel.
 
-use std::hint::black_box;
-
-use ull_bench::Scale;
 use ull_stack::IoPath;
-use ull_study::experiments::device_level;
 use ull_study::testbed::Device;
 use ull_workload::{Engine, Pattern};
 
 fn main() {
-    let r = device_level::fig07a_run(Scale::Quick);
-    ull_bench::announce("Fig 7a", &r, r.check());
-    let mut g = ull_bench::BenchGroup::new("fig07");
-    g.sample_size(10);
-    g.bench_function("nvme_write_power_1k_ios", |b| {
-        b.iter(|| {
-            black_box(
-                ull_bench::job_kernel(
-                    Device::Nvme750,
-                    IoPath::KernelInterrupt,
-                    Engine::Libaio,
-                    Pattern::Sequential,
-                    0.0,
-                    4096,
-                    16,
-                    1_000,
-                )
-                .avg_power_w,
-            )
-        })
+    ull_bench::figure_bench(Some("fig7a"), "fig07", "nvme_write_power_1k_ios", || {
+        ull_bench::job_kernel(
+            Device::Nvme750,
+            IoPath::KernelInterrupt,
+            Engine::Libaio,
+            Pattern::Sequential,
+            0.0,
+            4096,
+            16,
+            1_000,
+        )
+        .avg_power_w
     });
-    g.finish();
 }

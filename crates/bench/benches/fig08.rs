@@ -1,20 +1,10 @@
 //! Bench target for figs. 7b/8 (GC latency and power over time).
-//!
-//! Regenerates the figure at `Scale::Quick` (rows + shape verdict printed
-//! into the bench log) and times a representative simulation kernel.
-
-use std::hint::black_box;
-
-use ull_bench::Scale;
-use ull_study::experiments::device_level;
 
 fn main() {
-    let r = device_level::fig07b08_run(Scale::Quick);
-    ull_bench::announce("Fig 7b/8", &r, r.check());
-    let mut g = ull_bench::BenchGroup::new("fig08");
-    g.sample_size(10);
-    g.bench_function("nvme_preconditioned_overwrites_5k", |b| {
-        b.iter(|| black_box(ull_bench::nvme_gc_point(5_000)))
-    });
-    g.finish();
+    ull_bench::figure_bench(
+        Some("fig7b"),
+        "fig08",
+        "nvme_preconditioned_overwrites_5k",
+        || ull_bench::nvme_gc_point(5_000),
+    );
 }

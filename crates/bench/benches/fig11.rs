@@ -1,20 +1,7 @@
 //! Bench target for fig. 11 (five-nines, poll vs interrupt).
-//!
-//! Regenerates the figure at `Scale::Quick` (rows + shape verdict printed
-//! into the bench log) and times a representative simulation kernel.
-
-use std::hint::black_box;
-
-use ull_bench::Scale;
-use ull_study::experiments::completion;
 
 fn main() {
-    let r = completion::fig11_run(Scale::Quick);
-    ull_bench::announce("Fig 11", &r, r.check());
-    let mut g = ull_bench::BenchGroup::new("fig11");
-    g.sample_size(10);
-    g.bench_function("ull_polled_tail_20k_ios", |b| {
-        b.iter(|| black_box(ull_bench::ull_polled_point(20_000)))
+    ull_bench::figure_bench(Some("fig11"), "fig11", "ull_polled_tail_20k_ios", || {
+        ull_bench::ull_polled_point(20_000)
     });
-    g.finish();
 }

@@ -1,20 +1,7 @@
 //! Bench target for fig. 14 (kernel cycle breakdown).
-//!
-//! Regenerates the figure at `Scale::Quick` (rows + shape verdict printed
-//! into the bench log) and times a representative simulation kernel.
-
-use std::hint::black_box;
-
-use ull_bench::Scale;
-use ull_study::experiments::completion;
 
 fn main() {
-    let r = completion::fig14_run(Scale::Quick);
-    ull_bench::announce("Fig 14", &r, r.check());
-    let mut g = ull_bench::BenchGroup::new("fig14");
-    g.sample_size(10);
-    g.bench_function("ull_polled_sync_2k_ios", |b| {
-        b.iter(|| black_box(ull_bench::ull_polled_point(2_000)))
+    ull_bench::figure_bench(Some("fig14"), "fig14", "ull_polled_sync_2k_ios", || {
+        ull_bench::ull_polled_point(2_000)
     });
-    g.finish();
 }

@@ -1,37 +1,21 @@
 //! Bench target for fig. 16 (hybrid polling latency reduction).
-//!
-//! Regenerates the figure at `Scale::Quick` (rows + shape verdict printed
-//! into the bench log) and times a representative simulation kernel.
 
-use std::hint::black_box;
-
-use ull_bench::Scale;
 use ull_stack::IoPath;
-use ull_study::experiments::completion;
 use ull_study::testbed::Device;
 use ull_workload::{Engine, Pattern};
 
 fn main() {
-    let r = completion::fig16_run(Scale::Quick);
-    ull_bench::announce("Fig 16", &r, r.check());
-    let mut g = ull_bench::BenchGroup::new("fig16");
-    g.sample_size(10);
-    g.bench_function("ull_hybrid_sync_2k_ios", |b| {
-        b.iter(|| {
-            black_box(
-                ull_bench::job_kernel(
-                    Device::Ull,
-                    IoPath::KernelHybrid,
-                    Engine::Pvsync2,
-                    Pattern::Random,
-                    1.0,
-                    4096,
-                    1,
-                    2_000,
-                )
-                .mean_latency(),
-            )
-        })
+    ull_bench::figure_bench(Some("fig16"), "fig16", "ull_hybrid_sync_2k_ios", || {
+        ull_bench::job_kernel(
+            Device::Ull,
+            IoPath::KernelHybrid,
+            Engine::Pvsync2,
+            Pattern::Random,
+            1.0,
+            4096,
+            1,
+            2_000,
+        )
+        .mean_latency()
     });
-    g.finish();
 }

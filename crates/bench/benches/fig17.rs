@@ -1,37 +1,21 @@
 //! Bench target for fig. 17 (SPDK vs kernel, NVMe SSD).
-//!
-//! Regenerates the figure at `Scale::Quick` (rows + shape verdict printed
-//! into the bench log) and times a representative simulation kernel.
 
-use std::hint::black_box;
-
-use ull_bench::Scale;
 use ull_stack::IoPath;
-use ull_study::experiments::spdk;
 use ull_study::testbed::Device;
 use ull_workload::{Engine, Pattern};
 
 fn main() {
-    let r = spdk::fig171819_run(Scale::Quick);
-    ull_bench::announce("Fig 17/18/19", &r, r.check());
-    let mut g = ull_bench::BenchGroup::new("fig17");
-    g.sample_size(10);
-    g.bench_function("nvme_spdk_1k_ios", |b| {
-        b.iter(|| {
-            black_box(
-                ull_bench::job_kernel(
-                    Device::Nvme750,
-                    IoPath::Spdk,
-                    Engine::SpdkPlugin,
-                    Pattern::Sequential,
-                    1.0,
-                    4096,
-                    1,
-                    1_000,
-                )
-                .mean_latency(),
-            )
-        })
+    ull_bench::figure_bench(Some("fig17"), "fig17", "nvme_spdk_1k_ios", || {
+        ull_bench::job_kernel(
+            Device::Nvme750,
+            IoPath::Spdk,
+            Engine::SpdkPlugin,
+            Pattern::Sequential,
+            1.0,
+            4096,
+            1,
+            1_000,
+        )
+        .mean_latency()
     });
-    g.finish();
 }

@@ -1,20 +1,7 @@
 //! Bench target for fig. 21 (SPDK memory instructions).
-//!
-//! Regenerates the figure at `Scale::Quick` (rows + shape verdict printed
-//! into the bench log) and times a representative simulation kernel.
-
-use std::hint::black_box;
-
-use ull_bench::Scale;
-use ull_study::experiments::spdk;
 
 fn main() {
-    let r = spdk::fig2122_run(Scale::Quick);
-    ull_bench::announce("Fig 21/22", &r, r.check());
-    let mut g = ull_bench::BenchGroup::new("fig21");
-    g.sample_size(10);
-    g.bench_function("ull_spdk_2k_ios", |b| {
-        b.iter(|| black_box(ull_bench::ull_spdk_point(2_000)))
+    ull_bench::figure_bench(Some("fig21"), "fig21", "ull_spdk_2k_ios", || {
+        ull_bench::ull_spdk_point(2_000)
     });
-    g.finish();
 }

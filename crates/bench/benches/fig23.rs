@@ -1,35 +1,19 @@
 //! Bench target for fig. 23 (kernel NBD vs SPDK NBD).
-//!
-//! Regenerates the figure at `Scale::Quick` (rows + shape verdict printed
-//! into the bench log) and times a representative simulation kernel.
 
-use std::hint::black_box;
-
-use ull_bench::Scale;
 use ull_netblock::{NbdServerKind, NbdSystem};
 use ull_simkit::{SimDuration, SimTime};
 use ull_ssd::presets;
-use ull_study::experiments::nbd;
 
 fn main() {
-    let r = nbd::fig23_run(Scale::Quick);
-    ull_bench::announce("Fig 23", &r, r.check());
-    let mut g = ull_bench::BenchGroup::new("fig23");
-    g.sample_size(10);
-    g.bench_function("spdk_nbd_reads_1k_ops", |b| {
-        b.iter(|| {
-            black_box({
-                let mut sys = NbdSystem::new(presets::ull_800g(), NbdServerKind::Spdk, 1).unwrap();
-                let mut at = SimTime::ZERO;
-                let mut sum = 0.0;
-                for k in 0..1_000u64 {
-                    let r = sys.file_read(at, k.wrapping_mul(2654435761), 4096);
-                    sum += r.latency.as_micros_f64();
-                    at = r.done + SimDuration::from_micros(2);
-                }
-                sum
-            })
-        })
+    ull_bench::figure_bench(Some("fig23"), "fig23", "spdk_nbd_reads_1k_ops", || {
+        let mut sys = NbdSystem::new(presets::ull_800g(), NbdServerKind::Spdk, 1).unwrap();
+        let mut at = SimTime::ZERO;
+        let mut sum = 0.0;
+        for k in 0..1_000u64 {
+            let r = sys.file_read(at, k.wrapping_mul(2654435761), 4096);
+            sum += r.latency.as_micros_f64();
+            at = r.done + SimDuration::from_micros(2);
+        }
+        sum
     });
-    g.finish();
 }

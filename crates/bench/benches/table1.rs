@@ -1,17 +1,7 @@
 //! Bench target for Table I (flash characteristics).
-//!
-//! Regenerates the figure at `Scale::Quick` (rows + shape verdict printed
-//! into the bench log) and times a representative simulation kernel.
-
-use std::hint::black_box;
 
 use ull_study::experiments::table1;
 
 fn main() {
-    let t = table1::run();
-    ull_bench::announce("Table I", &t, t.check());
-    let mut g = ull_bench::BenchGroup::new("table1");
-    g.sample_size(10);
-    g.bench_function("build_table", |b| b.iter(|| black_box(table1::run())));
-    g.finish();
+    ull_bench::figure_bench(Some("table1"), "table1", "build_table", table1::run);
 }

@@ -22,8 +22,9 @@
 use std::time::{Duration, Instant};
 
 use ull_stack::IoPath;
+use ull_study::registry::{find, Section};
 use ull_study::testbed::{host, Device};
-use ull_workload::{run_job, Engine, JobReport, JobSpec, Pattern};
+use ull_workload::{run_job, Engine, JobReport, JobSpec, Json, Pattern};
 
 pub use ull_study::testbed::Scale;
 
@@ -95,15 +96,43 @@ impl BenchGroup {
     pub fn finish(self) {}
 }
 
-/// Prints a regenerated figure with its shape verdict.
-pub fn announce(name: &str, body: impl std::fmt::Display, violations: Vec<String>) {
-    println!("\n===== {name} (regenerated at Scale::Quick) =====");
-    println!("{body}");
-    if violations.is_empty() {
+/// Regenerates one registry experiment at [`Scale::Quick`] and prints
+/// its rows, its shape verdict, and a one-line JSON summary into the
+/// bench log. Panics on names the registry doesn't know — a bench
+/// target naming a retired figure should fail loudly.
+pub fn regenerate(name: &str) -> Section {
+    let entry = find(name).unwrap_or_else(|| panic!("{name} is not in the experiment registry"));
+    let s = entry.run(Scale::Quick, 1);
+    println!("\n===== {} (regenerated at Scale::Quick) =====", s.title);
+    println!("{}", s.body);
+    if s.ok() {
         println!("shape check: OK");
     } else {
-        println!("shape check: {violations:#?}");
+        println!("shape check: {:#?}", s.violations);
     }
+    println!(
+        "summary: {}",
+        Json::obj()
+            .field("name", s.name)
+            .field("ok", s.ok())
+            .field("violations", s.violations.len() as u64)
+    );
+    s
+}
+
+/// The shared body of every figure bench target: optionally regenerate
+/// the figure through the registry, then time one representative
+/// kernel. Alias targets (`fig10`, `fig13`, ...) pass `regen: None`
+/// because their primary sibling already regenerates the shared
+/// experiment.
+pub fn figure_bench<T, F: FnMut() -> T>(regen: Option<&str>, group: &str, id: &str, mut kernel: F) {
+    if let Some(name) = regen {
+        regenerate(name);
+    }
+    let mut g = BenchGroup::new(group);
+    g.sample_size(10);
+    g.bench_function(id, |b| b.iter(&mut kernel));
+    g.finish();
 }
 
 /// One small job — the unit kernel most figure benches time.

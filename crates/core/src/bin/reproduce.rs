@@ -1,141 +1,154 @@
-//! Regenerates the paper's tables and figures.
+//! Regenerates the paper's tables and figures from the experiment
+//! registry.
 //!
 //! ```text
-//! reproduce [--full] [table1 fig4 fig5 fig6 fig7a fig7b fig9 fig11 fig12
-//!            fig14 fig15 fig16 fig17 fig20 fig21 fig23 extensions | all]
+//! reproduce [--full] [--jobs N] [--json] [--list] [NAME ...| all]
 //! ```
 //!
-//! By default runs at `Scale::Quick`; `--full` uses paper-scale I/O counts
-//! (five-nines-capable, minutes of runtime). Each experiment prints its
-//! rows and then the list of violated shape claims (`OK` if none).
+//! Every table/figure in `EXPERIMENTS.md` is runnable by name
+//! (`reproduce --list` prints them all); figures that share a run are
+//! reachable through aliases (`fig10` resolves to the `fig9` entry).
+//!
+//! By default runs at `Scale::Quick`; `--full` uses paper-scale I/O
+//! counts (five-nines-capable, minutes of runtime). `--jobs N` runs the
+//! independent sweep cells of each experiment on up to `N` workers —
+//! the output is byte-identical for every `N` (see
+//! `docs/DETERMINISM.md`). `--json` prints the machine-readable report
+//! instead of the tables; it too is byte-identical across `--jobs`
+//! values and hosts.
 
 use std::process::ExitCode;
 
-use ull_study::experiments::{completion, device_level, extensions, nbd, spdk, table1};
+use ull_study::registry::{entries, find, json_document, Entry, Section};
 use ull_study::testbed::Scale;
 
-fn section(name: &str, body: String, violations: Vec<String>) -> bool {
-    println!("=== {name} ===");
-    println!("{body}");
-    if violations.is_empty() {
+const USAGE: &str = "usage: reproduce [--full] [--jobs N] [--json] [--list] [NAME ...| all]";
+
+struct Args {
+    scale: Scale,
+    jobs: usize,
+    json: bool,
+    list: bool,
+    picks: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: Scale::Quick,
+        jobs: 1,
+        json: false,
+        list: false,
+        picks: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => args.scale = Scale::Full,
+            "--json" => args.json = true,
+            "--list" => args.list = true,
+            "--jobs" => {
+                let n = it.next().ok_or("--jobs needs a value")?;
+                args.jobs = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs wants a positive integer, got {n:?}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}\n{USAGE}"));
+            }
+            name => args.picks.push(name.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+/// Resolves the requested names to registry entries, in the paper's
+/// presentation order and without duplicates (so `fig9 fig10` runs the
+/// shared experiment once).
+fn resolve(picks: &[String]) -> Result<Vec<&'static Entry>, String> {
+    if picks.iter().any(|p| p == "all") || picks.is_empty() {
+        return Ok(entries().iter().collect());
+    }
+    for p in picks {
+        if find(p).is_none() {
+            return Err(format!(
+                "unknown experiment {p:?} (reproduce --list prints the registry)"
+            ));
+        }
+    }
+    Ok(entries()
+        .iter()
+        .filter(|e| picks.iter().any(|p| e.matches(p)))
+        .collect())
+}
+
+fn print_list() {
+    println!("{:12}{:12}title", "name", "aliases");
+    for e in entries() {
+        println!("{:12}{:12}{}", e.name, e.aliases.join(","), e.title);
+    }
+}
+
+fn print_section(s: &Section) {
+    println!("=== {} ===", s.title);
+    println!("{}", s.body);
+    if s.ok() {
         println!("shape check: OK\n");
-        true
     } else {
-        println!("shape check: {} VIOLATION(S)", violations.len());
-        for v in &violations {
+        println!("shape check: {} VIOLATION(S)", s.violations.len());
+        for v in &s.violations {
             println!("  - {v}");
         }
         println!();
-        false
     }
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let scale = if full { Scale::Full } else { Scale::Quick };
-    let picks: Vec<&str> = args
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        print_list();
+        return ExitCode::SUCCESS;
+    }
+    let picked = match resolve(&args.picks) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let sections: Vec<Section> = picked
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
+        .map(|e| e.run(args.scale, args.jobs))
         .collect();
-    let want = |name: &str| picks.is_empty() || picks.contains(&"all") || picks.contains(&name);
+    let ok = sections.iter().all(Section::ok);
 
-    let mut ok = true;
-    if want("table1") {
-        let t = table1::run();
-        ok &= section("Table I", t.to_string(), t.check());
-    }
-    if want("fig4") {
-        let r = device_level::fig04_run(scale);
-        ok &= section("Fig 4 (latency vs queue depth)", r.to_string(), r.check());
-    }
-    if want("fig5") {
-        let r = device_level::fig05_run(scale);
-        ok &= section("Fig 5 (bandwidth vs queue depth)", r.to_string(), r.check());
-    }
-    if want("fig6") {
-        let r = device_level::fig06_run(scale);
-        ok &= section("Fig 6 (read/write interference)", r.to_string(), r.check());
-    }
-    if want("fig7a") {
-        let r = device_level::fig07a_run(scale);
-        ok &= section("Fig 7a (average power)", r.to_string(), r.check());
-    }
-    if want("fig7b") || want("fig8") {
-        let r = device_level::fig07b08_run(scale);
-        ok &= section("Fig 7b/8 (GC latency & power)", r.to_string(), r.check());
-    }
-    if want("fig9") || want("fig10") {
-        let r = completion::fig0910_run(scale);
-        ok &= section("Fig 9/10 (poll vs interrupt)", r.to_string(), r.check());
-    }
-    if want("fig11") {
-        let r = completion::fig11_run(scale);
-        ok &= section(
-            "Fig 11 (five-nines, poll vs interrupt)",
-            r.to_string(),
-            r.check(),
+    if args.json {
+        print!(
+            "{}",
+            json_document(args.scale, &sections).to_pretty_string()
         );
+    } else {
+        for s in &sections {
+            print_section(s);
+        }
+        if ok {
+            println!("all requested experiments uphold the paper's shapes");
+        } else {
+            println!("some shape checks failed (see above)");
+        }
     }
-    if want("fig12") || want("fig13") {
-        let r = completion::fig1213_run(scale);
-        ok &= section("Fig 12/13 (CPU utilization)", r.to_string(), r.check());
-    }
-    if want("fig14") {
-        let r = completion::fig14_run(scale);
-        ok &= section("Fig 14 (kernel cycle breakdown)", r.to_string(), r.check());
-    }
-    if want("fig15") {
-        let r = completion::fig15_run(scale);
-        ok &= section(
-            "Fig 15 (poll memory instructions)",
-            r.to_string(),
-            r.check(),
-        );
-    }
-    if want("fig16") {
-        let r = completion::fig16_run(scale);
-        ok &= section("Fig 16 (hybrid polling latency)", r.to_string(), r.check());
-    }
-    if want("fig17") || want("fig18") || want("fig19") {
-        let r = spdk::fig171819_run(scale);
-        ok &= section(
-            "Fig 17/18/19 (SPDK vs kernel latency)",
-            r.to_string(),
-            r.check(),
-        );
-    }
-    if want("fig20") {
-        let r = spdk::fig20_run(scale);
-        ok &= section("Fig 20 (SPDK CPU utilization)", r.to_string(), r.check());
-    }
-    if want("fig21") || want("fig22") {
-        let r = spdk::fig2122_run(scale);
-        ok &= section(
-            "Fig 21/22 (SPDK memory instructions)",
-            r.to_string(),
-            r.check(),
-        );
-    }
-    if want("extensions") {
-        let r = extensions::run(scale);
-        ok &= section(
-            "Extensions (faster NVM / light queue / CPU headroom)",
-            r.to_string(),
-            r.check(),
-        );
-    }
-    if want("fig23") {
-        let r = nbd::fig23_run(scale);
-        ok &= section("Fig 23 (kernel NBD vs SPDK NBD)", r.to_string(), r.check());
-    }
-
     if ok {
-        println!("all requested experiments uphold the paper's shapes");
         ExitCode::SUCCESS
     } else {
-        println!("some shape checks failed (see above)");
         ExitCode::FAILURE
     }
 }

@@ -7,8 +7,9 @@ use core::fmt;
 
 use ull_simkit::SimDuration;
 use ull_stack::{IoPath, Mode, StackFn};
-use ull_workload::{run_job, Engine, JobReport, JobSpec};
+use ull_workload::{run_job, Engine, JobReport, JobSpec, Json};
 
+use crate::engine::{run_experiment, Experiment, Report, SweepCell};
 use crate::experiments::{PatternSpec, BLOCK_SIZES, PATTERNS};
 use crate::testbed::{host, reduction_pct, Device, Scale};
 
@@ -55,26 +56,83 @@ pub struct Fig0910 {
     pub rows: Vec<CompletionRow>,
 }
 
-/// Runs figs. 9 and 10.
-pub fn fig0910_run(scale: Scale) -> Fig0910 {
-    let ios = scale.ios(4_000, 100_000);
-    let mut rows = Vec::new();
-    for device in Device::ALL {
-        for p in &PATTERNS {
-            for bs in BLOCK_SIZES {
-                let int = sync_report(device, IoPath::KernelInterrupt, p, bs, ios);
-                let poll = sync_report(device, IoPath::KernelPolled, p, bs, ios);
-                rows.push(CompletionRow {
-                    device,
-                    pattern: p.label,
-                    block_size: bs,
-                    interrupt_us: int.mean_latency().as_micros_f64(),
-                    poll_us: poll.mean_latency().as_micros_f64(),
-                });
+/// Figs. 9/10 as a registry experiment.
+#[derive(Debug)]
+pub struct Fig0910Exp;
+
+impl Experiment for Fig0910Exp {
+    type Cell = CompletionRow;
+    type Report = Fig0910;
+
+    fn name(&self) -> &'static str {
+        "fig9"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig 9/10 (poll vs interrupt)"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fig10"]
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<SweepCell<CompletionRow>> {
+        let ios = scale.ios(4_000, 100_000);
+        let mut cells = Vec::new();
+        for device in Device::ALL {
+            for p in PATTERNS {
+                for bs in BLOCK_SIZES {
+                    cells.push(SweepCell::new(
+                        format!("{}/{}/{}K", device.label(), p.label, bs / 1024),
+                        move || {
+                            let int = sync_report(device, IoPath::KernelInterrupt, &p, bs, ios);
+                            let poll = sync_report(device, IoPath::KernelPolled, &p, bs, ios);
+                            CompletionRow {
+                                device,
+                                pattern: p.label,
+                                block_size: bs,
+                                interrupt_us: int.mean_latency().as_micros_f64(),
+                                poll_us: poll.mean_latency().as_micros_f64(),
+                            }
+                        },
+                    ));
+                }
             }
         }
+        cells
     }
-    Fig0910 { rows }
+
+    fn collect(&self, _scale: Scale, rows: Vec<CompletionRow>) -> Fig0910 {
+        Fig0910 { rows }
+    }
+}
+
+/// Runs figs. 9 and 10.
+pub fn fig0910_run(scale: Scale) -> Fig0910 {
+    run_experiment(&Fig0910Exp, scale, 1)
+}
+
+impl Report for Fig0910 {
+    fn check(&self) -> Vec<String> {
+        Fig0910::check(self)
+    }
+
+    fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("device", r.device.label())
+                    .field("pattern", r.pattern)
+                    .field("block_size", r.block_size)
+                    .field("interrupt_us", r.interrupt_us)
+                    .field("poll_us", r.poll_us)
+                    .field("gain_pct", r.poll_gain_pct())
+            })
+            .collect();
+        Json::obj().field("rows", rows)
+    }
 }
 
 impl Fig0910 {
@@ -163,24 +221,74 @@ pub struct Fig11 {
     pub rows: Vec<Fig11Row>,
 }
 
+/// Fig. 11 as a registry experiment.
+#[derive(Debug)]
+pub struct Fig11Exp;
+
+impl Experiment for Fig11Exp {
+    type Cell = Fig11Row;
+    type Report = Fig11;
+
+    fn name(&self) -> &'static str {
+        "fig11"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig 11 (five-nines, poll vs interrupt)"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig11Row>> {
+        let ios = scale.ios(200_000, 1_000_000);
+        let mut cells = Vec::new();
+        for p in [PatternSpec::seq_rd(), PatternSpec::seq_wr()] {
+            for bs in BLOCK_SIZES {
+                cells.push(SweepCell::new(
+                    format!("{}/{}K", p.label, bs / 1024),
+                    move || {
+                        let int = sync_report(Device::Ull, IoPath::KernelInterrupt, &p, bs, ios);
+                        let poll = sync_report(Device::Ull, IoPath::KernelPolled, &p, bs, ios);
+                        Fig11Row {
+                            write: p.read_fraction == 0.0,
+                            block_size: bs,
+                            interrupt_us: int.five_nines().as_micros_f64(),
+                            poll_us: poll.five_nines().as_micros_f64(),
+                        }
+                    },
+                ));
+            }
+        }
+        cells
+    }
+
+    fn collect(&self, _scale: Scale, rows: Vec<Fig11Row>) -> Fig11 {
+        Fig11 { rows }
+    }
+}
+
 /// Runs fig. 11.
 pub fn fig11_run(scale: Scale) -> Fig11 {
-    let ios = scale.ios(200_000, 1_000_000);
-    let mut rows = Vec::new();
-    for p in [&PATTERNS[0], &PATTERNS[2]] {
-        // SeqRd / SeqWr
-        for bs in BLOCK_SIZES {
-            let int = sync_report(Device::Ull, IoPath::KernelInterrupt, p, bs, ios);
-            let poll = sync_report(Device::Ull, IoPath::KernelPolled, p, bs, ios);
-            rows.push(Fig11Row {
-                write: p.read_fraction == 0.0,
-                block_size: bs,
-                interrupt_us: int.five_nines().as_micros_f64(),
-                poll_us: poll.five_nines().as_micros_f64(),
-            });
-        }
+    run_experiment(&Fig11Exp, scale, 1)
+}
+
+impl Report for Fig11 {
+    fn check(&self) -> Vec<String> {
+        Fig11::check(self)
     }
-    Fig11 { rows }
+
+    fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("op", if r.write { "write" } else { "read" })
+                    .field("block_size", r.block_size)
+                    .field("interrupt_us", r.interrupt_us)
+                    .field("poll_us", r.poll_us)
+            })
+            .collect();
+        Json::obj().field("rows", rows)
+    }
 }
 
 impl Fig11 {
@@ -259,29 +367,85 @@ pub struct Fig1213 {
     pub rows: Vec<CpuRow>,
 }
 
-/// Runs figs. 12 and 13.
-pub fn fig1213_run(scale: Scale) -> Fig1213 {
-    let ios = scale.ios(4_000, 200_000);
-    let mut rows = Vec::new();
-    for path in [
-        IoPath::KernelInterrupt,
-        IoPath::KernelPolled,
-        IoPath::KernelHybrid,
-    ] {
-        for p in &PATTERNS {
-            for bs in BLOCK_SIZES {
-                let r = sync_report(Device::Ull, path, p, bs, ios);
-                rows.push(CpuRow {
-                    path,
-                    pattern: p.label,
-                    block_size: bs,
-                    user: r.user_util,
-                    kernel: r.kernel_util,
-                });
+/// Figs. 12/13 as a registry experiment.
+#[derive(Debug)]
+pub struct Fig1213Exp;
+
+impl Experiment for Fig1213Exp {
+    type Cell = CpuRow;
+    type Report = Fig1213;
+
+    fn name(&self) -> &'static str {
+        "fig12"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig 12/13 (CPU utilization)"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fig13"]
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<SweepCell<CpuRow>> {
+        let ios = scale.ios(4_000, 200_000);
+        let mut cells = Vec::new();
+        for path in [
+            IoPath::KernelInterrupt,
+            IoPath::KernelPolled,
+            IoPath::KernelHybrid,
+        ] {
+            for p in PATTERNS {
+                for bs in BLOCK_SIZES {
+                    cells.push(SweepCell::new(
+                        format!("{}/{}/{}K", path.label(), p.label, bs / 1024),
+                        move || {
+                            let r = sync_report(Device::Ull, path, &p, bs, ios);
+                            CpuRow {
+                                path,
+                                pattern: p.label,
+                                block_size: bs,
+                                user: r.user_util,
+                                kernel: r.kernel_util,
+                            }
+                        },
+                    ));
+                }
             }
         }
+        cells
     }
-    Fig1213 { rows }
+
+    fn collect(&self, _scale: Scale, rows: Vec<CpuRow>) -> Fig1213 {
+        Fig1213 { rows }
+    }
+}
+
+/// Runs figs. 12 and 13.
+pub fn fig1213_run(scale: Scale) -> Fig1213 {
+    run_experiment(&Fig1213Exp, scale, 1)
+}
+
+impl Report for Fig1213 {
+    fn check(&self) -> Vec<String> {
+        Fig1213::check(self)
+    }
+
+    fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("path", r.path.label())
+                    .field("pattern", r.pattern)
+                    .field("block_size", r.block_size)
+                    .field("user", r.user)
+                    .field("kernel", r.kernel)
+            })
+            .collect();
+        Json::obj().field("rows", rows)
+    }
 }
 
 impl Fig1213 {
@@ -373,27 +537,76 @@ pub struct Fig14 {
     pub rows: Vec<Fig14Row>,
 }
 
+/// Fig. 14 as a registry experiment.
+#[derive(Debug)]
+pub struct Fig14Exp;
+
+impl Experiment for Fig14Exp {
+    type Cell = Fig14Row;
+    type Report = Fig14;
+
+    fn name(&self) -> &'static str {
+        "fig14"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig 14 (kernel cycle breakdown)"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig14Row>> {
+        let ios = scale.ios(4_000, 200_000);
+        PATTERNS
+            .into_iter()
+            .map(|p| {
+                SweepCell::new(p.label, move || {
+                    let r = sync_report(Device::Ull, IoPath::KernelPolled, &p, 4096, ios);
+                    let kernel_total: SimDuration = r
+                        .busy_by_fn
+                        .iter()
+                        .filter(|(_, m, _)| *m == Mode::Kernel)
+                        .map(|(_, _, d)| *d)
+                        .sum();
+                    let frac = |f: StackFn| r.busy_of(f).ratio(kernel_total);
+                    Fig14Row {
+                        pattern: p.label,
+                        nvme_driver_frac: frac(StackFn::NvmePoll) + frac(StackFn::NvmeDriverSubmit),
+                        blk_mq_poll_frac: frac(StackFn::BlkMqPoll),
+                        nvme_poll_frac: frac(StackFn::NvmePoll),
+                    }
+                })
+            })
+            .collect()
+    }
+
+    fn collect(&self, _scale: Scale, rows: Vec<Fig14Row>) -> Fig14 {
+        Fig14 { rows }
+    }
+}
+
 /// Runs fig. 14.
 pub fn fig14_run(scale: Scale) -> Fig14 {
-    let ios = scale.ios(4_000, 200_000);
-    let mut rows = Vec::new();
-    for p in &PATTERNS {
-        let r = sync_report(Device::Ull, IoPath::KernelPolled, p, 4096, ios);
-        let kernel_total: SimDuration = r
-            .busy_by_fn
-            .iter()
-            .filter(|(_, m, _)| *m == Mode::Kernel)
-            .map(|(_, _, d)| *d)
-            .sum();
-        let frac = |f: StackFn| r.busy_of(f).ratio(kernel_total);
-        rows.push(Fig14Row {
-            pattern: p.label,
-            nvme_driver_frac: frac(StackFn::NvmePoll) + frac(StackFn::NvmeDriverSubmit),
-            blk_mq_poll_frac: frac(StackFn::BlkMqPoll),
-            nvme_poll_frac: frac(StackFn::NvmePoll),
-        });
+    run_experiment(&Fig14Exp, scale, 1)
+}
+
+impl Report for Fig14 {
+    fn check(&self) -> Vec<String> {
+        Fig14::check(self)
     }
-    Fig14 { rows }
+
+    fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("pattern", r.pattern)
+                    .field("nvme_driver_frac", r.nvme_driver_frac)
+                    .field("blk_mq_poll_frac", r.blk_mq_poll_frac)
+                    .field("nvme_poll_frac", r.nvme_poll_frac)
+            })
+            .collect();
+        Json::obj().field("rows", rows)
+    }
 }
 
 impl Fig14 {
@@ -474,23 +687,74 @@ pub struct Fig15 {
     pub rows: Vec<Fig15Row>,
 }
 
+/// Fig. 15 as a registry experiment.
+#[derive(Debug)]
+pub struct Fig15Exp;
+
+impl Experiment for Fig15Exp {
+    type Cell = Fig15Row;
+    type Report = Fig15;
+
+    fn name(&self) -> &'static str {
+        "fig15"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig 15 (poll memory instructions)"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig15Row>> {
+        let ios = scale.ios(4_000, 200_000);
+        let mut cells = Vec::new();
+        for p in [PatternSpec::seq_rd(), PatternSpec::seq_wr()] {
+            for bs in BLOCK_SIZES {
+                cells.push(SweepCell::new(
+                    format!("{}/{}K", p.label, bs / 1024),
+                    move || {
+                        let int = sync_report(Device::Ull, IoPath::KernelInterrupt, &p, bs, ios);
+                        let poll = sync_report(Device::Ull, IoPath::KernelPolled, &p, bs, ios);
+                        Fig15Row {
+                            write: p.read_fraction == 0.0,
+                            block_size: bs,
+                            load_ratio: poll.mem.loads as f64 / int.mem.loads as f64,
+                            store_ratio: poll.mem.stores as f64 / int.mem.stores as f64,
+                        }
+                    },
+                ));
+            }
+        }
+        cells
+    }
+
+    fn collect(&self, _scale: Scale, rows: Vec<Fig15Row>) -> Fig15 {
+        Fig15 { rows }
+    }
+}
+
 /// Runs fig. 15.
 pub fn fig15_run(scale: Scale) -> Fig15 {
-    let ios = scale.ios(4_000, 200_000);
-    let mut rows = Vec::new();
-    for p in [&PATTERNS[0], &PATTERNS[2]] {
-        for bs in BLOCK_SIZES {
-            let int = sync_report(Device::Ull, IoPath::KernelInterrupt, p, bs, ios);
-            let poll = sync_report(Device::Ull, IoPath::KernelPolled, p, bs, ios);
-            rows.push(Fig15Row {
-                write: p.read_fraction == 0.0,
-                block_size: bs,
-                load_ratio: poll.mem.loads as f64 / int.mem.loads as f64,
-                store_ratio: poll.mem.stores as f64 / int.mem.stores as f64,
-            });
-        }
+    run_experiment(&Fig15Exp, scale, 1)
+}
+
+impl Report for Fig15 {
+    fn check(&self) -> Vec<String> {
+        Fig15::check(self)
     }
-    Fig15 { rows }
+
+    fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("op", if r.write { "write" } else { "read" })
+                    .field("block_size", r.block_size)
+                    .field("load_ratio", r.load_ratio)
+                    .field("store_ratio", r.store_ratio)
+            })
+            .collect();
+        Json::obj().field("rows", rows)
+    }
 }
 
 impl Fig15 {
@@ -552,25 +816,82 @@ pub struct Fig16 {
     pub rows: Vec<Fig16Row>,
 }
 
+/// Fig. 16 as a registry experiment.
+#[derive(Debug)]
+pub struct Fig16Exp;
+
+impl Experiment for Fig16Exp {
+    type Cell = Fig16Row;
+    type Report = Fig16;
+
+    fn name(&self) -> &'static str {
+        "fig16"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig 16 (hybrid polling latency)"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig16Row>> {
+        let ios = scale.ios(4_000, 200_000);
+        let mut cells = Vec::new();
+        for p in PATTERNS {
+            for bs in BLOCK_SIZES {
+                cells.push(SweepCell::new(
+                    format!("{}/{}K", p.label, bs / 1024),
+                    move || {
+                        let int = sync_report(Device::Ull, IoPath::KernelInterrupt, &p, bs, ios);
+                        let poll = sync_report(Device::Ull, IoPath::KernelPolled, &p, bs, ios);
+                        let hybrid = sync_report(Device::Ull, IoPath::KernelHybrid, &p, bs, ios);
+                        let i = int.mean_latency().as_micros_f64();
+                        Fig16Row {
+                            pattern: p.label,
+                            block_size: bs,
+                            poll_reduction_pct: reduction_pct(
+                                i,
+                                poll.mean_latency().as_micros_f64(),
+                            ),
+                            hybrid_reduction_pct: reduction_pct(
+                                i,
+                                hybrid.mean_latency().as_micros_f64(),
+                            ),
+                        }
+                    },
+                ));
+            }
+        }
+        cells
+    }
+
+    fn collect(&self, _scale: Scale, rows: Vec<Fig16Row>) -> Fig16 {
+        Fig16 { rows }
+    }
+}
+
 /// Runs fig. 16.
 pub fn fig16_run(scale: Scale) -> Fig16 {
-    let ios = scale.ios(4_000, 200_000);
-    let mut rows = Vec::new();
-    for p in &PATTERNS {
-        for bs in BLOCK_SIZES {
-            let int = sync_report(Device::Ull, IoPath::KernelInterrupt, p, bs, ios);
-            let poll = sync_report(Device::Ull, IoPath::KernelPolled, p, bs, ios);
-            let hybrid = sync_report(Device::Ull, IoPath::KernelHybrid, p, bs, ios);
-            let i = int.mean_latency().as_micros_f64();
-            rows.push(Fig16Row {
-                pattern: p.label,
-                block_size: bs,
-                poll_reduction_pct: reduction_pct(i, poll.mean_latency().as_micros_f64()),
-                hybrid_reduction_pct: reduction_pct(i, hybrid.mean_latency().as_micros_f64()),
-            });
-        }
+    run_experiment(&Fig16Exp, scale, 1)
+}
+
+impl Report for Fig16 {
+    fn check(&self) -> Vec<String> {
+        Fig16::check(self)
     }
-    Fig16 { rows }
+
+    fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("pattern", r.pattern)
+                    .field("block_size", r.block_size)
+                    .field("poll_reduction_pct", r.poll_reduction_pct)
+                    .field("hybrid_reduction_pct", r.hybrid_reduction_pct)
+            })
+            .collect();
+        Json::obj().field("rows", rows)
+    }
 }
 
 impl Fig16 {

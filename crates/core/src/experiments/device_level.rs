@@ -7,8 +7,9 @@ use core::fmt;
 
 use ull_simkit::SimTime;
 use ull_stack::IoPath;
-use ull_workload::{run_job, Engine, JobSpec, Pattern};
+use ull_workload::{run_job, Engine, JobSpec, Json, Pattern};
 
+use crate::engine::{run_experiment, Experiment, Report, SweepCell};
 use crate::experiments::{PatternSpec, PATTERNS};
 use crate::testbed::{host, Device, Scale};
 
@@ -50,26 +51,78 @@ pub struct Fig04 {
 /// The queue depths swept in fig. 4.
 pub const FIG04_QDS: [u32; 7] = [1, 2, 4, 8, 16, 24, 32];
 
-/// Runs fig. 4.
-pub fn fig04_run(scale: Scale) -> Fig04 {
-    let ios = scale.ios(4_000, 300_000);
-    let mut rows = Vec::new();
-    for device in Device::ALL {
-        for p in &PATTERNS {
-            for qd in FIG04_QDS {
-                let mut h = host(device, IoPath::KernelInterrupt);
-                let r = run_job(&mut h, &qd_job(p, qd, ios));
-                rows.push(Fig04Row {
-                    device,
-                    pattern: p.label,
-                    qd,
-                    mean_us: r.mean_latency().as_micros_f64(),
-                    five_nines_us: r.five_nines().as_micros_f64(),
-                });
+/// Fig. 4 as a registry experiment.
+#[derive(Debug)]
+pub struct Fig04Exp;
+
+impl Experiment for Fig04Exp {
+    type Cell = Fig04Row;
+    type Report = Fig04;
+
+    fn name(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig 4 (latency vs queue depth)"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig04Row>> {
+        let ios = scale.ios(4_000, 300_000);
+        let mut cells = Vec::new();
+        for device in Device::ALL {
+            for p in PATTERNS {
+                for qd in FIG04_QDS {
+                    cells.push(SweepCell::new(
+                        format!("{}/{}/qd{qd}", device.label(), p.label),
+                        move || {
+                            let mut h = host(device, IoPath::KernelInterrupt);
+                            let r = run_job(&mut h, &qd_job(&p, qd, ios));
+                            Fig04Row {
+                                device,
+                                pattern: p.label,
+                                qd,
+                                mean_us: r.mean_latency().as_micros_f64(),
+                                five_nines_us: r.five_nines().as_micros_f64(),
+                            }
+                        },
+                    ));
+                }
             }
         }
+        cells
     }
-    Fig04 { rows, scale }
+
+    fn collect(&self, scale: Scale, rows: Vec<Fig04Row>) -> Fig04 {
+        Fig04 { rows, scale }
+    }
+}
+
+/// Runs fig. 4.
+pub fn fig04_run(scale: Scale) -> Fig04 {
+    run_experiment(&Fig04Exp, scale, 1)
+}
+
+impl Report for Fig04 {
+    fn check(&self) -> Vec<String> {
+        Fig04::check(self)
+    }
+
+    fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("device", r.device.label())
+                    .field("pattern", r.pattern)
+                    .field("qd", r.qd)
+                    .field("mean_us", r.mean_us)
+                    .field("five_nines_us", r.five_nines_us)
+            })
+            .collect();
+        Json::obj().field("rows", rows)
+    }
 }
 
 impl Fig04 {
@@ -188,42 +241,98 @@ pub const FIG05_ULL_QDS: [u32; 8] = [1, 2, 4, 8, 12, 16, 24, 32];
 /// NVMe queue-depth sweep (paper: 1-256).
 pub const FIG05_NVME_QDS: [u32; 8] = [1, 4, 8, 16, 32, 64, 128, 256];
 
-/// Runs fig. 5.
-pub fn fig05_run(scale: Scale) -> Fig05 {
-    // Writes need enough I/Os to push past the DRAM write buffer into
-    // drain-limited steady state.
-    let ios = scale.ios(20_000, 100_000);
-    let mut rows = Vec::new();
-    for device in Device::ALL {
-        let qds: &[u32] = if device == Device::Ull {
-            &FIG05_ULL_QDS
-        } else {
-            &FIG05_NVME_QDS
-        };
-        let mut device_rows = Vec::new();
-        for p in &PATTERNS {
-            for &qd in qds {
-                let mut h = host(device, IoPath::KernelInterrupt);
-                let r = run_job(&mut h, &qd_job(p, qd, ios));
-                device_rows.push(Fig05Row {
-                    device,
-                    pattern: p.label,
-                    qd,
-                    bandwidth_mbps: r.bandwidth_mbps(),
-                    normalized: 0.0,
-                });
+/// Fig. 5 as a registry experiment.
+#[derive(Debug)]
+pub struct Fig05Exp;
+
+impl Experiment for Fig05Exp {
+    type Cell = Fig05Row;
+    type Report = Fig05;
+
+    fn name(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig 5 (bandwidth vs queue depth)"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig05Row>> {
+        // Writes need enough I/Os to push past the DRAM write buffer into
+        // drain-limited steady state.
+        let ios = scale.ios(20_000, 100_000);
+        let mut cells = Vec::new();
+        for device in Device::ALL {
+            let qds: &[u32] = if device == Device::Ull {
+                &FIG05_ULL_QDS
+            } else {
+                &FIG05_NVME_QDS
+            };
+            for p in PATTERNS {
+                for &qd in qds {
+                    cells.push(SweepCell::new(
+                        format!("{}/{}/qd{qd}", device.label(), p.label),
+                        move || {
+                            let mut h = host(device, IoPath::KernelInterrupt);
+                            let r = run_job(&mut h, &qd_job(&p, qd, ios));
+                            Fig05Row {
+                                device,
+                                pattern: p.label,
+                                qd,
+                                bandwidth_mbps: r.bandwidth_mbps(),
+                                normalized: 0.0,
+                            }
+                        },
+                    ));
+                }
             }
         }
-        let max = device_rows
-            .iter()
-            .map(|r| r.bandwidth_mbps)
-            .fold(0.0, f64::max);
-        for r in &mut device_rows {
-            r.normalized = r.bandwidth_mbps / max;
-        }
-        rows.extend(device_rows);
+        cells
     }
-    Fig05 { rows }
+
+    /// Cross-cell normalization (bandwidth / device max) happens here,
+    /// over the declaration-order slice — the classic example of work
+    /// that must live in `collect`, not in the cells.
+    fn collect(&self, _scale: Scale, mut rows: Vec<Fig05Row>) -> Fig05 {
+        for device in Device::ALL {
+            let max = rows
+                .iter()
+                .filter(|r| r.device == device)
+                .map(|r| r.bandwidth_mbps)
+                .fold(0.0, f64::max);
+            for r in rows.iter_mut().filter(|r| r.device == device) {
+                r.normalized = r.bandwidth_mbps / max;
+            }
+        }
+        Fig05 { rows }
+    }
+}
+
+/// Runs fig. 5.
+pub fn fig05_run(scale: Scale) -> Fig05 {
+    run_experiment(&Fig05Exp, scale, 1)
+}
+
+impl Report for Fig05 {
+    fn check(&self) -> Vec<String> {
+        Fig05::check(self)
+    }
+
+    fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("device", r.device.label())
+                    .field("pattern", r.pattern)
+                    .field("qd", r.qd)
+                    .field("bandwidth_mbps", r.bandwidth_mbps)
+                    .field("normalized", r.normalized)
+            })
+            .collect();
+        Json::obj().field("rows", rows)
+    }
 }
 
 impl Fig05 {
@@ -333,33 +442,85 @@ pub struct Fig06 {
 /// The write fractions swept (percent).
 pub const FIG06_WRITE_PCTS: [u32; 5] = [0, 20, 40, 60, 80];
 
+/// Fig. 6 as a registry experiment.
+#[derive(Debug)]
+pub struct Fig06Exp;
+
+impl Experiment for Fig06Exp {
+    type Cell = Fig06Row;
+    type Report = Fig06;
+
+    fn name(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig 6 (read/write interference)"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig06Row>> {
+        let ios = scale.ios(8_000, 200_000);
+        let mut cells = Vec::new();
+        for device in Device::ALL {
+            for wf in FIG06_WRITE_PCTS {
+                cells.push(SweepCell::new(
+                    format!("{}/w{wf}", device.label()),
+                    move || {
+                        let mut h = host(device, IoPath::KernelInterrupt);
+                        // Steady-state methodology: the device is
+                        // preconditioned, so interleaved writes carry
+                        // their real GC cost.
+                        ull_workload::precondition_full(&mut h);
+                        let spec = JobSpec::new(format!("mix-w{wf}"))
+                            .pattern(Pattern::Random)
+                            .read_fraction(1.0 - wf as f64 / 100.0)
+                            .engine(Engine::Libaio)
+                            .iodepth(4)
+                            .ios(ios)
+                            .seed(0xF1606 ^ wf as u64);
+                        let r = run_job(&mut h, &spec);
+                        Fig06Row {
+                            device,
+                            write_pct: wf,
+                            read_mean_us: r.read_latency.mean().as_micros_f64(),
+                            read_five_nines_us: r.read_latency.five_nines().as_micros_f64(),
+                        }
+                    },
+                ));
+            }
+        }
+        cells
+    }
+
+    fn collect(&self, _scale: Scale, rows: Vec<Fig06Row>) -> Fig06 {
+        Fig06 { rows }
+    }
+}
+
 /// Runs fig. 6.
 pub fn fig06_run(scale: Scale) -> Fig06 {
-    let ios = scale.ios(8_000, 200_000);
-    let mut rows = Vec::new();
-    for device in Device::ALL {
-        for wf in FIG06_WRITE_PCTS {
-            let mut h = host(device, IoPath::KernelInterrupt);
-            // Steady-state methodology: the device is preconditioned, so
-            // interleaved writes carry their real GC cost.
-            ull_workload::precondition_full(&mut h);
-            let spec = JobSpec::new(format!("mix-w{wf}"))
-                .pattern(Pattern::Random)
-                .read_fraction(1.0 - wf as f64 / 100.0)
-                .engine(Engine::Libaio)
-                .iodepth(4)
-                .ios(ios)
-                .seed(0xF1606 ^ wf as u64);
-            let r = run_job(&mut h, &spec);
-            rows.push(Fig06Row {
-                device,
-                write_pct: wf,
-                read_mean_us: r.read_latency.mean().as_micros_f64(),
-                read_five_nines_us: r.read_latency.five_nines().as_micros_f64(),
-            });
-        }
+    run_experiment(&Fig06Exp, scale, 1)
+}
+
+impl Report for Fig06 {
+    fn check(&self) -> Vec<String> {
+        Fig06::check(self)
     }
-    Fig06 { rows }
+
+    fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("device", r.device.label())
+                    .field("write_pct", r.write_pct)
+                    .field("read_mean_us", r.read_mean_us)
+                    .field("read_five_nines_us", r.read_five_nines_us)
+            })
+            .collect();
+        Json::obj().field("rows", rows)
+    }
 }
 
 impl Fig06 {
@@ -452,39 +613,95 @@ pub struct Fig07a {
     pub rows: Vec<Fig07aRow>,
 }
 
-/// Runs fig. 7a.
-pub fn fig07a_run(scale: Scale) -> Fig07a {
-    let ios = scale.ios(8_000, 100_000);
-    let mut rows = Vec::new();
-    for device in Device::ALL {
-        for (mode, engine, qd) in [
-            ("Async", Engine::Libaio, 16u32),
-            ("Sync", Engine::Pvsync2, 1),
-        ] {
-            for p in &PATTERNS {
-                let mut h = host(device, IoPath::KernelInterrupt);
-                let spec = JobSpec::new(format!("{mode}-{}", p.label))
-                    .pattern(p.pattern)
-                    .read_fraction(p.read_fraction)
-                    .engine(engine)
-                    .iodepth(qd)
-                    .ios(ios)
-                    .seed(0xF1607);
-                let r = run_job(&mut h, &spec);
-                rows.push(Fig07aRow {
-                    device,
-                    label: format!("{mode} {}", p.label),
-                    power_w: r.avg_power_w,
-                });
+/// Fig. 7a as a registry experiment.
+#[derive(Debug)]
+pub struct Fig07aExp;
+
+impl Experiment for Fig07aExp {
+    type Cell = Fig07aRow;
+    type Report = Fig07a;
+
+    fn name(&self) -> &'static str {
+        "fig7a"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig 7a (average power)"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig07aRow>> {
+        let ios = scale.ios(8_000, 100_000);
+        let mut cells = Vec::new();
+        for device in Device::ALL {
+            for (mode, engine, qd) in [
+                ("Async", Engine::Libaio, 16u32),
+                ("Sync", Engine::Pvsync2, 1),
+            ] {
+                for p in PATTERNS {
+                    cells.push(SweepCell::new(
+                        format!("{}/{mode} {}", device.label(), p.label),
+                        move || {
+                            let mut h = host(device, IoPath::KernelInterrupt);
+                            let spec = JobSpec::new(format!("{mode}-{}", p.label))
+                                .pattern(p.pattern)
+                                .read_fraction(p.read_fraction)
+                                .engine(engine)
+                                .iodepth(qd)
+                                .ios(ios)
+                                .seed(0xF1607);
+                            let r = run_job(&mut h, &spec);
+                            Fig07aRow {
+                                device,
+                                label: format!("{mode} {}", p.label),
+                                power_w: r.avg_power_w,
+                            }
+                        },
+                    ));
+                }
             }
         }
-        rows.push(Fig07aRow {
-            device,
-            label: "Idle".into(),
-            power_w: device.config().power.idle_w,
-        });
+        cells
     }
-    Fig07a { rows }
+
+    /// Appends the datasheet idle bar after each device's measured
+    /// bars — constant data, so it belongs in the fold, not in a cell.
+    fn collect(&self, _scale: Scale, outputs: Vec<Fig07aRow>) -> Fig07a {
+        let mut rows = Vec::with_capacity(outputs.len() + Device::ALL.len());
+        for device in Device::ALL {
+            rows.extend(outputs.iter().filter(|r| r.device == device).cloned());
+            rows.push(Fig07aRow {
+                device,
+                label: "Idle".into(),
+                power_w: device.config().power.idle_w,
+            });
+        }
+        Fig07a { rows }
+    }
+}
+
+/// Runs fig. 7a.
+pub fn fig07a_run(scale: Scale) -> Fig07a {
+    run_experiment(&Fig07aExp, scale, 1)
+}
+
+impl Report for Fig07a {
+    fn check(&self) -> Vec<String> {
+        Fig07a::check(self)
+    }
+
+    fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("device", r.device.label())
+                    .field("workload", r.label.as_str())
+                    .field("power_w", r.power_w)
+            })
+            .collect();
+        Json::obj().field("rows", rows)
+    }
 }
 
 impl Fig07a {
@@ -575,52 +792,110 @@ pub struct Fig07b08 {
     pub series: Vec<GcSeries>,
 }
 
+/// Figs. 7b/8 as a registry experiment (one heavy cell per device).
+#[derive(Debug)]
+pub struct Fig07b08Exp;
+
+impl Experiment for Fig07b08Exp {
+    type Cell = GcSeries;
+    type Report = Fig07b08;
+
+    fn name(&self) -> &'static str {
+        "fig7b"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig 7b/8 (GC latency & power)"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fig8"]
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<SweepCell<GcSeries>> {
+        Device::ALL
+            .into_iter()
+            .map(|device| {
+                let ios = match device {
+                    Device::Nvme750 => scale.ios(70_000, 1_500_000),
+                    Device::Ull => scale.ios(260_000, 4_000_000),
+                };
+                SweepCell::new(device.label(), move || {
+                    let mut h = host(device, IoPath::KernelInterrupt);
+                    ull_workload::precondition_full(&mut h);
+                    let spec = JobSpec::new("gc-overwrite")
+                        .pattern(Pattern::Random)
+                        .read_fraction(0.0)
+                        .engine(Engine::Libaio)
+                        .iodepth(2)
+                        .ios(ios)
+                        .seed(0xF1608);
+                    let r = run_job(&mut h, &spec);
+                    let latency_bins = r.latency_series.bins();
+                    let power_bins = r.power_series.clone();
+                    // "Early" is the pre-GC quiet period right after
+                    // preconditioning — an absolute window (the first few
+                    // 10 ms bins), because once GC engages the run
+                    // stretches and percentages land past the onset.
+                    let early = |bins: &[(SimTime, f64)]| {
+                        let hi = bins.len().clamp(1, 3);
+                        bins[..hi].iter().map(|(_, x)| x).sum::<f64>() / hi as f64
+                    };
+                    let late = |bins: &[(SimTime, f64)]| {
+                        let n = bins.len();
+                        let lo = (n as f64 * 0.7) as usize;
+                        let slice = &bins[lo..];
+                        slice.iter().map(|(_, x)| x).sum::<f64>() / slice.len().max(1) as f64
+                    };
+                    GcSeries {
+                        device,
+                        early_latency_us: early(&latency_bins),
+                        late_latency_us: late(&latency_bins),
+                        early_power_w: early(&power_bins),
+                        late_power_w: late(&power_bins),
+                        gc_migrated_units: r.device.gc_migrated_units,
+                        latency_bins,
+                        power_bins,
+                    }
+                })
+            })
+            .collect()
+    }
+
+    fn collect(&self, _scale: Scale, series: Vec<GcSeries>) -> Fig07b08 {
+        Fig07b08 { series }
+    }
+}
+
 /// Runs the GC time-series experiment (precondition the whole address
 /// space, then sustained 4 KB random overwrites at queue depth 2).
 pub fn fig07b08_run(scale: Scale) -> Fig07b08 {
-    let mut series = Vec::new();
-    for device in Device::ALL {
-        let ios = match device {
-            Device::Nvme750 => scale.ios(70_000, 1_500_000),
-            Device::Ull => scale.ios(260_000, 4_000_000),
-        };
-        let mut h = host(device, IoPath::KernelInterrupt);
-        ull_workload::precondition_full(&mut h);
-        let spec = JobSpec::new("gc-overwrite")
-            .pattern(Pattern::Random)
-            .read_fraction(0.0)
-            .engine(Engine::Libaio)
-            .iodepth(2)
-            .ios(ios)
-            .seed(0xF1608);
-        let r = run_job(&mut h, &spec);
-        let latency_bins = r.latency_series.bins();
-        let power_bins = r.power_series.clone();
-        // "Early" is the pre-GC quiet period right after preconditioning —
-        // an absolute window (the first few 10 ms bins), because once GC
-        // engages the run stretches and percentages land past the onset.
-        let early = |bins: &[(SimTime, f64)]| {
-            let hi = bins.len().clamp(1, 3);
-            bins[..hi].iter().map(|(_, x)| x).sum::<f64>() / hi as f64
-        };
-        let late = |bins: &[(SimTime, f64)]| {
-            let n = bins.len();
-            let lo = (n as f64 * 0.7) as usize;
-            let slice = &bins[lo..];
-            slice.iter().map(|(_, x)| x).sum::<f64>() / slice.len().max(1) as f64
-        };
-        series.push(GcSeries {
-            device,
-            early_latency_us: early(&latency_bins),
-            late_latency_us: late(&latency_bins),
-            early_power_w: early(&power_bins),
-            late_power_w: late(&power_bins),
-            gc_migrated_units: r.device.gc_migrated_units,
-            latency_bins,
-            power_bins,
-        });
+    run_experiment(&Fig07b08Exp, scale, 1)
+}
+
+impl Report for Fig07b08 {
+    fn check(&self) -> Vec<String> {
+        Fig07b08::check(self)
     }
-    Fig07b08 { series }
+
+    fn to_json(&self) -> Json {
+        let series: Vec<Json> = self
+            .series
+            .iter()
+            .map(|s| {
+                Json::obj()
+                    .field("device", s.device.label())
+                    .field("early_latency_us", s.early_latency_us)
+                    .field("late_latency_us", s.late_latency_us)
+                    .field("early_power_w", s.early_power_w)
+                    .field("late_power_w", s.late_power_w)
+                    .field("gc_migrated_units", s.gc_migrated_units)
+                    .field("latency_bin_count", s.latency_bins.len())
+                    .field("power_bin_count", s.power_bins.len())
+            })
+            .collect();
+        Json::obj().field("series", series)
+    }
 }
 
 impl Fig07b08 {

@@ -21,9 +21,10 @@ use ull_flash::FlashSpec;
 use ull_simkit::SimDuration;
 use ull_ssd::SsdConfig;
 use ull_stack::{IoPath, SoftwareCosts};
-use ull_workload::{run_job, Engine, JobSpec, Pattern};
+use ull_workload::{run_job, Engine, JobSpec, Json, Pattern};
 
-use crate::testbed::{host, host_with, reduction_pct, Device, Scale};
+use crate::engine::{run_experiment, Experiment, Report, SweepCell};
+use crate::testbed::{host, reduction_pct, Device, Scale};
 
 /// The ReRAM-class device projection: ULL geometry with far faster media
 /// and a leaner firmware path.
@@ -136,57 +137,147 @@ fn sweep_paths(cfg: SsdConfig, costs: SoftwareCosts, ios: u64, label: &str) -> E
     }
 }
 
+/// One cell output of the extension study: which sub-study it belongs
+/// to, plus its row.
+#[derive(Debug)]
+pub enum ExtCell {
+    /// A row of the media-speed comparison.
+    Media(ExtRow),
+    /// A row of the queue-protocol comparison.
+    Light(ExtRow),
+    /// A row of the compute-headroom study.
+    Headroom(HeadroomRow),
+}
+
+/// The extension study as a registry experiment.
+#[derive(Debug)]
+pub struct ExtensionsExp;
+
+/// A labelled sweep variant: name + device config + software-cost model.
+type Variant = (&'static str, fn() -> SsdConfig, fn() -> SoftwareCosts);
+
+impl Experiment for ExtensionsExp {
+    type Cell = ExtCell;
+    type Report = Extensions;
+
+    fn name(&self) -> &'static str {
+        "extensions"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extensions (faster NVM / light queue / CPU headroom)"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<SweepCell<ExtCell>> {
+        let ios = scale.ios(5_000, 100_000);
+        let mut cells = Vec::new();
+        let media: [Variant; 2] = [
+            ("Z-NAND", || Device::Ull.config(), SoftwareCosts::linux_4_14),
+            ("ReRAM-class", reram_projection, SoftwareCosts::linux_4_14),
+        ];
+        for (label, cfg, costs) in media {
+            cells.push(SweepCell::new(format!("media/{label}"), move || {
+                ExtCell::Media(sweep_paths(cfg(), costs(), ios, label))
+            }));
+        }
+        let queues: [Variant; 2] = [
+            (
+                "NVMe protocol",
+                || Device::Ull.config(),
+                SoftwareCosts::linux_4_14,
+            ),
+            ("light queue", || Device::Ull.config(), light_queue_costs),
+        ];
+        for (label, cfg, costs) in queues {
+            cells.push(SweepCell::new(format!("queue/{label}"), move || {
+                ExtCell::Light(sweep_paths(cfg(), costs(), ios, label))
+            }));
+        }
+        for path in [
+            IoPath::KernelInterrupt,
+            IoPath::KernelHybrid,
+            IoPath::KernelPolled,
+        ] {
+            cells.push(SweepCell::new(
+                format!("headroom/{}", path.label()),
+                move || {
+                    let mut h = host(Device::Ull, path);
+                    let spec = JobSpec::new("headroom").pattern(Pattern::Random).ios(ios);
+                    let r = run_job(&mut h, &spec);
+                    ExtCell::Headroom(HeadroomRow {
+                        path,
+                        compute_headroom: (1.0 - r.cpu_util()).max(0.0),
+                        kiops: r.iops() / 1e3,
+                    })
+                },
+            ));
+        }
+        cells
+    }
+
+    fn collect(&self, _scale: Scale, outputs: Vec<ExtCell>) -> Extensions {
+        let mut media = Vec::new();
+        let mut light_queue = Vec::new();
+        let mut headroom = Vec::new();
+        for cell in outputs {
+            match cell {
+                ExtCell::Media(r) => media.push(r),
+                ExtCell::Light(r) => light_queue.push(r),
+                ExtCell::Headroom(r) => headroom.push(r),
+            }
+        }
+        Extensions {
+            media,
+            light_queue,
+            headroom,
+        }
+    }
+}
+
 /// Runs the extension study.
 pub fn run(scale: Scale) -> Extensions {
-    let ios = scale.ios(5_000, 100_000);
-    let media = vec![
-        sweep_paths(
-            Device::Ull.config(),
-            SoftwareCosts::linux_4_14(),
-            ios,
-            "Z-NAND",
-        ),
-        sweep_paths(
-            reram_projection(),
-            SoftwareCosts::linux_4_14(),
-            ios,
-            "ReRAM-class",
-        ),
-    ];
-    let light_queue = vec![
-        sweep_paths(
-            Device::Ull.config(),
-            SoftwareCosts::linux_4_14(),
-            ios,
-            "NVMe protocol",
-        ),
-        sweep_paths(
-            Device::Ull.config(),
-            light_queue_costs(),
-            ios,
-            "light queue",
-        ),
-    ];
-    let mut headroom = Vec::new();
-    for path in [
-        IoPath::KernelInterrupt,
-        IoPath::KernelHybrid,
-        IoPath::KernelPolled,
-    ] {
-        let mut h = host(Device::Ull, path);
-        let spec = JobSpec::new("headroom").pattern(Pattern::Random).ios(ios);
-        let r = run_job(&mut h, &spec);
-        headroom.push(HeadroomRow {
-            path,
-            compute_headroom: (1.0 - r.cpu_util()).max(0.0),
-            kiops: r.iops() / 1e3,
-        });
+    run_experiment(&ExtensionsExp, scale, 1)
+}
+
+fn ext_row_json(r: &ExtRow) -> Json {
+    Json::obj()
+        .field("label", r.label.as_str())
+        .field("interrupt_us", r.interrupt_us)
+        .field("poll_us", r.poll_us)
+        .field("spdk_us", r.spdk_us)
+        .field("poll_gain_pct", r.poll_gain_pct())
+        .field("spdk_gain_pct", r.spdk_gain_pct())
+}
+
+impl Report for Extensions {
+    fn check(&self) -> Vec<String> {
+        Extensions::check(self)
     }
-    let _ = host_with; // exercised elsewhere; keep the import meaningful
-    Extensions {
-        media,
-        light_queue,
-        headroom,
+
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field(
+                "media",
+                Json::Arr(self.media.iter().map(ext_row_json).collect()),
+            )
+            .field(
+                "light_queue",
+                Json::Arr(self.light_queue.iter().map(ext_row_json).collect()),
+            )
+            .field(
+                "headroom",
+                Json::Arr(
+                    self.headroom
+                        .iter()
+                        .map(|r| {
+                            Json::obj()
+                                .field("path", r.path.label())
+                                .field("compute_headroom", r.compute_headroom)
+                                .field("kiops", r.kiops)
+                        })
+                        .collect(),
+                ),
+            )
     }
 }
 

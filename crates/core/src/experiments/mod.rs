@@ -19,26 +19,10 @@ use ull_workload::Pattern;
 
 /// The four access patterns of every figure, in the paper's order.
 pub const PATTERNS: [PatternSpec; 4] = [
-    PatternSpec {
-        label: "SeqRd",
-        pattern: Pattern::Sequential,
-        read_fraction: 1.0,
-    },
-    PatternSpec {
-        label: "RndRd",
-        pattern: Pattern::Random,
-        read_fraction: 1.0,
-    },
-    PatternSpec {
-        label: "SeqWr",
-        pattern: Pattern::Sequential,
-        read_fraction: 0.0,
-    },
-    PatternSpec {
-        label: "RndWr",
-        pattern: Pattern::Random,
-        read_fraction: 0.0,
-    },
+    PatternSpec::seq_rd(),
+    PatternSpec::rnd_rd(),
+    PatternSpec::seq_wr(),
+    PatternSpec::rnd_wr(),
 ];
 
 /// One named access pattern.
@@ -50,6 +34,44 @@ pub struct PatternSpec {
     pub pattern: Pattern,
     /// Read fraction.
     pub read_fraction: f64,
+}
+
+impl PatternSpec {
+    /// Sequential reads.
+    pub const fn seq_rd() -> PatternSpec {
+        PatternSpec {
+            label: "SeqRd",
+            pattern: Pattern::Sequential,
+            read_fraction: 1.0,
+        }
+    }
+
+    /// Random reads.
+    pub const fn rnd_rd() -> PatternSpec {
+        PatternSpec {
+            label: "RndRd",
+            pattern: Pattern::Random,
+            read_fraction: 1.0,
+        }
+    }
+
+    /// Sequential writes.
+    pub const fn seq_wr() -> PatternSpec {
+        PatternSpec {
+            label: "SeqWr",
+            pattern: Pattern::Sequential,
+            read_fraction: 0.0,
+        }
+    }
+
+    /// Random writes.
+    pub const fn rnd_wr() -> PatternSpec {
+        PatternSpec {
+            label: "RndWr",
+            pattern: Pattern::Random,
+            read_fraction: 0.0,
+        }
+    }
 }
 
 /// The block sizes of the completion-method figures (9-16).

@@ -6,7 +6,9 @@ use core::fmt;
 use ull_netblock::{NbdServerKind, NbdSystem};
 use ull_simkit::{SimDuration, SimTime, Summary};
 use ull_ssd::presets;
+use ull_workload::Json;
 
+use crate::engine::{run_experiment, Experiment, Report, SweepCell};
 use crate::testbed::{reduction_pct, Scale};
 
 /// The file sizes swept in fig. 23.
@@ -41,50 +43,108 @@ pub struct Fig23 {
     pub rows: Vec<Fig23Row>,
 }
 
+/// Fig. 23 as a registry experiment.
+#[derive(Debug)]
+pub struct Fig23Exp;
+
+impl Experiment for Fig23Exp {
+    type Cell = Fig23Row;
+    type Report = Fig23;
+
+    fn name(&self) -> &'static str {
+        "fig23"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig 23 (kernel NBD vs SPDK NBD)"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig23Row>> {
+        let ops = scale.ios(2_000, 50_000);
+        let mut cells = Vec::new();
+        for write in [false, true] {
+            for sequential in [true, false] {
+                for size in FIG23_SIZES {
+                    cells.push(SweepCell::new(
+                        format!(
+                            "{}/{}/{}K",
+                            if write { "write" } else { "read" },
+                            if sequential { "seq" } else { "rnd" },
+                            size / 1024
+                        ),
+                        move || {
+                            let mut lat = [0.0f64; 2];
+                            for (i, kind) in [NbdServerKind::Kernel, NbdServerKind::Spdk]
+                                .iter()
+                                .enumerate()
+                            {
+                                let mut sys = NbdSystem::new(presets::ull_800g(), *kind, 0xF1623)
+                                    .expect("preset valid");
+                                let mut s = Summary::new();
+                                let mut at = SimTime::ZERO;
+                                for k in 0..ops {
+                                    let file_id = if sequential {
+                                        k
+                                    } else {
+                                        k.wrapping_mul(2654435761)
+                                    };
+                                    let r = if write {
+                                        sys.file_write(at, file_id, size)
+                                    } else {
+                                        sys.file_read(at, file_id, size)
+                                    };
+                                    s.record(r.latency.as_micros_f64());
+                                    at = r.done + SimDuration::from_micros(2);
+                                }
+                                lat[i] = s.mean();
+                            }
+                            Fig23Row {
+                                write,
+                                sequential,
+                                file_size: size,
+                                kernel_us: lat[0],
+                                spdk_us: lat[1],
+                            }
+                        },
+                    ));
+                }
+            }
+        }
+        cells
+    }
+
+    fn collect(&self, _scale: Scale, rows: Vec<Fig23Row>) -> Fig23 {
+        Fig23 { rows }
+    }
+}
+
 /// Runs fig. 23 (10 M-file working set approximated by hashing file ids
 /// over the exported device).
 pub fn fig23_run(scale: Scale) -> Fig23 {
-    let ops = scale.ios(2_000, 50_000);
-    let mut rows = Vec::new();
-    for write in [false, true] {
-        for sequential in [true, false] {
-            for size in FIG23_SIZES {
-                let mut lat = [0.0f64; 2];
-                for (i, kind) in [NbdServerKind::Kernel, NbdServerKind::Spdk]
-                    .iter()
-                    .enumerate()
-                {
-                    let mut sys =
-                        NbdSystem::new(presets::ull_800g(), *kind, 0xF1623).expect("preset valid");
-                    let mut s = Summary::new();
-                    let mut at = SimTime::ZERO;
-                    for k in 0..ops {
-                        let file_id = if sequential {
-                            k
-                        } else {
-                            k.wrapping_mul(2654435761)
-                        };
-                        let r = if write {
-                            sys.file_write(at, file_id, size)
-                        } else {
-                            sys.file_read(at, file_id, size)
-                        };
-                        s.record(r.latency.as_micros_f64());
-                        at = r.done + SimDuration::from_micros(2);
-                    }
-                    lat[i] = s.mean();
-                }
-                rows.push(Fig23Row {
-                    write,
-                    sequential,
-                    file_size: size,
-                    kernel_us: lat[0],
-                    spdk_us: lat[1],
-                });
-            }
-        }
+    run_experiment(&Fig23Exp, scale, 1)
+}
+
+impl Report for Fig23 {
+    fn check(&self) -> Vec<String> {
+        Fig23::check(self)
     }
-    Fig23 { rows }
+
+    fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("op", if r.write { "write" } else { "read" })
+                    .field("order", if r.sequential { "seq" } else { "rnd" })
+                    .field("file_size", r.file_size)
+                    .field("kernel_us", r.kernel_us)
+                    .field("spdk_us", r.spdk_us)
+                    .field("gain_pct", r.gain_pct())
+            })
+            .collect();
+        Json::obj().field("rows", rows)
+    }
 }
 
 impl Fig23 {

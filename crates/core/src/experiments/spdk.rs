@@ -5,8 +5,9 @@
 use core::fmt;
 
 use ull_stack::{IoPath, StackFn};
-use ull_workload::{run_job, Engine, JobReport, JobSpec};
+use ull_workload::{run_job, Engine, JobReport, JobSpec, Json};
 
+use crate::engine::{run_experiment, Experiment, Report, SweepCell};
 use crate::experiments::{PatternSpec, BIG_BLOCK_SIZES, BLOCK_SIZES, PATTERNS};
 use crate::testbed::{host, reduction_pct, Device, Scale};
 
@@ -60,41 +61,127 @@ pub struct Fig171819 {
     pub large: Vec<SpdkLatencyRow>,
 }
 
-/// Runs figs. 17, 18 and 19.
-pub fn fig171819_run(scale: Scale) -> Fig171819 {
-    let ios = scale.ios(3_000, 100_000);
-    let mut small = Vec::new();
-    for device in Device::ALL {
-        for p in &PATTERNS {
-            for bs in BLOCK_SIZES {
-                let kernel = path_report(device, IoPath::KernelInterrupt, p, bs, ios);
-                let spdk = path_report(device, IoPath::Spdk, p, bs, ios);
-                small.push(SpdkLatencyRow {
-                    device,
-                    pattern: p.label,
-                    block_size: bs,
-                    kernel_us: kernel.mean_latency().as_micros_f64(),
-                    spdk_us: spdk.mean_latency().as_micros_f64(),
-                });
+/// Figs. 17/18/19 as a registry experiment.
+///
+/// Cells span two grids (the small-block grid of figs. 17/18 and the
+/// large-block ULL grid of fig. 19), so each cell output is tagged with
+/// which grid it belongs to and `collect` partitions in order.
+#[derive(Debug)]
+pub struct Fig171819Exp;
+
+impl Experiment for Fig171819Exp {
+    type Cell = (bool, SpdkLatencyRow); // (is_large_block, row)
+    type Report = Fig171819;
+
+    fn name(&self) -> &'static str {
+        "fig17"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig 17/18/19 (SPDK vs kernel latency)"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fig18", "fig19"]
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<SweepCell<(bool, SpdkLatencyRow)>> {
+        let ios = scale.ios(3_000, 100_000);
+        let mut cells = Vec::new();
+        for device in Device::ALL {
+            for p in PATTERNS {
+                for bs in BLOCK_SIZES {
+                    cells.push(SweepCell::new(
+                        format!("{}/{}/{}K", device.label(), p.label, bs / 1024),
+                        move || {
+                            let kernel = path_report(device, IoPath::KernelInterrupt, &p, bs, ios);
+                            let spdk = path_report(device, IoPath::Spdk, &p, bs, ios);
+                            (
+                                false,
+                                SpdkLatencyRow {
+                                    device,
+                                    pattern: p.label,
+                                    block_size: bs,
+                                    kernel_us: kernel.mean_latency().as_micros_f64(),
+                                    spdk_us: spdk.mean_latency().as_micros_f64(),
+                                },
+                            )
+                        },
+                    ));
+                }
             }
         }
-    }
-    let big_ios = scale.ios(1_500, 30_000);
-    let mut large = Vec::new();
-    for p in &PATTERNS {
-        for bs in BIG_BLOCK_SIZES {
-            let kernel = path_report(Device::Ull, IoPath::KernelInterrupt, p, bs, big_ios);
-            let spdk = path_report(Device::Ull, IoPath::Spdk, p, bs, big_ios);
-            large.push(SpdkLatencyRow {
-                device: Device::Ull,
-                pattern: p.label,
-                block_size: bs,
-                kernel_us: kernel.mean_latency().as_micros_f64(),
-                spdk_us: spdk.mean_latency().as_micros_f64(),
-            });
+        let big_ios = scale.ios(1_500, 30_000);
+        for p in PATTERNS {
+            for bs in BIG_BLOCK_SIZES {
+                cells.push(SweepCell::new(
+                    format!("ULL/{}/{}K", p.label, bs / 1024),
+                    move || {
+                        let kernel =
+                            path_report(Device::Ull, IoPath::KernelInterrupt, &p, bs, big_ios);
+                        let spdk = path_report(Device::Ull, IoPath::Spdk, &p, bs, big_ios);
+                        (
+                            true,
+                            SpdkLatencyRow {
+                                device: Device::Ull,
+                                pattern: p.label,
+                                block_size: bs,
+                                kernel_us: kernel.mean_latency().as_micros_f64(),
+                                spdk_us: spdk.mean_latency().as_micros_f64(),
+                            },
+                        )
+                    },
+                ));
+            }
         }
+        cells
     }
-    Fig171819 { small, large }
+
+    fn collect(&self, _scale: Scale, outputs: Vec<(bool, SpdkLatencyRow)>) -> Fig171819 {
+        let mut small = Vec::new();
+        let mut large = Vec::new();
+        for (is_large, row) in outputs {
+            if is_large {
+                large.push(row);
+            } else {
+                small.push(row);
+            }
+        }
+        Fig171819 { small, large }
+    }
+}
+
+/// Runs figs. 17, 18 and 19.
+pub fn fig171819_run(scale: Scale) -> Fig171819 {
+    run_experiment(&Fig171819Exp, scale, 1)
+}
+
+fn spdk_row_json(r: &SpdkLatencyRow) -> Json {
+    Json::obj()
+        .field("device", r.device.label())
+        .field("pattern", r.pattern)
+        .field("block_size", r.block_size)
+        .field("kernel_us", r.kernel_us)
+        .field("spdk_us", r.spdk_us)
+        .field("gain_pct", r.gain_pct())
+}
+
+impl Report for Fig171819 {
+    fn check(&self) -> Vec<String> {
+        Fig171819::check(self)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field(
+                "small",
+                Json::Arr(self.small.iter().map(spdk_row_json).collect()),
+            )
+            .field(
+                "large",
+                Json::Arr(self.large.iter().map(spdk_row_json).collect()),
+            )
+    }
 }
 
 impl Fig171819 {
@@ -200,30 +287,82 @@ pub struct Fig20 {
     pub rows: Vec<Fig20Row>,
 }
 
-/// Runs fig. 20.
-pub fn fig20_run(scale: Scale) -> Fig20 {
-    let ios = scale.ios(3_000, 100_000);
-    let mut rows = Vec::new();
-    for spdk in [false, true] {
-        let path = if spdk {
-            IoPath::Spdk
-        } else {
-            IoPath::KernelInterrupt
-        };
-        for p in &PATTERNS {
-            for bs in BLOCK_SIZES {
-                let r = path_report(Device::Ull, path, p, bs, ios);
-                rows.push(Fig20Row {
-                    spdk,
-                    pattern: p.label,
-                    block_size: bs,
-                    user: r.user_util,
-                    kernel: r.kernel_util,
-                });
+/// Fig. 20 as a registry experiment.
+#[derive(Debug)]
+pub struct Fig20Exp;
+
+impl Experiment for Fig20Exp {
+    type Cell = Fig20Row;
+    type Report = Fig20;
+
+    fn name(&self) -> &'static str {
+        "fig20"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig 20 (SPDK CPU utilization)"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig20Row>> {
+        let ios = scale.ios(3_000, 100_000);
+        let mut cells = Vec::new();
+        for spdk in [false, true] {
+            let path = if spdk {
+                IoPath::Spdk
+            } else {
+                IoPath::KernelInterrupt
+            };
+            for p in PATTERNS {
+                for bs in BLOCK_SIZES {
+                    cells.push(SweepCell::new(
+                        format!("{}/{}/{}K", path.label(), p.label, bs / 1024),
+                        move || {
+                            let r = path_report(Device::Ull, path, &p, bs, ios);
+                            Fig20Row {
+                                spdk,
+                                pattern: p.label,
+                                block_size: bs,
+                                user: r.user_util,
+                                kernel: r.kernel_util,
+                            }
+                        },
+                    ));
+                }
             }
         }
+        cells
     }
-    Fig20 { rows }
+
+    fn collect(&self, _scale: Scale, rows: Vec<Fig20Row>) -> Fig20 {
+        Fig20 { rows }
+    }
+}
+
+/// Runs fig. 20.
+pub fn fig20_run(scale: Scale) -> Fig20 {
+    run_experiment(&Fig20Exp, scale, 1)
+}
+
+impl Report for Fig20 {
+    fn check(&self) -> Vec<String> {
+        Fig20::check(self)
+    }
+
+    fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("stack", if r.spdk { "spdk" } else { "kernel" })
+                    .field("pattern", r.pattern)
+                    .field("block_size", r.block_size)
+                    .field("user", r.user)
+                    .field("kernel", r.kernel)
+            })
+            .collect();
+        Json::obj().field("rows", rows)
+    }
 }
 
 impl Fig20 {
@@ -312,31 +451,93 @@ pub struct Fig2122 {
     pub rows: Vec<Fig2122Row>,
 }
 
+/// Figs. 21/22 as a registry experiment.
+#[derive(Debug)]
+pub struct Fig2122Exp;
+
+impl Experiment for Fig2122Exp {
+    type Cell = Fig2122Row;
+    type Report = Fig2122;
+
+    fn name(&self) -> &'static str {
+        "fig21"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig 21/22 (SPDK memory instructions)"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fig22"]
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig2122Row>> {
+        let ios = scale.ios(3_000, 100_000);
+        let mut cells = Vec::new();
+        for p in PATTERNS {
+            for bs in BLOCK_SIZES {
+                cells.push(SweepCell::new(
+                    format!("{}/{}K", p.label, bs / 1024),
+                    move || {
+                        let int = path_report(Device::Ull, IoPath::KernelInterrupt, &p, bs, ios);
+                        let poll = path_report(Device::Ull, IoPath::KernelPolled, &p, bs, ios);
+                        let spdk = path_report(Device::Ull, IoPath::Spdk, &p, bs, ios);
+                        let poll_pair = poll.mem_of(StackFn::BlkMqPoll).total()
+                            + poll.mem_of(StackFn::NvmePoll).total();
+                        let spdk_loads = spdk.mem.loads as f64;
+                        Fig2122Row {
+                            pattern: p.label,
+                            block_size: bs,
+                            spdk_load_ratio: spdk.mem.loads as f64 / int.mem.loads as f64,
+                            spdk_store_ratio: spdk.mem.stores as f64 / int.mem.stores as f64,
+                            poll_pair_share: poll_pair as f64 / poll.mem.total() as f64,
+                            spdk_qpair_share: spdk.mem_of(StackFn::SpdkQpairProcess).loads as f64
+                                / spdk_loads,
+                            spdk_pcie_share: spdk.mem_of(StackFn::SpdkPcieProcess).loads as f64
+                                / spdk_loads,
+                            spdk_check_share: spdk.mem_of(StackFn::SpdkCheckEnabled).loads as f64
+                                / spdk_loads,
+                        }
+                    },
+                ));
+            }
+        }
+        cells
+    }
+
+    fn collect(&self, _scale: Scale, rows: Vec<Fig2122Row>) -> Fig2122 {
+        Fig2122 { rows }
+    }
+}
+
 /// Runs figs. 21 and 22.
 pub fn fig2122_run(scale: Scale) -> Fig2122 {
-    let ios = scale.ios(3_000, 100_000);
-    let mut rows = Vec::new();
-    for p in &PATTERNS {
-        for bs in BLOCK_SIZES {
-            let int = path_report(Device::Ull, IoPath::KernelInterrupt, p, bs, ios);
-            let poll = path_report(Device::Ull, IoPath::KernelPolled, p, bs, ios);
-            let spdk = path_report(Device::Ull, IoPath::Spdk, p, bs, ios);
-            let poll_pair =
-                poll.mem_of(StackFn::BlkMqPoll).total() + poll.mem_of(StackFn::NvmePoll).total();
-            let spdk_loads = spdk.mem.loads as f64;
-            rows.push(Fig2122Row {
-                pattern: p.label,
-                block_size: bs,
-                spdk_load_ratio: spdk.mem.loads as f64 / int.mem.loads as f64,
-                spdk_store_ratio: spdk.mem.stores as f64 / int.mem.stores as f64,
-                poll_pair_share: poll_pair as f64 / poll.mem.total() as f64,
-                spdk_qpair_share: spdk.mem_of(StackFn::SpdkQpairProcess).loads as f64 / spdk_loads,
-                spdk_pcie_share: spdk.mem_of(StackFn::SpdkPcieProcess).loads as f64 / spdk_loads,
-                spdk_check_share: spdk.mem_of(StackFn::SpdkCheckEnabled).loads as f64 / spdk_loads,
-            });
-        }
+    run_experiment(&Fig2122Exp, scale, 1)
+}
+
+impl Report for Fig2122 {
+    fn check(&self) -> Vec<String> {
+        Fig2122::check(self)
     }
-    Fig2122 { rows }
+
+    fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("pattern", r.pattern)
+                    .field("block_size", r.block_size)
+                    .field("spdk_load_ratio", r.spdk_load_ratio)
+                    .field("spdk_store_ratio", r.spdk_store_ratio)
+                    .field("poll_pair_share", r.poll_pair_share)
+                    .field("spdk_qpair_share", r.spdk_qpair_share)
+                    .field("spdk_pcie_share", r.spdk_pcie_share)
+                    .field("spdk_check_share", r.spdk_check_share)
+            })
+            .collect();
+        Json::obj().field("rows", rows)
+    }
 }
 
 impl Fig2122 {

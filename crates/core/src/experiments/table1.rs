@@ -3,6 +3,10 @@
 use core::fmt;
 
 use ull_flash::FlashSpec;
+use ull_workload::Json;
+
+use crate::engine::{run_experiment, Experiment, Report, SweepCell};
+use crate::testbed::Scale;
 
 /// The reproduced Table I.
 #[derive(Debug)]
@@ -11,10 +15,61 @@ pub struct Table1 {
     pub columns: Vec<FlashSpec>,
 }
 
+/// Table I as a registry experiment (a single constant cell — the table
+/// is built from preset specs, not from simulation).
+#[derive(Debug)]
+pub struct Table1Exp;
+
+impl Experiment for Table1Exp {
+    type Cell = FlashSpec;
+    type Report = Table1;
+
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table I"
+    }
+
+    fn cells(&self, _scale: Scale) -> Vec<SweepCell<FlashSpec>> {
+        vec![
+            SweepCell::new("BiCS", FlashSpec::bics),
+            SweepCell::new("V-NAND", FlashSpec::v_nand),
+            SweepCell::new("Z-NAND", FlashSpec::z_nand),
+        ]
+    }
+
+    fn collect(&self, _scale: Scale, columns: Vec<FlashSpec>) -> Table1 {
+        Table1 { columns }
+    }
+}
+
 /// Builds the table from the `ull-flash` presets.
 pub fn run() -> Table1 {
-    Table1 {
-        columns: vec![FlashSpec::bics(), FlashSpec::v_nand(), FlashSpec::z_nand()],
+    run_experiment(&Table1Exp, Scale::Quick, 1)
+}
+
+impl Report for Table1 {
+    fn check(&self) -> Vec<String> {
+        Table1::check(self)
+    }
+
+    fn to_json(&self) -> Json {
+        let columns: Vec<Json> = self
+            .columns
+            .iter()
+            .map(|c| {
+                Json::obj()
+                    .field("name", c.name)
+                    .field("layers", c.layers)
+                    .field("t_read_us", c.t_read.as_micros_f64())
+                    .field("t_prog_us", c.t_prog.as_micros_f64())
+                    .field("die_capacity_gbit", c.die_capacity_gbit)
+                    .field("page_size", c.page_size)
+            })
+            .collect();
+        Json::obj().field("columns", columns)
     }
 }
 

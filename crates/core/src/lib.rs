@@ -22,7 +22,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod experiments;
+pub mod registry;
 pub mod testbed;
 
+pub use engine::{run_experiment, Experiment, Report, SweepCell};
+pub use registry::{entries, find, json_document, Entry, Section};
 pub use testbed::{host, host_with, reduction_pct, Device, Scale};

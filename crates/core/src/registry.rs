@@ -1,0 +1,262 @@
+//! The experiment registry: every table/figure reproduction, runnable by
+//! name.
+//!
+//! `reproduce`, `ull-bench` and the integration tests all drive the same
+//! [`entries`] table, so "which figures exist and what are they called"
+//! is defined exactly once. Names follow `EXPERIMENTS.md` (`table1`,
+//! `fig4`, ..., `extensions`); figures that share a run are reachable
+//! through aliases (`fig10` → `fig9`, `fig8` → `fig7b`, ...).
+
+use ull_workload::Json;
+
+use crate::engine::{run_experiment, Experiment, Report};
+use crate::experiments::{completion, device_level, extensions, nbd, spdk, table1};
+use crate::testbed::Scale;
+
+/// One finished registry run: the printable section plus its
+/// machine-readable report.
+#[derive(Debug)]
+pub struct Section {
+    /// Primary registry name.
+    pub name: &'static str,
+    /// Section heading.
+    pub title: &'static str,
+    /// The rows, as `reproduce` prints them.
+    pub body: String,
+    /// Violated shape claims (empty = OK).
+    pub violations: Vec<String>,
+    /// The report's JSON form.
+    pub report: Json,
+}
+
+impl Section {
+    /// Whether the reproduction upholds the paper's shape claims.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The section as one JSON object (name, title, verdict, report).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("name", self.name)
+            .field("title", self.title)
+            .field("ok", self.ok())
+            .field(
+                "violations",
+                Json::Arr(
+                    self.violations
+                        .iter()
+                        .map(|v| Json::from(v.as_str()))
+                        .collect(),
+                ),
+            )
+            .field("report", self.report.clone())
+    }
+}
+
+/// One registry entry.
+pub struct Entry {
+    /// Primary name (`"fig9"`).
+    pub name: &'static str,
+    /// Section heading (`"Fig 9/10 (poll vs interrupt)"`).
+    pub title: &'static str,
+    /// Alternate names that resolve here (`["fig10"]`).
+    pub aliases: &'static [&'static str],
+    runner: fn(Scale, usize) -> Section,
+}
+
+impl Entry {
+    /// Runs the experiment at `scale` on up to `jobs` workers.
+    pub fn run(&self, scale: Scale, jobs: usize) -> Section {
+        (self.runner)(scale, jobs)
+    }
+
+    /// Whether `name` refers to this entry (primary name or alias).
+    pub fn matches(&self, name: &str) -> bool {
+        self.name == name || self.aliases.contains(&name)
+    }
+}
+
+impl core::fmt::Debug for Entry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Entry")
+            .field("name", &self.name)
+            .field("title", &self.title)
+            .field("aliases", &self.aliases)
+            .finish()
+    }
+}
+
+fn section<E: Experiment>(exp: &E, scale: Scale, jobs: usize) -> Section {
+    let report = run_experiment(exp, scale, jobs);
+    Section {
+        name: exp.name(),
+        title: exp.title(),
+        body: report.to_string(),
+        violations: report.check(),
+        report: report.to_json(),
+    }
+}
+
+/// All experiments, in the paper's presentation order.
+pub fn entries() -> &'static [Entry] {
+    macro_rules! entry {
+        ($exp:expr) => {{
+            Entry {
+                name: $exp.name(),
+                title: $exp.title(),
+                aliases: $exp.aliases(),
+                runner: |scale, jobs| section(&$exp, scale, jobs),
+            }
+        }};
+    }
+    static ENTRIES: std::sync::OnceLock<Vec<Entry>> = std::sync::OnceLock::new();
+    ENTRIES.get_or_init(|| {
+        vec![
+            entry!(table1::Table1Exp),
+            entry!(device_level::Fig04Exp),
+            entry!(device_level::Fig05Exp),
+            entry!(device_level::Fig06Exp),
+            entry!(device_level::Fig07aExp),
+            entry!(device_level::Fig07b08Exp),
+            entry!(completion::Fig0910Exp),
+            entry!(completion::Fig11Exp),
+            entry!(completion::Fig1213Exp),
+            entry!(completion::Fig14Exp),
+            entry!(completion::Fig15Exp),
+            entry!(completion::Fig16Exp),
+            entry!(spdk::Fig171819Exp),
+            entry!(spdk::Fig20Exp),
+            entry!(spdk::Fig2122Exp),
+            entry!(extensions::ExtensionsExp),
+            entry!(nbd::Fig23Exp),
+        ]
+    })
+}
+
+/// Looks an experiment up by primary name or alias.
+pub fn find(name: &str) -> Option<&'static Entry> {
+    entries().iter().find(|e| e.matches(name))
+}
+
+/// Assembles finished sections into the suite-level JSON document that
+/// `reproduce --json` prints and `BENCH_quick.json` records.
+///
+/// Deliberately excludes anything host-dependent (wall-clock, job
+/// count), so the document is byte-identical across `--jobs` values and
+/// machines.
+pub fn json_document(scale: Scale, sections: &[Section]) -> Json {
+    Json::obj()
+        .field("suite", "ull-ssd-study")
+        .field(
+            "scale",
+            match scale {
+                Scale::Quick => "quick",
+                Scale::Full => "full",
+            },
+        )
+        .field("ok", sections.iter().all(Section::ok))
+        .field(
+            "sections",
+            Json::Arr(sections.iter().map(Section::to_json).collect()),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_experiments_md_section() {
+        // The 17 sections of EXPERIMENTS.md, by primary name.
+        let names: Vec<&str> = entries().iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            [
+                "table1",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7a",
+                "fig7b",
+                "fig9",
+                "fig11",
+                "fig12",
+                "fig14",
+                "fig15",
+                "fig16",
+                "fig17",
+                "fig20",
+                "fig21",
+                "extensions",
+                "fig23",
+            ]
+        );
+    }
+
+    #[test]
+    fn every_figure_number_resolves() {
+        // Every figure the paper numbers, including the ones that share
+        // a run with a sibling, must be reachable by name.
+        for name in [
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7a",
+            "fig7b",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19",
+            "fig20",
+            "fig21",
+            "fig22",
+            "fig23",
+            "table1",
+            "extensions",
+        ] {
+            assert!(find(name).is_some(), "{name} not in registry");
+        }
+        assert!(find("fig24").is_none());
+        assert_eq!(find("fig10").unwrap().name, "fig9");
+        assert_eq!(find("fig8").unwrap().name, "fig7b");
+        assert_eq!(find("fig19").unwrap().name, "fig17");
+    }
+
+    #[test]
+    fn names_and_aliases_are_unique() {
+        let mut seen = Vec::new();
+        for e in entries() {
+            for n in std::iter::once(&e.name).chain(e.aliases) {
+                assert!(!seen.contains(n), "duplicate registry name {n}");
+                seen.push(n);
+            }
+        }
+    }
+
+    #[test]
+    fn table1_runs_through_the_registry() {
+        let s = find("table1").unwrap().run(Scale::Quick, 1);
+        assert!(s.ok(), "{:?}", s.violations);
+        assert!(s.body.contains("Z-NAND"));
+        assert!(s.to_json().to_string().contains("\"name\":\"table1\""));
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let s = find("table1").unwrap().run(Scale::Quick, 2);
+        let doc = json_document(Scale::Quick, &[s]);
+        let text = doc.to_pretty_string();
+        assert!(text.contains("\"suite\": \"ull-ssd-study\""));
+        assert!(text.contains("\"scale\": \"quick\""));
+        assert!(text.contains("\"sections\""));
+    }
+}

@@ -1,4 +1,9 @@
 //! Streaming summary statistics.
+//!
+//! simlint: allow-file(S007): Welford's online moments are floating-point
+//! by definition; every caller feeds samples in simulation order (and
+//! `merge` is only used for fixed-order reductions), so the summation
+//! order is deterministic even though the representation is f64.
 
 use core::fmt;
 

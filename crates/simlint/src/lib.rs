@@ -14,8 +14,9 @@
 //! | S002 | ambient/unseeded RNG (`thread_rng`, `rand::random`, `OsRng`, ...) |
 //! | S003 | order-dependent iteration over `HashMap`/`HashSet` |
 //! | S004 | `f64` round-trips in simulation-time arithmetic |
-//! | S005 | threading/blocking primitives inside the event-loop crates |
+//! | S005 | threading/blocking primitives inside the event-loop crates (`ull-exec`, the sanctioned sweep driver, excepted) |
 //! | S006 | `unwrap()`/`expect()`/`panic!` in library code of the core layers |
+//! | S007 | floating-point accumulation across iterations (`x += ...` on an f32/f64 binding) |
 //!
 //! Escape hatch: `// simlint: allow(SNNN): <justification>` on (or directly
 //! above) the offending line; `// simlint: allow-file(SNNN): <why>` for a

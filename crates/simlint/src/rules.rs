@@ -1,4 +1,4 @@
-//! The sim-purity rule catalogue, S001-S006.
+//! The sim-purity rule catalogue, S001-S007.
 //!
 //! Each rule walks the stripped [`SourceFile`] lines of files inside its
 //! scope and reports [`Finding`]s. The scope of every rule — which crates
@@ -12,9 +12,12 @@ use crate::source::{token_positions, SourceFile};
 /// Crates whose `src/` trees are simulation code: everything that feeds
 /// simulated time, ordering or randomness. `bench` is deliberately absent —
 /// it is the wall-clock *measurement* harness. `simlint` is absent from the
-/// purity scopes but still walked for S003.
-pub const SIM_CRATES: [&str; 9] = [
-    "simkit", "flash", "ssd", "nvme", "stack", "netblock", "workload", "core", "root",
+/// purity scopes but still walked for S003. `exec` is simulation-adjacent:
+/// it must stay free of wall clocks, ambient RNG and float time (S001,
+/// S002, S004, S007), but it is the one sanctioned host-parallel driver,
+/// so S005's threading ban is carved out for it (see `check_file`).
+pub const SIM_CRATES: [&str; 10] = [
+    "simkit", "flash", "ssd", "nvme", "stack", "netblock", "workload", "core", "exec", "root",
 ];
 
 /// Crates whose library code must not contain panicking escape hatches
@@ -33,7 +36,7 @@ pub struct RuleInfo {
 }
 
 /// The rule catalogue.
-pub const RULES: [RuleInfo; 6] = [
+pub const RULES: [RuleInfo; 7] = [
     RuleInfo {
         code: "S001",
         summary: "no wall-clock access (std::time::Instant / SystemTime) in simulation code; \
@@ -64,13 +67,23 @@ pub const RULES: [RuleInfo; 6] = [
         summary: "no host threading or blocking primitives (thread::spawn/sleep, Mutex, RwLock, \
                   Condvar, mpsc) inside the event-loop crates; the simulator is single-threaded \
                   by construction",
-        scope: "src/ of simulation crates",
+        scope: "src/ of simulation crates, except ull-exec — the sanctioned host-parallel sweep \
+                driver (its determinism argument lives in docs/DETERMINISM.md)",
     },
     RuleInfo {
         code: "S006",
         summary: "no unwrap()/expect()/panic!/unreachable!/todo!/unimplemented! in library code \
                   paths; return Result or justify the invariant with an allow directive",
         scope: "src/ of simkit, ssd, nvme, stack (tests and benches exempt)",
+    },
+    RuleInfo {
+        code: "S007",
+        summary: "no floating-point accumulation across iterations (`x += ...` / `-=` / `*=` on \
+                  an f32/f64 binding) in simulation code; the running value depends on summation \
+                  order, so accumulate in integer units (nanoseconds, nanojoules, counts) or \
+                  justify the fixed order with an allow directive",
+        scope: "src/ of simulation crates, except simkit/src/time.rs which defines the integer \
+                time arithmetic",
     },
 ];
 
@@ -85,9 +98,14 @@ pub fn check_file(crate_name: &str, file: &SourceFile) -> Vec<Finding> {
     if sim {
         check_tokens(file, "S001", &S001_TOKENS, S001_MSG, &mut out);
         check_tokens(file, "S002", &S002_TOKENS, S002_MSG, &mut out);
-        check_tokens(file, "S005", &S005_TOKENS, S005_MSG, &mut out);
+        // `exec` is the scoped worker pool that runs independent sweep
+        // cells on host threads — the one place threading is the point.
+        if crate_name != "exec" {
+            check_tokens(file, "S005", &S005_TOKENS, S005_MSG, &mut out);
+        }
         if !is_time_rs {
             check_s004(file, &mut out);
+            check_s007(file, &mut out);
         }
     }
     check_s003(file, &mut out);
@@ -342,6 +360,107 @@ fn check_s004(file: &SourceFile, out: &mut Vec<Finding>) {
             ));
         }
     }
+}
+
+// ------------------------------------------------------------------ S007
+
+const S007_MSG: &str = "accumulates a float across iterations; the result depends on summation \
+                        order — accumulate in integer units or justify the fixed order with \
+                        `// simlint: allow(S007): <why>`";
+
+fn check_s007(file: &SourceFile, out: &mut Vec<Finding>) {
+    let float_names = collect_float_bindings(file);
+    if float_names.is_empty() {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if line.in_test || file.allowed(lineno, "S007") {
+            continue;
+        }
+        let code = &line.code;
+        for op in ["+=", "-=", "*="] {
+            let Some(pos) = code.find(op) else { continue };
+            // The assignment target: `self.total_nj`, `bins_nj[idx]`, `acc`.
+            let mut lhs = code[..pos].trim_end();
+            if lhs.ends_with(']') {
+                // Strip one trailing index: `bins_nj[idx]` -> `bins_nj`.
+                if let Some(open) = lhs.rfind('[') {
+                    lhs = lhs[..open].trim_end();
+                }
+            }
+            if let Some(name) = trailing_ident(lhs) {
+                if float_names.contains(name) {
+                    out.push(Finding::new(
+                        "S007",
+                        &file.path,
+                        lineno,
+                        &line.raw,
+                        format!("`{name} {op}`: {S007_MSG}"),
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Collects identifiers bound to an f32/f64 anywhere in the file:
+/// `name: f64` (fields, params, typed lets, including `Vec<f64>` /
+/// `[f64; N]` element bindings) and `let [mut] name = <float literal>`.
+fn collect_float_bindings(file: &SourceFile) -> std::collections::BTreeSet<String> {
+    let mut names = std::collections::BTreeSet::new();
+    for line in &file.lines {
+        let code = &line.code;
+        // `name: f64` and friends.
+        for pos in find_all(code, ":") {
+            let after = code[pos + 1..].trim_start();
+            let floaty = ["f64", "f32", "Vec<f64>", "Vec<f32>", "[f64", "[f32"]
+                .iter()
+                .any(|ty| after.starts_with(ty));
+            if !floaty {
+                continue;
+            }
+            let head = code[..pos].trim_end();
+            if head.ends_with(':') {
+                continue; // `path::f64` is not a binding
+            }
+            if let Some(name) = trailing_ident(head) {
+                names.insert(name.to_string());
+            }
+        }
+        // `let [mut] name = 0.0` / `= 0.0f64` / `= 0f32`.
+        if let Some(rest) = code.trim_start().strip_prefix("let ") {
+            let rest = rest.trim_start();
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+            if let Some(eq) = rest.find('=') {
+                let name = rest[..eq].trim();
+                let is_ident = !name.is_empty()
+                    && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                    && !name.starts_with(|c: char| c.is_ascii_digit());
+                if is_ident && is_float_literal(rest[eq + 1..].trim_start()) {
+                    names.insert(name.to_string());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Whether `s` starts with a float literal (`0.0`, `1.5f64`, `-2f32`)
+/// followed by nothing but an optional `;`.
+fn is_float_literal(s: &str) -> bool {
+    let s = s.strip_prefix('-').unwrap_or(s).trim_start();
+    if !s.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    let end = s
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '_'))
+        .unwrap_or(s.len());
+    let (num, rest) = s.split_at(end);
+    let suffixed = rest.starts_with("f64") || rest.starts_with("f32");
+    let tail = if suffixed { &rest[3..] } else { rest }.trim();
+    (num.contains('.') || suffixed) && (tail.is_empty() || tail == ";")
 }
 
 // ------------------------------------------------------------------ S006

@@ -1,4 +1,4 @@
-//! Per-rule fixture tests: for every rule S001-S006 one fixture that
+//! Per-rule fixture tests: for every rule S001-S007 one fixture that
 //! triggers it and one that passes, plus escape-hatch and scoping checks.
 //!
 //! These are the analyzer's regression suite: each fixture encodes the
@@ -208,6 +208,100 @@ fn s006_only_applies_to_panic_free_crates() {
     // workload/core drive experiments; panics there abort a run, not the sim.
     assert!(check_source("workload", "crates/workload/src/f.rs", uw).is_empty());
     assert!(check_source("core", "crates/core/src/f.rs", uw).is_empty());
+}
+
+// ------------------------------------------------------------------ S007
+
+#[test]
+fn s007_flags_float_accumulation_across_iterations() {
+    let local = "pub fn mean(xs: &[f64]) -> f64 {\n\
+                     let mut sum = 0.0;\n\
+                     for x in xs { sum += x; }\n\
+                     sum / xs.len() as f64\n\
+                 }\n";
+    assert_eq!(sim(local), ["S007:3"]);
+    let field = "pub struct Acc { total: f64 }\n\
+                 impl Acc {\n\
+                     pub fn add(&mut self, x: f64) { self.total += x; }\n\
+                 }\n";
+    assert_eq!(sim(field), ["S007:3"]);
+    let indexed = "pub struct Bins { bins: Vec<f64> }\n\
+                   impl Bins {\n\
+                       pub fn charge(&mut self, i: usize, x: f64) { self.bins[i] += x; }\n\
+                   }\n";
+    assert_eq!(sim(indexed), ["S007:3"]);
+}
+
+#[test]
+fn s007_passes_integer_accumulators_and_one_shot_float_math() {
+    // Integer accumulation (u64/u128 counters, SimDuration sums) is exact.
+    let ints = "pub fn total(xs: &[u64]) -> u128 {\n\
+                    let mut sum: u128 = 0;\n\
+                    for x in xs { sum += *x as u128; }\n\
+                    sum\n\
+                }\n";
+    assert!(sim(ints).is_empty());
+    // One-shot float arithmetic (no compound assignment) is reporting, not
+    // accumulation.
+    let oneshot = "pub fn pct(a: f64, b: f64) -> f64 { (a - b) / a * 100.0 }\n";
+    assert!(sim(oneshot).is_empty());
+    // Float accumulation inside #[cfg(test)] is exempt like every rule.
+    let test_only = "#[cfg(test)]\n\
+                     mod tests {\n\
+                         #[test]\n\
+                         fn t() {\n\
+                             let mut s = 0.0;\n\
+                             for i in 0..4 { s += i as f64; }\n\
+                             assert!(s > 0.0);\n\
+                         }\n\
+                     }\n";
+    assert!(sim(test_only).is_empty());
+}
+
+#[test]
+fn s007_exempts_time_rs_and_honours_allows() {
+    // time.rs defines the integer time arithmetic; its impl lines are the
+    // sanctioned base case.
+    let defs = "pub struct W { w: f64 }\n\
+                impl W { pub fn add(&mut self, x: f64) { self.w += x; } }\n";
+    assert!(check_source("simkit", "crates/simkit/src/time.rs", defs).is_empty());
+    assert_eq!(
+        check_source("simkit", "crates/simkit/src/w.rs", defs).len(),
+        1
+    );
+    let allowed = "pub struct W { w: f64 }\n\
+                   impl W {\n\
+                       // simlint: allow(S007): charged in fixed event order\n\
+                       pub fn add(&mut self, x: f64) { self.w += x; }\n\
+                   }\n";
+    assert!(check_source("simkit", "crates/simkit/src/w.rs", allowed).is_empty());
+}
+
+// --------------------------------------------------- exec S005 carve-out
+
+#[test]
+fn s005_is_carved_out_for_the_exec_worker_pool() {
+    // ull-exec is the sanctioned host-parallel sweep driver: Mutex and
+    // scoped threads are its implementation, so S005 does not apply...
+    let pool = "use std::sync::Mutex;\n\
+                pub fn run(tasks: Vec<Mutex<u64>>) {}\n";
+    assert!(check_source("exec", "crates/exec/src/lib.rs", pool).is_empty());
+    // ...but the purity rules still do: exec must not read wall clocks,
+    // roll ambient RNG, or accumulate floats.
+    let wall = "pub fn t0() -> std::time::Instant { std::time::Instant::now() }\n";
+    assert_eq!(
+        check_source("exec", "crates/exec/src/lib.rs", wall)[0].rule,
+        "S001"
+    );
+    let acc = "pub fn sum(xs: &[f64]) -> f64 {\n\
+                   let mut s = 0.0;\n\
+                   for x in xs { s += x; }\n\
+                   s\n\
+               }\n";
+    assert_eq!(
+        check_source("exec", "crates/exec/src/lib.rs", acc)[0].rule,
+        "S007"
+    );
 }
 
 // ------------------------------------------------------- escape hatches

@@ -53,7 +53,9 @@ impl EnergyLedger {
         if idx >= self.bins_nj.len() {
             self.bins_nj.resize(idx + 1, 0.0);
         }
+        // simlint: allow(S007): energy is charged strictly in event order by the single-threaded device loop, so this f64 sum is order-deterministic; nanojoule magnitudes span ~9 decades, which integer picojoules would overflow per run
         self.bins_nj[idx] += nanojoules;
+        // simlint: allow(S007): same fixed event order as the bin charge above
         self.total_nj += nanojoules;
     }
 

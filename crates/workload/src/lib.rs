@@ -32,12 +32,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod json;
 mod pattern;
 mod report;
 mod runner;
 mod spec;
 mod trace;
 
+pub use json::Json;
 pub use pattern::AddressStream;
 pub use report::JobReport;
 pub use runner::{precondition_full, run_job};

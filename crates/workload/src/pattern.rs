@@ -92,6 +92,7 @@ impl AddressStream {
         let mut acc = 0.0;
         let mut rank = 1u64;
         while rank < n {
+            // simlint: allow(S007): the harmonic partial sums are walked in fixed rank order 1..n, so the inverse-CDF accumulation is reproducible bit-for-bit
             acc += 1.0 / rank as f64;
             if acc >= target {
                 break;

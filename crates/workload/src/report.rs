@@ -6,6 +6,8 @@ use ull_simkit::{Histogram, SimDuration, SimTime, TimeSeries};
 use ull_ssd::SsdMetrics;
 use ull_stack::{MemCounts, Mode, StackFn};
 
+use crate::Json;
+
 /// Everything a finished job measured.
 ///
 /// Produced by [`crate::run_job`]; the accessors mirror what fio prints
@@ -96,6 +98,47 @@ impl JobReport {
             .filter(|(g, _, _)| *g == f)
             .map(|(_, _, d)| *d)
             .sum()
+    }
+
+    /// Machine-readable summary of the report (the fields fio's JSON
+    /// output would carry, in µs), used by the experiment engine's
+    /// `--json` mode and by `ull-bench`.
+    ///
+    /// The rendering is deterministic: members are emitted in a fixed
+    /// order and every number is a pure function of the sim state, so
+    /// identical runs serialize to identical bytes (see
+    /// docs/DETERMINISM.md).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("name", self.name.as_str())
+            .field("ios", self.completed)
+            .field("bytes", self.bytes)
+            .field("elapsed_us", self.elapsed.as_micros_f64())
+            .field("iops", self.iops())
+            .field("bw_mbps", self.bandwidth_mbps())
+            .field(
+                "lat_us",
+                Json::obj()
+                    .field("mean", self.mean_latency().as_micros_f64())
+                    .field("p50", self.latency.quantile(0.5).as_micros_f64())
+                    .field("p99", self.latency.quantile(0.99).as_micros_f64())
+                    .field("p99999", self.five_nines().as_micros_f64())
+                    .field("max", self.latency.max().as_micros_f64()),
+            )
+            .field(
+                "cpu",
+                Json::obj()
+                    .field("user", self.user_util)
+                    .field("kernel", self.kernel_util),
+            )
+            .field(
+                "mem",
+                Json::obj()
+                    .field("loads", self.mem.loads)
+                    .field("stores", self.mem.stores),
+            )
+            .field("power_w", self.avg_power_w)
+            .field("write_amplification", self.device.write_amplification())
     }
 }
 

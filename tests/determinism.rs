@@ -11,6 +11,7 @@
 
 use ull_ssd_study::prelude::*;
 use ull_ssd_study::study::experiments::completion;
+use ull_ssd_study::study::registry::{find, json_document};
 
 /// Runs one complete async job and fingerprints the entire report.
 fn job_fingerprint(seed: u64) -> String {
@@ -68,5 +69,31 @@ fn completion_experiment_is_byte_identical_end_to_end() {
     assert_eq!(
         a, b,
         "completion experiment diverged between identical runs"
+    );
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    // The "parallel cells, serial merge" claim (docs/DETERMINISM.md) made
+    // executable: a registry run on 4 workers must be byte-identical to
+    // the serial run — same printed section bodies, same JSON document.
+    // table1/fig15/fig23 cover a constant-cell table, a two-cell job
+    // sweep and a 20-cell NBD sweep, so the merge handles every shape.
+    let run = |jobs: usize| {
+        let sections: Vec<_> = ["table1", "fig15", "fig23"]
+            .iter()
+            .map(|n| find(n).expect("registry name").run(Scale::Quick, jobs))
+            .collect();
+        let doc = json_document(Scale::Quick, &sections).to_pretty_string();
+        let bodies: Vec<String> = sections.iter().map(|s| s.body.clone()).collect();
+        (doc, bodies)
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial, parallel, "jobs=4 diverged from jobs=1");
+    assert!(
+        serial.0.len() > 500,
+        "document suspiciously small: {} bytes",
+        serial.0.len()
     );
 }

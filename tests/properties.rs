@@ -94,6 +94,42 @@ fn event_queue_is_stable_sort() {
     }
 }
 
+/// FIFO tie-breaking survives interleaved schedule/pop: events scheduled
+/// across pop boundaries still come out in (time, insertion) order, i.e.
+/// the sequence counter is global to the queue's lifetime, not to one
+/// batch. The model is a vector popped by stable (time, id) minimum.
+#[test]
+fn event_queue_fifo_survives_interleaving() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed ^ 0x1757);
+        let mut q = EventQueue::new();
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        let mut next_id = 0u64;
+        for _ in 0..400 {
+            if model.is_empty() || rng.chance(0.6) {
+                // Times from a tiny range, so equal-time ties are common.
+                let t = rng.below(16);
+                q.schedule(SimTime::from_nanos(t), next_id);
+                model.push((t, next_id));
+                next_id += 1;
+            } else {
+                let min = *model.iter().min().expect("non-empty");
+                let idx = model.iter().position(|&e| e == min).expect("present");
+                model.remove(idx);
+                let (t, id) = q.pop().expect("queue tracks model");
+                assert_eq!((t.as_nanos(), id), min, "seed {seed}");
+            }
+        }
+        // Drain the rest: still stable (time, insertion) order.
+        let mut rest = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            rest.push((t.as_nanos(), id));
+        }
+        model.sort_unstable(); // (time, id) = FIFO within equal times
+        assert_eq!(rest, model, "seed {seed}");
+    }
+}
+
 /// Timelines serve FIFO: completions are monotone, never start before the
 /// request arrives, and busy time equals the sum of durations.
 #[test]
