@@ -19,7 +19,7 @@
 
 use std::process::ExitCode;
 
-use ull_study::registry::{entries, find, json_document, Entry, Section};
+use ull_study::registry::{default_entries, entries, find, json_document, Entry, Section};
 use ull_study::testbed::Scale;
 
 const USAGE: &str = "usage: reproduce [--full] [--jobs N] [--json] [--list] [NAME ...| all]";
@@ -66,10 +66,12 @@ fn parse_args() -> Result<Args, String> {
 
 /// Resolves the requested names to registry entries, in the paper's
 /// presentation order and without duplicates (so `fig9 fig10` runs the
-/// shared experiment once).
+/// shared experiment once). `all` (or no names) runs the paper's
+/// figures — extensions that opt out of the baseline (`faults`) run
+/// only when named explicitly.
 fn resolve(picks: &[String]) -> Result<Vec<&'static Entry>, String> {
     if picks.iter().any(|p| p == "all") || picks.is_empty() {
-        return Ok(entries().iter().collect());
+        return Ok(default_entries().collect());
     }
     for p in picks {
         if find(p).is_none() {
@@ -85,10 +87,18 @@ fn resolve(picks: &[String]) -> Result<Vec<&'static Entry>, String> {
 }
 
 fn print_list() {
-    println!("{:12}{:12}title", "name", "aliases");
+    println!("{:12}{:18}{:44}description", "name", "aliases", "title");
     for e in entries() {
-        println!("{:12}{:12}{}", e.name, e.aliases.join(","), e.title);
+        let star = if e.in_all { "" } else { "*" };
+        println!(
+            "{:12}{:18}{:44}{}",
+            format!("{}{star}", e.name),
+            e.aliases.join(","),
+            e.title,
+            e.description
+        );
     }
+    println!("\n(*) not part of `all` / BENCH_quick.json; run by name");
 }
 
 fn print_section(s: &Section) {

@@ -91,6 +91,10 @@ pub trait Experiment {
     /// Section heading, as printed by `reproduce`.
     fn title(&self) -> &'static str;
 
+    /// One-line summary for `reproduce --list`: what the experiment
+    /// measures and what shape it defends.
+    fn description(&self) -> &'static str;
+
     /// Alternate names that resolve to this experiment (figures that
     /// share a run, e.g. `fig10` → `fig9`).
     fn aliases(&self) -> &'static [&'static str] {
@@ -162,6 +166,10 @@ mod tests {
 
         fn title(&self) -> &'static str {
             "Squares (engine self-test)"
+        }
+
+        fn description(&self) -> &'static str {
+            "engine self-test: squares of cell indices"
         }
 
         fn cells(&self, scale: Scale) -> Vec<SweepCell<u64>> {

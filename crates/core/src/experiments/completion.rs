@@ -72,6 +72,10 @@ impl Experiment for Fig0910Exp {
         "Fig 9/10 (poll vs interrupt)"
     }
 
+    fn description(&self) -> &'static str {
+        "mean latency of polling vs interrupts across block sizes"
+    }
+
     fn aliases(&self) -> &'static [&'static str] {
         &["fig10"]
     }
@@ -237,6 +241,10 @@ impl Experiment for Fig11Exp {
         "Fig 11 (five-nines, poll vs interrupt)"
     }
 
+    fn description(&self) -> &'static str {
+        "99.999th-percentile latency, polling vs interrupts"
+    }
+
     fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig11Row>> {
         let ios = scale.ios(200_000, 1_000_000);
         let mut cells = Vec::new();
@@ -381,6 +389,10 @@ impl Experiment for Fig1213Exp {
 
     fn title(&self) -> &'static str {
         "Fig 12/13 (CPU utilization)"
+    }
+
+    fn description(&self) -> &'static str {
+        "CPU utilization cost of each completion method"
     }
 
     fn aliases(&self) -> &'static [&'static str] {
@@ -553,6 +565,10 @@ impl Experiment for Fig14Exp {
         "Fig 14 (kernel cycle breakdown)"
     }
 
+    fn description(&self) -> &'static str {
+        "per-function kernel cycle breakdown of the I/O path"
+    }
+
     fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig14Row>> {
         let ios = scale.ios(4_000, 200_000);
         PATTERNS
@@ -703,6 +719,10 @@ impl Experiment for Fig15Exp {
         "Fig 15 (poll memory instructions)"
     }
 
+    fn description(&self) -> &'static str {
+        "memory-instruction inflation of the polling loop"
+    }
+
     fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig15Row>> {
         let ios = scale.ios(4_000, 200_000);
         let mut cells = Vec::new();
@@ -830,6 +850,10 @@ impl Experiment for Fig16Exp {
 
     fn title(&self) -> &'static str {
         "Fig 16 (hybrid polling latency)"
+    }
+
+    fn description(&self) -> &'static str {
+        "hybrid sleep-then-poll latency between poll and interrupt"
     }
 
     fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig16Row>> {

@@ -67,6 +67,10 @@ impl Experiment for Fig04Exp {
         "Fig 4 (latency vs queue depth)"
     }
 
+    fn description(&self) -> &'static str {
+        "device latency vs queue depth, both devices, four patterns"
+    }
+
     fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig04Row>> {
         let ios = scale.ios(4_000, 300_000);
         let mut cells = Vec::new();
@@ -255,6 +259,10 @@ impl Experiment for Fig05Exp {
 
     fn title(&self) -> &'static str {
         "Fig 5 (bandwidth vs queue depth)"
+    }
+
+    fn description(&self) -> &'static str {
+        "device bandwidth vs queue depth and saturation points"
     }
 
     fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig05Row>> {
@@ -458,6 +466,10 @@ impl Experiment for Fig06Exp {
         "Fig 6 (read/write interference)"
     }
 
+    fn description(&self) -> &'static str {
+        "read latency degradation when co-running writes"
+    }
+
     fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig06Row>> {
         let ios = scale.ios(8_000, 200_000);
         let mut cells = Vec::new();
@@ -627,6 +639,10 @@ impl Experiment for Fig07aExp {
 
     fn title(&self) -> &'static str {
         "Fig 7a (average power)"
+    }
+
+    fn description(&self) -> &'static str {
+        "average device power across patterns and queue depths"
     }
 
     fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig07aRow>> {
@@ -806,6 +822,10 @@ impl Experiment for Fig07b08Exp {
 
     fn title(&self) -> &'static str {
         "Fig 7b/8 (GC latency & power)"
+    }
+
+    fn description(&self) -> &'static str {
+        "garbage-collection latency spikes and power under overwrite"
     }
 
     fn aliases(&self) -> &'static [&'static str] {

@@ -168,6 +168,10 @@ impl Experiment for ExtensionsExp {
         "Extensions (faster NVM / light queue / CPU headroom)"
     }
 
+    fn description(&self) -> &'static str {
+        "what-if sweeps beyond the paper: faster media, lighter queues"
+    }
+
     fn cells(&self, scale: Scale) -> Vec<SweepCell<ExtCell>> {
         let ios = scale.ios(5_000, 100_000);
         let mut cells = Vec::new();

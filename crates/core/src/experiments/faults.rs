@@ -1,0 +1,415 @@
+//! Robustness extension: tail latency under deterministic fault
+//! injection (`ull-faults`).
+//!
+//! The paper's five-nines tails (figs. 12/13) assume a fault-free
+//! device. This experiment installs a seeded [`FaultPlan`] across the
+//! whole stack — flash read retries and program fails, NVMe command
+//! loss with host timeout/retry/reset recovery, NBD link drops — and
+//! sweeps the fault rate over {none, low, high} for each device ×
+//! completion method (plus a kernel-NBD export). The headline shape:
+//! recovery keeps every run correct and the *mean* barely moves, but
+//! the 99.999th percentile diverges by orders of magnitude, because a
+//! single 500 µs timeout dwarfs an 8 µs ULL read.
+//!
+//! The sweep is excluded from `reproduce all` (and hence the
+//! `BENCH_quick.json` baseline): it extends the paper rather than
+//! reproducing a figure. Run it with `reproduce faults` (alias
+//! `tail_under_faults`); CI pins its quick-scale JSON in
+//! `BENCH_faults_quick.json`.
+
+use core::fmt;
+
+use ull_faults::{FaultPlan, FaultReport};
+use ull_netblock::{NbdServerKind, NbdSystem};
+use ull_simkit::{Histogram, SimDuration, SimTime};
+use ull_stack::IoPath;
+use ull_workload::{JobSpec, Json, Pattern};
+
+use crate::engine::{run_experiment, Experiment, Report, SweepCell};
+use crate::testbed::{host, Device, Scale};
+
+/// The fault rates swept, with their row labels.
+pub const FAULT_RATES: [(&str, f64); 3] = [("none", 0.0), ("low", 2e-4), ("high", 2e-3)];
+
+/// Root seed of every fault lottery in the sweep (per-cell plans fork
+/// from it by scenario index).
+pub const FAULTS_SEED: u64 = 0xFA_B5EED;
+
+/// One measured cell of the fault sweep.
+#[derive(Debug, Clone)]
+pub struct FaultsRow {
+    /// Scenario label (`"ULL SSD/interrupt"`, ..., `"kernel-nbd"`).
+    pub scenario: String,
+    /// Fault-rate label (`"none"`, `"low"`, `"high"`).
+    pub rate_label: &'static str,
+    /// Per-unit/per-command fault probability of every class.
+    pub rate: f64,
+    /// I/Os measured.
+    pub ios: u64,
+    /// Mean latency, µs.
+    pub mean_us: f64,
+    /// 99.999th-percentile latency, µs.
+    pub p99999_us: f64,
+    /// Maximum latency, µs.
+    pub max_us: f64,
+    /// Recovery accounting from every layer.
+    pub report: FaultReport,
+}
+
+/// The fault sweep as a registry experiment.
+#[derive(Debug)]
+pub struct FaultsExp;
+
+fn host_cell(
+    device: Device,
+    path: IoPath,
+    path_label: &'static str,
+    scale: Scale,
+) -> Vec<SweepCell<FaultsRow>> {
+    let ios = scale.ios(6_000, 400_000);
+    FAULT_RATES
+        .iter()
+        .enumerate()
+        .map(|(i, &(rate_label, rate))| {
+            let scenario = format!("{}/{}", device.label(), path_label);
+            let label = format!("{scenario}/{rate_label}");
+            let cell_scenario = scenario.clone();
+            SweepCell::new(label, move || {
+                let mut h = host(device, path);
+                let plan = FaultPlan::uniform(FAULTS_SEED ^ (i as u64) << 8, rate);
+                h.set_fault_plan(&plan);
+                let spec = JobSpec::new(cell_scenario.clone())
+                    .pattern(Pattern::Random)
+                    .read_fraction(0.7)
+                    .block_size(4096)
+                    .ios(ios)
+                    .seed(0xF1_7A11);
+                let r = ull_workload::run_job(&mut h, &spec);
+                let (flash, ssd) = h.controller().ssd().fault_counters();
+                let nvme = h.nvme_fault_counters();
+                FaultsRow {
+                    scenario: cell_scenario,
+                    rate_label,
+                    rate,
+                    ios,
+                    mean_us: r.mean_latency().as_micros_f64(),
+                    p99999_us: r.five_nines().as_micros_f64(),
+                    max_us: r.latency.max().as_micros_f64(),
+                    report: FaultReport {
+                        flash,
+                        ssd,
+                        nvme,
+                        nbd: Default::default(),
+                    },
+                }
+            })
+        })
+        .collect()
+}
+
+fn nbd_cell(scale: Scale) -> Vec<SweepCell<FaultsRow>> {
+    let ios = scale.ios(2_000, 100_000);
+    FAULT_RATES
+        .iter()
+        .enumerate()
+        .map(|(i, &(rate_label, rate))| {
+            SweepCell::new(format!("kernel-nbd/{rate_label}"), move || {
+                let mut sys = NbdSystem::new(Device::Ull.config(), NbdServerKind::Kernel, 0xF1623)
+                    .expect("preset valid");
+                let plan = FaultPlan::uniform(FAULTS_SEED ^ 0xB0 ^ (i as u64) << 8, rate);
+                sys.set_fault_plan(&plan);
+                let mut lat = Histogram::new();
+                let mut at = SimTime::ZERO;
+                for k in 0..ios {
+                    let r = sys.file_read(at, k.wrapping_mul(2654435761), 4096);
+                    lat.record(r.latency);
+                    at = r.done + SimDuration::from_micros(2);
+                }
+                let (flash, ssd) = sys.server().controller().ssd().fault_counters();
+                let nvme = sys.server().nvme_fault_counters();
+                let nbd = sys.nbd_fault_counters();
+                FaultsRow {
+                    scenario: "kernel-nbd".into(),
+                    rate_label,
+                    rate,
+                    ios,
+                    mean_us: lat.mean().as_micros_f64(),
+                    p99999_us: lat.five_nines().as_micros_f64(),
+                    max_us: lat.max().as_micros_f64(),
+                    report: FaultReport {
+                        flash,
+                        ssd,
+                        nvme,
+                        nbd,
+                    },
+                }
+            })
+        })
+        .collect()
+}
+
+impl Experiment for FaultsExp {
+    type Cell = FaultsRow;
+    type Report = Faults;
+
+    fn name(&self) -> &'static str {
+        "faults"
+    }
+
+    fn title(&self) -> &'static str {
+        "Faults (tail latency under deterministic fault injection)"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["tail_under_faults"]
+    }
+
+    fn description(&self) -> &'static str {
+        "fault-rate sweep: recovery keeps runs correct, tails diverge"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<SweepCell<FaultsRow>> {
+        let mut cells = Vec::new();
+        for device in Device::ALL {
+            for (path, path_label) in [
+                (IoPath::KernelInterrupt, "interrupt"),
+                (IoPath::KernelPolled, "poll"),
+            ] {
+                cells.extend(host_cell(device, path, path_label, scale));
+            }
+        }
+        cells.extend(nbd_cell(scale));
+        cells
+    }
+
+    fn collect(&self, _scale: Scale, rows: Vec<FaultsRow>) -> Faults {
+        Faults { rows }
+    }
+}
+
+/// The finished fault sweep.
+#[derive(Debug)]
+pub struct Faults {
+    /// All measured cells, scenario-major, rate-minor.
+    pub rows: Vec<FaultsRow>,
+}
+
+/// Runs the fault sweep serially.
+pub fn faults_run(scale: Scale) -> Faults {
+    run_experiment(&FaultsExp, scale, 1)
+}
+
+impl Faults {
+    fn row(&self, scenario: &str, rate_label: &str) -> Option<&FaultsRow> {
+        self.rows
+            .iter()
+            .find(|r| r.scenario == scenario && r.rate_label == rate_label)
+    }
+
+    /// Shape violations: zero-cost when disabled, accounting equalities,
+    /// and mean-vs-tail divergence under faults.
+    pub fn check(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        for r in &self.rows {
+            let f = &r.report;
+            if r.rate == 0.0 && f.injected_total() != 0 {
+                v.push(format!(
+                    "{}/none: injected {} faults at rate 0",
+                    r.scenario,
+                    f.injected_total()
+                ));
+            }
+            if r.rate_label == "high" && f.injected_total() == 0 {
+                v.push(format!("{}/high: no faults fired", r.scenario));
+            }
+            // Layer accounting must balance exactly (see docs/FAULTS.md).
+            if f.nvme.aborts != f.nvme.injected_timeouts {
+                v.push(format!(
+                    "{}/{}: aborts {} != injected timeouts {}",
+                    r.scenario, r.rate_label, f.nvme.aborts, f.nvme.injected_timeouts
+                ));
+            }
+            if f.ssd.retired_blocks + f.ssd.deferred_retirements != f.flash.program_failures {
+                v.push(format!(
+                    "{}/{}: retirement accounting does not balance",
+                    r.scenario, r.rate_label
+                ));
+            }
+            if f.ssd.remapped + f.ssd.marked_bad != f.ssd.retired_blocks {
+                v.push(format!(
+                    "{}/{}: remap accounting does not balance",
+                    r.scenario, r.rate_label
+                ));
+            }
+            if f.nbd.link_drops != f.nbd.reconnects || f.nbd.link_drops != f.nbd.replayed_commands {
+                v.push(format!(
+                    "{}/{}: NBD replay accounting does not balance",
+                    r.scenario, r.rate_label
+                ));
+            }
+        }
+        let scenarios: Vec<&str> = {
+            let mut s: Vec<&str> = self.rows.iter().map(|r| r.scenario.as_str()).collect();
+            s.dedup();
+            s
+        };
+        for sc in scenarios {
+            let (Some(none), Some(high)) = (self.row(sc, "none"), self.row(sc, "high")) else {
+                v.push(format!("{sc}: missing rate rows"));
+                continue;
+            };
+            if high.p99999_us <= 2.0 * none.p99999_us {
+                v.push(format!(
+                    "{sc}: p99.999 {:.1}us under faults vs {:.1}us nominal — tail must diverge",
+                    high.p99999_us, none.p99999_us
+                ));
+            }
+            let mean_ratio = high.mean_us / none.mean_us;
+            let tail_ratio = high.p99999_us / none.p99999_us;
+            if tail_ratio <= 2.0 * mean_ratio {
+                v.push(format!(
+                    "{sc}: tail ratio {tail_ratio:.1} must dwarf mean ratio {mean_ratio:.2}"
+                ));
+            }
+        }
+        v
+    }
+}
+
+impl Report for Faults {
+    fn check(&self) -> Vec<String> {
+        Faults::check(self)
+    }
+
+    fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let f = &r.report;
+                Json::obj()
+                    .field("scenario", r.scenario.as_str())
+                    .field("rate_label", r.rate_label)
+                    .field("rate", r.rate)
+                    .field("ios", r.ios)
+                    .field(
+                        "lat_us",
+                        Json::obj()
+                            .field("mean", r.mean_us)
+                            .field("p99999", r.p99999_us)
+                            .field("max", r.max_us),
+                    )
+                    .field(
+                        "faults",
+                        Json::obj()
+                            .field("injected_total", f.injected_total())
+                            .field(
+                                "flash",
+                                Json::obj()
+                                    .field("read_marginal_events", f.flash.read_marginal_events)
+                                    .field("read_retry_steps", f.flash.read_retry_steps)
+                                    .field("program_failures", f.flash.program_failures),
+                            )
+                            .field(
+                                "ssd",
+                                Json::obj()
+                                    .field("retired_blocks", f.ssd.retired_blocks)
+                                    .field("remapped", f.ssd.remapped)
+                                    .field("marked_bad", f.ssd.marked_bad)
+                                    .field("deferred_retirements", f.ssd.deferred_retirements)
+                                    .field("relocated_units", f.ssd.relocated_units),
+                            )
+                            .field(
+                                "nvme",
+                                Json::obj()
+                                    .field("injected_timeouts", f.nvme.injected_timeouts)
+                                    .field("aborts", f.nvme.aborts)
+                                    .field("retries", f.nvme.retries)
+                                    .field("backoff_ns_total", f.nvme.backoff_ns_total)
+                                    .field("controller_resets", f.nvme.controller_resets)
+                                    .field("requeues", f.nvme.requeues)
+                                    .field("sq_requeues", f.nvme.sq_requeues),
+                            )
+                            .field(
+                                "nbd",
+                                Json::obj()
+                                    .field("link_drops", f.nbd.link_drops)
+                                    .field("reconnects", f.nbd.reconnects)
+                                    .field("replayed_commands", f.nbd.replayed_commands),
+                            ),
+                    )
+            })
+            .collect();
+        Json::obj().field("rows", rows)
+    }
+}
+
+impl fmt::Display for Faults {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fault sweep: mean vs p99.999 under injected faults (4K random, 70% read)"
+        )?;
+        writeln!(
+            f,
+            "{:20}{:>6}{:>10}{:>12}{:>12}{:>10}{:>8}{:>8}{:>8}",
+            "scenario",
+            "rate",
+            "mean(us)",
+            "p99999(us)",
+            "max(us)",
+            "injected",
+            "retry",
+            "reset",
+            "replay"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:20}{:>6}{:>10.1}{:>12.1}{:>12.1}{:>10}{:>8}{:>8}{:>8}",
+                r.scenario,
+                r.rate_label,
+                r.mean_us,
+                r.p99999_us,
+                r.max_us,
+                r.report.injected_total(),
+                r.report.nvme.retries,
+                r.report.nvme.controller_resets,
+                r.report.nbd.replayed_commands,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_experiment;
+
+    #[test]
+    fn faults_shapes_hold() {
+        let r = faults_run(Scale::Quick);
+        assert!(r.check().is_empty(), "{:#?}\n{r}", r.check());
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_are_byte_identical() {
+        let serial = run_experiment(&FaultsExp, Scale::Quick, 1);
+        let parallel = run_experiment(&FaultsExp, Scale::Quick, 4);
+        assert_eq!(
+            serial.to_json().to_string(),
+            parallel.to_json().to_string(),
+            "fault sweep must be deterministic under --jobs"
+        );
+    }
+
+    #[test]
+    fn zero_rate_rows_report_no_faults() {
+        let r = faults_run(Scale::Quick);
+        for row in r.rows.iter().filter(|r| r.rate == 0.0) {
+            assert_eq!(row.report.injected_total(), 0, "{}", row.scenario);
+            assert_eq!(row.report.nvme.retries, 0, "{}", row.scenario);
+        }
+    }
+}

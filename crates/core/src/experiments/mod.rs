@@ -11,6 +11,7 @@
 pub mod completion;
 pub mod device_level;
 pub mod extensions;
+pub mod faults;
 pub mod nbd;
 pub mod spdk;
 pub mod table1;

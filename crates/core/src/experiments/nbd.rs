@@ -59,6 +59,10 @@ impl Experiment for Fig23Exp {
         "Fig 23 (kernel NBD vs SPDK NBD)"
     }
 
+    fn description(&self) -> &'static str {
+        "server-client latency over ext4/NBD, kernel vs SPDK export"
+    }
+
     fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig23Row>> {
         let ops = scale.ios(2_000, 50_000);
         let mut cells = Vec::new();

@@ -81,6 +81,10 @@ impl Experiment for Fig171819Exp {
         "Fig 17/18/19 (SPDK vs kernel latency)"
     }
 
+    fn description(&self) -> &'static str {
+        "SPDK userspace driver latency vs the kernel stack"
+    }
+
     fn aliases(&self) -> &'static [&'static str] {
         &["fig18", "fig19"]
     }
@@ -303,6 +307,10 @@ impl Experiment for Fig20Exp {
         "Fig 20 (SPDK CPU utilization)"
     }
 
+    fn description(&self) -> &'static str {
+        "SPDK reactor core occupancy vs kernel paths"
+    }
+
     fn cells(&self, scale: Scale) -> Vec<SweepCell<Fig20Row>> {
         let ios = scale.ios(3_000, 100_000);
         let mut cells = Vec::new();
@@ -465,6 +473,10 @@ impl Experiment for Fig2122Exp {
 
     fn title(&self) -> &'static str {
         "Fig 21/22 (SPDK memory instructions)"
+    }
+
+    fn description(&self) -> &'static str {
+        "memory-instruction profile of the SPDK reactor"
     }
 
     fn aliases(&self) -> &'static [&'static str] {

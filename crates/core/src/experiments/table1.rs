@@ -32,6 +32,10 @@ impl Experiment for Table1Exp {
         "Table I"
     }
 
+    fn description(&self) -> &'static str {
+        "device-level characteristics table: Z-NAND vs conventional NVMe"
+    }
+
     fn cells(&self, _scale: Scale) -> Vec<SweepCell<FlashSpec>> {
         vec![
             SweepCell::new("BiCS", FlashSpec::bics),

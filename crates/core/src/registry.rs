@@ -10,7 +10,7 @@
 use ull_workload::Json;
 
 use crate::engine::{run_experiment, Experiment, Report};
-use crate::experiments::{completion, device_level, extensions, nbd, spdk, table1};
+use crate::experiments::{completion, device_level, extensions, faults, nbd, spdk, table1};
 use crate::testbed::Scale;
 
 /// One finished registry run: the printable section plus its
@@ -60,8 +60,15 @@ pub struct Entry {
     pub name: &'static str,
     /// Section heading (`"Fig 9/10 (poll vs interrupt)"`).
     pub title: &'static str,
+    /// One-line summary, shown by `reproduce --list`.
+    pub description: &'static str,
     /// Alternate names that resolve here (`["fig10"]`).
     pub aliases: &'static [&'static str],
+    /// Whether `reproduce all` (and hence the `BENCH_quick.json`
+    /// baseline) includes this entry. Extensions that sweep beyond the
+    /// paper's figures (e.g. `faults`) opt out and keep their own
+    /// baseline file.
+    pub in_all: bool,
     runner: fn(Scale, usize) -> Section,
 }
 
@@ -101,11 +108,16 @@ fn section<E: Experiment>(exp: &E, scale: Scale, jobs: usize) -> Section {
 /// All experiments, in the paper's presentation order.
 pub fn entries() -> &'static [Entry] {
     macro_rules! entry {
-        ($exp:expr) => {{
+        ($exp:expr) => {
+            entry!($exp, in_all: true)
+        };
+        ($exp:expr, in_all: $in_all:expr) => {{
             Entry {
                 name: $exp.name(),
                 title: $exp.title(),
+                description: $exp.description(),
                 aliases: $exp.aliases(),
+                in_all: $in_all,
                 runner: |scale, jobs| section(&$exp, scale, jobs),
             }
         }};
@@ -130,6 +142,10 @@ pub fn entries() -> &'static [Entry] {
             entry!(spdk::Fig2122Exp),
             entry!(extensions::ExtensionsExp),
             entry!(nbd::Fig23Exp),
+            // The fault sweep extends the paper; it keeps its own
+            // baseline (BENCH_faults_quick.json) instead of joining the
+            // `all` document.
+            entry!(faults::FaultsExp, in_all: false),
         ]
     })
 }
@@ -137,6 +153,12 @@ pub fn entries() -> &'static [Entry] {
 /// Looks an experiment up by primary name or alias.
 pub fn find(name: &str) -> Option<&'static Entry> {
     entries().iter().find(|e| e.matches(name))
+}
+
+/// The entries `reproduce all` runs — exactly the set recorded in the
+/// committed `BENCH_quick.json` baseline.
+pub fn default_entries() -> impl Iterator<Item = &'static Entry> {
+    entries().iter().filter(|e| e.in_all)
 }
 
 /// Assembles finished sections into the suite-level JSON document that
@@ -168,7 +190,8 @@ mod tests {
 
     #[test]
     fn registry_covers_every_experiments_md_section() {
-        // The 17 sections of EXPERIMENTS.md, by primary name.
+        // The 17 sections of EXPERIMENTS.md plus the fault-sweep
+        // extension, by primary name.
         let names: Vec<&str> = entries().iter().map(|e| e.name).collect();
         assert_eq!(
             names,
@@ -190,7 +213,31 @@ mod tests {
                 "fig21",
                 "extensions",
                 "fig23",
+                "faults",
             ]
+        );
+    }
+
+    #[test]
+    fn fault_sweep_is_named_but_not_in_all() {
+        let e = find("faults").expect("fault sweep registered");
+        assert!(
+            !e.in_all,
+            "faults must stay out of the BENCH_quick baseline"
+        );
+        assert_eq!(find("tail_under_faults").unwrap().name, "faults");
+        assert!(
+            default_entries().all(|e| e.in_all),
+            "default set must honor in_all"
+        );
+        assert_eq!(
+            default_entries().count(),
+            entries().len() - 1,
+            "only the fault sweep opts out"
+        );
+        assert!(
+            !e.description.is_empty(),
+            "every entry carries a --list description"
         );
     }
 

@@ -1,0 +1,32 @@
+//! Deterministic fault-injection plans and recovery accounting.
+//!
+//! This crate is the workspace's single source of truth for *what can go
+//! wrong* in a simulated run: a seeded [`FaultPlan`] describes typed
+//! faults for every layer of the stack (flash read/program, NVMe
+//! command loss, NBD link drops) plus the recovery parameters the
+//! layers use to heal (host timeout, bounded retry with exponential
+//! backoff, reconnect delay).
+//!
+//! The injection *decisions* are made by the layers themselves — each
+//! forks its own [`SplitMix64`](ull_simkit::SplitMix64) stream from the
+//! plan via [`FaultPlan::stream`], so the fault lottery never perturbs
+//! the nominal-path RNG streams. A plan with every probability at zero
+//! (or no plan at all) is therefore bit-for-bit identical to the
+//! pre-fault simulator: zero extra draws, zero extra events.
+//!
+//! Each layer accumulates its recovery work into the plain-integer
+//! counter structs of [`report`], which roll up into one
+//! [`FaultReport`] per simulated host. Same seed + same plan ⇒
+//! byte-identical reports, regardless of `--jobs`.
+//!
+//! See `docs/FAULTS.md` for the taxonomy, the recovery state machines
+//! and the determinism contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod report;
+
+pub use plan::{FaultPlan, SALT_FLASH_READ, SALT_NBD, SALT_NVME, SALT_PROGRAM};
+pub use report::{FaultReport, FlashFaults, NbdFaults, NvmeFaults, SsdRecovery};

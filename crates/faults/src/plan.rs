@@ -1,0 +1,150 @@
+//! The seeded fault plan: which faults fire, how often, and the
+//! recovery parameters every layer shares.
+
+use ull_simkit::{SimDuration, SplitMix64};
+
+/// Stream salt for the flash read-marginal lottery (ECC read retries).
+pub const SALT_FLASH_READ: u64 = 0xF1A5_4EAD;
+/// Stream salt for the flash program-fail lottery.
+pub const SALT_PROGRAM: u64 = 0x94A6_FA11;
+/// Stream salt for the NVMe command-loss (timeout) lottery.
+pub const SALT_NVME: u64 = 0x0077_3EAD;
+/// Stream salt for the NBD link-drop lottery.
+pub const SALT_NBD: u64 = 0x11B_D409;
+
+/// A deterministic fault-injection plan.
+///
+/// The plan is pure data: probabilities per fault class plus the
+/// recovery parameters the layers apply. All randomness is derived
+/// from [`FaultPlan::stream`], which forks a per-layer
+/// [`SplitMix64`] stream from `seed` — so two runs with the same plan
+/// draw the same lottery, and a plan with all probabilities zero draws
+/// nothing at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Root seed for every fault lottery stream.
+    pub seed: u64,
+    /// Per-unit probability that a flash read comes back ECC-marginal
+    /// and needs read-retry steps.
+    pub flash_read_marginal_prob: f64,
+    /// Maximum read-retry steps for one marginal read (the actual step
+    /// count is drawn uniformly from `1..=flash_read_max_steps`).
+    pub flash_read_max_steps: u32,
+    /// Per-unit probability that a flash program operation fails,
+    /// triggering relocation and (eventually) block retirement.
+    pub program_fail_prob: f64,
+    /// Per-command probability that the NVMe controller silently loses
+    /// a completion, forcing the host down the timeout/abort/retry
+    /// path.
+    pub nvme_timeout_prob: f64,
+    /// Per-round-trip probability that the NBD link drops, forcing a
+    /// reconnect and in-flight replay.
+    pub nbd_drop_prob: f64,
+    /// How long the host waits for a completion before declaring the
+    /// command timed out.
+    pub host_timeout: SimDuration,
+    /// Bounded retry budget per command before the host escalates to a
+    /// controller reset.
+    pub max_retries: u32,
+    /// Base of the exponential (integer, sim-time) retry backoff:
+    /// attempt `k` waits `backoff_base << k`.
+    pub backoff_base: SimDuration,
+    /// Controller reset + re-initialization time, paid when a command
+    /// exhausts its retry budget.
+    pub reset_latency: SimDuration,
+    /// Link re-establishment time after an NBD drop.
+    pub reconnect_delay: SimDuration,
+}
+
+impl FaultPlan {
+    /// The empty plan: all probabilities zero. Installing it is
+    /// indistinguishable from installing no plan at all.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            flash_read_marginal_prob: 0.0,
+            flash_read_max_steps: 0,
+            program_fail_prob: 0.0,
+            nvme_timeout_prob: 0.0,
+            nbd_drop_prob: 0.0,
+            host_timeout: SimDuration::from_micros(500),
+            max_retries: 3,
+            backoff_base: SimDuration::from_micros(50),
+            reset_latency: SimDuration::from_millis(2),
+            reconnect_delay: SimDuration::from_micros(200),
+        }
+    }
+
+    /// A uniform plan: every fault class fires at `rate`, with default
+    /// recovery parameters. The experiment sweep uses this.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            flash_read_marginal_prob: rate,
+            flash_read_max_steps: 4,
+            program_fail_prob: rate,
+            nvme_timeout_prob: rate,
+            nbd_drop_prob: rate,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Whether any fault class can fire at all. Layers skip installing
+    /// their fault state (and hence all lottery draws) when this is
+    /// false.
+    pub fn enabled(&self) -> bool {
+        self.flash_read_marginal_prob > 0.0
+            || self.program_fail_prob > 0.0
+            || self.nvme_timeout_prob > 0.0
+            || self.nbd_drop_prob > 0.0
+    }
+
+    /// Forks the per-layer lottery stream for `salt` (one of the
+    /// `SALT_*` constants). Distinct salts give decorrelated streams;
+    /// the same `(seed, salt)` pair always gives the same stream.
+    pub fn stream(&self, salt: u64) -> SplitMix64 {
+        SplitMix64::new(self.seed ^ 0xFA_017).fork(salt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_disabled() {
+        assert!(!FaultPlan::none().enabled());
+    }
+
+    #[test]
+    fn uniform_zero_rate_is_disabled() {
+        assert!(!FaultPlan::uniform(7, 0.0).enabled());
+        assert!(FaultPlan::uniform(7, 1e-3).enabled());
+    }
+
+    #[test]
+    fn streams_are_reproducible_and_salted() {
+        let p = FaultPlan::uniform(42, 1e-3);
+        let a: Vec<u64> = {
+            let mut s = p.stream(SALT_FLASH_READ);
+            (0..8).map(|_| s.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut s = p.stream(SALT_FLASH_READ);
+            (0..8).map(|_| s.next_u64()).collect()
+        };
+        assert_eq!(a, b, "same (seed, salt) must replay the same lottery");
+        let c: Vec<u64> = {
+            let mut s = p.stream(SALT_NVME);
+            (0..8).map(|_| s.next_u64()).collect()
+        };
+        assert_ne!(a, c, "different salts must decorrelate");
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let a = FaultPlan::uniform(1, 1e-3).stream(SALT_NBD).next_u64();
+        let b = FaultPlan::uniform(2, 1e-3).stream(SALT_NBD).next_u64();
+        assert_ne!(a, b);
+    }
+}

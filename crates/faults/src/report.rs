@@ -1,0 +1,143 @@
+//! Recovery accounting: plain-integer counters per layer, rolled up
+//! into one [`FaultReport`] per simulated host.
+//!
+//! Everything here is a `u64` on purpose — counters merge with
+//! wrapping-free addition, compare with `Eq`, and serialize exactly,
+//! so reports are byte-identical across hosts and `--jobs` values.
+
+/// Flash-layer fault and recovery counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FlashFaults {
+    /// Reads that came back ECC-marginal and needed retry steps.
+    pub read_marginal_events: u64,
+    /// Total read-retry steps executed across all marginal reads.
+    pub read_retry_steps: u64,
+    /// Program operations that failed outright.
+    pub program_failures: u64,
+}
+
+/// SSD/FTL-layer recovery counters (bad-block handling).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SsdRecovery {
+    /// Virtual blocks retired after a program failure.
+    pub retired_blocks: u64,
+    /// Retirements absorbed by remapping into overprovisioned spares.
+    pub remapped: u64,
+    /// Retirements that exhausted the spare pool and shrank capacity.
+    pub marked_bad: u64,
+    /// Retirements deferred because the block was busy (open append
+    /// point or GC victim) or destination capacity was insufficient.
+    pub deferred_retirements: u64,
+    /// Units relocated off failing blocks during recovery.
+    pub relocated_units: u64,
+}
+
+/// NVMe-layer fault and host-recovery counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NvmeFaults {
+    /// Completions the controller lost (injected timeouts).
+    pub injected_timeouts: u64,
+    /// Commands the host aborted after its timeout expired.
+    pub aborts: u64,
+    /// Bounded retries the host issued after an abort.
+    pub retries: u64,
+    /// Total sim-time nanoseconds spent in exponential retry backoff.
+    pub backoff_ns_total: u64,
+    /// Controller resets after the retry budget was exhausted.
+    pub controller_resets: u64,
+    /// Commands requeued (injection-exempt) after a controller reset.
+    pub requeues: u64,
+    /// Submissions that hit a full SQ and were deterministically
+    /// requeued after draining the ring (backpressure, not a fault).
+    pub sq_requeues: u64,
+}
+
+/// NBD-layer fault and recovery counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NbdFaults {
+    /// Link drops injected mid round trip.
+    pub link_drops: u64,
+    /// Reconnect handshakes completed.
+    pub reconnects: u64,
+    /// In-flight commands replayed after a reconnect.
+    pub replayed_commands: u64,
+}
+
+/// The full per-host fault report: every layer's counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Flash-layer counters.
+    pub flash: FlashFaults,
+    /// SSD/FTL recovery counters.
+    pub ssd: SsdRecovery,
+    /// NVMe fault/recovery counters.
+    pub nvme: NvmeFaults,
+    /// NBD fault/recovery counters.
+    pub nbd: NbdFaults,
+}
+
+impl FaultReport {
+    /// Folds `other` into `self` (plain counter addition). Used when a
+    /// sweep cell aggregates several hosts.
+    pub fn merge(&mut self, other: &FaultReport) {
+        self.flash.read_marginal_events += other.flash.read_marginal_events;
+        self.flash.read_retry_steps += other.flash.read_retry_steps;
+        self.flash.program_failures += other.flash.program_failures;
+        self.ssd.retired_blocks += other.ssd.retired_blocks;
+        self.ssd.remapped += other.ssd.remapped;
+        self.ssd.marked_bad += other.ssd.marked_bad;
+        self.ssd.deferred_retirements += other.ssd.deferred_retirements;
+        self.ssd.relocated_units += other.ssd.relocated_units;
+        self.nvme.injected_timeouts += other.nvme.injected_timeouts;
+        self.nvme.aborts += other.nvme.aborts;
+        self.nvme.retries += other.nvme.retries;
+        self.nvme.backoff_ns_total += other.nvme.backoff_ns_total;
+        self.nvme.controller_resets += other.nvme.controller_resets;
+        self.nvme.requeues += other.nvme.requeues;
+        self.nvme.sq_requeues += other.nvme.sq_requeues;
+        self.nbd.link_drops += other.nbd.link_drops;
+        self.nbd.reconnects += other.nbd.reconnects;
+        self.nbd.replayed_commands += other.nbd.replayed_commands;
+    }
+
+    /// Total *injected* faults (recovery work excluded): marginal
+    /// reads + program failures + lost completions + link drops.
+    ///
+    /// The accounting property tests assert this equals the sum of the
+    /// recovery events each injection forces.
+    pub fn injected_total(&self) -> u64 {
+        self.flash.read_marginal_events
+            + self.flash.program_failures
+            + self.nvme.injected_timeouts
+            + self.nbd.link_drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_zero() {
+        let r = FaultReport::default();
+        assert_eq!(r.injected_total(), 0);
+        assert_eq!(r, FaultReport::default());
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = FaultReport::default();
+        a.flash.read_marginal_events = 3;
+        a.nvme.injected_timeouts = 2;
+        let mut b = FaultReport::default();
+        b.flash.read_marginal_events = 4;
+        b.nbd.link_drops = 1;
+        b.ssd.retired_blocks = 5;
+        a.merge(&b);
+        assert_eq!(a.flash.read_marginal_events, 7);
+        assert_eq!(a.nvme.injected_timeouts, 2);
+        assert_eq!(a.nbd.link_drops, 1);
+        assert_eq!(a.ssd.retired_blocks, 5);
+        assert_eq!(a.injected_total(), 7 + 2 + 1);
+    }
+}

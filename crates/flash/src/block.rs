@@ -39,6 +39,7 @@ pub struct BlockState {
     next_page: u32,
     valid_count: u32,
     erase_count: u32,
+    program_fails: u32,
     bad: bool,
 }
 
@@ -56,6 +57,7 @@ impl BlockState {
             next_page: 0,
             valid_count: 0,
             erase_count: 0,
+            program_fails: 0,
             bad: false,
         }
     }
@@ -149,6 +151,19 @@ impl BlockState {
         self.erase_count
     }
 
+    /// Records a program failure on this block. Program failures
+    /// survive erases (they indicate physical damage) and feed the
+    /// FTL's retirement decision.
+    pub fn note_program_fail(&mut self) {
+        self.program_fails += 1;
+    }
+
+    /// How many program operations have failed on this block over its
+    /// lifetime.
+    pub fn program_fails(&self) -> u32 {
+        self.program_fails
+    }
+
     /// Whether the block is marked bad (worn out / manufacturing defect).
     pub fn is_bad(&self) -> bool {
         self.bad
@@ -211,6 +226,17 @@ mod tests {
         assert!(b.is_bad());
         assert_eq!(b.append(), None);
         assert_eq!(b.free_pages(), 0);
+    }
+
+    #[test]
+    fn program_fails_survive_erase() {
+        let mut b = BlockState::new(8);
+        b.note_program_fail();
+        b.note_program_fail();
+        assert_eq!(b.program_fails(), 2);
+        b.erase();
+        assert_eq!(b.program_fails(), 2, "program fails indicate damage");
+        assert!(!b.is_bad());
     }
 
     #[test]

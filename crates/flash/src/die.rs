@@ -17,6 +17,8 @@ pub struct DieCounters {
     pub erases: u64,
     /// Reads that had to suspend an in-flight program.
     pub suspensions: u64,
+    /// Extra read-retry steps served for ECC-marginal reads.
+    pub read_retries: u64,
 }
 
 /// One flash die: a serially-busy resource with (optionally) suspendable
@@ -126,6 +128,22 @@ impl FlashDie {
         self.timeline.reserve(at, dur)
     }
 
+    /// Serves `steps` extra read-retry sensing passes for an
+    /// ECC-marginal page: each step re-reads the array at a shifted
+    /// reference voltage, so the die is busy `steps * tR` longer and
+    /// pays read energy per step.
+    ///
+    /// Returns the occupancy slot covering all the retry steps; with
+    /// `steps == 0` the slot is empty (zero-length reservation).
+    pub fn read_retry(&mut self, at: SimTime, steps: u32) -> Slot {
+        self.counters.read_retries += u64::from(steps);
+        // Each retry step is a full array sensing pass: count it as a
+        // read so energy accounting stays per-operation.
+        self.counters.reads += u64::from(steps);
+        self.timeline
+            .reserve(at, self.spec.t_read * u64::from(steps))
+    }
+
     /// Queues a page program.
     pub fn program(&mut self, at: SimTime) -> Slot {
         self.counters.programs += 1;
@@ -179,6 +197,20 @@ mod tests {
         assert_eq!(die.counters().suspensions, 1);
         // The program is pushed back by the resume penalty.
         assert_eq!(die.busy_until(), w.end + FlashSpec::z_nand().resume_latency);
+    }
+
+    #[test]
+    fn read_retry_occupies_steps_times_t_read() {
+        let spec = FlashSpec::z_nand();
+        let mut die = FlashDie::new(spec.clone().into());
+        let s = die.read_retry(SimTime::ZERO, 3);
+        assert_eq!(s.end - s.start, spec.t_read * 3);
+        assert_eq!(die.counters().read_retries, 3);
+        assert_eq!(die.counters().reads, 3, "retry steps count as reads");
+        // Zero steps is a no-op reservation.
+        let z = die.read_retry(s.end, 0);
+        assert_eq!(z.end, z.start);
+        assert_eq!(die.counters().read_retries, 3);
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! in both setups — only the server-side I/O path differs, which is the
 //! paper's point.
 
+use ull_faults::{FaultPlan, NbdFaults, SALT_NBD};
 use ull_nvme::NvmeController;
-use ull_simkit::{SimDuration, SimTime, Timeline};
+use ull_simkit::{SimDuration, SimTime, SplitMix64, Timeline};
 use ull_ssd::{Ssd, SsdConfig};
 use ull_stack::{Host, IoOp, IoPath, SoftwareCosts};
 
@@ -92,6 +93,19 @@ pub struct NbdSystem {
     /// wakeups per request. SPDK NBD: reactor dispatch only.
     server_overhead: SimDuration,
     capacity: u64,
+    faults: Option<NbdFaultState>,
+}
+
+/// Link-drop lottery plus reconnect parameters and accounting.
+#[derive(Debug)]
+struct NbdFaultState {
+    rng: SplitMix64,
+    drop_prob: f64,
+    /// How long the client waits before declaring the link dead.
+    detect_timeout: SimDuration,
+    /// TCP + NBD handshake time on reconnect.
+    reconnect_delay: SimDuration,
+    counters: NbdFaults,
 }
 
 impl NbdSystem {
@@ -119,7 +133,36 @@ impl NbdSystem {
             link: Timeline::new(),
             server_overhead,
             capacity,
+            faults: None,
         })
+    }
+
+    /// Installs a fault plan on the whole export path: the link-drop
+    /// lottery here plus the server host's NVMe/SSD/flash fault hooks.
+    /// A plan whose probabilities are all zero is indistinguishable from
+    /// no plan at all.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.server.set_fault_plan(plan);
+        if plan.nbd_drop_prob > 0.0 {
+            self.faults = Some(NbdFaultState {
+                rng: plan.stream(SALT_NBD),
+                drop_prob: plan.nbd_drop_prob,
+                detect_timeout: plan.host_timeout,
+                reconnect_delay: plan.reconnect_delay,
+                counters: NbdFaults::default(),
+            });
+        } else {
+            self.faults = None;
+        }
+    }
+
+    /// Link-drop/reconnect accounting (`link_drops == reconnects ==
+    /// replayed_commands` by construction: every drop reconnects once and
+    /// replays the one in-flight request).
+    pub fn nbd_fault_counters(&self) -> NbdFaults {
+        self.faults
+            .as_ref()
+            .map_or_else(NbdFaults::default, |f| f.counters)
     }
 
     /// Which server kind this system uses.
@@ -132,8 +175,43 @@ impl NbdSystem {
         &self.server
     }
 
+    /// Draws the per-round-trip link-drop lottery. Without an installed
+    /// plan no stream exists and nothing is drawn.
+    fn draw_link_drop(&mut self) -> bool {
+        match &mut self.faults {
+            Some(f) if f.drop_prob > 0.0 => f.rng.chance(f.drop_prob),
+            _ => false,
+        }
+    }
+
+    /// The link dropped with one request in flight: the client detects the
+    /// dead connection after its timeout, re-establishes the connection
+    /// (handshake occupies the link), and replays the request. Returns the
+    /// instant the replayed request can be (re)transmitted.
+    fn reconnect_and_replay(&mut self, at: SimTime) -> SimTime {
+        let (timeout, delay) = {
+            let Some(f) = &mut self.faults else { return at };
+            f.counters.link_drops += 1;
+            (f.detect_timeout, f.reconnect_delay)
+        };
+        let handshake = self.link.reserve(at + timeout, delay);
+        if let Some(f) = &mut self.faults {
+            f.counters.reconnects += 1;
+            f.counters.replayed_commands += 1;
+        }
+        handshake.end
+    }
+
     /// One synchronous server round trip for `len` bytes at `offset`.
     fn server_round_trip(&mut self, at: SimTime, op: IoOp, offset: u64, len: u32) -> SimTime {
+        // Seeded link-drop fault: the request is lost in flight, the
+        // client times out, reconnects and replays it. The replay itself
+        // is exempt (one draw per round trip), so recovery terminates.
+        let at = if self.draw_link_drop() {
+            self.reconnect_and_replay(at)
+        } else {
+            at
+        };
         // Request crosses the link (small frame for reads, payload for
         // writes).
         let req_bytes = if matches!(op, IoOp::Write) {
@@ -258,5 +336,61 @@ mod tests {
             let off = sys.file_offset(id, 65536);
             assert!(off + 65536 <= sys.capacity);
         }
+    }
+
+    #[test]
+    fn link_drops_reconnect_and_replay() {
+        let mut sys = NbdSystem::new(presets::ull_800g(), NbdServerKind::Spdk, 11).unwrap();
+        let plan = FaultPlan {
+            seed: 5,
+            nbd_drop_prob: 0.05,
+            ..FaultPlan::none()
+        };
+        sys.set_fault_plan(&plan);
+        let mut at = SimTime::ZERO;
+        let mut sum = 0.0;
+        let n = 2000u64;
+        for i in 0..n {
+            let r = sys.file_read(at, i * 31 + 7, 4096);
+            sum += r.latency.as_micros_f64();
+            at = r.done + SimDuration::from_micros(5);
+        }
+        let faulty = sum / n as f64;
+        let c = sys.nbd_fault_counters();
+        assert!(c.link_drops > 0, "rate 0.05 over 2000 reads must fire");
+        assert_eq!(c.link_drops, c.reconnects);
+        assert_eq!(c.link_drops, c.replayed_commands);
+        let nominal = mean_latency(NbdServerKind::Spdk, false, 2000);
+        assert!(
+            faulty > nominal * 1.5,
+            "timeout+reconnect must show: nominal={nominal:.1}us faulty={faulty:.1}us"
+        );
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_bitwise_nominal() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut sys = NbdSystem::new(presets::ull_800g(), NbdServerKind::Kernel, 11).unwrap();
+            if let Some(p) = plan {
+                sys.set_fault_plan(&p);
+            }
+            let mut at = SimTime::ZERO;
+            let mut lat = Vec::new();
+            for i in 0..500u64 {
+                let r = sys.file_read(at, i * 31 + 7, 4096);
+                lat.push(r.latency.as_nanos());
+                at = r.done + SimDuration::from_micros(5);
+            }
+            lat
+        };
+        let base = run(None);
+        assert_eq!(base, run(Some(FaultPlan::none())));
+        assert_eq!(base, run(Some(FaultPlan::uniform(13, 0.0))));
+        let sys = {
+            let mut s = NbdSystem::new(presets::ull_800g(), NbdServerKind::Kernel, 11).unwrap();
+            s.set_fault_plan(&FaultPlan::none());
+            s
+        };
+        assert_eq!(sys.nbd_fault_counters(), NbdFaults::default());
     }
 }

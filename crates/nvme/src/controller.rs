@@ -9,7 +9,8 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
-use ull_simkit::{SimDuration, SimTime};
+use ull_faults::{FaultPlan, SALT_NVME};
+use ull_simkit::{SimDuration, SimTime, SplitMix64};
 use ull_ssd::{DeviceCompletion, Ssd};
 
 use crate::command::{Completion, NvmeCommand, Opcode};
@@ -64,6 +65,21 @@ pub struct NvmeController {
     msi_latency: SimDuration,
     /// Per-command device detail, retrievable once after completion.
     details: BTreeMap<(u16, u16), DeviceCompletion>,
+    /// Installed completion-loss injection (absent ⇒ bit-for-bit nominal).
+    faults: Option<CtrlFaultState>,
+}
+
+/// Completion-loss lottery: each executed command may have its completion
+/// silently dropped (never posted to the CQ), forcing the host down its
+/// timeout → abort → retry → controller-reset path.
+#[derive(Debug)]
+struct CtrlFaultState {
+    rng: SplitMix64,
+    timeout_prob: f64,
+    injected_timeouts: u64,
+    /// Cids whose completion was dropped, per doorbell, drained by the
+    /// host's recovery path via [`NvmeController::take_dropped`].
+    dropped: Vec<(u16, u16)>,
 }
 
 impl NvmeController {
@@ -83,7 +99,50 @@ impl NvmeController {
             qpairs: (0..queues).map(|_| QueuePair::new(qsize)).collect(),
             msi_latency: Self::DEFAULT_MSI_LATENCY,
             details: BTreeMap::new(),
+            faults: None,
         }
+    }
+
+    /// Installs a fault plan on the controller *and* its backing SSD.
+    /// With `nvme_timeout_prob == 0` no controller fault state is kept;
+    /// with every probability zero the whole device stack behaves
+    /// bit-for-bit as if no plan were installed.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.ssd.set_fault_plan(plan);
+        if plan.nvme_timeout_prob > 0.0 {
+            self.faults = Some(CtrlFaultState {
+                rng: plan.stream(SALT_NVME),
+                timeout_prob: plan.nvme_timeout_prob,
+                injected_timeouts: 0,
+                dropped: Vec::new(),
+            });
+        } else {
+            self.faults = None;
+        }
+    }
+
+    /// Completions the controller has dropped so far (injected timeouts).
+    pub fn injected_timeouts(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.injected_timeouts)
+    }
+
+    /// Drains the cids whose completions were dropped on `qid` since the
+    /// last call, in execution order. The host's timeout/abort recovery
+    /// consumes this after every doorbell.
+    pub fn take_dropped(&mut self, qid: u16) -> Vec<u16> {
+        let Some(f) = &mut self.faults else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        f.dropped.retain(|&(q, cid)| {
+            if q == qid {
+                out.push(cid);
+                false
+            } else {
+                true
+            }
+        });
+        out
     }
 
     /// Number of I/O queue pairs.
@@ -142,6 +201,18 @@ impl NvmeController {
     /// Host rings the SQ tail doorbell at `at`: the controller fetches every
     /// queued submission and starts it on the backend.
     pub fn ring_sq_doorbell(&mut self, qid: u16, at: SimTime) {
+        self.ring(qid, at, false);
+    }
+
+    /// Like [`NvmeController::ring_sq_doorbell`] but exempt from the
+    /// completion-loss lottery. Used for the host's post-reset requeue so
+    /// recovery always terminates (a deterministic lottery could otherwise
+    /// re-drop the same command forever).
+    pub fn ring_sq_doorbell_requeue(&mut self, qid: u16, at: SimTime) {
+        self.ring(qid, at, true);
+    }
+
+    fn ring(&mut self, qid: u16, at: SimTime, exempt: bool) {
         while let Some(cmd) = self.qpairs[qid as usize].sq.pop() {
             let completion = match cmd.opcode {
                 Opcode::Read => self.ssd.read(at, cmd.offset(), cmd.bytes()),
@@ -157,10 +228,51 @@ impl NvmeController {
                 }
             };
             self.details.insert((qid, cmd.cid), completion);
-            self.qpairs[qid as usize]
-                .pending
-                .push(Reverse((completion.done.as_nanos(), cmd.cid)));
+            // Completion-loss injection: the command *executed* on the
+            // backend, but its completion never surfaces — exactly how a
+            // lost CQE / dead MSI looks to the host.
+            let lost = match &mut self.faults {
+                Some(f) if !exempt && f.timeout_prob > 0.0 => {
+                    let lost = f.rng.chance(f.timeout_prob);
+                    if lost {
+                        f.injected_timeouts += 1;
+                        f.dropped.push((qid, cmd.cid));
+                    }
+                    lost
+                }
+                _ => false,
+            };
+            if !lost {
+                self.qpairs[qid as usize]
+                    .pending
+                    .push(Reverse((completion.done.as_nanos(), cmd.cid)));
+            }
         }
+    }
+
+    /// Controller reset scoped to one queue pair (the recovery a host
+    /// driver performs after aborts fail): discards the SQ, zeroes the CQ
+    /// and its phase tags, and forgets every undelivered completion.
+    ///
+    /// Returns the cids whose completions were lost by the reset, in
+    /// completion-time order — the host must requeue these (its in-flight
+    /// replay set). Their device details are forgotten too, so the replay
+    /// produces fresh ones.
+    pub fn reset_queue(&mut self, qid: u16) -> Vec<u16> {
+        let qp = &mut self.qpairs[qid as usize];
+        let mut lost = Vec::new();
+        while let Some(Reverse((_, cid))) = qp.pending.pop() {
+            lost.push(cid);
+        }
+        qp.sq.reset();
+        qp.cq.reset();
+        for &cid in &lost {
+            self.details.remove(&(qid, cid));
+        }
+        if let Some(f) = &mut self.faults {
+            f.dropped.retain(|&(q, _)| q != qid);
+        }
+        lost
     }
 
     /// Earliest instant at which a pending completion becomes visible on
@@ -282,6 +394,69 @@ mod tests {
         assert_eq!(c.in_flight(0), 1);
         assert_eq!(c.in_flight(1), 0);
         assert!(c.next_completion_at(1).is_none());
+    }
+
+    #[test]
+    fn lost_completions_are_reported_not_posted() {
+        let mut c = controller();
+        c.set_fault_plan(&ull_faults::FaultPlan::uniform(3, 1.0)); // drop everything
+        c.submit(0, NvmeCommand::read(1, 0, 4096)).unwrap();
+        c.ring_sq_doorbell(0, SimTime::ZERO);
+        assert_eq!(c.injected_timeouts(), 1);
+        assert_eq!(c.take_dropped(0), vec![1]);
+        assert!(c.take_dropped(0).is_empty(), "dropped set drains once");
+        // The command executed (detail exists) but no completion surfaces.
+        let late = SimTime::ZERO + ull_simkit::SimDuration::from_millis(100);
+        assert!(c.poll(0, late).is_none());
+        assert!(c.take_detail(0, 1).is_some());
+        // The requeue doorbell is injection-exempt: the retry completes.
+        c.submit(0, NvmeCommand::read(2, 0, 4096)).unwrap();
+        c.ring_sq_doorbell_requeue(0, SimTime::ZERO);
+        assert_eq!(c.injected_timeouts(), 1);
+        assert_eq!(c.poll(0, late).unwrap().cid, 2);
+    }
+
+    #[test]
+    fn reset_queue_returns_inflight_for_replay() {
+        let mut c = controller();
+        c.submit(0, NvmeCommand::read(1, 0, 4096)).unwrap();
+        c.submit(0, NvmeCommand::read(2, 4096, 4096)).unwrap();
+        c.ring_sq_doorbell(0, SimTime::ZERO);
+        assert_eq!(c.in_flight(0), 2);
+        let lost = c.reset_queue(0);
+        assert_eq!(lost.len(), 2);
+        assert_eq!(c.in_flight(0), 0);
+        let late = SimTime::ZERO + ull_simkit::SimDuration::from_millis(100);
+        assert!(c.poll(0, late).is_none(), "reset forgets completions");
+        for cid in lost {
+            assert!(c.take_detail(0, cid).is_none(), "details forgotten");
+        }
+        // The queue pair works again after the reset.
+        c.submit(0, NvmeCommand::read(7, 0, 4096)).unwrap();
+        c.ring_sq_doorbell(0, late);
+        let done = c.next_completion_at(0).unwrap();
+        assert_eq!(c.poll(0, done).unwrap().cid, 7);
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_leaves_controller_nominal() {
+        let run = |plan: bool| {
+            let mut c = controller();
+            if plan {
+                c.set_fault_plan(&ull_faults::FaultPlan::uniform(3, 0.0));
+            }
+            let mut dones = Vec::new();
+            for cid in 0..20u16 {
+                c.submit(0, NvmeCommand::read(cid, u64::from(cid) * 4096, 4096))
+                    .unwrap();
+                c.ring_sq_doorbell(0, SimTime::ZERO);
+                let done = c.next_completion_at(0).unwrap();
+                assert_eq!(c.poll(0, done).unwrap().cid, cid);
+                dones.push(done);
+            }
+            dones
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -112,6 +112,14 @@ impl SubmissionQueue {
     pub fn head(&self) -> u16 {
         self.head
     }
+
+    /// Controller reset: discards queued entries and returns the ring to
+    /// its initial (empty) state, as a Controller Reset (CC.EN toggle)
+    /// does to every I/O queue.
+    pub fn reset(&mut self) {
+        self.head = 0;
+        self.tail = 0;
+    }
 }
 
 /// A completion queue ring with phase-tag detection.
@@ -220,6 +228,16 @@ impl CompletionQueue {
     pub fn backlog(&self) -> u16 {
         (self.tail + self.size - self.head) % self.size
     }
+
+    /// Controller reset: zeroes the ring and restores the initial phase
+    /// tags, so no stale entry can look complete afterwards.
+    pub fn reset(&mut self) {
+        self.entries.iter_mut().for_each(|e| *e = [0; 16]);
+        self.head = 0;
+        self.tail = 0;
+        self.producer_phase = true;
+        self.consumer_phase = true;
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +293,28 @@ mod tests {
             cq.advance();
             assert!(cq.peek().is_none(), "no double delivery at i={i}");
         }
+    }
+
+    #[test]
+    fn resets_restore_initial_state() {
+        let mut sq = SubmissionQueue::new(4);
+        sq.push(NvmeCommand::read(1, 0, 512)).unwrap();
+        sq.push(NvmeCommand::read(2, 0, 512)).unwrap();
+        sq.reset();
+        assert!(sq.is_empty());
+        assert_eq!(sq.pop(), None);
+        sq.push(NvmeCommand::read(3, 0, 512)).unwrap();
+        assert_eq!(sq.pop().unwrap().cid, 3);
+
+        let mut cq = CompletionQueue::new(4);
+        cq.post(1, 0, true).unwrap();
+        cq.post(2, 0, true).unwrap();
+        cq.advance(); // leave the ring mid-lap
+        cq.reset();
+        assert!(cq.peek().is_none(), "no stale entry may look complete");
+        assert_eq!(cq.backlog(), 0);
+        cq.post(9, 0, true).unwrap();
+        assert_eq!(cq.peek().unwrap().cid, 9);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | S005 | threading/blocking primitives inside the event-loop crates (`ull-exec`, the sanctioned sweep driver, excepted) |
 //! | S006 | `unwrap()`/`expect()`/`panic!` in library code of the core layers |
 //! | S007 | floating-point accumulation across iterations (`x += ...` on an f32/f64 binding) |
+//! | S008 | ambient entropy or wall-clock seeding inside fault-injection paths (fork the lottery from `FaultPlan::stream(salt)` instead) |
 //!
 //! Escape hatch: `// simlint: allow(SNNN): <justification>` on (or directly
 //! above) the offending line; `// simlint: allow-file(SNNN): <why>` for a

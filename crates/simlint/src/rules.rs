@@ -1,4 +1,4 @@
-//! The sim-purity rule catalogue, S001-S007.
+//! The sim-purity rule catalogue, S001-S008.
 //!
 //! Each rule walks the stripped [`SourceFile`] lines of files inside its
 //! scope and reports [`Finding`]s. The scope of every rule — which crates
@@ -16,13 +16,14 @@ use crate::source::{token_positions, SourceFile};
 /// it must stay free of wall clocks, ambient RNG and float time (S001,
 /// S002, S004, S007), but it is the one sanctioned host-parallel driver,
 /// so S005's threading ban is carved out for it (see `check_file`).
-pub const SIM_CRATES: [&str; 10] = [
-    "simkit", "flash", "ssd", "nvme", "stack", "netblock", "workload", "core", "exec", "root",
+pub const SIM_CRATES: [&str; 11] = [
+    "simkit", "faults", "flash", "ssd", "nvme", "stack", "netblock", "workload", "core", "exec",
+    "root",
 ];
 
 /// Crates whose library code must not contain panicking escape hatches
 /// (S006): the layers every experiment sits on.
-pub const PANIC_FREE_CRATES: [&str; 4] = ["simkit", "ssd", "nvme", "stack"];
+pub const PANIC_FREE_CRATES: [&str; 5] = ["simkit", "faults", "ssd", "nvme", "stack"];
 
 /// Static description of one rule, for `--list-rules` and the docs.
 #[derive(Debug, Clone, Copy)]
@@ -36,7 +37,7 @@ pub struct RuleInfo {
 }
 
 /// The rule catalogue.
-pub const RULES: [RuleInfo; 7] = [
+pub const RULES: [RuleInfo; 8] = [
     RuleInfo {
         code: "S001",
         summary: "no wall-clock access (std::time::Instant / SystemTime) in simulation code; \
@@ -85,6 +86,15 @@ pub const RULES: [RuleInfo; 7] = [
         scope: "src/ of simulation crates, except simkit/src/time.rs which defines the integer \
                 time arithmetic",
     },
+    RuleInfo {
+        code: "S008",
+        summary: "no ambient entropy or wall-clock seeding in fault-injection paths (SystemTime, \
+                  DefaultHasher, env::var, process::id, thread_rng, ...); every fault lottery \
+                  must fork from the plan's seeded SplitMix64 streams so a fault run replays \
+                  byte-identically",
+        scope: "src/ files of simulation crates whose path mentions faults (the ull-faults crate \
+                and any fault_*.rs module)",
+    },
 ];
 
 /// Runs every applicable rule over one parsed file belonging to
@@ -106,6 +116,13 @@ pub fn check_file(crate_name: &str, file: &SourceFile) -> Vec<Finding> {
         if !is_time_rs {
             check_s004(file, &mut out);
             check_s007(file, &mut out);
+        }
+        // Fault-plan paths carry the strictest seeding discipline: the
+        // whole point of ull-faults is byte-identical replay, so any
+        // ambient seed source — not just the S001/S002 classics —
+        // breaks the contract.
+        if is_fault_path(&file.path) {
+            check_tokens(file, "S008", &S008_TOKENS, S008_MSG, &mut out);
         }
     }
     check_s003(file, &mut out);
@@ -140,6 +157,29 @@ const S005_TOKENS: [&str; 7] = [
     "mpsc::",
 ];
 const S005_MSG: &str = "host threading/blocking primitive inside the single-threaded event loop";
+
+/// Whether a path belongs to the fault-injection subsystem: the
+/// `ull-faults` crate itself, or a `fault`-named module in any layer
+/// (`faults.rs`, `fault_state.rs`, ...).
+fn is_fault_path(path: &str) -> bool {
+    let file = path.rsplit('/').next().unwrap_or(path);
+    path.contains("crates/faults/") || file.starts_with("fault")
+}
+
+const S008_TOKENS: [&str; 10] = [
+    "SystemTime",
+    "Instant::now",
+    "DefaultHasher",
+    "RandomState",
+    "env::var",
+    "env::vars",
+    "process::id",
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+];
+const S008_MSG: &str = "ambient seed source in a fault-injection path; fork the lottery from \
+                        FaultPlan::stream(salt) so the same plan replays the same faults";
 
 fn check_tokens(
     file: &SourceFile,

@@ -1,4 +1,4 @@
-//! Per-rule fixture tests: for every rule S001-S007 one fixture that
+//! Per-rule fixture tests: for every rule S001-S008 one fixture that
 //! triggers it and one that passes, plus escape-hatch and scoping checks.
 //!
 //! These are the analyzer's regression suite: each fixture encodes the
@@ -275,6 +275,82 @@ fn s007_exempts_time_rs_and_honours_allows() {
                        pub fn add(&mut self, x: f64) { self.w += x; }\n\
                    }\n";
     assert!(check_source("simkit", "crates/simkit/src/w.rs", allowed).is_empty());
+}
+
+// ------------------------------------------------------------------ S008
+
+/// Convenience: analyze `src` as a file of the `ull-faults` crate.
+fn fault_crate(src: &str) -> Vec<String> {
+    check_source("faults", "crates/faults/src/plan.rs", src)
+        .into_iter()
+        .map(|f| format!("{}:{}", f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn s008_flags_ambient_seeds_in_fault_paths() {
+    // DefaultHasher-derived seeds vary per process: the classic
+    // "convenient entropy" that silently breaks fault replay. No other
+    // rule catches it.
+    let hasher = "pub fn seed() -> u64 {\n\
+                      let h = std::collections::hash_map::DefaultHasher::new();\n\
+                      0\n\
+                  }\n";
+    assert_eq!(fault_crate(hasher), ["S008:2"]);
+    // Environment-dependent seeding is just as ambient.
+    let env = "pub fn seed() -> u64 {\n\
+                   std::env::var(\"SEED\").map(|s| s.len() as u64).unwrap_or(0)\n\
+               }\n";
+    assert_eq!(fault_crate(env), ["S008:2"]);
+}
+
+#[test]
+fn s008_stacks_on_the_generic_purity_rules() {
+    // A wall-clock seed in a fault path violates both the generic S001
+    // and the fault-specific S008: the finding names both contracts.
+    let wall = "pub fn seed() -> u64 { SystemTime::now().elapsed().unwrap().as_nanos() as u64 }\n";
+    let rules = fault_crate(wall);
+    assert!(rules.contains(&"S001:1".to_string()), "{rules:?}");
+    assert!(rules.contains(&"S008:1".to_string()), "{rules:?}");
+}
+
+#[test]
+fn s008_passes_plan_forked_streams() {
+    let good = "use ull_simkit::SplitMix64;\n\
+                pub fn stream(seed: u64, salt: u64) -> SplitMix64 {\n\
+                    SplitMix64::new(seed).fork(salt)\n\
+                }\n";
+    assert!(fault_crate(good).is_empty());
+}
+
+#[test]
+fn s008_scope_is_fault_paths_only() {
+    // env::var is fine (for S008) outside fault paths...
+    let env = "pub fn home() -> Option<String> { std::env::var(\"HOME\").ok() }\n";
+    assert!(check_source("ssd", "crates/ssd/src/device.rs", env).is_empty());
+    // ...but a fault_*.rs module inside another layer is in scope,
+    assert_eq!(
+        check_source("ssd", "crates/ssd/src/fault_hooks.rs", env)
+            .iter()
+            .map(|f| f.rule)
+            .collect::<Vec<_>>(),
+        ["S008"]
+    );
+    // ...as is any file of the ull-faults crate.
+    assert_eq!(
+        check_source("faults", "crates/faults/src/report.rs", env)
+            .iter()
+            .map(|f| f.rule)
+            .collect::<Vec<_>>(),
+        ["S008"]
+    );
+}
+
+#[test]
+fn s008_honours_allow_directives() {
+    let allowed = "// simlint: allow(S008): doc example showing what NOT to do\n\
+                   pub fn seed() -> u64 { std::env::var(\"SEED\").map(|s| s.len() as u64).unwrap_or(0) }\n";
+    assert!(fault_crate(allowed).is_empty());
 }
 
 // --------------------------------------------------- exec S005 carve-out

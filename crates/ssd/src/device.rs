@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use ull_faults::{FaultPlan, FlashFaults, SsdRecovery, SALT_FLASH_READ, SALT_PROGRAM};
 use ull_flash::{FlashDie, FlashSpec};
 use ull_simkit::{SimDuration, SimTime, SplitMix64, Timeline};
 
@@ -44,6 +45,22 @@ struct RowAccum {
     units: Vec<PendingUnit>,
 }
 
+/// Installed fault-injection state: the per-class lottery streams (forked
+/// from the plan, so the nominal-path RNGs never see an extra draw) plus
+/// the recovery accounting. Absent (`None`) unless a plan with a non-zero
+/// flash fault probability is installed — the zero-cost-when-disabled
+/// contract.
+#[derive(Debug)]
+struct SsdFaultState {
+    read_rng: SplitMix64,
+    program_rng: SplitMix64,
+    read_marginal_prob: f64,
+    read_max_steps: u32,
+    program_fail_prob: f64,
+    flash: FlashFaults,
+    recovery: SsdRecovery,
+}
+
 /// A simulated SSD.
 ///
 /// # Examples
@@ -75,6 +92,7 @@ pub struct Ssd {
     rows: Vec<RowAccum>,
     row_units: u32,
     last_activity: SimTime,
+    faults: Option<SsdFaultState>,
 }
 
 impl Ssd {
@@ -120,6 +138,7 @@ impl Ssd {
             rows: (0..lanes).map(|_| RowAccum::default()).collect(),
             row_units,
             last_activity: SimTime::ZERO,
+            faults: None,
             rng,
             ftl,
             topo,
@@ -152,6 +171,34 @@ impl Ssd {
     /// The energy ledger (power reporting).
     pub fn energy(&self) -> &EnergyLedger {
         &self.energy
+    }
+
+    /// Installs a fault plan. Only the flash-class probabilities matter
+    /// here (`flash_read_marginal_prob`, `program_fail_prob`); if both
+    /// are zero the device keeps no fault state at all and behaves
+    /// bit-for-bit like a device with no plan installed.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        if plan.flash_read_marginal_prob > 0.0 || plan.program_fail_prob > 0.0 {
+            self.faults = Some(SsdFaultState {
+                read_rng: plan.stream(SALT_FLASH_READ),
+                program_rng: plan.stream(SALT_PROGRAM),
+                read_marginal_prob: plan.flash_read_marginal_prob,
+                read_max_steps: plan.flash_read_max_steps.max(1),
+                program_fail_prob: plan.program_fail_prob,
+                flash: FlashFaults::default(),
+                recovery: SsdRecovery::default(),
+            });
+        } else {
+            self.faults = None;
+        }
+    }
+
+    /// Flash fault and FTL recovery accounting (all zero when no plan
+    /// is installed).
+    pub fn fault_counters(&self) -> (FlashFaults, SsdRecovery) {
+        self.faults
+            .as_ref()
+            .map_or_else(Default::default, |f| (f.flash, f.recovery))
     }
 
     /// Instant of the last command completion seen by the device.
@@ -243,12 +290,29 @@ impl Ssd {
         }
     }
 
+    /// Draws the ECC-marginal lottery for one flash read: `0` on the
+    /// nominal path, otherwise the number of read-retry steps the dies
+    /// must execute. No draw happens when no plan is installed.
+    fn draw_read_retry_steps(&mut self) -> u32 {
+        let Some(f) = &mut self.faults else { return 0 };
+        if f.read_marginal_prob <= 0.0 || !f.read_rng.chance(f.read_marginal_prob) {
+            return 0;
+        }
+        let steps = 1 + f.read_rng.below(u64::from(f.read_max_steps)) as u32;
+        f.flash.read_marginal_events += 1;
+        f.flash.read_retry_steps += u64::from(steps);
+        steps
+    }
+
     /// Reads one 4 KB unit from flash; returns (data-on-channel end, suspended?).
     fn flash_read_unit(&mut self, t0: SimTime, lpn: u64) -> (SimTime, bool) {
         let lane = match self.ftl.lookup(lpn) {
             Some(ppa) => ppa.lane,
             None => self.topo.stripe_lane(lpn),
         };
+        // ECC-marginal injection: a marginal unit re-senses on every die
+        // holding a stripe of it, so each die is busy `steps * tR` longer.
+        let retry_steps = self.draw_read_retry_steps();
         let (a, b) = self.topo.lane_dies(lane);
         let read_energy = self.spec.read_energy_nj();
         let mut suspended = false;
@@ -274,9 +338,17 @@ impl Ssd {
             }
             self.metrics.flash_reads += 1;
             self.energy.add(slot.start, read_energy);
+            let mut sensed = slot.end;
+            if retry_steps > 0 {
+                let retry = self.dies[die_id.0 as usize].read_retry(slot.end, retry_steps);
+                self.energy
+                    .add(retry.start, read_energy * f64::from(retry_steps));
+                self.metrics.flash_reads += u64::from(retry_steps);
+                sensed = retry.end;
+            }
             let ch = self.topo.channel_of(die_id) as usize;
             let xfer_time = self.channel_time(per_die_bytes);
-            let xfer = self.channels[ch].reserve(slot.end, xfer_time);
+            let xfer = self.channels[ch].reserve(sensed, xfer_time);
             end = end.max(xfer.end);
         }
         (end, suspended)
@@ -317,6 +389,33 @@ impl Ssd {
                     // Foreground GC: the host write waits for the reclaim.
                     gc_stalled = true;
                     done = done.max(gc_end);
+                }
+            }
+            // Program-fail injection: the unit's program fails at its
+            // placement, forcing relocation + retirement (remap-or-mark-bad)
+            // and a retry append. Recovery flash work is foreground — the
+            // host write observes it, like a forced-GC stall.
+            let inject_pf = match &mut self.faults {
+                Some(f) if f.program_fail_prob > 0.0 => f.program_rng.chance(f.program_fail_prob),
+                _ => false,
+            };
+            if inject_pf {
+                let rec = self.ftl.recover_program_fail(placement.ppa, u);
+                if rec.relocated_units > 0 || rec.erased_blocks > 0 {
+                    let gc_end =
+                        self.charge_gc(admit, lane, rec.relocated_units, rec.erased_blocks);
+                    gc_stalled = true;
+                    done = done.max(gc_end);
+                }
+                if let Some(f) = &mut self.faults {
+                    f.flash.program_failures += 1;
+                    f.recovery.relocated_units += u64::from(rec.relocated_units);
+                    if rec.remapped || rec.marked_bad {
+                        f.recovery.retired_blocks += 1;
+                    }
+                    f.recovery.remapped += u64::from(rec.remapped);
+                    f.recovery.marked_bad += u64::from(rec.marked_bad);
+                    f.recovery.deferred_retirements += u64::from(rec.deferred);
                 }
             }
             self.enqueue_drain(
@@ -440,5 +539,89 @@ impl Ssd {
     /// Observed DRAM hit rate of the read path.
     pub fn read_hit_rate(&self) -> f64 {
         self.rcache.hit_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn zero_rate_plan_is_bitwise_nominal() {
+        let run = |plan: Option<FaultPlan>| -> Vec<SimTime> {
+            let mut ssd = Ssd::new(presets::ull_800g()).expect("preset");
+            if let Some(p) = plan {
+                ssd.set_fault_plan(&p);
+            }
+            let mut out = Vec::new();
+            let mut t = SimTime::ZERO;
+            for i in 0..200u64 {
+                let off = (i % 64) * 4096;
+                let c = if i % 3 == 0 {
+                    ssd.write(t, off, 4096)
+                } else {
+                    ssd.read(t, off, 4096)
+                };
+                out.push(c.done);
+                t = c.done;
+            }
+            out
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::none())));
+        assert_eq!(run(None), run(Some(FaultPlan::uniform(9, 0.0))));
+    }
+
+    #[test]
+    fn injected_faults_are_counted_and_slow_the_device() {
+        let mut nominal = Ssd::new(presets::ull_800g()).expect("preset");
+        let mut faulty = Ssd::new(presets::ull_800g()).expect("preset");
+        faulty.set_fault_plan(&FaultPlan::uniform(7, 0.2));
+        let mut t_n = SimTime::ZERO;
+        let mut t_f = SimTime::ZERO;
+        for i in 0..400u64 {
+            let off = (i % 64) * 4096;
+            if i % 2 == 0 {
+                t_n = nominal.write(t_n, off, 4096).done;
+                t_f = faulty.write(t_f, off, 4096).done;
+            } else {
+                t_n = nominal.read(t_n, off, 4096).done;
+                t_f = faulty.read(t_f, off, 4096).done;
+            }
+        }
+        let (flash, rec) = faulty.fault_counters();
+        assert!(flash.read_marginal_events > 0, "no marginal reads injected");
+        assert!(flash.read_retry_steps >= flash.read_marginal_events);
+        assert!(flash.program_failures > 0, "no program failures injected");
+        // Exactly one outcome per program failure.
+        assert_eq!(
+            rec.retired_blocks + rec.deferred_retirements,
+            flash.program_failures
+        );
+        assert_eq!(rec.remapped + rec.marked_bad, rec.retired_blocks);
+        assert_eq!(nominal.fault_counters(), Default::default());
+        assert!(
+            t_f > t_n,
+            "fault recovery must cost simulated time ({t_f:?} vs {t_n:?})"
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_reproducible() {
+        let run = || {
+            let mut ssd = Ssd::new(presets::ull_800g()).expect("preset");
+            ssd.set_fault_plan(&FaultPlan::uniform(11, 0.1));
+            let mut t = SimTime::ZERO;
+            for i in 0..300u64 {
+                let off = (i % 32) * 4096;
+                t = if i % 2 == 0 {
+                    ssd.write(t, off, 4096).done
+                } else {
+                    ssd.read(t, off, 4096).done
+                };
+            }
+            (t, ssd.fault_counters())
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -75,6 +75,28 @@ pub struct GcWork {
     pub erased_blocks: u32,
 }
 
+/// Outcome of [`Ftl::recover_program_fail`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramFailRecovery {
+    /// Where the unit landed after the retry program.
+    pub new_ppa: Ppa,
+    /// Valid units relocated during recovery (survivors moved off the
+    /// failing block, plus any GC migration the retry append forced).
+    pub relocated_units: u32,
+    /// Blocks erased during recovery (the retirement erase plus any
+    /// forced-GC erase from the retry append).
+    pub erased_blocks: u32,
+    /// The failing block was retired into an overprovisioned spare.
+    pub remapped: bool,
+    /// The failing block was retired without a spare (capacity lost).
+    pub marked_bad: bool,
+    /// Retirement was deferred: the block was busy (mid-drain GC
+    /// victim, GC destination, or un-rotatable append point) or no
+    /// safe destination existed for its survivors. The damage stays
+    /// recorded on the block; only the retry append happened.
+    pub deferred: bool,
+}
+
 #[derive(Debug)]
 struct Lane {
     blocks: Vec<BlockState>,
@@ -455,6 +477,121 @@ impl Ftl {
         }
     }
 
+    /// Recovers from a program failure at `ppa` while writing `lpn`:
+    /// records the damage, retires the failing block when that is safe
+    /// (relocating its surviving units and substituting a spare via the
+    /// remap checker, or marking it bad once spares run out), and
+    /// re-appends `lpn` so read-after-write always resolves.
+    ///
+    /// Retirement is *deferred* — not skipped silently; it is counted in
+    /// the result — whenever touching the block now would violate the
+    /// GC invariants: the lane has a mid-drain victim (whose capacity
+    /// guard reserved the GC destination), the block is the GC
+    /// destination itself, the append point cannot rotate without
+    /// eating the GC free-block reserve, or the survivors would not fit
+    /// the guaranteed destination space.
+    pub fn recover_program_fail(&mut self, ppa: Ppa, lpn: u64) -> ProgramFailRecovery {
+        let lane_id = ppa.lane;
+        let block = ppa.block;
+        let mut out = ProgramFailRecovery {
+            new_ppa: ppa,
+            relocated_units: 0,
+            erased_blocks: 0,
+            remapped: false,
+            marked_bad: false,
+            deferred: false,
+        };
+        // The failed program physically damaged the block; the data
+        // never landed, so drop the failed copy before retrying.
+        self.lanes[lane_id.0 as usize].blocks[block as usize].note_program_fail();
+        self.invalidate(ppa);
+        self.l2p[lpn as usize] = None;
+
+        let can_touch = {
+            let lane = &self.lanes[lane_id.0 as usize];
+            let rotation_ok = block != lane.open || lane.free.len() >= 2;
+            lane.victim.is_none() && block != lane.gc_open && rotation_ok
+        };
+        let mut retire = false;
+        if can_touch {
+            // Rotate the host append point off the failing block first
+            // (the free list held >= 2, so one stays in GC reserve).
+            {
+                let lane = &mut self.lanes[lane_id.0 as usize];
+                if block == lane.open {
+                    if let Some(next) = lane.free.pop() {
+                        lane.open = next;
+                    }
+                }
+            }
+            // Survivors must fit the guaranteed GC destination space —
+            // the same capacity guard pick_victim applies.
+            let lane = &self.lanes[lane_id.0 as usize];
+            let dest = lane.blocks[lane.gc_open as usize].free_pages()
+                + if lane.free.is_empty() {
+                    0
+                } else {
+                    self.units_per_block
+                };
+            retire = lane.blocks[block as usize].valid_count() <= dest;
+        }
+        if retire {
+            // Relocate every surviving unit, then erase and retire.
+            loop {
+                let found = {
+                    let lane = &self.lanes[lane_id.0 as usize];
+                    let b = &lane.blocks[block as usize];
+                    (0..self.units_per_block)
+                        .find(|&s| b.is_valid(s))
+                        .map(|s| (s, lane.p2l[block as usize][s as usize]))
+                };
+                let Some((slot, moved_lpn)) = found else {
+                    break;
+                };
+                debug_assert_ne!(moved_lpn, u64::MAX, "valid slot must map back");
+                {
+                    let lane = &mut self.lanes[lane_id.0 as usize];
+                    lane.blocks[block as usize].invalidate(slot);
+                    lane.p2l[block as usize][slot as usize] = u64::MAX;
+                }
+                let new = self.place_gc(lane_id, moved_lpn);
+                self.l2p[moved_lpn as usize] = Some(new);
+                out.relocated_units += 1;
+                self.total_migrated += 1;
+            }
+            {
+                let lane = &mut self.lanes[lane_id.0 as usize];
+                lane.blocks[block as usize].erase();
+                lane.p2l[block as usize]
+                    .iter_mut()
+                    .for_each(|l| *l = u64::MAX);
+            }
+            out.erased_blocks += 1;
+            self.total_erased += 1;
+            let checker = &mut self.remap[lane_id.0 as usize];
+            if checker.spares_left() > 0 && checker.retire(block).is_ok() {
+                // A spare physically substitutes for the damaged block;
+                // the (semi-virtual) block stays in service.
+                self.remapped_blocks += 1;
+                out.remapped = true;
+                self.lanes[lane_id.0 as usize].free.insert(0, block);
+            } else {
+                self.lanes[lane_id.0 as usize].blocks[block as usize].mark_bad();
+                self.physical_blocks_lost += self.blocks_per_virtual as u64;
+                out.marked_bad = true;
+            }
+        } else {
+            out.deferred = true;
+        }
+
+        // Retry the program elsewhere on the lane (forced GC included).
+        let (placement, gc_work) = self.append_on(lane_id, lpn);
+        out.new_ppa = placement.ppa;
+        out.relocated_units += gc_work.migrated_units;
+        out.erased_blocks += gc_work.erased_blocks;
+        out
+    }
+
     fn invalidate(&mut self, ppa: Ppa) {
         let lane = &mut self.lanes[ppa.lane.0 as usize];
         lane.blocks[ppa.block as usize].invalidate(ppa.slot);
@@ -703,6 +840,83 @@ mod tests {
         // Pair-lane accounting: each lost virtual block strands 2 physical.
         assert_eq!(f.physical_blocks_lost() % 2, 0);
         assert_eq!(f.remapped_blocks(), 0);
+    }
+
+    #[test]
+    fn program_fail_recovery_preserves_mappings() {
+        // Plenty of spares: every recovery should remap, never mark bad.
+        let wear = WearConfig {
+            per_erase_prob: 0.0,
+            remap_enabled: true,
+            spares_per_lane: 64,
+            seed: 1,
+        };
+        let mut f = Ftl::new(1, 8, 4, gc()).with_wear(wear, 1);
+        // Lay down some data so the failing block has survivors.
+        for lpn in 0..6u64 {
+            f.append(lpn);
+        }
+        let (p, _) = f.append(6);
+        let rec = f.recover_program_fail(p.ppa, 6);
+        assert_ne!(rec.new_ppa, p.ppa, "retry must land elsewhere");
+        assert_eq!(f.lookup(6), Some(rec.new_ppa), "read-after-write");
+        assert!(rec.remapped || rec.deferred, "{rec:?}");
+        assert!(!rec.marked_bad);
+        // Every earlier write still resolves, each to a distinct ppa.
+        let mut seen = std::collections::HashSet::new();
+        for lpn in 0..7u64 {
+            let ppa = f.lookup(lpn).expect("mapped after recovery");
+            assert!(seen.insert(ppa), "duplicate mapping at {lpn}");
+            let lane = &f.lanes[ppa.lane.0 as usize];
+            assert!(lane.blocks[ppa.block as usize].is_valid(ppa.slot));
+            assert_eq!(lane.p2l[ppa.block as usize][ppa.slot as usize], lpn);
+        }
+    }
+
+    #[test]
+    fn program_fail_without_spares_marks_bad_or_defers() {
+        let mut f = Ftl::new(1, 8, 4, gc());
+        for lpn in 0..6u64 {
+            f.append(lpn);
+        }
+        let (p, _) = f.append(6);
+        let rec = f.recover_program_fail(p.ppa, 6);
+        assert_eq!(f.lookup(6), Some(rec.new_ppa));
+        // Exactly one outcome per failure.
+        let outcomes =
+            u32::from(rec.remapped) + u32::from(rec.marked_bad) + u32::from(rec.deferred);
+        assert_eq!(outcomes, 1, "{rec:?}");
+        if rec.marked_bad {
+            assert_eq!(f.physical_blocks_lost(), 1);
+        }
+    }
+
+    #[test]
+    fn repeated_program_fails_never_corrupt_state() {
+        let wear = WearConfig {
+            per_erase_prob: 0.0,
+            remap_enabled: true,
+            spares_per_lane: 256,
+            seed: 3,
+        };
+        let mut f = Ftl::new(2, 8, 4, gc()).with_wear(wear, 1);
+        let logical = 16u64;
+        for i in 0..400u64 {
+            let lpn = (i * 11 + 3) % logical;
+            let (p, _) = f.append(lpn);
+            if i % 5 == 0 {
+                let rec = f.recover_program_fail(p.ppa, lpn);
+                assert_eq!(f.lookup(lpn), Some(rec.new_ppa));
+            }
+        }
+        // Valid units conserved: one live copy per logical unit written.
+        let valid_total: u32 = f
+            .lanes
+            .iter()
+            .flat_map(|l| l.blocks.iter())
+            .map(|b| b.valid_count())
+            .sum();
+        assert_eq!(valid_total as u64, logical);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! [`Host::submit_async`]/[`Host::finish_async`] models `libaio` and the
 //! SPDK fio plugin, driven by the closed-loop engine in `ull-workload`.
 
+use ull_faults::{FaultPlan, NvmeFaults};
 use ull_nvme::{NvmeCommand, NvmeController};
 use ull_simkit::{SimDuration, SimTime, SplitMix64};
 use ull_ssd::DeviceCompletion;
@@ -72,6 +73,17 @@ struct Outstanding {
     tags: Vec<Tag>,
 }
 
+/// Host-side recovery parameters and accounting for injected NVMe
+/// completion losses (absent ⇒ the nominal, zero-cost path).
+#[derive(Debug)]
+struct HostFaultState {
+    timeout: SimDuration,
+    max_retries: u32,
+    backoff_base: SimDuration,
+    reset_latency: SimDuration,
+    counters: NvmeFaults,
+}
+
 /// One host core + software stack + NVMe device.
 ///
 /// # Examples
@@ -108,6 +120,11 @@ pub struct Host {
     max_transfer: u32,
     /// Wall-clock high-water mark of activity on this host.
     horizon: SimTime,
+    /// NVMe timeout/abort recovery state (None ⇒ nominal path).
+    faults: Option<HostFaultState>,
+    /// Submissions that hit a full SQ and were deterministically requeued
+    /// after draining the ring (backpressure accounting; always active).
+    sq_requeues: u64,
 }
 
 impl Host {
@@ -137,7 +154,49 @@ impl Host {
             tags: TagSet::new(Self::TAGS),
             max_transfer: Self::MAX_TRANSFER,
             horizon: SimTime::ZERO,
+            faults: None,
+            sq_requeues: 0,
         }
+    }
+
+    /// Installs a fault plan across the whole host stack: the controller
+    /// (completion-loss lottery) and its SSD (flash fault lotteries) get
+    /// the plan, and the host keeps the recovery parameters it needs for
+    /// the timeout → abort → bounded-retry → controller-reset path.
+    ///
+    /// With `nvme_timeout_prob == 0` no host fault state is kept; with an
+    /// all-zero plan the entire stack is bit-for-bit nominal.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.ctrl.set_fault_plan(plan);
+        if plan.nvme_timeout_prob > 0.0 {
+            self.faults = Some(HostFaultState {
+                timeout: plan.host_timeout,
+                max_retries: plan.max_retries,
+                backoff_base: plan.backoff_base,
+                reset_latency: plan.reset_latency,
+                counters: NvmeFaults::default(),
+            });
+        } else {
+            self.faults = None;
+        }
+    }
+
+    /// NVMe fault/recovery accounting: the host-side recovery counters
+    /// plus the controller's injected-timeout count and the (always
+    /// active) full-SQ requeue count.
+    pub fn nvme_fault_counters(&self) -> NvmeFaults {
+        let mut c = self
+            .faults
+            .as_ref()
+            .map_or_else(NvmeFaults::default, |f| f.counters);
+        c.injected_timeouts = self.ctrl.injected_timeouts();
+        c.sq_requeues = self.sq_requeues;
+        c
+    }
+
+    /// Submissions that hit a full SQ and were requeued (backpressure).
+    pub fn sq_requeues(&self) -> u64 {
+        self.sq_requeues
     }
 
     /// The configured I/O path.
@@ -226,6 +285,7 @@ impl Host {
         }
         let mut cids = Vec::with_capacity(parts.len());
         let mut tags = Vec::with_capacity(parts.len());
+        let mut issued = std::collections::BTreeMap::new();
         for (part_off, part_len) in parts {
             let tag = self
                 .tags
@@ -239,14 +299,177 @@ impl Host {
                 IoOp::Read => NvmeCommand::read(cid, part_off, part_len),
                 IoOp::Write => NvmeCommand::write(cid, part_off, part_len),
             };
-            self.ctrl
-                .submit(0, cmd)
-                // simlint: allow(S006): ring size >= TAGS and a tag was acquired above, so the SQ cannot be full here
-                .expect("engine keeps queue depth below ring size");
+            t = self.submit_with_backpressure(cmd, t);
+            issued.insert(cid, cmd);
             cids.push(cid);
         }
         self.ctrl.ring_sq_doorbell(0, t);
+        if self.faults.is_some() {
+            let dropped = self.ctrl.take_dropped(0);
+            if !dropped.is_empty() {
+                self.recover_lost(t, &dropped, &mut issued, &mut cids);
+            }
+        }
         (t, cids, tags)
+    }
+
+    /// Pushes `cmd` to the SQ; a full ring backpressures deterministically:
+    /// the doorbell drains the queued entries into the controller (charged
+    /// as an extra driver pass), then the push retries — it cannot be
+    /// silently dropped and never panics on a full ring.
+    fn submit_with_backpressure(&mut self, cmd: NvmeCommand, at: SimTime) -> SimTime {
+        if self.ctrl.submit(0, cmd).is_ok() {
+            return at;
+        }
+        self.sq_requeues += 1;
+        self.charge(
+            Mode::Kernel,
+            StackFn::NvmeDriverSubmit,
+            self.costs.driver_submit,
+        );
+        let at = at + self.costs.driver_submit.latency;
+        self.ctrl.ring_sq_doorbell(0, at);
+        self.ctrl
+            .submit(0, cmd)
+            // simlint: allow(S006): the doorbell above drained every queued entry, and a drained submission ring accepts a push
+            .expect("a drained submission ring accepts a push");
+        at
+    }
+
+    /// Rebuilds a command under a fresh cid (timeout retry / reset replay).
+    fn reissue(&mut self, cmd: NvmeCommand) -> NvmeCommand {
+        let mut c = cmd;
+        c.cid = self.next_cid;
+        self.next_cid = self.next_cid.wrapping_add(1);
+        c
+    }
+
+    /// The NVMe timeout state machine for every command whose completion
+    /// the controller dropped at the `doorbell_t` doorbell:
+    ///
+    /// 1. the host timeout expires → abort (discard the stale detail);
+    /// 2. bounded retries with exponential sim-time backoff
+    ///    (`backoff_base << attempt`), each still subject to injection;
+    /// 3. retry budget exhausted → controller reset, then an
+    ///    injection-exempt requeue of the aborted command plus every
+    ///    in-flight command of this request the reset destroyed.
+    ///
+    /// `cids` is rewritten so each lost part points at its surviving cid.
+    fn recover_lost(
+        &mut self,
+        doorbell_t: SimTime,
+        dropped: &[u16],
+        issued: &mut std::collections::BTreeMap<u16, NvmeCommand>,
+        cids: &mut [u16],
+    ) {
+        let Some(f) = &self.faults else { return };
+        let (timeout, max_retries, backoff_base, reset_latency) =
+            (f.timeout, f.max_retries, f.backoff_base, f.reset_latency);
+        let mut d = NvmeFaults::default();
+        for &lost_cid in dropped {
+            // Dropped cids come from this call's doorbell, so the command
+            // is in `issued`; skipping an unknown cid keeps this panic-free.
+            let Some(cmd0) = issued.get(&lost_cid).copied() else {
+                continue;
+            };
+            let mut old_cid = lost_cid;
+            let mut detect = doorbell_t + timeout;
+            let mut attempt = 0u32;
+            let final_cid = loop {
+                // Timeout fires: the timeout handler runs and the command
+                // is aborted. The backend did execute it — the completion
+                // is what vanished — so its detail is discarded.
+                d.aborts += 1;
+                self.charge(Mode::Kernel, StackFn::Isr, self.costs.isr);
+                let _ = self.ctrl.take_detail(0, old_cid);
+                if attempt >= max_retries {
+                    break self.reset_and_requeue(
+                        detect + reset_latency,
+                        cmd0,
+                        issued,
+                        cids,
+                        &mut d,
+                    );
+                }
+                // Bounded retry with exponential (integer) backoff.
+                let backoff = backoff_base * (1u64 << attempt.min(16));
+                d.retries += 1;
+                d.backoff_ns_total += backoff.as_nanos();
+                let retry = self.reissue(cmd0);
+                self.charge(
+                    Mode::Kernel,
+                    StackFn::NvmeDriverSubmit,
+                    self.costs.driver_submit,
+                );
+                let resubmit_at = self.submit_with_backpressure(retry, detect + backoff);
+                issued.insert(retry.cid, retry);
+                self.ctrl.ring_sq_doorbell(0, resubmit_at);
+                if self.ctrl.take_dropped(0).is_empty() {
+                    break retry.cid; // the retry's completion survived
+                }
+                old_cid = retry.cid;
+                detect = resubmit_at + timeout;
+                attempt += 1;
+            };
+            if let Some(slot) = cids.iter_mut().find(|c| **c == lost_cid) {
+                *slot = final_cid;
+            }
+        }
+        if let Some(f) = &mut self.faults {
+            let c = &mut f.counters;
+            c.aborts += d.aborts;
+            c.retries += d.retries;
+            c.backoff_ns_total += d.backoff_ns_total;
+            c.controller_resets += d.controller_resets;
+            c.requeues += d.requeues;
+        }
+    }
+
+    /// Controller reset + injection-exempt requeue. Returns the new cid
+    /// of `aborted` (the command whose retries ran out). In-flight parts
+    /// of the current request destroyed by the reset are requeued too;
+    /// completions of *earlier* (async) requests lost with them are
+    /// tolerated by [`Host::consume_cqes`].
+    fn reset_and_requeue(
+        &mut self,
+        ready: SimTime,
+        aborted: NvmeCommand,
+        issued: &mut std::collections::BTreeMap<u16, NvmeCommand>,
+        cids: &mut [u16],
+        d: &mut NvmeFaults,
+    ) -> u16 {
+        d.controller_resets += 1;
+        let destroyed = self.ctrl.reset_queue(0);
+        let replay = self.reissue(aborted);
+        self.charge(
+            Mode::Kernel,
+            StackFn::NvmeDriverSubmit,
+            self.costs.driver_submit,
+        );
+        let mut at = self.submit_with_backpressure(replay, ready);
+        issued.insert(replay.cid, replay);
+        d.requeues += 1;
+        for old in destroyed {
+            // Only this request's parts can be replayed (their commands
+            // are known); older requests' completions are simply lost.
+            let Some(cmd) = issued.get(&old).copied() else {
+                continue;
+            };
+            let re = self.reissue(cmd);
+            self.charge(
+                Mode::Kernel,
+                StackFn::NvmeDriverSubmit,
+                self.costs.driver_submit,
+            );
+            at = self.submit_with_backpressure(re, at);
+            issued.insert(re.cid, re);
+            d.requeues += 1;
+            if let Some(slot) = cids.iter_mut().find(|c| **c == old) {
+                *slot = re.cid;
+            }
+        }
+        self.ctrl.ring_sq_doorbell_requeue(0, at);
+        replay.cid
     }
 
     /// Collects and merges the per-part device completions.
@@ -389,12 +612,21 @@ impl Host {
     }
 
     fn consume_cqes(&mut self, at: SimTime, n: usize) {
+        // A controller reset (fault recovery) zeroes the CQ, destroying
+        // completions of commands posted before the reset — typically
+        // earlier async requests. Their consumers find fewer visible
+        // entries than expected; that is tolerated whenever a reset has
+        // occurred. In nominal runs the invariant still holds exactly.
+        let reset_happened = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.counters.controller_resets > 0);
         for _ in 0..n {
             let consumed = self.ctrl.poll(0, at);
-            debug_assert!(
-                consumed.is_some(),
-                "completion must be visible at consume time"
-            );
+            if consumed.is_none() {
+                debug_assert!(reset_happened, "completion must be visible at consume time");
+                break;
+            }
         }
     }
 
@@ -650,5 +882,99 @@ mod tests {
         h.account_idle_spin(elapsed);
         let user = h.cpu().utilization(Mode::User, elapsed);
         assert!(user > 0.95, "user util {user:.2}");
+    }
+
+    #[test]
+    fn full_sq_backpressure_requeues_and_completes() {
+        // A 4-slot ring holds 3 entries; an 8-part split request must
+        // backpressure deterministically instead of panicking.
+        let ctrl = NvmeController::new(Ssd::new(presets::ull_800g()).unwrap(), 1, 4);
+        let mut h = Host::new(ctrl, SoftwareCosts::linux_4_14(), IoPath::KernelInterrupt);
+        let r = h.io_sync(IoOp::Read, 0, 8 * Host::MAX_TRANSFER, SimTime::ZERO);
+        assert!(
+            h.sq_requeues() > 0,
+            "8 parts through a 4-slot ring must hit backpressure"
+        );
+        assert!(r.latency.as_nanos() > 0);
+        assert_eq!(h.in_flight(), 0, "tags and outstanding drained");
+    }
+
+    #[test]
+    fn timeout_recovery_retries_and_accounts() {
+        let nominal = mean_sync_read(IoPath::KernelInterrupt, 400);
+
+        let mut h = host(IoPath::KernelInterrupt);
+        let plan = FaultPlan {
+            seed: 11,
+            nvme_timeout_prob: 0.05,
+            ..FaultPlan::none()
+        };
+        h.set_fault_plan(&plan);
+        let mut at = SimTime::ZERO;
+        let mut sum = 0.0;
+        for i in 0..400u64 {
+            let r = h.io_sync(IoOp::Read, (i % 1000) * 4096, 4096, at);
+            sum += r.latency.as_micros_f64();
+            at = r.user_visible + SimDuration::from_nanos(1_000);
+        }
+        let faulty = sum / 400.0;
+
+        let c = h.nvme_fault_counters();
+        assert!(c.injected_timeouts > 0, "rate 0.05 over 400 IOs must fire");
+        // Every injected drop — initial or on a retry — is detected by
+        // exactly one timeout/abort; post-reset requeues are exempt.
+        assert_eq!(c.aborts, c.injected_timeouts);
+        assert!(c.retries > 0);
+        assert!(c.backoff_ns_total > 0);
+        assert!(
+            faulty > nominal * 2.0,
+            "500us timeouts must dominate: nominal={nominal:.1}us faulty={faulty:.1}us"
+        );
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_resets_and_requeues() {
+        let mut h = host(IoPath::KernelInterrupt);
+        // Every completion is lost, so every command burns its whole
+        // retry budget and escalates to a controller reset; only the
+        // injection-exempt requeue terminates the I/O.
+        let plan = FaultPlan {
+            seed: 3,
+            nvme_timeout_prob: 1.0,
+            ..FaultPlan::none()
+        };
+        h.set_fault_plan(&plan);
+        let r = h.io_sync(IoOp::Read, 0, 4096, SimTime::ZERO);
+        let c = h.nvme_fault_counters();
+        assert!(c.controller_resets >= 1, "budget exhaustion must reset");
+        assert!(c.requeues >= 1);
+        assert_eq!(c.retries, u64::from(plan.max_retries));
+        assert!(
+            r.latency >= plan.reset_latency,
+            "a reset path cannot be faster than the reset itself"
+        );
+        assert_eq!(h.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_bitwise_nominal() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut h = host(IoPath::KernelPolled);
+            if let Some(p) = plan {
+                h.set_fault_plan(&p);
+            }
+            let mut at = SimTime::ZERO;
+            let mut lat = Vec::new();
+            for i in 0..300u64 {
+                let r = h.io_sync(IoOp::Read, (i % 128) * 4096, 4096, at);
+                lat.push(r.latency.as_nanos());
+                at = r.user_visible;
+            }
+            (lat, h.nvme_fault_counters())
+        };
+        let (base, counters) = run(None);
+        assert_eq!(counters, NvmeFaults::default());
+        assert_eq!(base, run(Some(FaultPlan::none())).0);
+        assert_eq!(base, run(Some(FaultPlan::uniform(9, 0.0))).0);
     }
 }

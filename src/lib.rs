@@ -5,6 +5,8 @@
 //! This façade re-exports the workspace crates:
 //!
 //! * [`simkit`] — discrete-event simulation foundation.
+//! * [`faults`] — deterministic fault-injection plans and recovery
+//!   accounting (see docs/FAULTS.md).
 //! * [`flash`] — Z-NAND / V-NAND / BiCS / planar-MLC media models.
 //! * [`ssd`] — the two device models (Z-SSD prototype, Intel 750).
 //! * [`nvme`] — NVMe rings, doorbells, phase tags, controller.
@@ -29,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use ull_faults as faults;
 pub use ull_flash as flash;
 pub use ull_netblock as netblock;
 pub use ull_nvme as nvme;
@@ -40,6 +43,7 @@ pub use ull_workload as workload;
 
 /// The most commonly used items, for `use ull_ssd_study::prelude::*`.
 pub mod prelude {
+    pub use ull_faults::{FaultPlan, FaultReport};
     pub use ull_simkit::{Histogram, SimDuration, SimTime};
     pub use ull_ssd::{presets, Ssd, SsdConfig};
     pub use ull_stack::{Host, IoOp, IoPath};

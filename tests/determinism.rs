@@ -97,3 +97,29 @@ fn parallel_sweep_is_byte_identical_to_serial() {
         serial.0.len()
     );
 }
+
+#[test]
+fn fault_sweep_is_byte_identical_across_workers() {
+    // The fault-injection sweep adds recovery state machines (retries,
+    // controller resets, NBD replays) on top of the nominal stack; its
+    // lotteries are forked per cell from the plan seed, so it must stay
+    // byte-identical across worker counts like everything else. This is
+    // the sweep CI diffs against BENCH_faults_quick.json.
+    let run = |jobs: usize| {
+        let s = find("faults")
+            .expect("registry name")
+            .run(Scale::Quick, jobs);
+        assert!(
+            s.ok(),
+            "shape violations at jobs={jobs}: {:?}",
+            s.violations
+        );
+        (s.body.clone(), s.to_json().to_pretty_string())
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(4), "fault sweep diverged across --jobs");
+    assert!(
+        serial.0.contains("ULL SSD/interrupt") && serial.0.contains("kernel-nbd"),
+        "sweep table missing expected rows"
+    );
+}

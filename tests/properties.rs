@@ -7,10 +7,14 @@
 //! same cases. Each property walks a fixed set of seeds and generates the
 //! same shapes the proptest strategies did.
 
+use ull_ssd_study::faults::{FaultPlan, FaultReport};
+use ull_ssd_study::netblock::{NbdServerKind, NbdSystem};
 use ull_ssd_study::nvme::{CompletionQueue, NvmeCommand, SubmissionQueue};
 use ull_ssd_study::simkit::{EventQueue, Histogram, SimDuration, SimTime, SplitMix64, Timeline};
-use ull_ssd_study::ssd::{Ftl, GcPolicy, LaneId, RemapChecker, WriteBuffer};
-use ull_ssd_study::stack::split_request;
+use ull_ssd_study::ssd::{presets, Ftl, GcPolicy, LaneId, RemapChecker, WearConfig, WriteBuffer};
+use ull_ssd_study::stack::{split_request, IoOp, IoPath};
+use ull_ssd_study::study::{host, Device};
+use ull_ssd_study::workload::{run_job, JobSpec, Pattern};
 
 /// Seeds each property iterates; chosen arbitrarily but fixed forever.
 const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 0xDEAD_BEEF, 0x5EED_CAFE];
@@ -378,4 +382,166 @@ fn ftl_conserves_valid_units_under_churn() {
         assert!(ppa.lane <= LaneId(3));
     }
     assert!(ftl.migrated_units() > 0);
+}
+
+/// Under a hostile NVMe timeout lottery, synchronous completions to the
+/// same LBA never reorder: control returns to the application at
+/// monotonically nondecreasing sim times even while the host aborts,
+/// retries with backoff, and occasionally resets the controller
+/// mid-request.
+#[test]
+fn same_lba_completions_never_reorder_under_timeouts() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed ^ 0xFA);
+        let mut h = host(Device::Ull, IoPath::KernelInterrupt);
+        let mut plan = FaultPlan::uniform(seed, 0.0);
+        plan.nvme_timeout_prob = 0.3;
+        h.set_fault_plan(&plan);
+        let mut t = SimTime::ZERO;
+        let mut last_visible = SimTime::ZERO;
+        for i in 0..200u64 {
+            let op = if rng.chance(0.5) {
+                IoOp::Read
+            } else {
+                IoOp::Write
+            };
+            // Occasionally a large I/O that splits into several NVMe
+            // commands — the interesting case, since any one part can
+            // be timed out, retried, or destroyed by a reset.
+            let len = if rng.chance(0.2) { 512 << 10 } else { 4096 };
+            let r = h.io_sync(op, 0, len, t);
+            assert_eq!(r.submitted, t, "seed {seed} io {i}");
+            assert_eq!(
+                r.latency,
+                r.user_visible - r.submitted,
+                "seed {seed} io {i}"
+            );
+            assert!(
+                r.user_visible >= last_visible,
+                "seed {seed}: io {i} completed before its predecessor"
+            );
+            last_visible = r.user_visible;
+            t = r.user_visible + SimDuration::from_nanos(rng.below(2_000));
+        }
+        let c = h.nvme_fault_counters();
+        assert!(c.injected_timeouts > 0, "seed {seed}: lottery never fired");
+        assert_eq!(c.aborts, c.injected_timeouts, "seed {seed}");
+    }
+}
+
+/// Program-fail recovery preserves read-after-write: the lpn whose
+/// program failed resolves to the freshly re-appended copy, and no
+/// other live mapping is lost — regardless of whether the failing
+/// block was retired immediately or retirement was deferred.
+#[test]
+fn program_fail_recovery_preserves_raw_mapping() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed ^ 0x9F);
+        let gc = GcPolicy {
+            low_watermark: 2,
+            units_per_host_write: 4,
+            parallel: false,
+        };
+        // Plenty of spares, so retirements remap instead of silently
+        // bleeding capacity into a GC deadlock over the long run.
+        let wear = WearConfig {
+            per_erase_prob: 0.0,
+            remap_enabled: true,
+            spares_per_lane: 64,
+            seed,
+        };
+        let mut ftl = Ftl::new(2, 24, 8, gc).with_wear(wear, 1);
+        let mut written = std::collections::BTreeSet::new();
+        for i in 0..400u64 {
+            let lpn = rng.below(48);
+            let (placement, _gc) = ftl.append(lpn);
+            written.insert(lpn);
+            if rng.chance(0.06) {
+                let r = ftl.recover_program_fail(placement.ppa, lpn);
+                assert_eq!(
+                    ftl.lookup(lpn),
+                    Some(r.new_ppa),
+                    "seed {seed} op {i}: read-after-write lost"
+                );
+                assert!(
+                    !(r.remapped && r.marked_bad),
+                    "retirement is remap XOR capacity loss"
+                );
+                if r.deferred {
+                    assert!(!r.remapped && !r.marked_bad);
+                }
+            }
+            for &l in &written {
+                assert!(ftl.lookup(l).is_some(), "seed {seed} op {i}: lost lpn {l}");
+            }
+        }
+    }
+}
+
+/// Every injected fault is accounted for by exactly one recovery path:
+/// the cross-layer counter equalities hold at every seed, for the host
+/// stack (flash + FTL + NVMe) and for the NBD export path.
+#[test]
+fn fault_accounting_totals_match_injections() {
+    for seed in SEEDS {
+        let mut h = host(Device::Ull, IoPath::KernelInterrupt);
+        h.set_fault_plan(&FaultPlan::uniform(seed, 2e-3));
+        let spec = JobSpec::new("acct")
+            .pattern(Pattern::Random)
+            .read_fraction(0.7)
+            .block_size(4096)
+            .ios(4_000)
+            .seed(seed ^ 0xACC7);
+        let _ = run_job(&mut h, &spec);
+        let (flash, rec) = h.controller().ssd().fault_counters();
+        let nvme = h.nvme_fault_counters();
+        // Every lost completion was detected by exactly one abort.
+        assert_eq!(nvme.aborts, nvme.injected_timeouts, "seed {seed}");
+        // Every program failure led to a retirement or a counted deferral.
+        assert_eq!(
+            rec.retired_blocks + rec.deferred_retirements,
+            flash.program_failures,
+            "seed {seed}"
+        );
+        // Every retirement was absorbed by a spare or shrank capacity.
+        assert_eq!(
+            rec.remapped + rec.marked_bad,
+            rec.retired_blocks,
+            "seed {seed}"
+        );
+        // Every marginal read took at least one retry step.
+        assert!(flash.read_retry_steps >= flash.read_marginal_events);
+        let rep = FaultReport {
+            flash,
+            ssd: rec,
+            nvme,
+            nbd: Default::default(),
+        };
+        assert_eq!(
+            rep.injected_total(),
+            flash.read_marginal_events + flash.program_failures + nvme.injected_timeouts,
+            "seed {seed}"
+        );
+        assert!(
+            rep.injected_total() > 0,
+            "seed {seed}: 2e-3 over 4k ios must fire"
+        );
+    }
+    // The NBD link lottery: drops, reconnects and replays stay equal.
+    for seed in SEEDS {
+        let mut sys =
+            NbdSystem::new(presets::ull_800g(), NbdServerKind::Spdk, seed).expect("valid preset");
+        let mut plan = FaultPlan::uniform(seed ^ 0xB, 0.0);
+        plan.nbd_drop_prob = 0.05;
+        sys.set_fault_plan(&plan);
+        let mut t = SimTime::ZERO;
+        for k in 0..500u64 {
+            let r = sys.file_read(t, k.wrapping_mul(2654435761), 4096);
+            t = r.done;
+        }
+        let c = sys.nbd_fault_counters();
+        assert!(c.link_drops > 0, "seed {seed}: link lottery never fired");
+        assert_eq!(c.link_drops, c.reconnects, "seed {seed}");
+        assert_eq!(c.reconnects, c.replayed_commands, "seed {seed}");
+    }
 }
