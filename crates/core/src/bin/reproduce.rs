@@ -2,7 +2,7 @@
 //! registry.
 //!
 //! ```text
-//! reproduce [--full] [--jobs N] [--json] [--list] [NAME ...| all]
+//! reproduce [--full] [--jobs N] [--json] [--list] [--trace FILE] [NAME ...| all]
 //! ```
 //!
 //! Every table/figure in `EXPERIMENTS.md` is runnable by name
@@ -16,19 +16,27 @@
 //! `docs/DETERMINISM.md`). `--json` prints the machine-readable report
 //! instead of the tables; it too is byte-identical across `--jobs`
 //! values and hosts.
+//!
+//! `--trace FILE` additionally writes a Chrome `trace_event` document
+//! (open in Perfetto / `chrome://tracing`) for the single named
+//! experiment, which must support tracing — the `trace` column of
+//! `--list` shows which do. Capture is bounded (first/last-K plus slow
+//! requests) and deterministic; see `docs/OBSERVABILITY.md`.
 
 use std::process::ExitCode;
 
 use ull_study::registry::{default_entries, entries, find, json_document, Entry, Section};
 use ull_study::testbed::Scale;
 
-const USAGE: &str = "usage: reproduce [--full] [--jobs N] [--json] [--list] [NAME ...| all]";
+const USAGE: &str =
+    "usage: reproduce [--full] [--jobs N] [--json] [--list] [--trace FILE] [NAME ...| all]";
 
 struct Args {
     scale: Scale,
     jobs: usize,
     json: bool,
     list: bool,
+    trace: Option<String>,
     picks: Vec<String>,
 }
 
@@ -38,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         jobs: 1,
         json: false,
         list: false,
+        trace: None,
         picks: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -46,6 +55,9 @@ fn parse_args() -> Result<Args, String> {
             "--full" => args.scale = Scale::Full,
             "--json" => args.json = true,
             "--list" => args.list = true,
+            "--trace" => {
+                args.trace = Some(it.next().ok_or("--trace needs an output path")?);
+            }
             "--jobs" => {
                 let n = it.next().ok_or("--jobs needs a value")?;
                 args.jobs = n
@@ -87,18 +99,53 @@ fn resolve(picks: &[String]) -> Result<Vec<&'static Entry>, String> {
 }
 
 fn print_list() {
-    println!("{:12}{:18}{:44}description", "name", "aliases", "title");
+    println!(
+        "{:12}{:18}{:44}{:7}description",
+        "name", "aliases", "title", "trace"
+    );
     for e in entries() {
         let star = if e.in_all { "" } else { "*" };
         println!(
-            "{:12}{:18}{:44}{}",
+            "{:12}{:18}{:44}{:7}{}",
             format!("{}{star}", e.name),
             e.aliases.join(","),
             e.title,
+            if e.traceable { "yes" } else { "-" },
             e.description
         );
     }
     println!("\n(*) not part of `all` / BENCH_quick.json; run by name");
+    println!("(trace) supports `reproduce NAME --trace out.json` (Chrome trace_event)");
+}
+
+/// Writes the Chrome trace of the single picked traceable experiment.
+fn write_trace(picked: &[&'static Entry], scale: Scale, path: &str) -> Result<(), String> {
+    let [entry] = picked else {
+        return Err(format!(
+            "--trace wants exactly one experiment name, got {}",
+            picked.len()
+        ));
+    };
+    let Some(report) = entry.trace(scale) else {
+        let traceable: Vec<&str> = entries()
+            .iter()
+            .filter(|e| e.traceable)
+            .map(|e| e.name)
+            .collect();
+        return Err(format!(
+            "{} does not support tracing (traceable: {})",
+            entry.name,
+            traceable.join(", ")
+        ));
+    };
+    let doc = report.chrome_trace().to_pretty_string();
+    std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!(
+        "trace: {} of {} requests captured -> {path}",
+        report.trace.events().len(),
+        report.trace.seen()
+    );
+    Ok(())
 }
 
 fn print_section(s: &Section) {
@@ -134,6 +181,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(path) = &args.trace {
+        if let Err(e) = write_trace(&picked, args.scale, path) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let sections: Vec<Section> = picked
         .iter()

@@ -101,6 +101,22 @@ pub trait Experiment {
         &[]
     }
 
+    /// Whether this experiment probes its hosts and can emit a Chrome
+    /// trace through [`Experiment::trace`]. Shown as the `trace` column
+    /// of `reproduce --list`.
+    fn traceable(&self) -> bool {
+        false
+    }
+
+    /// A representative probed run for `reproduce --trace`: the
+    /// [`ull_probe::ProbeReport`] of one characteristic cell, rendered
+    /// to Chrome `trace_event` JSON by the caller. `None` for
+    /// experiments that do not probe (the default).
+    fn trace(&self, scale: Scale) -> Option<ull_probe::ProbeReport> {
+        let _ = scale;
+        None
+    }
+
     /// The independent sweep cells at `scale`, in presentation order.
     fn cells(&self, scale: Scale) -> Vec<SweepCell<Self::Cell>>;
 

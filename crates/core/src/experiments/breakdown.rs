@@ -1,0 +1,361 @@
+//! Observability extension: software-vs-device latency attribution.
+//!
+//! The paper's central method is splitting each I/O's latency into
+//! software-stack time and device time (§IV-B, §V): on a flash SSD the
+//! device dwarfs the kernel, so nobody noticed the kernel; on a ULL
+//! device the same kernel is suddenly a first-order cost. This
+//! experiment reproduces that attribution with the `ull-probe` span
+//! machinery: every request's latency is tiled into stages
+//! (submit → SQ wait → controller → flash → DMA → completion delivery),
+//! summed into a [`MetricSet`] per cell, and the software/device split
+//! is checked for the paper's qualitative shapes:
+//!
+//! * device time dominates end-to-end latency on the NVMe SSD,
+//! * the software *share* grows sharply on the ULL SSD (same kernel,
+//!   much faster device),
+//! * polling trades interrupt delivery + context switch for spin time
+//!   (the `irq_deliver` bucket empties, `poll_pickup` fills), buying a
+//!   lower mean on the ULL device.
+//!
+//! The sweep is excluded from `reproduce all` (it extends the paper's
+//! figure list); run it with `reproduce breakdown` (alias `sw_vs_dev`).
+//! CI pins its quick-scale JSON in `BENCH_breakdown_quick.json`.
+
+use core::fmt;
+
+use ull_probe::{MetricSet, ProbeConfig, ProbeReport, Stage};
+use ull_stack::IoPath;
+use ull_workload::{JobSpec, Json, Pattern};
+
+use crate::engine::{run_experiment, Experiment, Report, SweepCell};
+use crate::testbed::{host, Device, Scale};
+
+/// The completion paths swept, with their row labels.
+pub const PATHS: [(IoPath, &str); 3] = [
+    (IoPath::KernelInterrupt, "interrupt"),
+    (IoPath::KernelPolled, "poll"),
+    (IoPath::KernelHybrid, "hybrid"),
+];
+
+/// One measured cell of the breakdown sweep.
+#[derive(Debug, Clone)]
+pub struct BreakdownRow {
+    /// Device under test.
+    pub device: Device,
+    /// Completion-path label (`"interrupt"`, `"poll"`, `"hybrid"`).
+    pub path_label: &'static str,
+    /// Aggregated per-stage metrics for the whole cell.
+    pub metrics: MetricSet,
+}
+
+impl BreakdownRow {
+    /// Fraction of total end-to-end time spent in host software.
+    pub fn software_share(&self) -> f64 {
+        let total = self.metrics.e2e_total_ns();
+        if total == 0 {
+            return 0.0;
+        }
+        self.metrics.software_ns() as f64 / total as f64
+    }
+
+    /// Mean end-to-end latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        ull_probe::mean_ns(self.metrics.e2e_total_ns(), self.metrics.ios()).as_micros_f64()
+    }
+
+    fn scenario(&self) -> String {
+        format!("{}/{}", self.device.label(), self.path_label)
+    }
+}
+
+/// The breakdown sweep as a registry experiment.
+#[derive(Debug)]
+pub struct BreakdownExp;
+
+impl Experiment for BreakdownExp {
+    type Cell = BreakdownRow;
+    type Report = Breakdown;
+
+    fn name(&self) -> &'static str {
+        "breakdown"
+    }
+
+    fn title(&self) -> &'static str {
+        "Breakdown (software vs device latency attribution)"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["sw_vs_dev"]
+    }
+
+    fn description(&self) -> &'static str {
+        "per-stage latency attribution: software share explodes on ULL"
+    }
+
+    fn traceable(&self) -> bool {
+        true
+    }
+
+    fn trace(&self, scale: Scale) -> Option<ProbeReport> {
+        // A representative lane for `reproduce --trace`: the ULL device
+        // on the interrupt path, where the paper's headline attribution
+        // (kernel costs of the same magnitude as the media) is most
+        // visible request by request.
+        let ios = scale.ios(1_000, 20_000);
+        let mut h = host(Device::Ull, IoPath::KernelInterrupt);
+        h.enable_probe(ProbeConfig::default());
+        let spec = JobSpec::new("trace/ULL/interrupt")
+            .pattern(Pattern::Random)
+            .read_fraction(0.7)
+            .block_size(4096)
+            .ios(ios)
+            .seed(0x00B4_EAD0)
+            .iodepth(1);
+        let _ = ull_workload::run_job(&mut h, &spec);
+        h.take_probe()
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<SweepCell<BreakdownRow>> {
+        let ios = scale.ios(4_000, 400_000);
+        let mut cells = Vec::new();
+        for device in Device::ALL {
+            for (path, path_label) in PATHS {
+                let label = format!("{}/{}", device.label(), path_label);
+                cells.push(SweepCell::new(label.clone(), move || {
+                    let mut h = host(device, path);
+                    h.enable_probe(ProbeConfig::default());
+                    let spec = JobSpec::new(label)
+                        .pattern(Pattern::Random)
+                        .read_fraction(0.7)
+                        .block_size(4096)
+                        .ios(ios)
+                        .seed(0x00B4_EAD0)
+                        .iodepth(1);
+                    let _ = ull_workload::run_job(&mut h, &spec);
+                    let report = h
+                        .take_probe()
+                        // simlint: allow(S006): enable_probe ran four lines above on this host
+                        .expect("probe was enabled before the job");
+                    BreakdownRow {
+                        device,
+                        path_label,
+                        metrics: report.metrics,
+                    }
+                }));
+            }
+        }
+        cells
+    }
+
+    fn collect(&self, _scale: Scale, rows: Vec<BreakdownRow>) -> Breakdown {
+        Breakdown { rows }
+    }
+}
+
+/// The finished breakdown sweep.
+#[derive(Debug)]
+pub struct Breakdown {
+    /// All measured cells, device-major, path-minor (the order of
+    /// [`BreakdownExp::cells`]).
+    pub rows: Vec<BreakdownRow>,
+}
+
+/// Runs the breakdown sweep serially.
+pub fn breakdown_run(scale: Scale) -> Breakdown {
+    run_experiment(&BreakdownExp, scale, 1)
+}
+
+impl Breakdown {
+    fn row(&self, device: Device, path_label: &str) -> Option<&BreakdownRow> {
+        self.rows
+            .iter()
+            .find(|r| r.device == device && r.path_label == path_label)
+    }
+
+    /// Shape violations: exact accounting in every cell, device dominance
+    /// on flash, software-share growth on ULL, and the poll-for-interrupt
+    /// stage trade.
+    pub fn check(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        for r in &self.rows {
+            let sc = r.scenario();
+            if !r.metrics.accounting_exact() {
+                v.push(format!("{sc}: sum(stages) != end-to-end"));
+            }
+            if r.metrics.ios() == 0 {
+                v.push(format!("{sc}: no I/Os recorded"));
+            }
+            // The stage trade: interrupt delivers via IRQ + wakeup, the
+            // polling paths spin — their pickup buckets must not mix.
+            let irq = r.metrics.stage_total_ns(Stage::IrqDeliver);
+            let poll = r.metrics.stage_total_ns(Stage::PollPickup);
+            match r.path_label {
+                "interrupt" if irq == 0 || poll != 0 => {
+                    v.push(format!("{sc}: interrupt must pick up via irq_deliver only"));
+                }
+                "poll" | "hybrid" if poll == 0 || irq != 0 => {
+                    v.push(format!(
+                        "{sc}: {} must pick up via poll_pickup only",
+                        r.path_label
+                    ));
+                }
+                _ => {}
+            }
+        }
+        // Device time dominates on the flash SSD in every mode (§IV-B).
+        for (_, path_label) in PATHS {
+            let Some(r) = self.row(Device::Nvme750, path_label) else {
+                v.push(format!("NVMe SSD/{path_label}: missing row"));
+                continue;
+            };
+            if r.metrics.device_ns() <= r.metrics.software_ns() {
+                v.push(format!(
+                    "NVMe SSD/{path_label}: device time must dominate (sw share {:.0}%)",
+                    r.software_share() * 100.0
+                ));
+            }
+        }
+        // The software share grows sharply on the ULL device: the same
+        // kernel stack against a much faster device (§V). Hybrid is
+        // excluded: its sleep is tuned to the device's mean, so oversleep
+        // against the flash SSD's spread inflates the flash-side share
+        // (checked separately below).
+        for path_label in ["interrupt", "poll"] {
+            let (Some(ull), Some(nvme)) = (
+                self.row(Device::Ull, path_label),
+                self.row(Device::Nvme750, path_label),
+            ) else {
+                continue;
+            };
+            if ull.software_share() <= 1.5 * nvme.software_share() {
+                v.push(format!(
+                    "{path_label}: ULL software share {:.1}% must far exceed flash {:.1}%",
+                    ull.software_share() * 100.0,
+                    nvme.software_share() * 100.0
+                ));
+            }
+        }
+        // Hybrid's oversleep is visible in the attribution: against the
+        // flash SSD's wide latency spread, the EWMA-tuned sleep overshoots
+        // and the overshoot lands in poll_pickup — far beyond what pure
+        // polling pays on the same device.
+        if let (Some(hy), Some(po)) = (
+            self.row(Device::Nvme750, "hybrid"),
+            self.row(Device::Nvme750, "poll"),
+        ) {
+            if hy.metrics.stage_total_ns(Stage::PollPickup)
+                <= 2 * po.metrics.stage_total_ns(Stage::PollPickup)
+            {
+                v.push("NVMe SSD: hybrid oversleep must show up in poll_pickup".into());
+            }
+        }
+        // Polling buys a lower mean on the ULL device (fig. 10).
+        if let (Some(int), Some(poll)) = (
+            self.row(Device::Ull, "interrupt"),
+            self.row(Device::Ull, "poll"),
+        ) {
+            if poll.mean_us() >= int.mean_us() {
+                v.push(format!(
+                    "ULL: poll mean {:.1}us must beat interrupt {:.1}us",
+                    poll.mean_us(),
+                    int.mean_us()
+                ));
+            }
+        }
+        v
+    }
+}
+
+impl Report for Breakdown {
+    fn check(&self) -> Vec<String> {
+        Breakdown::check(self)
+    }
+
+    fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("device", r.device.label())
+                    .field("path", r.path_label)
+                    .field("software_share", r.software_share())
+                    .field("metrics", r.metrics.to_json())
+            })
+            .collect();
+        Json::obj().field("rows", rows)
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Latency breakdown: software vs device attribution (4K random, 70% read, QD1)"
+        )?;
+        writeln!(
+            f,
+            "{:22}{:>8}{:>11}{:>9}{:>9}{:>12}{:>12}{:>12}",
+            "scenario",
+            "ios",
+            "mean(us)",
+            "sw(%)",
+            "dev(%)",
+            "submit(us)",
+            "pickup(us)",
+            "flash(us)"
+        )?;
+        for r in &self.rows {
+            let m = &r.metrics;
+            let per_io = |ns: u128| ull_probe::mean_ns(ns, m.ios()).as_micros_f64();
+            let pickup = m.stage_total_ns(Stage::IrqDeliver)
+                + m.stage_total_ns(Stage::PollPickup)
+                + m.stage_total_ns(Stage::CompleteDeliver);
+            writeln!(
+                f,
+                "{:22}{:>8}{:>11.2}{:>9.1}{:>9.1}{:>12.2}{:>12.2}{:>12.2}",
+                r.scenario(),
+                m.ios(),
+                r.mean_us(),
+                r.software_share() * 100.0,
+                (1.0 - r.software_share()) * 100.0,
+                per_io(m.stage_total_ns(Stage::SubmitStack)),
+                per_io(pickup),
+                per_io(m.stage_total_ns(Stage::FlashCell)),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_experiment;
+
+    #[test]
+    fn breakdown_shapes_hold() {
+        let r = breakdown_run(Scale::Quick);
+        assert!(r.check().is_empty(), "{:#?}\n{r}", r.check());
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_are_byte_identical() {
+        let serial = run_experiment(&BreakdownExp, Scale::Quick, 1);
+        let parallel = run_experiment(&BreakdownExp, Scale::Quick, 4);
+        assert_eq!(
+            serial.to_json().to_string(),
+            parallel.to_json().to_string(),
+            "breakdown sweep must be deterministic under --jobs"
+        );
+    }
+
+    #[test]
+    fn shares_are_fractions() {
+        let r = breakdown_run(Scale::Quick);
+        for row in &r.rows {
+            let s = row.software_share();
+            assert!((0.0..=1.0).contains(&s), "{}: share {s}", row.scenario());
+        }
+    }
+}

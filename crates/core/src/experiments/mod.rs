@@ -8,6 +8,7 @@
 //! reproduction must uphold. Integration tests assert `check()` is empty
 //! at `Scale::Quick`; `EXPERIMENTS.md` records `Scale::Full` numbers.
 
+pub mod breakdown;
 pub mod completion;
 pub mod device_level;
 pub mod extensions;

@@ -10,7 +10,9 @@
 use ull_workload::Json;
 
 use crate::engine::{run_experiment, Experiment, Report};
-use crate::experiments::{completion, device_level, extensions, faults, nbd, spdk, table1};
+use crate::experiments::{
+    breakdown, completion, device_level, extensions, faults, nbd, spdk, table1,
+};
 use crate::testbed::Scale;
 
 /// One finished registry run: the printable section plus its
@@ -69,13 +71,23 @@ pub struct Entry {
     /// paper's figures (e.g. `faults`) opt out and keep their own
     /// baseline file.
     pub in_all: bool,
+    /// Whether the experiment probes its hosts, i.e. supports
+    /// `reproduce NAME --trace out.json`. Shown by `reproduce --list`.
+    pub traceable: bool,
     runner: fn(Scale, usize) -> Section,
+    tracer: fn(Scale) -> Option<ull_probe::ProbeReport>,
 }
 
 impl Entry {
     /// Runs the experiment at `scale` on up to `jobs` workers.
     pub fn run(&self, scale: Scale, jobs: usize) -> Section {
         (self.runner)(scale, jobs)
+    }
+
+    /// A representative probed run for `--trace`, or `None` when the
+    /// experiment does not probe.
+    pub fn trace(&self, scale: Scale) -> Option<ull_probe::ProbeReport> {
+        (self.tracer)(scale)
     }
 
     /// Whether `name` refers to this entry (primary name or alias).
@@ -118,7 +130,9 @@ pub fn entries() -> &'static [Entry] {
                 description: $exp.description(),
                 aliases: $exp.aliases(),
                 in_all: $in_all,
+                traceable: $exp.traceable(),
                 runner: |scale, jobs| section(&$exp, scale, jobs),
+                tracer: |scale| $exp.trace(scale),
             }
         }};
     }
@@ -146,6 +160,9 @@ pub fn entries() -> &'static [Entry] {
             // baseline (BENCH_faults_quick.json) instead of joining the
             // `all` document.
             entry!(faults::FaultsExp, in_all: false),
+            // Same deal for the latency-attribution sweep: its baseline
+            // is BENCH_breakdown_quick.json.
+            entry!(breakdown::BreakdownExp, in_all: false),
         ]
     })
 }
@@ -214,6 +231,7 @@ mod tests {
                 "extensions",
                 "fig23",
                 "faults",
+                "breakdown",
             ]
         );
     }
@@ -232,12 +250,26 @@ mod tests {
         );
         assert_eq!(
             default_entries().count(),
-            entries().len() - 1,
-            "only the fault sweep opts out"
+            entries().len() - 2,
+            "only the fault and breakdown sweeps opt out"
         );
         assert!(
             !e.description.is_empty(),
             "every entry carries a --list description"
+        );
+    }
+
+    #[test]
+    fn breakdown_is_named_but_not_in_all() {
+        let e = find("breakdown").expect("breakdown sweep registered");
+        assert!(
+            !e.in_all,
+            "breakdown must stay out of the BENCH_quick baseline"
+        );
+        assert_eq!(find("sw_vs_dev").unwrap().name, "breakdown");
+        assert!(
+            find("fig11").is_some_and(|f| f.name == "fig11"),
+            "fig11 keeps its own primary entry — breakdown must not shadow it"
         );
     }
 
@@ -295,6 +327,53 @@ mod tests {
         assert!(s.ok(), "{:?}", s.violations);
         assert!(s.body.contains("Z-NAND"));
         assert!(s.to_json().to_string().contains("\"name\":\"table1\""));
+    }
+
+    #[test]
+    fn breakdown_is_the_only_traceable_entry() {
+        for e in entries() {
+            assert_eq!(
+                e.traceable,
+                e.name == "breakdown",
+                "{} traceability surprising",
+                e.name
+            );
+        }
+        let probed = find("breakdown")
+            .unwrap()
+            .trace(Scale::Quick)
+            .expect("breakdown supports --trace");
+        assert!(probed.metrics.ios() > 0);
+        assert!(probed.metrics.accounting_exact());
+        assert!(
+            !probed.trace.events().is_empty(),
+            "capture must admit events"
+        );
+        assert!(find("table1").unwrap().trace(Scale::Quick).is_none());
+    }
+
+    #[test]
+    fn json_key_order_is_stable() {
+        // The committed baselines diff textually, so key order is part of
+        // the contract: document keys, then section keys, in the exact
+        // order `json_document` and `Section::to_json` emit them.
+        let s = find("table1").unwrap().run(Scale::Quick, 1);
+        let text = json_document(Scale::Quick, &[s]).to_string();
+        let mut last = 0;
+        for key in [
+            "\"suite\":",
+            "\"scale\":",
+            "\"ok\":",
+            "\"sections\":",
+            "\"name\":",
+            "\"title\":",
+            "\"violations\":",
+            "\"report\":",
+        ] {
+            let pos = text.find(key).unwrap_or_else(|| panic!("{key} missing"));
+            assert!(pos > last, "{key} out of order");
+            last = pos;
+        }
     }
 
     #[test]

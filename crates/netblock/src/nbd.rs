@@ -175,6 +175,25 @@ impl NbdSystem {
         &self.server
     }
 
+    /// Turns on per-request latency-breakdown recording on the *server*
+    /// host: the spans cover the exported device's I/O path (submit →
+    /// device → completion delivery), not the client's filesystem or the
+    /// network link. Observation only — timings are unchanged.
+    pub fn enable_probe(&mut self, cfg: ull_probe::ProbeConfig) {
+        self.server.enable_probe(cfg);
+    }
+
+    /// Takes the server host's accumulated probe report, disabling
+    /// recording. `None` when the probe was never enabled.
+    pub fn take_probe(&mut self) -> Option<ull_probe::ProbeReport> {
+        self.server.take_probe()
+    }
+
+    /// Whether server-side latency-breakdown recording is enabled.
+    pub fn probing(&self) -> bool {
+        self.server.probing()
+    }
+
     /// Draws the per-round-trip link-drop lottery. Without an installed
     /// plan no stream exists and nothing is drawn.
     fn draw_link_drop(&mut self) -> bool {
@@ -365,6 +384,37 @@ mod tests {
             faulty > nominal * 1.5,
             "timeout+reconnect must show: nominal={nominal:.1}us faulty={faulty:.1}us"
         );
+    }
+
+    #[test]
+    fn server_probe_attributes_exported_ios() {
+        let run = |probe: bool| {
+            let mut sys = NbdSystem::new(presets::ull_800g(), NbdServerKind::Kernel, 11).unwrap();
+            if probe {
+                sys.enable_probe(ull_probe::ProbeConfig::default());
+            }
+            let mut at = SimTime::ZERO;
+            let mut lat = Vec::new();
+            for i in 0..300u64 {
+                let r = if i % 3 == 0 {
+                    sys.file_write(at, i * 31 + 7, 4096)
+                } else {
+                    sys.file_read(at, i * 31 + 7, 4096)
+                };
+                lat.push(r.latency.as_nanos());
+                at = r.done + SimDuration::from_micros(5);
+            }
+            (lat, sys.take_probe())
+        };
+        let (base, none) = run(false);
+        assert!(none.is_none());
+        let (probed, report) = run(true);
+        assert_eq!(base, probed, "probing must not perturb the system");
+        let report = report.unwrap();
+        // 200 reads are one server I/O each; writes may be absorbed by
+        // the client page cache (zero server round trips).
+        assert!(report.metrics.ios() >= 200, "every server I/O is recorded");
+        assert!(report.metrics.accounting_exact());
     }
 
     #[test]

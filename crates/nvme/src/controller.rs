@@ -10,6 +10,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
 use ull_faults::{FaultPlan, SALT_NVME};
+use ull_probe::DeviceSpan;
 use ull_simkit::{SimDuration, SimTime, SplitMix64};
 use ull_ssd::{DeviceCompletion, Ssd};
 
@@ -65,6 +66,11 @@ pub struct NvmeController {
     msi_latency: SimDuration,
     /// Per-command device detail, retrievable once after completion.
     details: BTreeMap<(u16, u16), DeviceCompletion>,
+    /// Per-command device-internal spans, kept only while probing is on
+    /// (pure observation: the map never influences timing or RNG draws).
+    spans: BTreeMap<(u16, u16), DeviceSpan>,
+    /// Whether per-command [`DeviceSpan`]s are being collected.
+    probing: bool,
     /// Installed completion-loss injection (absent ⇒ bit-for-bit nominal).
     faults: Option<CtrlFaultState>,
 }
@@ -99,8 +105,24 @@ impl NvmeController {
             qpairs: (0..queues).map(|_| QueuePair::new(qsize)).collect(),
             msi_latency: Self::DEFAULT_MSI_LATENCY,
             details: BTreeMap::new(),
+            spans: BTreeMap::new(),
+            probing: false,
             faults: None,
         }
+    }
+
+    /// Enables or disables per-command [`DeviceSpan`] collection. Spans
+    /// are observation only: toggling this never changes device timing.
+    pub fn set_probing(&mut self, on: bool) {
+        self.probing = on;
+        if !on {
+            self.spans.clear();
+        }
+    }
+
+    /// Whether per-command spans are being collected.
+    pub fn probing(&self) -> bool {
+        self.probing
     }
 
     /// Installs a fault plan on the controller *and* its backing SSD.
@@ -228,6 +250,22 @@ impl NvmeController {
                 }
             };
             self.details.insert((qid, cmd.cid), completion);
+            if self.probing {
+                let span = match cmd.opcode {
+                    // The SSD computed the exact decomposition while
+                    // executing the command just above.
+                    Opcode::Read | Opcode::Write => self.ssd.last_span(),
+                    Opcode::Flush => {
+                        // Flush has no per-die critical path; charge the
+                        // whole wait to the program-drain bucket.
+                        let mut s = DeviceSpan::empty(at);
+                        s.done = completion.done;
+                        s.write_drain = completion.done.saturating_since(at);
+                        s
+                    }
+                };
+                self.spans.insert((qid, cmd.cid), span);
+            }
             // Completion-loss injection: the command *executed* on the
             // backend, but its completion never surfaces — exactly how a
             // lost CQE / dead MSI looks to the host.
@@ -268,6 +306,7 @@ impl NvmeController {
         qp.cq.reset();
         for &cid in &lost {
             self.details.remove(&(qid, cid));
+            self.spans.remove(&(qid, cid));
         }
         if let Some(f) = &mut self.faults {
             f.dropped.retain(|&(q, _)| q != qid);
@@ -319,6 +358,12 @@ impl NvmeController {
     /// Retrieves (once) the device-level detail of a completed command.
     pub fn take_detail(&mut self, qid: u16, cid: u16) -> Option<DeviceCompletion> {
         self.details.remove(&(qid, cid))
+    }
+
+    /// Retrieves (once) the device-internal span of a completed command.
+    /// Returns `None` unless probing was enabled when the command ran.
+    pub fn take_span(&mut self, qid: u16, cid: u16) -> Option<DeviceSpan> {
+        self.spans.remove(&(qid, cid))
     }
 
     /// Commands started on the backend but not yet consumed by the host.
@@ -457,6 +502,47 @@ mod tests {
             dones
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn spans_are_collected_only_while_probing() {
+        let mut c = controller();
+        // Probing off: no span is kept.
+        c.submit(0, NvmeCommand::read(1, 0, 4096)).unwrap();
+        c.ring_sq_doorbell(0, SimTime::ZERO);
+        assert!(c.take_span(0, 1).is_none());
+        // Probing on: read, write, and flush spans all tile exactly.
+        c.set_probing(true);
+        assert!(c.probing());
+        let t = SimTime::from_micros(500);
+        c.submit(0, NvmeCommand::read(2, 0, 4096)).unwrap();
+        c.submit(0, NvmeCommand::write(3, 8192, 4096)).unwrap();
+        c.submit(0, NvmeCommand::flush(4)).unwrap();
+        c.ring_sq_doorbell(0, t);
+        for cid in 2..=4u16 {
+            let span = c.take_span(0, cid).unwrap();
+            let detail = c.take_detail(0, cid).unwrap();
+            assert_eq!(span.arrive, t);
+            assert_eq!(span.done, detail.done);
+            assert!(span.is_exact(), "cid {cid} span not exact: {span:?}");
+            assert!(c.take_span(0, cid).is_none(), "span is taken once");
+        }
+        // Disabling probing clears any residue.
+        c.submit(0, NvmeCommand::read(5, 0, 4096)).unwrap();
+        c.ring_sq_doorbell(0, t);
+        c.set_probing(false);
+        assert!(c.take_span(0, 5).is_none());
+    }
+
+    #[test]
+    fn reset_queue_forgets_spans_of_lost_commands() {
+        let mut c = controller();
+        c.set_probing(true);
+        c.submit(0, NvmeCommand::read(1, 0, 4096)).unwrap();
+        c.ring_sq_doorbell(0, SimTime::ZERO);
+        let lost = c.reset_queue(0);
+        assert_eq!(lost, vec![1]);
+        assert!(c.take_span(0, 1).is_none(), "reset forgets spans");
     }
 
     #[test]

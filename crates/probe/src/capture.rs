@@ -1,0 +1,189 @@
+//! Bounded trace capture: first/last K requests plus every slow request.
+//!
+//! A full-fidelity trace of a million-IO run would be hundreds of
+//! megabytes; the capture policy instead keeps (a) the first `first_k`
+//! requests (warm-up behaviour), (b) a ring of the last `last_k`
+//! requests (steady state / shutdown), and (c) up to `slow_cap` requests
+//! whose end-to-end latency meets `slow_threshold` (the tail the paper
+//! cares about). Everything is deterministic: admission depends only on
+//! the request stream itself, never on host state.
+
+use std::collections::VecDeque;
+
+use ull_simkit::SimDuration;
+
+use crate::span::LatencyBreakdown;
+
+/// Capture policy for the trace ring buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeConfig {
+    /// Keep the first `first_k` requests verbatim.
+    pub first_k: usize,
+    /// Keep a ring of the last `last_k` requests.
+    pub last_k: usize,
+    /// Additionally keep any request at least this slow end-to-end.
+    pub slow_threshold: SimDuration,
+    /// Cap on the slow-request set (oldest kept; later ones counted as
+    /// dropped so the file size stays bounded).
+    pub slow_cap: usize,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> ProbeConfig {
+        ProbeConfig {
+            first_k: 64,
+            last_k: 64,
+            slow_threshold: SimDuration::from_micros(500),
+            slow_cap: 256,
+        }
+    }
+}
+
+/// Bounded, deterministic capture of per-request breakdowns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceBuffer {
+    cfg: ProbeConfig,
+    first: Vec<LatencyBreakdown>,
+    last: VecDeque<LatencyBreakdown>,
+    slow: Vec<LatencyBreakdown>,
+    seen: u64,
+    dropped_ring: u64,
+    dropped_slow: u64,
+}
+
+impl TraceBuffer {
+    /// Creates an empty buffer with the given policy.
+    pub fn new(cfg: ProbeConfig) -> TraceBuffer {
+        TraceBuffer {
+            cfg,
+            first: Vec::new(),
+            last: VecDeque::new(),
+            slow: Vec::new(),
+            seen: 0,
+            dropped_ring: 0,
+            dropped_slow: 0,
+        }
+    }
+
+    /// Offers one finished breakdown to the capture policy.
+    pub fn push(&mut self, bd: &LatencyBreakdown) {
+        self.seen += 1;
+        if self.first.len() < self.cfg.first_k {
+            self.first.push(bd.clone());
+        } else if self.cfg.last_k > 0 {
+            if self.last.len() == self.cfg.last_k {
+                self.last.pop_front();
+                self.dropped_ring += 1;
+            }
+            self.last.push_back(bd.clone());
+        } else {
+            self.dropped_ring += 1;
+        }
+        if bd.end_to_end() >= self.cfg.slow_threshold {
+            if self.slow.len() < self.cfg.slow_cap {
+                self.slow.push(bd.clone());
+            } else {
+                self.dropped_slow += 1;
+            }
+        }
+    }
+
+    /// Total requests offered (captured or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Requests that aged out of the last-K ring.
+    pub fn dropped_ring(&self) -> u64 {
+        self.dropped_ring
+    }
+
+    /// Slow requests beyond `slow_cap`.
+    pub fn dropped_slow(&self) -> u64 {
+        self.dropped_slow
+    }
+
+    /// The captured breakdowns, deduplicated by request number and
+    /// sorted by it — a canonical order independent of which capture
+    /// class admitted each request.
+    pub fn events(&self) -> Vec<&LatencyBreakdown> {
+        let mut out: Vec<&LatencyBreakdown> = self
+            .first
+            .iter()
+            .chain(self.last.iter())
+            .chain(self.slow.iter())
+            .collect();
+        out.sort_by_key(|bd| bd.req);
+        out.dedup_by_key(|bd| bd.req);
+        out
+    }
+}
+
+impl Default for TraceBuffer {
+    fn default() -> TraceBuffer {
+        TraceBuffer::new(ProbeConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use ull_simkit::SimTime;
+
+    use super::*;
+    use crate::span::{OpKind, SpanRecorder, Stage};
+
+    fn bd(req: u64, us: u64) -> LatencyBreakdown {
+        let t0 = SimTime::from_micros(req * 1_000);
+        let mut r = SpanRecorder::start(req, OpKind::Read, 0, 4096, t0);
+        r.stamp(Stage::SubmitStack, t0 + SimDuration::from_micros(1));
+        r.finish(Stage::FlashCell, t0 + SimDuration::from_micros(us))
+    }
+
+    fn cfg() -> ProbeConfig {
+        ProbeConfig {
+            first_k: 3,
+            last_k: 3,
+            slow_threshold: SimDuration::from_micros(100),
+            slow_cap: 2,
+        }
+    }
+
+    #[test]
+    fn keeps_first_last_and_slow() {
+        let mut buf = TraceBuffer::new(cfg());
+        for req in 0..20 {
+            let us = if req == 10 || req == 11 || req == 12 {
+                150
+            } else {
+                10
+            };
+            buf.push(&bd(req, us));
+        }
+        let reqs: Vec<u64> = buf.events().iter().map(|b| b.req).collect();
+        // First 3, slow 10/11 (12 over cap), last 3.
+        assert_eq!(reqs, [0, 1, 2, 10, 11, 17, 18, 19]);
+        assert_eq!(buf.seen(), 20);
+        assert_eq!(buf.dropped_slow(), 1);
+        assert!(buf.dropped_ring() > 0);
+    }
+
+    #[test]
+    fn slow_request_in_ring_is_not_duplicated() {
+        let mut buf = TraceBuffer::new(cfg());
+        for req in 0..5 {
+            buf.push(&bd(req, 150)); // all slow; 3 also in first/ring
+        }
+        let reqs: Vec<u64> = buf.events().iter().map(|b| b.req).collect();
+        assert_eq!(reqs, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn short_run_captures_everything() {
+        let mut buf = TraceBuffer::new(cfg());
+        for req in 0..4 {
+            buf.push(&bd(req, 10));
+        }
+        assert_eq!(buf.events().len(), 4);
+        assert_eq!(buf.dropped_ring(), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Chrome `trace_event` export.
+//!
+//! Renders captured breakdowns as a Chrome/Perfetto-loadable JSON
+//! document (the `trace_event` format's "JSON object" flavour: a
+//! `traceEvents` array of complete `"X"` events with microsecond `ts`
+//! and `dur`). Each request is one timeline lane (`tid` = request
+//! number); the lane holds one enclosing event for the request plus one
+//! event per non-zero stage, tiled in canonical [`Stage::ALL`] order from
+//! the issue instant. Because stage charges tile the end-to-end interval
+//! exactly, the rendered lane is gapless — Perfetto's ruler reads the
+//! breakdown directly.
+//!
+//! Determinism: output bytes are a pure function of the captured
+//! events (no wall clock, no host identifiers), so a traced run is as
+//! replayable as an untraced one.
+
+use ull_simkit::Json;
+
+use crate::span::{LatencyBreakdown, Stage};
+
+/// Process id used for all simulator lanes.
+const PID: i64 = 1;
+
+fn micros(ns: u64) -> f64 {
+    // Reporting-only float conversion (one-way, never fed back into sim
+    // arithmetic).
+    ns as f64 / 1_000.0
+}
+
+fn event(name: &str, cat: &str, tid: u64, ts_ns: u64, dur_ns: u64, args: Json) -> Json {
+    Json::obj()
+        .field("name", name)
+        .field("cat", cat)
+        .field("ph", "X")
+        .field("ts", micros(ts_ns))
+        .field("dur", micros(dur_ns))
+        .field("pid", PID)
+        .field("tid", tid)
+        .field("args", args)
+}
+
+/// Renders one request as its enclosing event plus per-stage events.
+fn request_events(bd: &LatencyBreakdown, out: &mut Vec<Json>) {
+    let issue = bd.issue.as_nanos();
+    let e2e = bd.end_to_end().as_nanos();
+    let label = format!("{} {}B @{}", bd.op.name(), bd.len, bd.offset);
+    out.push(event(
+        &label,
+        "request",
+        bd.req,
+        issue,
+        e2e,
+        Json::obj()
+            .field("req", bd.req)
+            .field("software_ns", bd.software().as_nanos())
+            .field("device_ns", bd.device().as_nanos()),
+    ));
+    let mut cursor = issue;
+    for s in Stage::ALL {
+        let d = bd.stage(s).as_nanos();
+        if d == 0 {
+            continue;
+        }
+        let cat = if s.is_software() {
+            "software"
+        } else {
+            "device"
+        };
+        out.push(event(s.name(), cat, bd.req, cursor, d, Json::obj()));
+        cursor += d;
+    }
+}
+
+/// Assembles a Chrome `trace_event` document from captured breakdowns.
+///
+/// `events` is typically [`crate::TraceBuffer::events`]; any iterator of
+/// breakdowns works (the document preserves the given order).
+pub fn chrome_trace<'a>(events: impl IntoIterator<Item = &'a LatencyBreakdown>) -> Json {
+    let mut out = Vec::new();
+    for bd in events {
+        request_events(bd, &mut out);
+    }
+    Json::obj()
+        .field("displayTimeUnit", "ns")
+        .field("traceEvents", Json::Arr(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use ull_simkit::{SimDuration, SimTime};
+
+    use super::*;
+    use crate::span::{OpKind, SpanRecorder};
+
+    fn sample() -> LatencyBreakdown {
+        let t0 = SimTime::from_micros(100);
+        let mut r = SpanRecorder::start(3, OpKind::Read, 8192, 4096, t0);
+        r.stamp(Stage::SubmitStack, t0 + SimDuration::from_micros(2));
+        r.stamp(Stage::FlashCell, t0 + SimDuration::from_micros(5));
+        r.finish(Stage::IrqDeliver, t0 + SimDuration::from_micros(6))
+    }
+
+    #[test]
+    fn stages_tile_the_request_lane() {
+        let doc = chrome_trace([&sample()]);
+        let text = doc.to_string();
+        assert!(text.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        // Enclosing event at ts=100us dur=6us, then gapless stages.
+        assert!(text.contains("\"name\":\"read 4096B @8192\""));
+        assert!(text.contains("\"ts\":100.0,\"dur\":6.0"));
+        assert!(text.contains(
+            "\"name\":\"submit_stack\",\"cat\":\"software\",\"ph\":\"X\",\"ts\":100.0,\"dur\":2.0"
+        ));
+        assert!(text.contains(
+            "\"name\":\"flash_cell\",\"cat\":\"device\",\"ph\":\"X\",\"ts\":102.0,\"dur\":3.0"
+        ));
+        assert!(text.contains(
+            "\"name\":\"irq_deliver\",\"cat\":\"software\",\"ph\":\"X\",\"ts\":105.0,\"dur\":1.0"
+        ));
+        // Zero stages are omitted.
+        assert!(!text.contains("\"name\":\"write_drain\""));
+    }
+
+    #[test]
+    fn deterministic_bytes() {
+        let a = chrome_trace([&sample()]).to_pretty_string();
+        let b = chrome_trace([&sample()]).to_pretty_string();
+        assert_eq!(a, b);
+    }
+}

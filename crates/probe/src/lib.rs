@@ -1,0 +1,97 @@
+//! `ull-probe` — deterministic span tracing and latency-breakdown
+//! attribution for the ull-ssd-study simulator.
+//!
+//! The paper's central method is *attribution*: splitting each I/O's
+//! latency into software-stack time vs. device time and charging
+//! completion-mode overheads (interrupt delivery, context switches,
+//! polling spin) to explain why ultra-low-latency devices expose kernel
+//! costs that flash hid (§IV–§V). This crate supplies the machinery:
+//!
+//! * [`SpanRecorder`] / [`Stage`] / [`LatencyBreakdown`] — per-request
+//!   stage stamping whose charges tile the end-to-end interval exactly
+//!   (`sum(stages) == end_to_end` holds by construction),
+//! * [`DeviceSpan`] — the device-internal decomposition the SSD model
+//!   computes for every command,
+//! * [`MetricSet`] — per-stage log-bucketed histograms and exact integer
+//!   totals, mergeable shard-wise in declaration order,
+//! * [`TraceBuffer`] / [`ProbeConfig`] — bounded first/last-K +
+//!   slow-request capture,
+//! * [`chrome_trace`] — a serde-free Chrome `trace_event` JSON writer
+//!   (open the file in `chrome://tracing` or Perfetto).
+//!
+//! Everything runs on simulated time only — no wall clock, no unordered
+//! maps (simlint rule S009 polices this crate) — and observation never
+//! perturbs the simulation: a traced run and an untraced run of the same
+//! seed produce byte-identical reports (golden-tested in the workspace
+//! test suite). See `docs/OBSERVABILITY.md` for the span model.
+//!
+//! # Examples
+//!
+//! ```
+//! use ull_probe::{MetricSet, OpKind, SpanRecorder, Stage};
+//! use ull_simkit::SimTime;
+//!
+//! let t0 = SimTime::from_micros(10);
+//! let mut span = SpanRecorder::start(0, OpKind::Read, 0, 4096, t0);
+//! span.stamp(Stage::SubmitStack, SimTime::from_micros(12));
+//! span.stamp(Stage::FlashCell, SimTime::from_micros(15));
+//! let bd = span.finish(Stage::IrqDeliver, SimTime::from_micros(16));
+//! assert_eq!(bd.total(), bd.end_to_end());
+//!
+//! let mut metrics = MetricSet::new();
+//! metrics.record(&bd);
+//! assert!(metrics.accounting_exact());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capture;
+mod chrome;
+mod metrics;
+mod span;
+
+pub use capture::{ProbeConfig, TraceBuffer};
+pub use chrome::chrome_trace;
+pub use metrics::{mean_ns, MetricSet};
+pub use span::{DeviceSpan, LatencyBreakdown, OpKind, SpanRecorder, Stage};
+
+/// Everything a probed run yields: aggregated metrics plus the bounded
+/// trace capture. Hosts hand this out via `take_probe()`-style methods
+/// so enabling observability never changes the shape (or `Debug`
+/// fingerprint) of the ordinary job report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeReport {
+    /// Aggregated per-stage metrics.
+    pub metrics: MetricSet,
+    /// Captured per-request breakdowns.
+    pub trace: TraceBuffer,
+}
+
+impl ProbeReport {
+    /// An empty report with the given capture policy.
+    pub fn new(cfg: ProbeConfig) -> ProbeReport {
+        ProbeReport {
+            metrics: MetricSet::new(),
+            trace: TraceBuffer::new(cfg),
+        }
+    }
+
+    /// Records one finished breakdown into both the metrics and the
+    /// capture buffer.
+    pub fn record(&mut self, bd: &LatencyBreakdown) {
+        self.metrics.record(bd);
+        self.trace.push(bd);
+    }
+
+    /// The Chrome `trace_event` document for the captured requests.
+    pub fn chrome_trace(&self) -> ull_simkit::Json {
+        chrome_trace(self.trace.events())
+    }
+}
+
+impl Default for ProbeReport {
+    fn default() -> ProbeReport {
+        ProbeReport::new(ProbeConfig::default())
+    }
+}

@@ -1,0 +1,245 @@
+//! Per-stage histograms and counters, mergeable in declaration order.
+//!
+//! A [`MetricSet`] aggregates [`LatencyBreakdown`]s into one log-bucketed
+//! [`Histogram`] per stage plus exact integer totals. Merging is
+//! commutative bucket-wise addition (see the order-independence property
+//! test on [`Histogram`]), so `ull-exec` can aggregate per-worker shards
+//! in declaration order and `--jobs N` output stays byte-identical.
+
+use ull_simkit::{Histogram, Json, SimDuration};
+
+use crate::span::{LatencyBreakdown, OpKind, Stage};
+
+/// Aggregated per-stage metrics for one run (or one shard of a run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSet {
+    /// One latency histogram per stage, indexed by [`Stage::index`].
+    per_stage: Vec<Histogram>,
+    /// Exact per-stage nanosecond totals, indexed by [`Stage::index`].
+    stage_total_ns: Vec<u128>,
+    /// End-to-end latency histogram.
+    e2e: Histogram,
+    /// Exact end-to-end nanosecond total.
+    e2e_total_ns: u128,
+    /// Requests recorded.
+    ios: u64,
+    /// Reads recorded.
+    reads: u64,
+    /// Writes recorded.
+    writes: u64,
+    /// Flushes recorded.
+    flushes: u64,
+}
+
+impl MetricSet {
+    /// Creates an empty metric set.
+    pub fn new() -> MetricSet {
+        MetricSet {
+            per_stage: vec![Histogram::new(); Stage::COUNT],
+            stage_total_ns: vec![0; Stage::COUNT],
+            e2e: Histogram::new(),
+            e2e_total_ns: 0,
+            ios: 0,
+            reads: 0,
+            writes: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Records one finished breakdown.
+    pub fn record(&mut self, bd: &LatencyBreakdown) {
+        for s in Stage::ALL {
+            let d = bd.stage(s);
+            self.per_stage[s.index()].record(d);
+            self.stage_total_ns[s.index()] += u128::from(d.as_nanos());
+        }
+        let e2e = bd.end_to_end();
+        self.e2e.record(e2e);
+        self.e2e_total_ns += u128::from(e2e.as_nanos());
+        self.ios += 1;
+        match bd.op {
+            OpKind::Read => self.reads += 1,
+            OpKind::Write => self.writes += 1,
+            OpKind::Flush => self.flushes += 1,
+        }
+    }
+
+    /// Merges another shard into this one (commutative, associative).
+    pub fn merge(&mut self, other: &MetricSet) {
+        for (a, b) in self.per_stage.iter_mut().zip(&other.per_stage) {
+            a.merge(b);
+        }
+        for (a, b) in self.stage_total_ns.iter_mut().zip(&other.stage_total_ns) {
+            *a += b;
+        }
+        self.e2e.merge(&other.e2e);
+        self.e2e_total_ns += other.e2e_total_ns;
+        self.ios += other.ios;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.flushes += other.flushes;
+    }
+
+    /// Requests recorded.
+    pub fn ios(&self) -> u64 {
+        self.ios
+    }
+
+    /// The end-to-end latency histogram.
+    pub fn e2e(&self) -> &Histogram {
+        &self.e2e
+    }
+
+    /// The histogram for one stage.
+    pub fn stage(&self, s: Stage) -> &Histogram {
+        &self.per_stage[s.index()]
+    }
+
+    /// Exact nanoseconds charged to one stage across all requests.
+    pub fn stage_total_ns(&self, s: Stage) -> u128 {
+        self.stage_total_ns[s.index()]
+    }
+
+    /// Exact end-to-end nanoseconds across all requests.
+    pub fn e2e_total_ns(&self) -> u128 {
+        self.e2e_total_ns
+    }
+
+    /// Exact software-half nanoseconds (see [`Stage::is_software`]).
+    pub fn software_ns(&self) -> u128 {
+        Stage::ALL
+            .iter()
+            .filter(|s| s.is_software())
+            .map(|s| self.stage_total_ns[s.index()])
+            .sum()
+    }
+
+    /// Exact device-half nanoseconds.
+    pub fn device_ns(&self) -> u128 {
+        Stage::ALL
+            .iter()
+            .filter(|s| !s.is_software())
+            .map(|s| self.stage_total_ns[s.index()])
+            .sum()
+    }
+
+    /// The accounting invariant: per-stage totals sum exactly to the
+    /// end-to-end total. The recorder guarantees this per request, so it
+    /// must hold for every aggregate — checked in the breakdown
+    /// experiment's shape claims and the fault-injection property test.
+    pub fn accounting_exact(&self) -> bool {
+        self.stage_total_ns.iter().sum::<u128>() == self.e2e_total_ns
+            && self.software_ns() + self.device_ns() == self.e2e_total_ns
+    }
+
+    /// JSON form: counters, end-to-end summary and one object per stage,
+    /// emitted in [`Stage::ALL`] order (a pure function of construction —
+    /// byte-identical across runs and `--jobs` values).
+    pub fn to_json(&self) -> Json {
+        let mut stages = Json::obj();
+        for s in Stage::ALL {
+            let h = &self.per_stage[s.index()];
+            stages = stages.field(
+                s.name(),
+                Json::obj()
+                    .field("total_ns", u128_json(self.stage_total_ns[s.index()]))
+                    .field("mean_us", h.mean().as_micros_f64())
+                    .field("p99_us", h.quantile(0.99).as_micros_f64())
+                    .field("max_us", h.max().as_micros_f64()),
+            );
+        }
+        Json::obj()
+            .field("ios", self.ios)
+            .field("reads", self.reads)
+            .field("writes", self.writes)
+            .field("flushes", self.flushes)
+            .field("e2e_total_ns", u128_json(self.e2e_total_ns))
+            .field("software_ns", u128_json(self.software_ns()))
+            .field("device_ns", u128_json(self.device_ns()))
+            .field("accounting_exact", self.accounting_exact())
+            .field("e2e_mean_us", self.e2e.mean().as_micros_f64())
+            .field("e2e_p99_us", self.e2e.quantile(0.99).as_micros_f64())
+            .field("e2e_p99999_us", self.e2e.five_nines().as_micros_f64())
+            .field("stages", stages)
+    }
+}
+
+impl Default for MetricSet {
+    fn default() -> MetricSet {
+        MetricSet::new()
+    }
+}
+
+/// Mean duration helper used by table renderers: `total / n` in exact
+/// integer nanoseconds.
+pub fn mean_ns(total_ns: u128, n: u64) -> SimDuration {
+    if n == 0 {
+        SimDuration::ZERO
+    } else {
+        SimDuration::from_nanos((total_ns / u128::from(n)).min(u128::from(u64::MAX)) as u64)
+    }
+}
+
+fn u128_json(v: u128) -> Json {
+    // Totals stay far below 2^63 at the scales we simulate; saturate
+    // rather than wrap if one ever does not (mirrors Json::from(u64)).
+    Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use ull_simkit::SimTime;
+
+    use super::*;
+    use crate::span::SpanRecorder;
+
+    fn bd(req: u64, us: u64) -> LatencyBreakdown {
+        let t0 = SimTime::from_micros(req * 100);
+        let mut r = SpanRecorder::start(req, OpKind::Read, 0, 4096, t0);
+        r.stamp(Stage::SubmitStack, t0 + SimDuration::from_micros(us / 2));
+        r.finish(Stage::FlashCell, t0 + SimDuration::from_micros(us))
+    }
+
+    #[test]
+    fn record_merge_accounting() {
+        let mut a = MetricSet::new();
+        let mut b = MetricSet::new();
+        let mut whole = MetricSet::new();
+        for req in 0..100 {
+            let x = bd(req, 10 + req % 7);
+            whole.record(&x);
+            if req % 2 == 0 { &mut a } else { &mut b }.record(&x);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert!(whole.accounting_exact());
+        assert_eq!(whole.ios(), 100);
+        assert_eq!(
+            whole.software_ns() + whole.device_ns(),
+            whole.e2e_total_ns()
+        );
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_other() {
+        let mut d = MetricSet::default();
+        let mut m = MetricSet::new();
+        m.record(&bd(1, 12));
+        d.merge(&m);
+        assert_eq!(d, m);
+    }
+
+    #[test]
+    fn json_keys_follow_stage_order() {
+        let mut m = MetricSet::new();
+        m.record(&bd(0, 15));
+        let text = m.to_json().to_string();
+        let mut last = 0;
+        for s in Stage::ALL {
+            let key = format!("\"{}\":", s.name());
+            let pos = text.find(&key).expect("stage key present");
+            assert!(pos > last, "stage keys out of order at {}", s.name());
+            last = pos;
+        }
+    }
+}

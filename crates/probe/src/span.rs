@@ -1,0 +1,445 @@
+//! The span model: the stage taxonomy, the per-request recorder, and the
+//! finished per-request [`LatencyBreakdown`].
+//!
+//! A request's life is a strictly monotone sequence of simulated instants
+//! (submit, doorbell, controller fetch, flash, DMA, CQ post, completion
+//! delivery, ...). Each [`Stage`] is *defined* as the difference between
+//! two consecutive instants on the request's critical path, so the central
+//! invariant
+//!
+//! ```text
+//! sum(stages) == end_to_end
+//! ```
+//!
+//! holds *by construction* — there is no way to stamp a recorder and end
+//! up with a lossy decomposition. Residual device time that no modelled
+//! resource accounts for (pipeline slack between units, tail-event delays,
+//! cache-hit service) lands in [`Stage::MediaMisc`] and is provably
+//! non-negative because every instant is monotone.
+
+use ull_simkit::{SimDuration, SimTime};
+
+/// One attribution stage of a request's end-to-end latency.
+///
+/// The taxonomy follows the paper's §IV–§V decomposition: a software half
+/// (kernel submission path and completion delivery) and a device half
+/// (controller, flash array, data movement). Ordering is the canonical
+/// critical-path order for reads; writes reuse the same stages with
+/// [`Stage::Dma`] meaning host→device data-in and [`Stage::WriteDrain`]
+/// covering buffer admission / foreground GC after data-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Submission-side software: syscall + VFS + block layer + driver
+    /// submit (or the SPDK userspace submit path), up to the SQ doorbell.
+    SubmitStack,
+    /// Doorbell → controller fetch start: SQ residency, including
+    /// SQ-full backpressure requeues and fault-recovery waits
+    /// (timeout, abort, backoff, controller reset).
+    SqWait,
+    /// Controller command fetch/parse: the controller's per-op service
+    /// slot.
+    CtrlFetch,
+    /// Firmware/FTL processing after fetch (translation, DRAM lookup
+    /// issue) before the flash array takes over.
+    Firmware,
+    /// Critical flash unit's wait for its die to become free (program
+    /// suspension wait rides here too).
+    DieWait,
+    /// The cell operation itself: tR sense (plus read-retry passes) or
+    /// tPROG on the critical unit.
+    FlashCell,
+    /// Channel wait + data transfer for the critical unit.
+    Channel,
+    /// Residual intra-device time not attributable to a modelled
+    /// resource: multi-unit pipeline slack, read/write tail events,
+    /// DRAM/write-buffer hit service. Non-negative by construction.
+    MediaMisc,
+    /// PCIe DMA wait + transfer (device→host for reads, host→device
+    /// data-in for writes).
+    Dma,
+    /// Write-path drain after data-in: write-buffer admission,
+    /// foreground GC stall, program tail — up to CQ post.
+    WriteDrain,
+    /// CQ post → interrupt delivered (MSI latency). Zero on polled paths.
+    IrqDeliver,
+    /// CQ post → poll-loop pickup: completion sitting in the CQ until a
+    /// poll iteration sees it (includes hybrid oversleep and resched
+    /// stalls). Zero on interrupt paths.
+    PollPickup,
+    /// Completion delivery to the application: ISR + softirq + wakeup
+    /// (interrupt), or the poll/SPDK completion callback cost.
+    CompleteDeliver,
+}
+
+impl Stage {
+    /// Number of stages.
+    pub const COUNT: usize = 13;
+
+    /// Every stage, in canonical critical-path order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::SubmitStack,
+        Stage::SqWait,
+        Stage::CtrlFetch,
+        Stage::Firmware,
+        Stage::DieWait,
+        Stage::FlashCell,
+        Stage::Channel,
+        Stage::MediaMisc,
+        Stage::Dma,
+        Stage::WriteDrain,
+        Stage::IrqDeliver,
+        Stage::PollPickup,
+        Stage::CompleteDeliver,
+    ];
+
+    /// Stable machine-readable name (JSON keys, trace event names).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stage::SubmitStack => "submit_stack",
+            Stage::SqWait => "sq_wait",
+            Stage::CtrlFetch => "ctrl_fetch",
+            Stage::Firmware => "firmware",
+            Stage::DieWait => "die_wait",
+            Stage::FlashCell => "flash_cell",
+            Stage::Channel => "channel",
+            Stage::MediaMisc => "media_misc",
+            Stage::Dma => "dma",
+            Stage::WriteDrain => "write_drain",
+            Stage::IrqDeliver => "irq_deliver",
+            Stage::PollPickup => "poll_pickup",
+            Stage::CompleteDeliver => "complete_deliver",
+        }
+    }
+
+    /// Index into per-stage arrays (the position in [`Stage::ALL`]).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether the stage is charged to the *software* half of the
+    /// paper's software-vs-device split (§IV): submission-path kernel
+    /// work and completion delivery. Everything else — SQ residency
+    /// onward through CQ post — is device time, matching how the paper
+    /// measures "device time" from doorbell to completion posting.
+    pub const fn is_software(self) -> bool {
+        matches!(
+            self,
+            Stage::SubmitStack | Stage::IrqDeliver | Stage::PollPickup | Stage::CompleteDeliver
+        )
+    }
+}
+
+/// What kind of operation a span describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A read command.
+    Read,
+    /// A write command.
+    Write,
+    /// A flush command.
+    Flush,
+}
+
+impl OpKind {
+    /// Stable machine-readable name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+            OpKind::Flush => "flush",
+        }
+    }
+}
+
+/// The device-internal portion of a span, computed by the SSD model for
+/// every command it services.
+///
+/// All durations are consecutive segments of the command's critical path
+/// inside the device, so they satisfy
+/// `sum(segments) == done - arrive` exactly (see
+/// [`DeviceSpan::accounted`]). The host's [`SpanRecorder`] absorbs this
+/// whole struct at completion-collection time via
+/// [`SpanRecorder::absorb_device`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceSpan {
+    /// When the command arrived at the controller (doorbell ring time).
+    pub arrive: SimTime,
+    /// When the completion was posted to the CQ.
+    pub done: SimTime,
+    /// Controller queue wait before the fetch slot starts.
+    pub ctrl_wait: SimDuration,
+    /// Controller fetch/parse service time.
+    pub ctrl_fetch: SimDuration,
+    /// Firmware/FTL time after fetch.
+    pub firmware: SimDuration,
+    /// Critical unit's die queue wait.
+    pub die_wait: SimDuration,
+    /// Critical unit's cell time (tR/tPROG incl. retries).
+    pub cell: SimDuration,
+    /// Critical unit's channel wait + transfer.
+    pub channel: SimDuration,
+    /// Residual device time (pipeline slack, tails, cache-hit service).
+    pub media_misc: SimDuration,
+    /// PCIe DMA wait + transfer.
+    pub dma: SimDuration,
+    /// Write drain after data-in (buffer admit, foreground GC, tail).
+    pub write_drain: SimDuration,
+}
+
+impl DeviceSpan {
+    /// An all-zero span anchored at `at` (used for instantaneous
+    /// completions such as flushes on an idle device).
+    pub fn empty(at: SimTime) -> DeviceSpan {
+        DeviceSpan {
+            arrive: at,
+            done: at,
+            ctrl_wait: SimDuration::ZERO,
+            ctrl_fetch: SimDuration::ZERO,
+            firmware: SimDuration::ZERO,
+            die_wait: SimDuration::ZERO,
+            cell: SimDuration::ZERO,
+            channel: SimDuration::ZERO,
+            media_misc: SimDuration::ZERO,
+            dma: SimDuration::ZERO,
+            write_drain: SimDuration::ZERO,
+        }
+    }
+
+    /// Sum of all segments — the device-internal accounting invariant is
+    /// `self.accounted() == self.done - self.arrive`.
+    pub fn accounted(&self) -> SimDuration {
+        self.ctrl_wait
+            + self.ctrl_fetch
+            + self.firmware
+            + self.die_wait
+            + self.cell
+            + self.channel
+            + self.media_misc
+            + self.dma
+            + self.write_drain
+    }
+
+    /// Whether the segments tile `arrive..done` exactly.
+    pub fn is_exact(&self) -> bool {
+        self.accounted() == self.done.saturating_since(self.arrive) && self.done >= self.arrive
+    }
+}
+
+/// A finished per-request latency decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Monotone per-run request number (assigned by the host probe).
+    pub req: u64,
+    /// Operation kind.
+    pub op: OpKind,
+    /// Byte offset of the request.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u32,
+    /// When the application issued the request.
+    pub issue: SimTime,
+    /// When the completion became visible to the application.
+    pub complete: SimTime,
+    /// Nanoseconds charged to each stage, indexed by [`Stage::index`].
+    pub stages: [SimDuration; Stage::COUNT],
+}
+
+impl LatencyBreakdown {
+    /// End-to-end latency (`complete - issue`).
+    pub fn end_to_end(&self) -> SimDuration {
+        self.complete.saturating_since(self.issue)
+    }
+
+    /// Sum of all stage charges. The recorder guarantees
+    /// `total() == end_to_end()`.
+    pub fn total(&self) -> SimDuration {
+        self.stages.iter().copied().sum()
+    }
+
+    /// Nanoseconds charged to one stage.
+    pub fn stage(&self, s: Stage) -> SimDuration {
+        self.stages[s.index()]
+    }
+
+    /// Software-half total (submission path + completion delivery).
+    pub fn software(&self) -> SimDuration {
+        Stage::ALL
+            .iter()
+            .filter(|s| s.is_software())
+            .map(|s| self.stages[s.index()])
+            .sum()
+    }
+
+    /// Device-half total (doorbell through CQ post).
+    pub fn device(&self) -> SimDuration {
+        Stage::ALL
+            .iter()
+            .filter(|s| !s.is_software())
+            .map(|s| self.stages[s.index()])
+            .sum()
+    }
+}
+
+/// Per-request recorder the host carries from submit to completion.
+///
+/// Layers stamp instants at stage boundaries; every charge advances an
+/// internal cursor, so the stage array always tiles `issue..cursor`
+/// exactly — the breakdown invariant cannot be violated by construction.
+/// All methods are pure arithmetic on values the simulation already
+/// computed: recording never draws randomness, reserves resources or
+/// otherwise perturbs the run.
+#[derive(Debug, Clone)]
+pub struct SpanRecorder {
+    req: u64,
+    op: OpKind,
+    offset: u64,
+    len: u32,
+    issue: SimTime,
+    cursor: SimTime,
+    stages: [SimDuration; Stage::COUNT],
+}
+
+impl SpanRecorder {
+    /// Starts a span for request `req` issued at `issue`.
+    pub fn start(req: u64, op: OpKind, offset: u64, len: u32, issue: SimTime) -> SpanRecorder {
+        SpanRecorder {
+            req,
+            op,
+            offset,
+            len,
+            issue,
+            cursor: issue,
+            stages: [SimDuration::ZERO; Stage::COUNT],
+        }
+    }
+
+    /// The current cursor (the instant everything so far is accounted
+    /// up to).
+    pub fn cursor(&self) -> SimTime {
+        self.cursor
+    }
+
+    /// Charges `stage` with the time from the cursor to `at` and
+    /// advances the cursor. Instants on a request's critical path are
+    /// monotone; if a caller ever hands a stale instant the charge
+    /// saturates to zero rather than corrupting the tiling.
+    pub fn stamp(&mut self, stage: Stage, at: SimTime) {
+        debug_assert!(at >= self.cursor, "span stamp went backwards");
+        self.stages[stage.index()] += at.saturating_since(self.cursor);
+        self.cursor = self.cursor.max(at);
+    }
+
+    /// Charges the whole device-internal decomposition: the gap from the
+    /// cursor to the device arrival is charged to [`Stage::SqWait`]
+    /// (together with the device's own controller queue wait), then each
+    /// device segment lands on its stage, leaving the cursor at the CQ
+    /// post instant.
+    pub fn absorb_device(&mut self, d: &DeviceSpan) {
+        self.stamp(Stage::SqWait, d.arrive);
+        self.stages[Stage::SqWait.index()] += d.ctrl_wait;
+        self.stages[Stage::CtrlFetch.index()] += d.ctrl_fetch;
+        self.stages[Stage::Firmware.index()] += d.firmware;
+        self.stages[Stage::DieWait.index()] += d.die_wait;
+        self.stages[Stage::FlashCell.index()] += d.cell;
+        self.stages[Stage::Channel.index()] += d.channel;
+        self.stages[Stage::MediaMisc.index()] += d.media_misc;
+        self.stages[Stage::Dma.index()] += d.dma;
+        self.stages[Stage::WriteDrain.index()] += d.write_drain;
+        // The segments tile arrive..done; keep any rounding residue (there
+        // is none when the span is exact) on MediaMisc so the recorder
+        // tiling stays airtight even for a non-exact span.
+        let accounted = d.arrive + d.accounted();
+        self.cursor = accounted;
+        self.stamp(Stage::MediaMisc, d.done.max(accounted));
+    }
+
+    /// Finishes the span at `complete` (the instant the application saw
+    /// the completion), charging the remainder to `final_stage`.
+    pub fn finish(mut self, final_stage: Stage, complete: SimTime) -> LatencyBreakdown {
+        self.stamp(final_stage, complete);
+        LatencyBreakdown {
+            req: self.req,
+            op: self.op,
+            offset: self.offset,
+            len: self.len,
+            issue: self.issue,
+            complete: self.cursor,
+            stages: self.stages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn stage_all_is_in_discriminant_order() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        assert_eq!(Stage::ALL.len(), Stage::COUNT);
+    }
+
+    #[test]
+    fn stage_names_are_unique() {
+        let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Stage::COUNT);
+    }
+
+    #[test]
+    fn recorder_tiles_exactly() {
+        let mut r = SpanRecorder::start(7, OpKind::Read, 4096, 4096, t(10));
+        r.stamp(Stage::SubmitStack, t(12));
+        let d = DeviceSpan {
+            arrive: t(13),
+            done: t(20),
+            ctrl_wait: SimDuration::from_micros(1),
+            ctrl_fetch: SimDuration::from_micros(1),
+            firmware: SimDuration::ZERO,
+            die_wait: SimDuration::ZERO,
+            cell: SimDuration::from_micros(3),
+            channel: SimDuration::from_micros(1),
+            media_misc: SimDuration::ZERO,
+            dma: SimDuration::from_micros(1),
+            write_drain: SimDuration::ZERO,
+        };
+        assert!(d.is_exact());
+        r.absorb_device(&d);
+        let bd = r.finish(Stage::IrqDeliver, t(21));
+        assert_eq!(bd.total(), bd.end_to_end());
+        assert_eq!(bd.end_to_end(), SimDuration::from_micros(11));
+        assert_eq!(bd.stage(Stage::SqWait), SimDuration::from_micros(2)); // 1us gap + 1us ctrl wait
+        assert_eq!(bd.stage(Stage::IrqDeliver), SimDuration::from_micros(1));
+        assert_eq!(bd.software() + bd.device(), bd.end_to_end());
+    }
+
+    #[test]
+    fn non_exact_device_span_residue_lands_on_media_misc() {
+        // A span whose segments under-account done-arrive by 2us.
+        let mut d = DeviceSpan::empty(t(5));
+        d.done = t(9);
+        d.cell = SimDuration::from_micros(2);
+        assert!(!d.is_exact());
+        let mut r = SpanRecorder::start(0, OpKind::Read, 0, 512, t(5));
+        r.absorb_device(&d);
+        let bd = r.finish(Stage::PollPickup, t(9));
+        assert_eq!(bd.total(), bd.end_to_end());
+        assert_eq!(bd.stage(Stage::MediaMisc), SimDuration::from_micros(2));
+    }
+
+    #[test]
+    fn stale_stamp_saturates() {
+        let mut r = SpanRecorder::start(0, OpKind::Write, 0, 512, t(5));
+        r.stamp(Stage::SubmitStack, t(8));
+        // Release builds must not panic or go negative on a stale instant.
+        let bd = r.clone().finish(Stage::CompleteDeliver, t(8));
+        assert_eq!(bd.total(), bd.end_to_end());
+    }
+}

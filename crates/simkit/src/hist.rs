@@ -33,7 +33,7 @@ const SUB_COUNT: u64 = 1 << SUB_BITS;
 /// let p50 = h.quantile(0.50).as_micros_f64();
 /// assert!((p50 - 500.0).abs() / 500.0 < 0.02); // within bucket error
 /// ```
-#[derive(Clone)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
@@ -150,7 +150,21 @@ impl Histogram {
         self.quantile(0.99999)
     }
 
+    /// Exact sum of all recorded samples, in nanoseconds.
+    ///
+    /// `u128` so that even billions of near-`u64::MAX` samples cannot
+    /// overflow; consumers needing exact stage-total accounting (the
+    /// `ull-probe` breakdown invariant) rely on this never saturating.
+    pub fn sum_nanos(&self) -> u128 {
+        self.sum
+    }
+
     /// Merges another histogram into this one.
+    ///
+    /// Merge is commutative and associative (bucket-wise addition plus
+    /// min/max/sum folds), so shard aggregation order cannot change the
+    /// result — property-tested below, and relied on by `ull-exec`'s
+    /// declaration-order merge.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
@@ -262,5 +276,65 @@ mod tests {
     #[should_panic(expected = "quantile must be in")]
     fn rejects_bad_quantile() {
         Histogram::new().quantile(1.5);
+    }
+
+    /// Property: merging shards in any order yields the same histogram.
+    ///
+    /// `ull-probe` aggregates per-worker `MetricSet` shards whose merge
+    /// order is the declaration order of the sweep, but byte-identity of
+    /// `--jobs N` output additionally requires that *any* order would have
+    /// produced the same bytes. Exercised over seeded pseudo-random shard
+    /// splits.
+    #[test]
+    fn merge_is_order_independent() {
+        let mut rng = crate::SplitMix64::new(0x5eed_0001);
+        for round in 0..8u64 {
+            // Build 4 shards with different sizes and magnitudes.
+            let mut shards = vec![Histogram::new(); 4];
+            for i in 0..2_000u64 {
+                let shard = (rng.next_u64() % 4) as usize;
+                let v = (rng.next_u64() % (1 << (8 + (i % 40)))) + round;
+                shards[shard].record(SimDuration::from_nanos(v));
+            }
+            // Fold left-to-right...
+            let mut fwd = Histogram::new();
+            for s in &shards {
+                fwd.merge(s);
+            }
+            // ...and right-to-left, and pairwise-tree.
+            let mut rev = Histogram::new();
+            for s in shards.iter().rev() {
+                rev.merge(s);
+            }
+            let mut left = shards[0].clone();
+            left.merge(&shards[1]);
+            let mut right = shards[2].clone();
+            right.merge(&shards[3]);
+            left.merge(&right);
+            assert_eq!(fwd, rev, "round {round}: fold order changed result");
+            assert_eq!(fwd, left, "round {round}: tree merge changed result");
+            assert_eq!(fwd.sum_nanos(), rev.sum_nanos());
+        }
+    }
+
+    /// Property: `quantile(q)` is monotone non-decreasing in `q`.
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let mut rng = crate::SplitMix64::new(0x5eed_0002);
+        let mut h = Histogram::new();
+        for _ in 0..10_000 {
+            h.record(SimDuration::from_nanos(rng.next_u64() % 50_000_000));
+        }
+        let mut prev = h.quantile(0.0);
+        for i in 0..=1_000u32 {
+            let q = f64::from(i) / 1_000.0;
+            let cur = h.quantile(q);
+            assert!(
+                cur >= prev,
+                "quantile not monotone: q={q} gives {cur} < {prev}"
+            );
+            prev = cur;
+        }
+        assert_eq!(h.quantile(1.0), h.max());
     }
 }

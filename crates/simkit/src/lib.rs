@@ -14,6 +14,8 @@
 //! * [`Summary`], [`Histogram`], [`TimeSeries`] — streaming statistics with
 //!   five-nines-capable quantiles.
 //! * [`SplitMix64`] — seeded, forkable determinism.
+//! * [`Json`] — a serde-free, insertion-ordered JSON writer whose bytes
+//!   are a pure function of construction order.
 //!
 //! # Examples
 //!
@@ -34,6 +36,7 @@
 
 mod event;
 mod hist;
+mod json;
 mod resource;
 mod rng;
 mod series;
@@ -42,6 +45,7 @@ mod time;
 
 pub use event::EventQueue;
 pub use hist::Histogram;
+pub use json::Json;
 pub use resource::{ServerPool, Slot, Timeline};
 pub use rng::SplitMix64;
 pub use series::TimeSeries;

@@ -18,6 +18,7 @@
 //! | S006 | `unwrap()`/`expect()`/`panic!` in library code of the core layers |
 //! | S007 | floating-point accumulation across iterations (`x += ...` on an f32/f64 binding) |
 //! | S008 | ambient entropy or wall-clock seeding inside fault-injection paths (fork the lottery from `FaultPlan::stream(salt)` instead) |
+//! | S009 | wall clocks and unordered maps — even without iteration — in observability paths (the `ull-probe` crate and trace/probe modules) |
 //!
 //! Escape hatch: `// simlint: allow(SNNN): <justification>` on (or directly
 //! above) the offending line; `// simlint: allow-file(SNNN): <why>` for a

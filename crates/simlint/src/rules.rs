@@ -1,4 +1,4 @@
-//! The sim-purity rule catalogue, S001-S008.
+//! The sim-purity rule catalogue, S001-S009.
 //!
 //! Each rule walks the stripped [`SourceFile`] lines of files inside its
 //! scope and reports [`Finding`]s. The scope of every rule — which crates
@@ -16,14 +16,14 @@ use crate::source::{token_positions, SourceFile};
 /// it must stay free of wall clocks, ambient RNG and float time (S001,
 /// S002, S004, S007), but it is the one sanctioned host-parallel driver,
 /// so S005's threading ban is carved out for it (see `check_file`).
-pub const SIM_CRATES: [&str; 11] = [
-    "simkit", "faults", "flash", "ssd", "nvme", "stack", "netblock", "workload", "core", "exec",
-    "root",
+pub const SIM_CRATES: [&str; 12] = [
+    "simkit", "faults", "probe", "flash", "ssd", "nvme", "stack", "netblock", "workload", "core",
+    "exec", "root",
 ];
 
 /// Crates whose library code must not contain panicking escape hatches
 /// (S006): the layers every experiment sits on.
-pub const PANIC_FREE_CRATES: [&str; 5] = ["simkit", "faults", "ssd", "nvme", "stack"];
+pub const PANIC_FREE_CRATES: [&str; 6] = ["simkit", "faults", "probe", "ssd", "nvme", "stack"];
 
 /// Static description of one rule, for `--list-rules` and the docs.
 #[derive(Debug, Clone, Copy)]
@@ -37,7 +37,7 @@ pub struct RuleInfo {
 }
 
 /// The rule catalogue.
-pub const RULES: [RuleInfo; 8] = [
+pub const RULES: [RuleInfo; 9] = [
     RuleInfo {
         code: "S001",
         summary: "no wall-clock access (std::time::Instant / SystemTime) in simulation code; \
@@ -95,6 +95,14 @@ pub const RULES: [RuleInfo; 8] = [
         scope: "src/ files of simulation crates whose path mentions faults (the ull-faults crate \
                 and any fault_*.rs module)",
     },
+    RuleInfo {
+        code: "S009",
+        summary: "no wall clocks and no unordered maps (HashMap/HashSet, even without iteration) \
+                  in observability paths; span/metric state must live in Vec/BTreeMap so traced \
+                  output is byte-identical across --jobs values and replays",
+        scope: "src/ files of the ull-probe crate and any trace/probe-named module in other \
+                crates (trace.rs, *_trace.rs, probe.rs, *_probe.rs)",
+    },
 ];
 
 /// Runs every applicable rule over one parsed file belonging to
@@ -126,6 +134,15 @@ pub fn check_file(crate_name: &str, file: &SourceFile) -> Vec<Finding> {
         }
     }
     check_s003(file, &mut out);
+    // Observability paths (the ull-probe crate and trace/probe modules in
+    // any crate) promise byte-identical output across `--jobs` values and
+    // replays, so they ban wall clocks and unordered maps *outright*:
+    // S003 only catches iteration, but a HashMap's mere presence in a
+    // span/metric structure invites one.
+    if is_probe_path(&file.path) {
+        check_tokens(file, "S009", &S009_TIME_TOKENS, S009_TIME_MSG, &mut out);
+        check_tokens(file, "S009", &S009_MAP_TOKENS, S009_MAP_MSG, &mut out);
+    }
     if panic_free {
         check_s006(file, &mut out);
     }
@@ -180,6 +197,28 @@ const S008_TOKENS: [&str; 10] = [
 ];
 const S008_MSG: &str = "ambient seed source in a fault-injection path; fork the lottery from \
                         FaultPlan::stream(salt) so the same plan replays the same faults";
+
+/// Whether a path belongs to the observability subsystem: the `ull-probe`
+/// crate itself, or a trace/probe-named module in any layer (`trace.rs`,
+/// `chrome_trace.rs`, `host_probe.rs`, ...).
+fn is_probe_path(path: &str) -> bool {
+    let file = path.rsplit('/').next().unwrap_or(path);
+    let stem = file.strip_suffix(".rs").unwrap_or(file);
+    path.contains("crates/probe/")
+        || stem == "trace"
+        || stem == "probe"
+        || stem.ends_with("_trace")
+        || stem.ends_with("_probe")
+}
+
+const S009_TIME_TOKENS: [&str; 4] = ["std::time", "Instant::now", "SystemTime", "clock_gettime"];
+const S009_TIME_MSG: &str = "wall-clock access in an observability path; spans and metrics must \
+                             carry sim time only, or traced runs stop replaying byte-identically";
+
+const S009_MAP_TOKENS: [&str; 2] = ["HashMap", "HashSet"];
+const S009_MAP_MSG: &str = "unordered map in an observability path; key span/metric state with \
+                            Vec or BTreeMap/BTreeSet so merge and serialization order is \
+                            deterministic across --jobs values";
 
 fn check_tokens(
     file: &SourceFile,

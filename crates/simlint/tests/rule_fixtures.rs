@@ -1,4 +1,4 @@
-//! Per-rule fixture tests: for every rule S001-S008 one fixture that
+//! Per-rule fixture tests: for every rule S001-S009 one fixture that
 //! triggers it and one that passes, plus escape-hatch and scoping checks.
 //!
 //! These are the analyzer's regression suite: each fixture encodes the
@@ -351,6 +351,93 @@ fn s008_honours_allow_directives() {
     let allowed = "// simlint: allow(S008): doc example showing what NOT to do\n\
                    pub fn seed() -> u64 { std::env::var(\"SEED\").map(|s| s.len() as u64).unwrap_or(0) }\n";
     assert!(fault_crate(allowed).is_empty());
+}
+
+// ------------------------------------------------------------------ S009
+
+/// Convenience: analyze `src` as a file of the `ull-probe` crate.
+fn probe_crate(src: &str) -> Vec<String> {
+    check_source("probe", "crates/probe/src/metrics.rs", src)
+        .into_iter()
+        .map(|f| format!("{}:{}", f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn s009_flags_unordered_maps_even_without_iteration() {
+    // S003 only fires on *iteration*; in an observability structure the
+    // map's mere presence is the hazard — someone will serialize it.
+    let decl = "use std::collections::HashMap;\n\
+                pub struct Metrics { per_stage: HashMap<u8, u64> }\n";
+    assert_eq!(probe_crate(decl), ["S009:1", "S009:2"]);
+    let point = "pub fn touch(m: &mut std::collections::HashSet<u64>, k: u64) {\n\
+                     m.insert(k);\n\
+                 }\n";
+    assert_eq!(probe_crate(point), ["S009:1"]);
+}
+
+#[test]
+fn s009_flags_wall_clocks_in_observability_paths() {
+    let wall = "pub fn stamp() -> u128 {\n\
+                    std::time::SystemTime::now().elapsed().map(|d| d.as_nanos()).unwrap_or(0)\n\
+                }\n";
+    let rules = probe_crate(wall);
+    // probe is a sim crate, so the generic S001 stacks with S009 — the
+    // finding names both contracts, like S008 does for fault paths.
+    assert!(rules.contains(&"S001:2".to_string()), "{rules:?}");
+    assert!(rules.contains(&"S009:2".to_string()), "{rules:?}");
+}
+
+#[test]
+fn s009_passes_ordered_state_on_sim_time() {
+    let good = "use std::collections::BTreeMap;\n\
+                use ull_simkit::SimTime;\n\
+                pub struct Spans { open: BTreeMap<u64, SimTime> }\n";
+    assert!(probe_crate(good).is_empty());
+}
+
+#[test]
+fn s009_scope_is_probe_and_trace_paths_only() {
+    // A HashMap with point lookups is fine (for S009) outside
+    // observability paths...
+    let point = "use std::collections::HashMap;\n\
+                 pub fn touch(m: &mut HashMap<u64, u64>, k: u64) { m.insert(k, 1); }\n";
+    assert!(check_source("workload", "crates/workload/src/lib.rs", point).is_empty());
+    // ...but trace/probe-named modules in other crates are in scope,
+    assert_eq!(
+        check_source("workload", "crates/workload/src/trace.rs", point)
+            .iter()
+            .map(|f| f.rule)
+            .collect::<Vec<_>>(),
+        ["S009", "S009"]
+    );
+    assert_eq!(
+        check_source("stack", "crates/stack/src/host_probe.rs", point)
+            .iter()
+            .map(|f| f.rule)
+            .collect::<Vec<_>>(),
+        ["S009", "S009"]
+    );
+    // ...as is every file of the ull-probe crate.
+    assert_eq!(
+        check_source("probe", "crates/probe/src/capture.rs", point)
+            .iter()
+            .map(|f| f.rule)
+            .collect::<Vec<_>>(),
+        ["S009", "S009"]
+    );
+}
+
+#[test]
+fn s009_probe_crate_is_panic_free_and_honours_allows() {
+    // Adding probe to the panic-free set means S006 applies to its
+    // library code...
+    let uw = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert_eq!(probe_crate(uw), ["S006:1"]);
+    // ...and S009 yields to a justified allow like every rule.
+    let allowed = "// simlint: allow(S009): doc example showing what NOT to do\n\
+                   pub type Bad = std::collections::HashMap<u64, u64>;\n";
+    assert!(probe_crate(allowed).is_empty());
 }
 
 // --------------------------------------------------- exec S005 carve-out

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use ull_faults::{FaultPlan, FlashFaults, SsdRecovery, SALT_FLASH_READ, SALT_PROGRAM};
 use ull_flash::{FlashDie, FlashSpec};
+use ull_probe::DeviceSpan;
 use ull_simkit::{SimDuration, SimTime, SplitMix64, Timeline};
 
 use crate::cache::{ReadCache, WriteBuffer};
@@ -38,6 +39,18 @@ pub struct DeviceCompletion {
 struct PendingUnit {
     lpn: u64,
     ready: SimTime,
+}
+
+/// Timing of one flash-unit read: the unit's finish instant plus the
+/// critical die's wait/sense/transfer decomposition (consecutive segments
+/// tiling `t0..end`).
+#[derive(Debug, Clone, Copy)]
+struct FlashUnitRead {
+    end: SimTime,
+    suspended: bool,
+    die_wait: SimDuration,
+    cell: SimDuration,
+    channel: SimDuration,
 }
 
 #[derive(Debug, Default)]
@@ -93,6 +106,10 @@ pub struct Ssd {
     row_units: u32,
     last_activity: SimTime,
     faults: Option<SsdFaultState>,
+    /// Critical-path decomposition of the most recent command (pure
+    /// arithmetic on instants the model already computed; read by the
+    /// probe layer via [`Ssd::last_span`]).
+    last_span: DeviceSpan,
 }
 
 impl Ssd {
@@ -139,6 +156,7 @@ impl Ssd {
             row_units,
             last_activity: SimTime::ZERO,
             faults: None,
+            last_span: DeviceSpan::empty(SimTime::ZERO),
             rng,
             ftl,
             topo,
@@ -206,6 +224,15 @@ impl Ssd {
         self.last_activity
     }
 
+    /// Critical-path latency decomposition of the most recent
+    /// [`Ssd::read`]/[`Ssd::write`]: which device resource each
+    /// nanosecond of `done - arrive` was spent on. The segments tile the
+    /// interval exactly (`span.is_exact()`), which the probe layer's
+    /// `sum(stages) == end_to_end` invariant builds on.
+    pub fn last_span(&self) -> DeviceSpan {
+        self.last_span
+    }
+
     /// Populates the whole logical space as if sequentially written, without
     /// charging any time — used to precondition GC experiments exactly like
     /// the paper ("writing the entire address range" before measuring).
@@ -257,6 +284,10 @@ impl Ssd {
         let mut ready = t_cmd;
         let mut any_flash = false;
         let mut suspended = false;
+        // Timing of the critical (last-finishing) flash unit, for the
+        // latency-breakdown span. `None` while the critical unit is a
+        // DRAM/buffer hit.
+        let mut crit: Option<FlashUnitRead> = None;
         for u in first..first + nunits {
             let unit_ready = if self.wbuf.holds(u, t_cmd) {
                 self.metrics.buffer_hits += 1;
@@ -266,11 +297,21 @@ impl Ssd {
                 t_cmd + self.rcache.hit_latency()
             } else {
                 any_flash = true;
-                let (end, susp) = self.flash_read_unit(t_flash, u);
-                suspended |= susp;
+                let unit = self.flash_read_unit(t_flash, u);
+                suspended |= unit.suspended;
+                let end = unit.end;
+                if crit.as_ref().is_none_or(|c| end > c.end) {
+                    crit = Some(unit);
+                }
                 end
             };
             ready = ready.max(unit_ready);
+        }
+        // A hit finishing after every flash unit makes the hit critical.
+        if let Some(c) = &crit {
+            if ready > c.end {
+                crit = None;
+            }
         }
 
         let mut gc_stalled = false;
@@ -282,6 +323,39 @@ impl Ssd {
 
         let done = self.pcie.reserve(ready, self.pcie_time(len)).end;
         self.last_activity = self.last_activity.max(done);
+        // Tile arrive..done into consecutive critical-path segments.
+        let (firmware, die_wait, cell, channel, crit_end) = match &crit {
+            Some(c) => (
+                self.cfg.controller_read,
+                c.die_wait,
+                c.cell,
+                c.channel,
+                c.end,
+            ),
+            None => (
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+                t_cmd,
+            ),
+        };
+        self.last_span = DeviceSpan {
+            arrive: at,
+            done,
+            ctrl_wait: ctrl.start.saturating_since(at),
+            ctrl_fetch: ctrl.end.saturating_since(ctrl.start),
+            firmware,
+            die_wait,
+            cell,
+            channel,
+            // Hit service, slack behind the critical unit and read-tail
+            // delay — everything between the critical segment's end and
+            // DMA start.
+            media_misc: ready.saturating_since(crit_end),
+            dma: done.saturating_since(ready),
+            write_drain: SimDuration::ZERO,
+        };
         DeviceCompletion {
             done,
             dram_hit: !any_flash,
@@ -304,8 +378,9 @@ impl Ssd {
         steps
     }
 
-    /// Reads one 4 KB unit from flash; returns (data-on-channel end, suspended?).
-    fn flash_read_unit(&mut self, t0: SimTime, lpn: u64) -> (SimTime, bool) {
+    /// Reads one 4 KB unit from flash; returns the unit's end instant
+    /// plus the critical die's wait/cell/channel decomposition.
+    fn flash_read_unit(&mut self, t0: SimTime, lpn: u64) -> FlashUnitRead {
         let lane = match self.ftl.lookup(lpn) {
             Some(ppa) => ppa.lane,
             None => self.topo.stripe_lane(lpn),
@@ -315,8 +390,13 @@ impl Ssd {
         let retry_steps = self.draw_read_retry_steps();
         let (a, b) = self.topo.lane_dies(lane);
         let read_energy = self.spec.read_energy_nj();
-        let mut suspended = false;
-        let mut end = SimTime::ZERO;
+        let mut out = FlashUnitRead {
+            end: SimTime::ZERO,
+            suspended: false,
+            die_wait: SimDuration::ZERO,
+            cell: SimDuration::ZERO,
+            channel: SimDuration::ZERO,
+        };
         let dies: [Option<_>; 2] = [Some(a), b];
         let per_die_bytes = if b.is_some() {
             // Split-DMA: each die supplies half the unit (2 KB pages).
@@ -332,7 +412,7 @@ impl Ssd {
             } else {
                 self.dies[die_id.0 as usize].read(t0)
             };
-            suspended |= slot.suspended_other;
+            out.suspended |= slot.suspended_other;
             if slot.suspended_other {
                 self.metrics.program_suspensions += 1;
             }
@@ -349,9 +429,17 @@ impl Ssd {
             let ch = self.topo.channel_of(die_id) as usize;
             let xfer_time = self.channel_time(per_die_bytes);
             let xfer = self.channels[ch].reserve(sensed, xfer_time);
-            end = end.max(xfer.end);
+            if xfer.end > out.end {
+                // This die's path is (so far) the unit's critical path:
+                // t0 -> die free -> sensed -> on channel, consecutive
+                // segments that tile t0..xfer.end exactly.
+                out.end = xfer.end;
+                out.die_wait = slot.start.saturating_since(t0);
+                out.cell = sensed.saturating_since(slot.start);
+                out.channel = xfer.end.saturating_since(sensed);
+            }
         }
-        (end, suspended)
+        out
     }
 
     /// Serves a host write of `len` bytes at byte `offset`, submitted at `at`.
@@ -433,6 +521,21 @@ impl Ssd {
         }
 
         self.last_activity = self.last_activity.max(done);
+        // Tile arrive..done: fetch, firmware, host->device DMA, then the
+        // drain (buffer admission, foreground GC, fail recovery, tail).
+        self.last_span = DeviceSpan {
+            arrive: at,
+            done,
+            ctrl_wait: ctrl.start.saturating_since(at),
+            ctrl_fetch: ctrl.end.saturating_since(ctrl.start),
+            firmware: t0.saturating_since(ctrl.end),
+            die_wait: SimDuration::ZERO,
+            cell: SimDuration::ZERO,
+            channel: SimDuration::ZERO,
+            media_misc: SimDuration::ZERO,
+            dma: data_in.saturating_since(t0),
+            write_drain: done.saturating_since(data_in),
+        };
         DeviceCompletion {
             done,
             dram_hit: true,
@@ -604,6 +707,41 @@ mod tests {
             t_f > t_n,
             "fault recovery must cost simulated time ({t_f:?} vs {t_n:?})"
         );
+    }
+
+    #[test]
+    fn device_spans_tile_every_command_exactly() {
+        // The per-command DeviceSpan must tile arrive..done with no gap or
+        // overlap, for both presets, under queueing, GC pressure, and fault
+        // recovery alike — ull-probe's end-to-end accounting builds on this.
+        for plan in [None, Some(FaultPlan::uniform(7, 0.15))] {
+            for cfg in [presets::ull_800g(), presets::nvme750()] {
+                let mut ssd = Ssd::new(cfg).expect("preset");
+                if let Some(p) = &plan {
+                    ssd.set_fault_plan(p);
+                }
+                let mut t = SimTime::ZERO;
+                for i in 0..600u64 {
+                    let off = ((i * 37) % 512) * 4096;
+                    let c = if i % 3 == 0 {
+                        ssd.write(t, off, 4096)
+                    } else {
+                        ssd.read(t, off, 16 * 4096)
+                    };
+                    let span = ssd.last_span();
+                    assert_eq!(span.arrive, t, "span must start at submission");
+                    assert_eq!(span.done, c.done, "span must end at completion");
+                    assert!(
+                        span.is_exact(),
+                        "req {i}: stages sum {:?} != e2e {:?}",
+                        span.accounted(),
+                        c.done.saturating_since(t)
+                    );
+                    // Tight closed loop to force queueing.
+                    t = t + (c.done.saturating_since(t)) / 4;
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use ull_faults::{FaultPlan, NvmeFaults};
 use ull_nvme::{NvmeCommand, NvmeController};
+use ull_probe::{DeviceSpan, OpKind, ProbeConfig, ProbeReport, SpanRecorder, Stage};
 use ull_simkit::{SimDuration, SimTime, SplitMix64};
 use ull_ssd::DeviceCompletion;
 
@@ -69,8 +70,23 @@ pub struct IoResult {
 #[derive(Debug, Clone)]
 struct Outstanding {
     submitted: SimTime,
+    doorbell: SimTime,
     nparts: usize,
     tags: Vec<Tag>,
+    op: IoOp,
+    offset: u64,
+    len: u32,
+    /// Critical-part device span, captured at submit time iff probing.
+    span: Option<DeviceSpan>,
+}
+
+/// Per-run observability state (absent ⇒ the zero-cost disabled path).
+/// Recording is pure observation: it draws no randomness and charges no
+/// sim time, so a probed run is bit-for-bit identical to an unprobed one.
+#[derive(Debug)]
+struct HostProbe {
+    report: ProbeReport,
+    next_req: u64,
 }
 
 /// Host-side recovery parameters and accounting for injected NVMe
@@ -122,6 +138,8 @@ pub struct Host {
     horizon: SimTime,
     /// NVMe timeout/abort recovery state (None ⇒ nominal path).
     faults: Option<HostFaultState>,
+    /// Latency-breakdown probe (None ⇒ observability fully disabled).
+    probe: Option<Box<HostProbe>>,
     /// Submissions that hit a full SQ and were deterministically requeued
     /// after draining the ring (backpressure accounting; always active).
     sq_requeues: u64,
@@ -155,8 +173,32 @@ impl Host {
             max_transfer: Self::MAX_TRANSFER,
             horizon: SimTime::ZERO,
             faults: None,
+            probe: None,
             sq_requeues: 0,
         }
+    }
+
+    /// Turns on per-request latency-breakdown recording with the given
+    /// capture policy. Observation only: timings, RNG draws and reports
+    /// of the run itself are unchanged (golden-tested workspace-wide).
+    pub fn enable_probe(&mut self, cfg: ProbeConfig) {
+        self.ctrl.set_probing(true);
+        self.probe = Some(Box::new(HostProbe {
+            report: ProbeReport::new(cfg),
+            next_req: 0,
+        }));
+    }
+
+    /// Takes the accumulated probe report, disabling recording. Returns
+    /// `None` when the probe was never enabled.
+    pub fn take_probe(&mut self) -> Option<ProbeReport> {
+        self.ctrl.set_probing(false);
+        self.probe.take().map(|p| p.report)
+    }
+
+    /// Whether latency-breakdown recording is enabled.
+    pub fn probing(&self) -> bool {
+        self.probe.is_some()
     }
 
     /// Installs a fault plan across the whole host stack: the controller
@@ -382,6 +424,7 @@ impl Host {
                 d.aborts += 1;
                 self.charge(Mode::Kernel, StackFn::Isr, self.costs.isr);
                 let _ = self.ctrl.take_detail(0, old_cid);
+                let _ = self.ctrl.take_span(0, old_cid);
                 if attempt >= max_retries {
                     break self.reset_and_requeue(
                         detect + reset_latency,
@@ -492,6 +535,61 @@ impl Host {
         agg.expect("at least one part")
     }
 
+    /// Drains the per-part device spans and returns the critical one (the
+    /// part that finished last — it bounds the merged completion). Every
+    /// part's span is taken so the controller-side map never leaks. Falls
+    /// back to an empty span at `done` if none were collected (probe
+    /// enabled mid-flight); the whole interval then lands in `SqWait`.
+    fn take_critical_span(&mut self, cids: &[u16], done: SimTime) -> DeviceSpan {
+        let mut best: Option<DeviceSpan> = None;
+        for &cid in cids {
+            if let Some(s) = self.ctrl.take_span(0, cid) {
+                if best.as_ref().is_none_or(|b| s.done > b.done) {
+                    best = Some(s);
+                }
+            }
+        }
+        best.unwrap_or_else(|| DeviceSpan::empty(done))
+    }
+
+    /// Records one finished request into the probe report: software
+    /// submit time up to the doorbell, the device-internal decomposition,
+    /// the completion pickup (IRQ delivery or poll detection) and the
+    /// remaining delivery cost up to the application-visible instant.
+    /// The stamped stages tile `issue..visible` exactly by construction.
+    #[allow(clippy::too_many_arguments)]
+    fn record_probe(
+        &mut self,
+        op: IoOp,
+        offset: u64,
+        len: u32,
+        issue: SimTime,
+        doorbell: SimTime,
+        span: DeviceSpan,
+        pickup_stage: Stage,
+        pickup: SimTime,
+        visible: SimTime,
+    ) {
+        let Some(p) = &mut self.probe else { return };
+        let req = p.next_req;
+        p.next_req += 1;
+        let kind = match op {
+            IoOp::Read => OpKind::Read,
+            IoOp::Write => OpKind::Write,
+        };
+        let mut rec = SpanRecorder::start(req, kind, offset, len, issue);
+        // Backpressure can ring early doorbells before `doorbell`; fault
+        // recovery can re-execute the command after it. Charging software
+        // up to min(doorbell, arrive) keeps both cases monotone — any
+        // recovery wait then lands in SqWait via absorb_device.
+        rec.stamp(Stage::SubmitStack, doorbell.min(span.arrive));
+        rec.absorb_device(&span);
+        let pickup = pickup.max(rec.cursor());
+        rec.stamp(pickup_stage, pickup);
+        let bd = rec.finish(Stage::CompleteDeliver, visible.max(pickup));
+        p.report.record(&bd);
+    }
+
     fn release_tags(&mut self, tags: &[Tag]) {
         for &t in tags {
             self.tags.release(t);
@@ -546,7 +644,7 @@ impl Host {
         let device = self.collect_parts(&cids);
         let done = device.done;
 
-        let user_visible = match self.path {
+        let (user_visible, pickup_stage, pickup) = match self.path {
             IoPath::KernelInterrupt => {
                 let irq = done + NvmeController::DEFAULT_MSI_LATENCY;
                 self.charge(Mode::Kernel, StackFn::Isr, self.costs.isr);
@@ -554,7 +652,7 @@ impl Host {
                 self.charge(Mode::Kernel, StackFn::ContextSwitch, self.costs.wakeup);
                 let visible = irq + self.costs.interrupt_completion_latency();
                 self.consume_cqes(irq, nparts);
-                visible
+                (visible, Stage::IrqDeliver, irq)
             }
             IoPath::KernelPolled => {
                 let mut detect = self.spin_kernel(t, done);
@@ -571,7 +669,11 @@ impl Host {
                 }
                 self.charge(Mode::Kernel, StackFn::BlkMqPoll, self.costs.poll_complete);
                 self.consume_cqes(detect, nparts);
-                detect + self.costs.poll_complete.latency
+                (
+                    detect + self.costs.poll_complete.latency,
+                    Stage::PollPickup,
+                    detect,
+                )
             }
             IoPath::KernelHybrid => {
                 self.charge(Mode::Kernel, StackFn::HybridSleep, self.costs.hybrid_setup);
@@ -585,15 +687,37 @@ impl Host {
                 let detect = self.spin_kernel(wake, done);
                 self.charge(Mode::Kernel, StackFn::BlkMqPoll, self.costs.poll_complete);
                 self.consume_cqes(detect, nparts);
-                detect + self.costs.poll_complete.latency
+                (
+                    detect + self.costs.poll_complete.latency,
+                    Stage::PollPickup,
+                    detect,
+                )
             }
             IoPath::Spdk => {
                 let detect = self.spin_spdk(t, done);
                 self.charge(Mode::User, StackFn::SpdkSubmit, self.costs.spdk_complete);
                 self.consume_cqes(detect, nparts);
-                detect + self.costs.spdk_complete.latency
+                (
+                    detect + self.costs.spdk_complete.latency,
+                    Stage::PollPickup,
+                    detect,
+                )
             }
         };
+        if self.probe.is_some() {
+            let span = self.take_critical_span(&cids, done);
+            self.record_probe(
+                op,
+                offset,
+                len,
+                at,
+                t,
+                span,
+                pickup_stage,
+                pickup,
+                user_visible,
+            );
+        }
         self.release_tags(&tags);
 
         if self.path == IoPath::KernelHybrid {
@@ -642,16 +766,26 @@ impl Host {
         len: u32,
         at: SimTime,
     ) -> (u16, DeviceCompletion) {
-        let (_t, cids, tags) = self.submit_path(op, offset, len, at);
+        let (t, cids, tags) = self.submit_path(op, offset, len, at);
         let nparts = cids.len();
         let device = self.collect_parts(&cids);
+        let span = if self.probe.is_some() {
+            Some(self.take_critical_span(&cids, device.done))
+        } else {
+            None
+        };
         let token = cids[0];
         self.outstanding.insert(
             token,
             Outstanding {
                 submitted: at,
+                doorbell: t,
                 nparts,
                 tags,
+                op,
+                offset,
+                len,
+                span,
             },
         );
         (token, device)
@@ -671,25 +805,46 @@ impl Host {
         let out = self.outstanding.remove(&cid).expect("cid is outstanding");
         let done = device.done;
         let nparts = out.nparts;
-        let user_visible = match self.path {
+        let (user_visible, pickup_stage, pickup) = match self.path {
             IoPath::Spdk => {
                 // The reactor notices on its next iteration.
                 let detect = done + self.costs.spdk_iter_duration();
                 self.charge(Mode::User, StackFn::SpdkSubmit, self.costs.spdk_complete);
-                detect + self.costs.spdk_complete.latency
+                (
+                    detect + self.costs.spdk_complete.latency,
+                    Stage::PollPickup,
+                    detect,
+                )
             }
             _ => {
                 let irq = done + NvmeController::DEFAULT_MSI_LATENCY;
                 self.charge(Mode::Kernel, StackFn::Isr, self.costs.isr);
                 self.charge(Mode::Kernel, StackFn::Softirq, self.costs.softirq);
                 self.charge(Mode::Kernel, StackFn::ContextSwitch, self.costs.wakeup);
-                irq + self.costs.interrupt_completion_latency()
+                (
+                    irq + self.costs.interrupt_completion_latency(),
+                    Stage::IrqDeliver,
+                    irq,
+                )
             }
         };
         self.consume_cqes(
             user_visible.max(done + NvmeController::DEFAULT_MSI_LATENCY),
             nparts,
         );
+        if let Some(span) = out.span {
+            self.record_probe(
+                out.op,
+                out.offset,
+                out.len,
+                out.submitted,
+                out.doorbell,
+                span,
+                pickup_stage,
+                pickup,
+                user_visible,
+            );
+        }
         self.release_tags(&out.tags);
         self.horizon = self.horizon.max(user_visible);
         IoResult {
@@ -954,6 +1109,113 @@ mod tests {
             "a reset path cannot be faster than the reset itself"
         );
         assert_eq!(h.in_flight(), 0);
+    }
+
+    #[test]
+    fn probe_breakdowns_tile_end_to_end_on_every_path() {
+        for path in [
+            IoPath::KernelInterrupt,
+            IoPath::KernelPolled,
+            IoPath::KernelHybrid,
+            IoPath::Spdk,
+        ] {
+            let mut h = host(path);
+            h.enable_probe(ProbeConfig::default());
+            assert!(h.probing());
+            let mut at = SimTime::ZERO;
+            for i in 0..200u64 {
+                let op = if i % 4 == 0 { IoOp::Write } else { IoOp::Read };
+                let len = if i % 7 == 0 {
+                    4 * Host::MAX_TRANSFER
+                } else {
+                    4096
+                };
+                let r = h.io_sync(op, (i % 512) * 4096, len, at);
+                at = r.user_visible + SimDuration::from_nanos(500);
+            }
+            let report = h.take_probe().unwrap();
+            assert!(!h.probing());
+            assert_eq!(report.metrics.ios(), 200);
+            assert!(
+                report.metrics.accounting_exact(),
+                "{path:?}: sum(stages) != e2e"
+            );
+            match path {
+                IoPath::KernelInterrupt => {
+                    assert!(report.metrics.stage_total_ns(Stage::IrqDeliver) > 0);
+                    assert_eq!(report.metrics.stage_total_ns(Stage::PollPickup), 0);
+                }
+                _ => {
+                    assert!(report.metrics.stage_total_ns(Stage::PollPickup) > 0);
+                    assert_eq!(report.metrics.stage_total_ns(Stage::IrqDeliver), 0);
+                }
+            }
+            // The device executed real flash work on reads.
+            assert!(report.metrics.device_ns() > 0);
+            assert!(report.metrics.software_ns() > 0);
+        }
+    }
+
+    #[test]
+    fn probe_is_invisible_to_the_simulation() {
+        let run = |probe: bool| {
+            let mut h = host(IoPath::KernelPolled);
+            if probe {
+                h.enable_probe(ProbeConfig::default());
+            }
+            let mut at = SimTime::ZERO;
+            let mut lat = Vec::new();
+            for i in 0..300u64 {
+                let r = h.io_sync(IoOp::Read, (i % 128) * 4096, 4096, at);
+                lat.push(r.latency.as_nanos());
+                at = r.user_visible;
+            }
+            lat
+        };
+        assert_eq!(run(false), run(true), "probing must not perturb timing");
+    }
+
+    #[test]
+    fn probe_tiles_exactly_under_fault_recovery() {
+        let mut h = host(IoPath::KernelInterrupt);
+        h.set_fault_plan(&FaultPlan {
+            seed: 11,
+            nvme_timeout_prob: 0.08,
+            flash_read_marginal_prob: 0.05,
+            program_fail_prob: 0.02,
+            ..FaultPlan::none()
+        });
+        h.enable_probe(ProbeConfig::default());
+        let mut at = SimTime::ZERO;
+        for i in 0..400u64 {
+            let op = if i % 3 == 0 { IoOp::Write } else { IoOp::Read };
+            let r = h.io_sync(op, (i % 256) * 4096, 4096, at);
+            at = r.user_visible + SimDuration::from_nanos(1_000);
+        }
+        let c = h.nvme_fault_counters();
+        assert!(c.injected_timeouts > 0, "faults must actually fire");
+        let report = h.take_probe().unwrap();
+        assert_eq!(report.metrics.ios(), 400);
+        assert!(
+            report.metrics.accounting_exact(),
+            "recovery paths must still tile exactly"
+        );
+        // Recovery waits are charged to the device-wait side (SqWait).
+        assert!(report.metrics.stage_total_ns(Stage::SqWait) > 0);
+    }
+
+    #[test]
+    fn async_probe_records_breakdowns_too() {
+        let mut h = host(IoPath::KernelInterrupt);
+        h.enable_probe(ProbeConfig::default());
+        let (cid, dev) = h.submit_async(IoOp::Read, 4096, 4096, SimTime::ZERO);
+        let r = h.finish_async(cid, dev);
+        let report = h.take_probe().unwrap();
+        assert_eq!(report.metrics.ios(), 1);
+        assert!(report.metrics.accounting_exact());
+        let bd = report.trace.events()[0].clone();
+        assert_eq!(bd.issue, SimTime::ZERO);
+        assert_eq!(bd.complete, r.user_visible);
     }
 
     #[test]

@@ -4,8 +4,16 @@
 //! ullfio [--device ull|nvme750] [--rw seqread|randread|seqwrite|randwrite|randrw]
 //!        [--bs BYTES] [--iodepth N] [--engine pvsync2|libaio|spdk]
 //!        [--path interrupt|poll|hybrid|spdk] [--ios N] [--seed N]
-//!        [--precondition] [--trace FILE]
+//!        [--precondition] [--replay FILE] [--trace OUT.json]
 //! ```
+//!
+//! `--replay FILE` replays a CSV trace of `(time, op, offset, len)`
+//! records instead of running a synthetic job. `--trace OUT.json`
+//! enables the `ull-probe` span machinery and writes a Chrome
+//! `trace_event` document (open in Perfetto / `chrome://tracing`) with
+//! the per-request latency breakdown of the run — capture is bounded
+//! (first/last-K plus slow requests) and deterministic, and probing
+//! never changes the simulated results (see `docs/OBSERVABILITY.md`).
 //!
 //! Examples:
 //!
@@ -13,12 +21,14 @@
 //! ullfio --device ull --rw randread --iodepth 16 --engine libaio --ios 100000
 //! ullfio --device nvme750 --rw randwrite --precondition --ios 200000
 //! ullfio --device ull --path poll --rw seqread
-//! ullfio --trace my.trace --device ull
+//! ullfio --replay my.trace --device ull
+//! ullfio --device ull --rw randread --ios 20000 --trace trace.json
 //! ```
 
 use std::process::ExitCode;
 
 use ull_nvme::NvmeController;
+use ull_probe::ProbeConfig;
 use ull_ssd::{presets, Ssd, SsdConfig};
 use ull_stack::{Host, IoPath, SoftwareCosts};
 use ull_workload::{parse_trace, precondition_full, replay, run_job, Engine, JobSpec};
@@ -33,6 +43,7 @@ struct Args {
     ios: u64,
     seed: u64,
     precondition: bool,
+    replay: Option<String>,
     trace: Option<String>,
 }
 
@@ -41,7 +52,7 @@ fn usage() -> ! {
         "usage: ullfio [--device ull|nvme750] [--rw MODE] [--bs BYTES] \
          [--iodepth N] [--engine pvsync2|libaio|spdk] \
          [--path interrupt|poll|hybrid|spdk] [--ios N] [--seed N] \
-         [--precondition] [--trace FILE]"
+         [--precondition] [--replay FILE] [--trace OUT.json]"
     );
     std::process::exit(2);
 }
@@ -57,6 +68,7 @@ fn parse_args() -> Args {
         ios: 50_000,
         seed: 0xF10,
         precondition: false,
+        replay: None,
         trace: None,
     };
     let mut it = std::env::args().skip(1);
@@ -93,6 +105,7 @@ fn parse_args() -> Args {
             "--ios" => args.ios = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
             "--precondition" => args.precondition = true,
+            "--replay" => args.replay = Some(value()),
             "--trace" => args.trace = Some(value()),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -124,7 +137,13 @@ fn main() -> ExitCode {
         precondition_full(&mut host);
     }
 
-    if let Some(path) = args.trace {
+    // Probing observes the run without perturbing it: enabled after
+    // preconditioning so the trace holds workload requests only.
+    if args.trace.is_some() {
+        host.enable_probe(ProbeConfig::default());
+    }
+
+    if let Some(path) = args.replay {
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) => {
@@ -149,7 +168,7 @@ fn main() -> ExitCode {
             r.latency.quantile(0.99),
             r.slipped
         );
-        return ExitCode::SUCCESS;
+        return write_trace(&mut host, args.trace.as_deref());
     }
 
     let spec = JobSpec::new(format!("{}-{}", args.rw, device_name))
@@ -161,5 +180,36 @@ fn main() -> ExitCode {
         .seed(args.seed);
     let report = run_job(&mut host, &spec);
     println!("{report}");
+    write_trace(&mut host, args.trace.as_deref())
+}
+
+/// Writes the probed run's Chrome trace, if `--trace` asked for one.
+fn write_trace(host: &mut Host, out: Option<&str>) -> ExitCode {
+    let Some(path) = out else {
+        return ExitCode::SUCCESS;
+    };
+    let Some(report) = host.take_probe() else {
+        eprintln!("ullfio: probe was not enabled");
+        return ExitCode::FAILURE;
+    };
+    let doc = report.chrome_trace().to_pretty_string();
+    if let Err(e) = std::fs::write(path, &doc) {
+        eprintln!("ullfio: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let m = &report.metrics;
+    let total = m.e2e_total_ns();
+    let sw_pct = if total == 0 {
+        0.0
+    } else {
+        m.software_ns() as f64 / total as f64 * 100.0
+    };
+    eprintln!(
+        "trace: {} of {} requests captured, software share {:.1}% -> {}",
+        report.trace.events().len(),
+        report.trace.seen(),
+        sw_pct,
+        path
+    );
     ExitCode::SUCCESS
 }

@@ -32,16 +32,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod json;
 mod pattern;
 mod report;
 mod runner;
 mod spec;
 mod trace;
 
-pub use json::Json;
+// `Json` moved down to `ull-simkit` so crates below the workload layer
+// (notably `ull-probe`'s trace writer) can emit documents too; re-exported
+// here so existing `ull_workload::Json` users keep compiling.
 pub use pattern::AddressStream;
 pub use report::JobReport;
 pub use runner::{precondition_full, run_job};
 pub use spec::{Engine, JobSpec, Pattern};
 pub use trace::{parse_trace, replay, ParseTraceError, TraceOp, TraceReport};
+pub use ull_simkit::Json;

@@ -7,6 +7,8 @@
 //! * [`simkit`] — discrete-event simulation foundation.
 //! * [`faults`] — deterministic fault-injection plans and recovery
 //!   accounting (see docs/FAULTS.md).
+//! * [`probe`] — deterministic span tracing and latency-breakdown
+//!   attribution (see docs/OBSERVABILITY.md).
 //! * [`flash`] — Z-NAND / V-NAND / BiCS / planar-MLC media models.
 //! * [`ssd`] — the two device models (Z-SSD prototype, Intel 750).
 //! * [`nvme`] — NVMe rings, doorbells, phase tags, controller.
@@ -35,6 +37,7 @@ pub use ull_faults as faults;
 pub use ull_flash as flash;
 pub use ull_netblock as netblock;
 pub use ull_nvme as nvme;
+pub use ull_probe as probe;
 pub use ull_simkit as simkit;
 pub use ull_ssd as ssd;
 pub use ull_stack as stack;
@@ -44,6 +47,7 @@ pub use ull_workload as workload;
 /// The most commonly used items, for `use ull_ssd_study::prelude::*`.
 pub mod prelude {
     pub use ull_faults::{FaultPlan, FaultReport};
+    pub use ull_probe::{ProbeConfig, ProbeReport, Stage};
     pub use ull_simkit::{Histogram, SimDuration, SimTime};
     pub use ull_ssd::{presets, Ssd, SsdConfig};
     pub use ull_stack::{Host, IoOp, IoPath};

@@ -99,6 +99,66 @@ fn parallel_sweep_is_byte_identical_to_serial() {
 }
 
 #[test]
+fn probing_never_perturbs_the_simulation() {
+    // Observation must be free: a probed run and an unprobed run of the
+    // same seed produce byte-identical job reports on every completion
+    // path, sync and async. This is what keeps the committed
+    // BENCH_quick.json / BENCH_faults_quick.json baselines valid whether
+    // or not anyone traces — the probe reads the simulation, it never
+    // advances it.
+    let cases = [
+        ("interrupt", IoPath::KernelInterrupt, Engine::Pvsync2, 1),
+        ("poll", IoPath::KernelPolled, Engine::Pvsync2, 1),
+        ("hybrid", IoPath::KernelHybrid, Engine::Pvsync2, 1),
+        ("spdk", IoPath::Spdk, Engine::SpdkPlugin, 1),
+        ("libaio", IoPath::KernelInterrupt, Engine::Libaio, 8),
+    ];
+    for (label, path, engine, depth) in cases {
+        let run = |probed: bool| {
+            let mut host = ull_study::host(Device::Ull, path);
+            if probed {
+                host.enable_probe(ProbeConfig::default());
+            }
+            let spec = JobSpec::new(format!("golden-{label}"))
+                .pattern(Pattern::Random)
+                .read_fraction(0.7)
+                .engine(engine)
+                .iodepth(depth)
+                .ios(2_000)
+                .seed(0x0B5E_55ED);
+            let fp = format!("{:?}", run_job(&mut host, &spec));
+            let ios = host.take_probe().map(|p| p.metrics.ios());
+            (fp, ios)
+        };
+        let (plain, none) = run(false);
+        let (probed, ios) = run(true);
+        assert_eq!(plain, probed, "{label}: probing changed the report");
+        assert_eq!(none, None, "{label}: unprobed host must yield no report");
+        assert_eq!(ios, Some(2_000), "{label}: probe must see every I/O");
+    }
+}
+
+#[test]
+fn chrome_trace_bytes_are_stable() {
+    // `reproduce breakdown --trace` twice must write the same file: the
+    // Chrome document is a pure function of the simulated run.
+    let doc = || {
+        find("breakdown")
+            .expect("registry name")
+            .trace(Scale::Quick)
+            .expect("breakdown is traceable")
+            .chrome_trace()
+            .to_pretty_string()
+    };
+    let a = doc();
+    assert_eq!(a, doc(), "trace export diverged between identical runs");
+    assert!(
+        a.contains("\"traceEvents\"") && a.contains("\"submit_stack\""),
+        "trace document missing expected events"
+    );
+}
+
+#[test]
 fn fault_sweep_is_byte_identical_across_workers() {
     // The fault-injection sweep adds recovery state machines (retries,
     // controller resets, NBD replays) on top of the nominal stack; its

@@ -545,3 +545,48 @@ fn fault_accounting_totals_match_injections() {
         assert_eq!(c.reconnects, c.replayed_commands, "seed {seed}");
     }
 }
+
+/// The probe's accounting identity `sum(stages) == end_to_end` holds for
+/// every request even while the fault machinery aborts, retries with
+/// backoff, resets the controller, and re-executes commands — at every
+/// seed, with every fault class firing (rates > 0). Recovery waits are
+/// charged to real stages (SQ wait, completion delivery), never dropped
+/// on the floor, so the attribution stays exact under the ugliest runs.
+#[test]
+fn probe_accounting_tiles_exactly_under_faults() {
+    use ull_ssd_study::probe::ProbeConfig;
+
+    for seed in SEEDS {
+        let mut host = host(Device::Ull, IoPath::KernelInterrupt);
+        let mut plan = FaultPlan::uniform(seed, 0.0);
+        plan.nvme_timeout_prob = 0.05;
+        plan.flash_read_marginal_prob = 0.05;
+        plan.program_fail_prob = 0.02;
+        host.set_fault_plan(&plan);
+        host.enable_probe(ProbeConfig::default());
+        let spec = JobSpec::new("probe-under-faults")
+            .pattern(Pattern::Random)
+            .read_fraction(0.6)
+            .ios(1_500)
+            .seed(seed ^ 0xFA_575);
+        let job = run_job(&mut host, &spec);
+        let probe = host.take_probe().expect("probe was enabled");
+        assert!(
+            probe.metrics.accounting_exact(),
+            "seed {seed}: sum(stages) != end_to_end under faults"
+        );
+        assert_eq!(
+            probe.metrics.ios(),
+            job.completed,
+            "seed {seed}: probe lost or invented requests"
+        );
+        let (flash, _rec) = host.controller().ssd().fault_counters();
+        let injected = host.nvme_fault_counters().injected_timeouts
+            + flash.read_marginal_events
+            + flash.program_failures;
+        assert!(
+            injected > 0,
+            "seed {seed}: fault lottery never fired — test is vacuous"
+        );
+    }
+}
