@@ -1,0 +1,241 @@
+//! Wall-clock performance baseline for the simulator's hot loops.
+//!
+//! Unlike the figure benches (which regenerate paper results), this
+//! harness measures the *simulator itself*: events/sec through the
+//! scheduler hot loop (timing wheel vs the retained `EventQueue`
+//! binary-heap reference) and simulated I/Os per wall-clock second
+//! through the full closed-loop stack. It writes `BENCH_perf.json`.
+//!
+//! Wall-clock numbers are machine-dependent, so `BENCH_perf.json` is
+//! deliberately *outside* the byte-diffed baseline set (those are the
+//! `reproduce` JSONs): CI's perf-smoke job only *warns* when events/sec
+//! drops more than 25% below the committed file. See
+//! docs/PERFORMANCE.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf [--out FILE] [--baseline FILE] [--quick]
+//! ```
+//!
+//! `--baseline FILE` compares against a previously committed
+//! `BENCH_perf.json` and prints `PERF-WARN` lines (exit code stays 0 —
+//! the gate is advisory by design).
+
+use std::time::Instant;
+
+use ull_simkit::{EventQueue, Json, SimDuration, SimTime, SplitMix64, TimingWheel};
+use ull_stack::IoPath;
+use ull_study::testbed::{host, Device};
+use ull_workload::{run_job, Engine, JobSpec, Pattern};
+
+/// Steady-state churn depth for the scheduler microbenches: enough
+/// in-flight events that the heap's `O(log n)` sift costs are visible,
+/// matching the sweep driver's worst-case concurrency rather than the
+/// `iodepth=1` best case.
+const CHURN_DEPTH: usize = 1024;
+
+/// Scheduler microbench: prime `CHURN_DEPTH` events, then pop-and-
+/// reschedule `ops` times — the exact access pattern of the engine
+/// loops. Returns events/sec (one schedule + one pop = two events).
+fn wheel_events_per_sec(ops: u64) -> f64 {
+    let mut q: TimingWheel<u64> = TimingWheel::new();
+    let mut rng = SplitMix64::new(0x5EED_BEEF);
+    let mut t = SimTime::ZERO;
+    for i in 0..CHURN_DEPTH as u64 {
+        q.schedule(t + delta(&mut rng), i);
+    }
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let (at, v) = q.pop().expect("churn queue never drains");
+        t = at;
+        acc = acc.wrapping_add(v);
+        q.schedule(t + delta(&mut rng), v);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    2.0 * ops as f64 / secs
+}
+
+/// Identical churn through the retained binary-heap `EventQueue` — the
+/// pre-wheel scheduler, kept as the differential-testing reference.
+fn heap_events_per_sec(ops: u64) -> f64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut rng = SplitMix64::new(0x5EED_BEEF);
+    let mut t = SimTime::ZERO;
+    for i in 0..CHURN_DEPTH as u64 {
+        q.schedule(t + delta(&mut rng), i);
+    }
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let (at, v) = q.pop().expect("churn queue never drains");
+        t = at;
+        acc = acc.wrapping_add(v);
+        q.schedule(t + delta(&mut rng), v);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    2.0 * ops as f64 / secs
+}
+
+/// Inter-event gap distribution for the churn benches: mostly short
+/// (within the wheel's near horizon, like NVMe completions) with an
+/// occasional far outlier (like a GC or timeout event).
+fn delta(rng: &mut SplitMix64) -> SimDuration {
+    if rng.chance(0.01) {
+        SimDuration::from_micros(5_000 + rng.below(20_000))
+    } else {
+        SimDuration::from_nanos(200 + rng.below(40_000))
+    }
+}
+
+/// End-to-end kernel: closed-loop libaio random reads on the ULL
+/// device. Returns simulated I/Os completed per wall-clock second.
+fn closed_loop_ios_per_sec(ios: u64) -> f64 {
+    let mut h = host(Device::Ull, IoPath::KernelInterrupt);
+    let spec = JobSpec::new("perf-closed-loop")
+        .pattern(Pattern::Random)
+        .read_fraction(0.7)
+        .engine(Engine::Libaio)
+        .iodepth(16)
+        .ios(ios);
+    let t0 = Instant::now();
+    let r = run_job(&mut h, &spec);
+    let secs = t0.elapsed().as_secs_f64();
+    r.completed as f64 / secs
+}
+
+/// Sync-path kernel: `pvsync2` polled reads (the latency-critical path
+/// of figs. 9-16). Returns simulated I/Os per wall-clock second.
+fn sync_ios_per_sec(ios: u64) -> f64 {
+    let mut h = host(Device::Ull, IoPath::KernelPolled);
+    let spec = JobSpec::new("perf-sync").ios(ios);
+    let t0 = Instant::now();
+    let r = run_job(&mut h, &spec);
+    let secs = t0.elapsed().as_secs_f64();
+    r.completed as f64 / secs
+}
+
+/// Best-of-`n` runs: wall-clock benches are noisy downwards only (cache
+/// misses, scheduling), so the max is the stable estimator.
+fn best_of<F: FnMut() -> f64>(n: usize, mut f: F) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..n {
+        best = best.max(f());
+    }
+    best
+}
+
+/// Pulls `"key": <number>` out of a committed `BENCH_perf.json` without
+/// a JSON parser (the workspace deliberately has no serde; the writer
+/// in `ull-simkit` emits exactly this shape).
+fn extract_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let start = text.find(&needle)? + needle.len();
+    let rest = &text[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_perf.json");
+    let mut baseline: Option<String> = None;
+    let mut quick = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            "--baseline" => baseline = Some(it.next().expect("--baseline needs a path").clone()),
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: perf [--out FILE] [--baseline FILE] [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (sched_ops, io_n, samples) = if quick {
+        (200_000u64, 5_000u64, 2usize)
+    } else {
+        (2_000_000, 40_000, 3)
+    };
+
+    println!("scheduler churn: depth={CHURN_DEPTH} ops={sched_ops} samples={samples}");
+    let wheel = best_of(samples, || wheel_events_per_sec(sched_ops));
+    let heap = best_of(samples, || heap_events_per_sec(sched_ops));
+    let speedup = wheel / heap;
+    println!("  wheel: {:.0} events/s", wheel);
+    println!("  heap reference: {:.0} events/s", heap);
+    println!("  speedup: {speedup:.2}x");
+
+    println!("closed-loop libaio qd16 ({io_n} ios):");
+    let closed = best_of(samples, || closed_loop_ios_per_sec(io_n));
+    println!("  {:.0} simulated ios/s", closed);
+    println!("sync pvsync2 polled ({io_n} ios):");
+    let sync = best_of(samples, || sync_ios_per_sec(io_n));
+    println!("  {:.0} simulated ios/s", sync);
+
+    let doc = Json::obj()
+        .field("schema", 1i64)
+        .field(
+            "note",
+            "wall-clock numbers: machine-dependent, advisory only; NOT part of the byte-diffed baseline set (docs/PERFORMANCE.md)",
+        )
+        .field(
+            "config",
+            Json::obj()
+                .field("churn_depth", CHURN_DEPTH as i64)
+                .field("sched_ops", sched_ops as i64)
+                .field("io_n", io_n as i64)
+                .field("samples", samples as i64),
+        )
+        .field(
+            "results",
+            Json::obj()
+                .field("wheel_events_per_sec", wheel)
+                .field("heap_events_per_sec", heap)
+                .field("wheel_speedup_vs_heap", speedup)
+                .field("closed_loop_ios_per_sec", closed)
+                .field("sync_ios_per_sec", sync),
+        );
+    std::fs::write(&out_path, doc.to_pretty_string()).expect("write perf baseline");
+    println!("wrote {out_path}");
+
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(&path).expect("read baseline");
+        let mut warned = false;
+        for (key, current) in [
+            ("wheel_events_per_sec", wheel),
+            ("closed_loop_ios_per_sec", closed),
+            ("sync_ios_per_sec", sync),
+        ] {
+            let Some(base) = extract_number(&text, key) else {
+                println!("PERF-WARN: baseline {path} has no {key}");
+                warned = true;
+                continue;
+            };
+            if current < 0.75 * base {
+                println!(
+                    "PERF-WARN: {key} dropped >25%: {current:.0} vs baseline {base:.0} ({:.0}%)",
+                    100.0 * current / base
+                );
+                warned = true;
+            } else {
+                println!(
+                    "perf ok: {key} {current:.0} vs baseline {base:.0} ({:.0}%)",
+                    100.0 * current / base
+                );
+            }
+        }
+        if !warned {
+            println!("perf ok: all metrics within 25% of {path}");
+        }
+        // Advisory by design: never fail the build on wall-clock noise.
+    }
+}

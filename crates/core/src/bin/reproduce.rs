@@ -196,10 +196,7 @@ fn main() -> ExitCode {
     let ok = sections.iter().all(Section::ok);
 
     if args.json {
-        print!(
-            "{}",
-            json_document(args.scale, &sections).to_pretty_string()
-        );
+        print!("{}", json_document(args.scale, sections).to_pretty_string());
     } else {
         for s in &sections {
             print_section(s);

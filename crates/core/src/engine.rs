@@ -75,7 +75,12 @@ pub trait Report: fmt::Display {
     /// and the committed `BENCH_quick.json` baseline. Must be a pure
     /// function of the report (no clocks, no host state) so serial and
     /// parallel runs serialize identically.
-    fn to_json(&self) -> Json;
+    ///
+    /// Consumes the report: serialization is the last thing that happens
+    /// to it, so row vectors move into the [`Json`] tree instead of
+    /// being deep-copied (reports can hold thousands of rows at
+    /// `--full` scale).
+    fn into_json(self) -> Json;
 }
 
 /// One table/figure reproduction, described declaratively.
@@ -167,8 +172,8 @@ mod tests {
             }
         }
 
-        fn to_json(&self) -> Json {
-            Json::obj().field("rows", self.0.clone())
+        fn into_json(self) -> Json {
+            Json::obj().field("rows", self.0)
         }
     }
 
@@ -205,8 +210,11 @@ mod tests {
         let serial = run_experiment(&Squares, Scale::Quick, 1);
         let parallel = run_experiment(&Squares, Scale::Quick, 4);
         assert_eq!(serial.0, parallel.0);
-        assert_eq!(serial.to_json().to_string(), parallel.to_json().to_string());
         assert!(serial.check().is_empty());
+        assert_eq!(
+            serial.into_json().to_string(),
+            parallel.into_json().to_string()
+        );
     }
 
     #[test]

@@ -271,7 +271,7 @@ impl Report for Breakdown {
         Breakdown::check(self)
     }
 
-    fn to_json(&self) -> Json {
+    fn into_json(self) -> Json {
         let rows: Vec<Json> = self
             .rows
             .iter()
@@ -344,8 +344,8 @@ mod tests {
         let serial = run_experiment(&BreakdownExp, Scale::Quick, 1);
         let parallel = run_experiment(&BreakdownExp, Scale::Quick, 4);
         assert_eq!(
-            serial.to_json().to_string(),
-            parallel.to_json().to_string(),
+            serial.into_json().to_string(),
+            parallel.into_json().to_string(),
             "breakdown sweep must be deterministic under --jobs"
         );
     }

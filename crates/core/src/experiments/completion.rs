@@ -121,7 +121,7 @@ impl Report for Fig0910 {
         Fig0910::check(self)
     }
 
-    fn to_json(&self) -> Json {
+    fn into_json(self) -> Json {
         let rows: Vec<Json> = self
             .rows
             .iter()
@@ -283,7 +283,7 @@ impl Report for Fig11 {
         Fig11::check(self)
     }
 
-    fn to_json(&self) -> Json {
+    fn into_json(self) -> Json {
         let rows: Vec<Json> = self
             .rows
             .iter()
@@ -443,7 +443,7 @@ impl Report for Fig1213 {
         Fig1213::check(self)
     }
 
-    fn to_json(&self) -> Json {
+    fn into_json(self) -> Json {
         let rows: Vec<Json> = self
             .rows
             .iter()
@@ -609,7 +609,7 @@ impl Report for Fig14 {
         Fig14::check(self)
     }
 
-    fn to_json(&self) -> Json {
+    fn into_json(self) -> Json {
         let rows: Vec<Json> = self
             .rows
             .iter()
@@ -761,7 +761,7 @@ impl Report for Fig15 {
         Fig15::check(self)
     }
 
-    fn to_json(&self) -> Json {
+    fn into_json(self) -> Json {
         let rows: Vec<Json> = self
             .rows
             .iter()
@@ -902,7 +902,7 @@ impl Report for Fig16 {
         Fig16::check(self)
     }
 
-    fn to_json(&self) -> Json {
+    fn into_json(self) -> Json {
         let rows: Vec<Json> = self
             .rows
             .iter()

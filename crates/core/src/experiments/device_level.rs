@@ -112,7 +112,7 @@ impl Report for Fig04 {
         Fig04::check(self)
     }
 
-    fn to_json(&self) -> Json {
+    fn into_json(self) -> Json {
         let rows: Vec<Json> = self
             .rows
             .iter()
@@ -326,7 +326,7 @@ impl Report for Fig05 {
         Fig05::check(self)
     }
 
-    fn to_json(&self) -> Json {
+    fn into_json(self) -> Json {
         let rows: Vec<Json> = self
             .rows
             .iter()
@@ -519,7 +519,7 @@ impl Report for Fig06 {
         Fig06::check(self)
     }
 
-    fn to_json(&self) -> Json {
+    fn into_json(self) -> Json {
         let rows: Vec<Json> = self
             .rows
             .iter()
@@ -705,7 +705,7 @@ impl Report for Fig07a {
         Fig07a::check(self)
     }
 
-    fn to_json(&self) -> Json {
+    fn into_json(self) -> Json {
         let rows: Vec<Json> = self
             .rows
             .iter()
@@ -852,11 +852,11 @@ impl Experiment for Fig07b08Exp {
                         .seed(0xF1608);
                     let r = run_job(&mut h, &spec);
                     let latency_bins = r.latency_series.bins();
-                    let power_bins = r.power_series.clone();
-                    // "Early" is the pre-GC quiet period right after
-                    // preconditioning — an absolute window (the first few
-                    // 10 ms bins), because once GC engages the run
-                    // stretches and percentages land past the onset.
+                    let power_bins = r.power_series; // moved, not copied: r is owned here
+                                                     // "Early" is the pre-GC quiet period right after
+                                                     // preconditioning — an absolute window (the first few
+                                                     // 10 ms bins), because once GC engages the run
+                                                     // stretches and percentages land past the onset.
                     let early = |bins: &[(SimTime, f64)]| {
                         let hi = bins.len().clamp(1, 3);
                         bins[..hi].iter().map(|(_, x)| x).sum::<f64>() / hi as f64
@@ -898,7 +898,7 @@ impl Report for Fig07b08 {
         Fig07b08::check(self)
     }
 
-    fn to_json(&self) -> Json {
+    fn into_json(self) -> Json {
         let series: Vec<Json> = self
             .series
             .iter()

@@ -258,7 +258,7 @@ impl Report for Extensions {
         Extensions::check(self)
     }
 
-    fn to_json(&self) -> Json {
+    fn into_json(self) -> Json {
         Json::obj()
             .field(
                 "media",

@@ -281,7 +281,7 @@ impl Report for Faults {
         Faults::check(self)
     }
 
-    fn to_json(&self) -> Json {
+    fn into_json(self) -> Json {
         let rows: Vec<Json> = self
             .rows
             .iter()
@@ -398,8 +398,8 @@ mod tests {
         let serial = run_experiment(&FaultsExp, Scale::Quick, 1);
         let parallel = run_experiment(&FaultsExp, Scale::Quick, 4);
         assert_eq!(
-            serial.to_json().to_string(),
-            parallel.to_json().to_string(),
+            serial.into_json().to_string(),
+            parallel.into_json().to_string(),
             "fault sweep must be deterministic under --jobs"
         );
     }

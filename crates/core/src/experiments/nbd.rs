@@ -133,7 +133,7 @@ impl Report for Fig23 {
         Fig23::check(self)
     }
 
-    fn to_json(&self) -> Json {
+    fn into_json(self) -> Json {
         let rows: Vec<Json> = self
             .rows
             .iter()

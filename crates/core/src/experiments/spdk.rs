@@ -175,7 +175,7 @@ impl Report for Fig171819 {
         Fig171819::check(self)
     }
 
-    fn to_json(&self) -> Json {
+    fn into_json(self) -> Json {
         Json::obj()
             .field(
                 "small",
@@ -356,7 +356,7 @@ impl Report for Fig20 {
         Fig20::check(self)
     }
 
-    fn to_json(&self) -> Json {
+    fn into_json(self) -> Json {
         let rows: Vec<Json> = self
             .rows
             .iter()
@@ -532,7 +532,7 @@ impl Report for Fig2122 {
         Fig2122::check(self)
     }
 
-    fn to_json(&self) -> Json {
+    fn into_json(self) -> Json {
         let rows: Vec<Json> = self
             .rows
             .iter()

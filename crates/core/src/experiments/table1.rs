@@ -59,7 +59,7 @@ impl Report for Table1 {
         Table1::check(self)
     }
 
-    fn to_json(&self) -> Json {
+    fn into_json(self) -> Json {
         let columns: Vec<Json> = self
             .columns
             .iter()

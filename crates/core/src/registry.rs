@@ -38,21 +38,21 @@ impl Section {
     }
 
     /// The section as one JSON object (name, title, verdict, report).
-    pub fn to_json(&self) -> Json {
+    ///
+    /// Consumes the section: the report tree (often the largest part of
+    /// the whole document) moves into the output instead of being
+    /// deep-copied.
+    pub fn into_json(self) -> Json {
+        let ok = self.ok();
         Json::obj()
             .field("name", self.name)
             .field("title", self.title)
-            .field("ok", self.ok())
+            .field("ok", ok)
             .field(
                 "violations",
-                Json::Arr(
-                    self.violations
-                        .iter()
-                        .map(|v| Json::from(v.as_str()))
-                        .collect(),
-                ),
+                Json::Arr(self.violations.into_iter().map(Json::from).collect()),
             )
-            .field("report", self.report.clone())
+            .field("report", self.report)
     }
 }
 
@@ -113,7 +113,7 @@ fn section<E: Experiment>(exp: &E, scale: Scale, jobs: usize) -> Section {
         title: exp.title(),
         body: report.to_string(),
         violations: report.check(),
-        report: report.to_json(),
+        report: report.into_json(),
     }
 }
 
@@ -184,7 +184,8 @@ pub fn default_entries() -> impl Iterator<Item = &'static Entry> {
 /// Deliberately excludes anything host-dependent (wall-clock, job
 /// count), so the document is byte-identical across `--jobs` values and
 /// machines.
-pub fn json_document(scale: Scale, sections: &[Section]) -> Json {
+pub fn json_document(scale: Scale, sections: Vec<Section>) -> Json {
+    let ok = sections.iter().all(Section::ok);
     Json::obj()
         .field("suite", "ull-ssd-study")
         .field(
@@ -194,10 +195,10 @@ pub fn json_document(scale: Scale, sections: &[Section]) -> Json {
                 Scale::Full => "full",
             },
         )
-        .field("ok", sections.iter().all(Section::ok))
+        .field("ok", ok)
         .field(
             "sections",
-            Json::Arr(sections.iter().map(Section::to_json).collect()),
+            Json::Arr(sections.into_iter().map(Section::into_json).collect()),
         )
 }
 
@@ -326,7 +327,7 @@ mod tests {
         let s = find("table1").unwrap().run(Scale::Quick, 1);
         assert!(s.ok(), "{:?}", s.violations);
         assert!(s.body.contains("Z-NAND"));
-        assert!(s.to_json().to_string().contains("\"name\":\"table1\""));
+        assert!(s.into_json().to_string().contains("\"name\":\"table1\""));
     }
 
     #[test]
@@ -358,7 +359,7 @@ mod tests {
         // the contract: document keys, then section keys, in the exact
         // order `json_document` and `Section::to_json` emit them.
         let s = find("table1").unwrap().run(Scale::Quick, 1);
-        let text = json_document(Scale::Quick, &[s]).to_string();
+        let text = json_document(Scale::Quick, vec![s]).to_string();
         let mut last = 0;
         for key in [
             "\"suite\":",
@@ -379,7 +380,7 @@ mod tests {
     #[test]
     fn json_document_shape() {
         let s = find("table1").unwrap().run(Scale::Quick, 2);
-        let doc = json_document(Scale::Quick, &[s]);
+        let doc = json_document(Scale::Quick, vec![s]);
         let text = doc.to_pretty_string();
         assert!(text.contains("\"suite\": \"ull-ssd-study\""));
         assert!(text.contains("\"scale\": \"quick\""));

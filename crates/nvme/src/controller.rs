@@ -6,12 +6,11 @@
 //! makes their comparison apples-to-apples: only the host-side software
 //! differs.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 
 use ull_faults::{FaultPlan, SALT_NVME};
 use ull_probe::DeviceSpan;
-use ull_simkit::{SimDuration, SimTime, SplitMix64};
+use ull_simkit::{SimDuration, SimTime, SplitMix64, TimingWheel};
 use ull_ssd::{DeviceCompletion, Ssd};
 
 use crate::command::{Completion, NvmeCommand, Opcode};
@@ -25,9 +24,12 @@ pub struct QueuePair {
     pub sq: SubmissionQueue,
     /// Controller-filled completion ring.
     pub cq: CompletionQueue,
-    /// Completions computed by the backend but not yet visible to the host
-    /// (ordered by completion instant).
-    pending: BinaryHeap<Reverse<(u64, u16)>>,
+    /// Completions computed by the backend but not yet visible to the host,
+    /// ordered by `(completion instant, cid)` — the timing wheel's keyed
+    /// tie-break reproduces the historical `BinaryHeap<Reverse<(u64, u16)>>`
+    /// order exactly (cids are unique among in-flight commands, so the
+    /// insertion-sequence tail of the wheel's ordering never decides).
+    pending: TimingWheel<u16>,
 }
 
 impl QueuePair {
@@ -35,7 +37,7 @@ impl QueuePair {
         QueuePair {
             sq: SubmissionQueue::new(size),
             cq: CompletionQueue::new(size),
-            pending: BinaryHeap::new(),
+            pending: TimingWheel::new(),
         }
     }
 }
@@ -281,9 +283,11 @@ impl NvmeController {
                 _ => false,
             };
             if !lost {
-                self.qpairs[qid as usize]
-                    .pending
-                    .push(Reverse((completion.done.as_nanos(), cmd.cid)));
+                self.qpairs[qid as usize].pending.schedule_keyed(
+                    completion.done,
+                    u64::from(cmd.cid),
+                    cmd.cid,
+                );
             }
         }
     }
@@ -299,7 +303,7 @@ impl NvmeController {
     pub fn reset_queue(&mut self, qid: u16) -> Vec<u16> {
         let qp = &mut self.qpairs[qid as usize];
         let mut lost = Vec::new();
-        while let Some(Reverse((_, cid))) = qp.pending.pop() {
+        while let Some((_, cid)) = qp.pending.pop() {
             lost.push(cid);
         }
         qp.sq.reset();
@@ -317,10 +321,7 @@ impl NvmeController {
     /// Earliest instant at which a pending completion becomes visible on
     /// this queue (before MSI latency).
     pub fn next_completion_at(&self, qid: u16) -> Option<SimTime> {
-        self.qpairs[qid as usize]
-            .pending
-            .peek()
-            .map(|Reverse((t, _))| SimTime::from_nanos(*t))
+        self.qpairs[qid as usize].pending.earliest()
     }
 
     /// Earliest instant the host IRQ for this queue would fire.
@@ -332,8 +333,8 @@ impl NvmeController {
     /// Completions that do not fit (host lagging) stay pending.
     pub fn deliver_due(&mut self, qid: u16, at: SimTime) {
         let qp = &mut self.qpairs[qid as usize];
-        while let Some(Reverse((t, cid))) = qp.pending.peek().copied() {
-            if SimTime::from_nanos(t) > at {
+        while let Some((t, cid)) = qp.pending.peek().map(|(t, &cid)| (t, cid)) {
+            if t > at {
                 break;
             }
             let sqhd = qp.sq.head();

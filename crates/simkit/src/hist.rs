@@ -55,6 +55,7 @@ impl Histogram {
         }
     }
 
+    #[inline]
     fn index_of(value: u64) -> usize {
         if value < SUB_COUNT {
             return value as usize;
@@ -79,6 +80,7 @@ impl Histogram {
     }
 
     /// Records one duration sample.
+    #[inline]
     pub fn record(&mut self, d: SimDuration) {
         let v = d.as_nanos();
         let idx = Self::index_of(v);

@@ -1,0 +1,169 @@
+//! Interned, cheaply-clonable string labels.
+//!
+//! Job and report names used to be `String`s cloned once per report
+//! assembly — and, worse, formatted per run in sweep drivers. [`Label`]
+//! makes the common case (a `&'static str` literal) completely
+//! allocation-free and the dynamic case (a sweep-generated name) a
+//! reference-count bump per clone instead of a fresh heap copy.
+
+use std::borrow::Cow;
+use std::fmt;
+use std::sync::Arc;
+
+/// A cheaply-clonable string label.
+///
+/// Static labels carry no allocation at all; dynamic ones share a
+/// single `Arc<str>` across clones. Equality, ordering and hashing
+/// follow the string contents, so a static and a dynamic label with
+/// the same text compare equal.
+///
+/// # Examples
+///
+/// ```
+/// use ull_simkit::Label;
+///
+/// let fixed: Label = "randread".into();
+/// let swept: Label = format!("qd{}", 32).into();
+/// assert_eq!(Label::from("qd32"), swept);
+/// assert_eq!(fixed.as_str(), "randread");
+/// let copy = swept.clone(); // rc bump, no new allocation
+/// assert_eq!(copy.to_string(), "qd32");
+/// ```
+#[derive(Clone)]
+pub struct Label(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static str),
+    Shared(Arc<str>),
+}
+
+impl Label {
+    /// The label's text.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            Repr::Static(s) => s,
+            Repr::Shared(s) => s,
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl From<&'static str> for Label {
+    #[inline]
+    fn from(s: &'static str) -> Self {
+        Label(Repr::Static(s))
+    }
+}
+
+impl From<String> for Label {
+    fn from(s: String) -> Self {
+        Label(Repr::Shared(s.into()))
+    }
+}
+
+impl From<Cow<'static, str>> for Label {
+    fn from(s: Cow<'static, str>) -> Self {
+        match s {
+            Cow::Borrowed(b) => Label(Repr::Static(b)),
+            Cow::Owned(o) => o.into(),
+        }
+    }
+}
+
+impl std::ops::Deref for Label {
+    type Target = str;
+    #[inline]
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Label {
+    #[inline]
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq for Label {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+impl Eq for Label {}
+
+impl PartialEq<str> for Label {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Label {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialOrd for Label {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Label {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl std::hash::Hash for Label {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_and_shared_compare_by_contents() {
+        let a = Label::from("zssd");
+        let b = Label::from(String::from("zssd"));
+        assert_eq!(a, b);
+        assert_eq!(a, "zssd");
+        let owned = Label::from(String::from("b"));
+        assert_eq!(Label::from("a").cmp(&owned), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn clone_shares_the_backing_arc() {
+        let l = Label::from(String::from("qd32"));
+        let c = l.clone();
+        match (&l.0, &c.0) {
+            (Repr::Shared(x), Repr::Shared(y)) => assert!(Arc::ptr_eq(x, y)),
+            _ => panic!("dynamic labels must stay shared"),
+        }
+    }
+
+    #[test]
+    fn display_and_deref() {
+        let l = Label::from("seqwrite");
+        assert_eq!(format!("{l}"), "seqwrite");
+        assert_eq!(l.len(), 8);
+        assert_eq!(l.as_ref(), "seqwrite");
+    }
+}

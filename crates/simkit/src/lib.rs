@@ -7,7 +7,12 @@
 //! Ultra-Low Latency SSDs"* (IISWC 2019):
 //!
 //! * [`SimTime`] / [`SimDuration`] — integer-nanosecond time.
-//! * [`EventQueue`] — deterministic time-ordered events with FIFO ties.
+//! * [`EventQueue`] — deterministic time-ordered events with FIFO ties
+//!   (the `BinaryHeap` reference implementation).
+//! * [`TimingWheel`] — the hot-path hierarchical timing wheel with the
+//!   same ordering contract, plus caller-keyed tie-breaks.
+//! * [`Slab`] / [`Label`] — allocation-free per-request state: reusable
+//!   generational slots and interned job labels.
 //! * [`Timeline`] / [`ServerPool`] — resource busy-until timelines, the
 //!   queueing model behind channels, dies and DMA engines, including
 //!   suspend/resume-style priority preemption.
@@ -37,17 +42,23 @@
 mod event;
 mod hist;
 mod json;
+mod label;
 mod resource;
 mod rng;
 mod series;
+mod slab;
 mod stats;
 mod time;
+mod wheel;
 
 pub use event::EventQueue;
 pub use hist::Histogram;
 pub use json::Json;
+pub use label::Label;
 pub use resource::{ServerPool, Slot, Timeline};
 pub use rng::SplitMix64;
 pub use series::TimeSeries;
+pub use slab::{Slab, SlotId};
 pub use stats::Summary;
 pub use time::{SimDuration, SimTime};
+pub use wheel::TimingWheel;

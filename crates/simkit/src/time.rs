@@ -47,16 +47,19 @@ impl SimTime {
     pub const MAX: SimTime = SimTime(u64::MAX);
 
     /// Creates an instant `nanos` nanoseconds after simulation start.
+    #[inline]
     pub const fn from_nanos(nanos: u64) -> Self {
         SimTime(nanos)
     }
 
     /// Creates an instant `micros` microseconds after simulation start.
+    #[inline]
     pub const fn from_micros(micros: u64) -> Self {
         SimTime(micros * 1_000)
     }
 
     /// Nanoseconds since simulation start.
+    #[inline]
     pub const fn as_nanos(self) -> u64 {
         self.0
     }
@@ -82,16 +85,19 @@ impl SimTime {
 
     /// The duration elapsed since `earlier`, saturating to zero if `earlier`
     /// is in the future.
+    #[inline]
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
     /// The later of two instants.
+    #[inline]
     pub fn max(self, other: SimTime) -> SimTime {
         SimTime(self.0.max(other.0))
     }
 
     /// The earlier of two instants.
+    #[inline]
     pub fn min(self, other: SimTime) -> SimTime {
         SimTime(self.0.min(other.0))
     }
@@ -102,11 +108,13 @@ impl SimDuration {
     pub const ZERO: SimDuration = SimDuration(0);
 
     /// Creates a duration of `nanos` nanoseconds.
+    #[inline]
     pub const fn from_nanos(nanos: u64) -> Self {
         SimDuration(nanos)
     }
 
     /// Creates a duration of `micros` microseconds.
+    #[inline]
     pub const fn from_micros(micros: u64) -> Self {
         SimDuration(micros * 1_000)
     }
@@ -128,6 +136,7 @@ impl SimDuration {
     }
 
     /// Length in nanoseconds.
+    #[inline]
     pub const fn as_nanos(self) -> u64 {
         self.0
     }
@@ -151,21 +160,25 @@ impl SimDuration {
     }
 
     /// True if the duration is zero.
+    #[inline]
     pub const fn is_zero(self) -> bool {
         self.0 == 0
     }
 
     /// The longer of two durations.
+    #[inline]
     pub fn max(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.max(other.0))
     }
 
     /// The shorter of two durations.
+    #[inline]
     pub fn min(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.min(other.0))
     }
 
     /// Subtraction that saturates at zero instead of underflowing.
+    #[inline]
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
@@ -190,12 +203,14 @@ impl SimDuration {
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
+    #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
         SimTime(self.0 + rhs.0)
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
+    #[inline]
     fn add_assign(&mut self, rhs: SimDuration) {
         self.0 += rhs.0;
     }
@@ -208,6 +223,7 @@ impl Sub<SimTime> for SimTime {
     /// # Panics
     ///
     /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
     fn sub(self, rhs: SimTime) -> SimDuration {
         debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
         SimDuration(self.0 - rhs.0)
@@ -216,6 +232,7 @@ impl Sub<SimTime> for SimTime {
 
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
+    #[inline]
     fn sub(self, rhs: SimDuration) -> SimTime {
         SimTime(self.0.saturating_sub(rhs.0))
     }
@@ -223,12 +240,14 @@ impl Sub<SimDuration> for SimTime {
 
 impl Add for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn add(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0 + rhs.0)
     }
 }
 
 impl AddAssign for SimDuration {
+    #[inline]
     fn add_assign(&mut self, rhs: SimDuration) {
         self.0 += rhs.0;
     }
@@ -240,6 +259,7 @@ impl Sub for SimDuration {
     ///
     /// Panics in debug builds on underflow; use
     /// [`SimDuration::saturating_sub`] when the operands may be unordered.
+    #[inline]
     fn sub(self, rhs: SimDuration) -> SimDuration {
         debug_assert!(self.0 >= rhs.0, "SimDuration subtraction underflow");
         SimDuration(self.0 - rhs.0)
@@ -247,6 +267,7 @@ impl Sub for SimDuration {
 }
 
 impl SubAssign for SimDuration {
+    #[inline]
     fn sub_assign(&mut self, rhs: SimDuration) {
         debug_assert!(self.0 >= rhs.0, "SimDuration subtraction underflow");
         self.0 -= rhs.0;
@@ -255,6 +276,7 @@ impl SubAssign for SimDuration {
 
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn mul(self, rhs: u64) -> SimDuration {
         SimDuration(self.0 * rhs)
     }
@@ -262,6 +284,7 @@ impl Mul<u64> for SimDuration {
 
 impl Div<u64> for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn div(self, rhs: u64) -> SimDuration {
         SimDuration(self.0 / rhs)
     }

@@ -19,6 +19,7 @@
 //! | S007 | floating-point accumulation across iterations (`x += ...` on an f32/f64 binding) |
 //! | S008 | ambient entropy or wall-clock seeding inside fault-injection paths (fork the lottery from `FaultPlan::stream(salt)` instead) |
 //! | S009 | wall clocks and unordered maps — even without iteration — in observability paths (the `ull-probe` crate and trace/probe modules) |
+//! | S010 | per-I/O `String` allocation (`format!`, `.to_string()`, `String::from`) in the request hot path (flash/ssd/nvme/stack and the `ull-workload` engine loops) |
 //!
 //! Escape hatch: `// simlint: allow(SNNN): <justification>` on (or directly
 //! above) the offending line; `// simlint: allow-file(SNNN): <why>` for a

@@ -30,7 +30,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: simlint [--json] [--list-rules] [--root <workspace-dir>]\n\
-                     Statically enforces determinism rules S001-S009 over the workspace.\n\
+                     Statically enforces determinism rules S001-S010 over the workspace.\n\
                      Exit codes: 0 clean, 1 findings, 2 usage/io error."
                 );
                 return ExitCode::SUCCESS;

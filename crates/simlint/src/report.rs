@@ -63,7 +63,7 @@ pub fn render_human(findings: &[Finding], files_scanned: usize) -> String {
     }
     if findings.is_empty() {
         out.push_str(&format!(
-            "simlint: OK — 0 findings in {files_scanned} files (rules S001-S009)\n"
+            "simlint: OK — 0 findings in {files_scanned} files (rules S001-S010)\n"
         ));
     } else {
         out.push_str(&format!(

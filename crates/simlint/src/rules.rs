@@ -1,4 +1,4 @@
-//! The sim-purity rule catalogue, S001-S009.
+//! The sim-purity rule catalogue, S001-S010.
 //!
 //! Each rule walks the stripped [`SourceFile`] lines of files inside its
 //! scope and reports [`Finding`]s. The scope of every rule — which crates
@@ -37,7 +37,7 @@ pub struct RuleInfo {
 }
 
 /// The rule catalogue.
-pub const RULES: [RuleInfo; 9] = [
+pub const RULES: [RuleInfo; 10] = [
     RuleInfo {
         code: "S001",
         summary: "no wall-clock access (std::time::Instant / SystemTime) in simulation code; \
@@ -103,6 +103,15 @@ pub const RULES: [RuleInfo; 9] = [
         scope: "src/ files of the ull-probe crate and any trace/probe-named module in other \
                 crates (trace.rs, *_trace.rs, probe.rs, *_probe.rs)",
     },
+    RuleInfo {
+        code: "S010",
+        summary: "no per-I/O String allocation (format!, .to_string(), String::from) in the \
+                  request hot path; labels must be &'static str or ull_simkit::Label, and \
+                  error text belongs on cold paths with a justified allow directive",
+        scope: "src/ of the per-I/O crates flash, ssd, nvme (except admin.rs — admin commands \
+                are not per-I/O) and stack, plus ull-workload's engine loops \
+                (runner.rs, pattern.rs, trace.rs)",
+    },
 ];
 
 /// Runs every applicable rule over one parsed file belonging to
@@ -142,6 +151,12 @@ pub fn check_file(crate_name: &str, file: &SourceFile) -> Vec<Finding> {
     if is_probe_path(&file.path) {
         check_tokens(file, "S009", &S009_TIME_TOKENS, S009_TIME_MSG, &mut out);
         check_tokens(file, "S009", &S009_MAP_TOKENS, S009_MAP_MSG, &mut out);
+    }
+    // Per-I/O hot paths promise a steady state free of String churn: one
+    // format! in a million-IOPS loop is an allocator call per simulated
+    // I/O and dominated the pre-wheel profiles (docs/PERFORMANCE.md).
+    if is_hot_path(crate_name, &file.path) {
+        check_tokens(file, "S010", &S010_TOKENS, S010_MSG, &mut out);
     }
     if panic_free {
         check_s006(file, &mut out);
@@ -214,6 +229,31 @@ fn is_probe_path(path: &str) -> bool {
 const S009_TIME_TOKENS: [&str; 4] = ["std::time", "Instant::now", "SystemTime", "clock_gettime"];
 const S009_TIME_MSG: &str = "wall-clock access in an observability path; spans and metrics must \
                              carry sim time only, or traced runs stop replaying byte-identically";
+
+/// Whether a path belongs to the per-I/O request hot path (S010 scope):
+/// everything a 4 KB I/O touches between the engine loop and the flash
+/// timing model. `nvme/src/admin.rs` is carved out — identify/log-page
+/// commands run once per device, not once per I/O — as is the rest of
+/// `ull-workload` (spec building and report assembly run once per job).
+fn is_hot_path(crate_name: &str, path: &str) -> bool {
+    let file = path.rsplit('/').next().unwrap_or(path);
+    match crate_name {
+        "flash" | "ssd" | "stack" => true,
+        "nvme" => file != "admin.rs",
+        "workload" => matches!(file, "runner.rs" | "pattern.rs" | "trace.rs"),
+        _ => false,
+    }
+}
+
+// NB: the method token is spelled without the leading dot — the
+// word-boundary scan requires a non-identifier byte before a match, and
+// `.to_string()` is always preceded by an identifier. `to_string()` after
+// a `.` passes the boundary check; `into_string()` does not false-positive
+// because its `t` is preceded by `_`.
+const S010_TOKENS: [&str; 3] = ["format!", "to_string()", "String::from("];
+const S010_MSG: &str = "String allocation on a per-I/O hot path; use &'static str or \
+                        ull_simkit::Label for labels, or justify a cold branch (error \
+                        reporting, setup) with `// simlint: allow(S010): <why>`";
 
 const S009_MAP_TOKENS: [&str; 2] = ["HashMap", "HashSet"];
 const S009_MAP_MSG: &str = "unordered map in an observability path; key span/metric state with \

@@ -1,10 +1,11 @@
-//! Per-rule fixture tests: for every rule S001-S009 one fixture that
+//! Per-rule fixture tests: for every rule S001-S010 one fixture that
 //! triggers it and one that passes, plus escape-hatch and scoping checks.
 //!
 //! These are the analyzer's regression suite: each fixture encodes the
 //! hazard the rule exists to catch (wall-clock leakage, ambient RNG,
 //! bucket-order iteration, float time drift, host threading, panicking
-//! library paths) in its smallest reproducible form.
+//! library paths, per-I/O allocation churn) in its smallest reproducible
+//! form.
 
 use ull_simlint::check_source;
 
@@ -438,6 +439,76 @@ fn s009_probe_crate_is_panic_free_and_honours_allows() {
     let allowed = "// simlint: allow(S009): doc example showing what NOT to do\n\
                    pub type Bad = std::collections::HashMap<u64, u64>;\n";
     assert!(probe_crate(allowed).is_empty());
+}
+
+// ------------------------------------------------------------------ S010
+
+#[test]
+fn s010_flags_string_allocation_on_the_hot_path() {
+    // `format!` / `.to_string()` in per-I/O code malloc on every request —
+    // exactly the software overhead the paper says dominates ULL latency.
+    let bad = "pub fn tag(op: u8, lba: u64) -> String {\n\
+                   format!(\"{op}@{lba}\")\n\
+               }\n";
+    assert_eq!(sim(bad), ["S010:2"]);
+    let owned = "pub fn name(kind: &str) -> String {\n\
+                     kind.to_string()\n\
+                 }\n";
+    assert_eq!(sim(owned), ["S010:2"]);
+    let from = "pub fn label() -> String { String::from(\"read\") }\n";
+    assert_eq!(sim(from), ["S010:1"]);
+}
+
+#[test]
+fn s010_passes_static_strs_and_labels() {
+    let good = "use ull_simkit::Label;\n\
+                pub fn kind(write: bool) -> &'static str {\n\
+                    if write { \"write\" } else { \"read\" }\n\
+                }\n\
+                pub fn label() -> Label { Label::from(\"read\") }\n";
+    assert!(sim(good).is_empty());
+}
+
+#[test]
+fn s010_scope_is_the_per_io_crates_and_engine_loops() {
+    let alloc = "pub fn tag(x: u64) -> String { format!(\"{x}\") }\n";
+    // In scope: flash, ssd, nvme I/O paths, stack, and the workload
+    // engine loops...
+    for (krate, path) in [
+        ("flash", "crates/flash/src/chip.rs"),
+        ("stack", "crates/stack/src/host.rs"),
+        ("nvme", "crates/nvme/src/queue.rs"),
+        ("workload", "crates/workload/src/runner.rs"),
+    ] {
+        assert_eq!(
+            check_source(krate, path, alloc)
+                .iter()
+                .map(|f| f.rule)
+                .collect::<Vec<_>>(),
+            ["S010"],
+            "{krate}/{path} must be in S010 scope"
+        );
+    }
+    // ...but not admin commands (issued once per run, not per I/O), the
+    // workload spec builders, or the reporting/driver crates.
+    assert!(check_source("nvme", "crates/nvme/src/admin.rs", alloc).is_empty());
+    assert!(check_source("workload", "crates/workload/src/spec.rs", alloc).is_empty());
+    assert!(check_source("core", "crates/core/src/engine.rs", alloc).is_empty());
+}
+
+#[test]
+fn s010_exempts_tests_and_honours_allows() {
+    let test_only = "#[cfg(test)]\n\
+                     mod tests {\n\
+                         #[test]\n\
+                         fn t() { let s = format!(\"{}\", 1); assert_eq!(s, \"1\"); }\n\
+                     }\n";
+    assert!(sim(test_only).is_empty());
+    let allowed = "pub fn explain(code: u8) -> String {\n\
+                       // simlint: allow(S010): error path — runs once per failed run, never per I/O\n\
+                       format!(\"status {code}\")\n\
+                   }\n";
+    assert!(sim(allowed).is_empty());
 }
 
 // --------------------------------------------------- exec S005 carve-out

@@ -8,10 +8,9 @@
 //! which is exactly the fig. 5 write-bandwidth ceiling and the fig. 7b GC
 //! latency cliff.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 
-use ull_simkit::{SimDuration, SimTime, SplitMix64};
+use ull_simkit::{SimDuration, SimTime, SplitMix64, TimingWheel};
 
 use crate::config::ReadCachePolicy;
 
@@ -34,7 +33,11 @@ use crate::config::ReadCachePolicy;
 #[derive(Debug)]
 pub struct WriteBuffer {
     capacity: usize,
-    releases: BinaryHeap<Reverse<u64>>,
+    /// Pending slot releases ordered by program-end instant. Entries at
+    /// equal instants are interchangeable (the payload *is* the time),
+    /// so swapping the historical `BinaryHeap<Reverse<u64>>` for the
+    /// timing wheel cannot change any admit decision.
+    releases: TimingWheel<()>,
     /// lpn -> time at which the buffered copy stops being addressable
     /// (program end); reads before that are DRAM hits. A `BTreeMap` so the
     /// periodic `sweep` retains entries in a deterministic order (S003).
@@ -52,7 +55,7 @@ impl WriteBuffer {
         assert!(capacity > 0, "write buffer needs at least one slot");
         WriteBuffer {
             capacity: capacity as usize,
-            releases: BinaryHeap::new(),
+            releases: TimingWheel::new(),
             resident: BTreeMap::new(),
             admitted: 0,
         }
@@ -67,8 +70,8 @@ impl WriteBuffer {
         // admitting immediately there is a safe, panic-free fallback.
         let admitted_at = if self.releases.len() < self.capacity {
             at
-        } else if let Some(Reverse(earliest)) = self.releases.pop() {
-            at.max(SimTime::from_nanos(earliest))
+        } else if let Some((earliest, ())) = self.releases.pop() {
+            at.max(earliest)
         } else {
             at
         };
@@ -82,7 +85,7 @@ impl WriteBuffer {
     /// Records that the unit's flash program completes at `program_end`,
     /// freeing the slot then.
     pub fn retire(&mut self, lpn: u64, program_end: SimTime) {
-        self.releases.push(Reverse(program_end.as_nanos()));
+        self.releases.schedule(program_end, ());
         self.resident.insert(lpn, program_end.as_nanos());
     }
 

@@ -89,8 +89,20 @@ impl TagSet {
 ///
 /// Panics if `len` or `max_bytes` is zero.
 pub fn split_request(offset: u64, len: u32, max_bytes: u32) -> Vec<(u64, u32)> {
+    let mut parts = Vec::with_capacity(len.div_ceil(max_bytes.max(1)) as usize);
+    split_request_into(offset, len, max_bytes, &mut parts);
+    parts
+}
+
+/// Allocation-free variant of [`split_request`]: appends the parts to
+/// `parts`, which the hot path reuses across requests (cleared by the
+/// caller).
+///
+/// # Panics
+///
+/// Panics if `len` or `max_bytes` is zero.
+pub fn split_request_into(offset: u64, len: u32, max_bytes: u32, parts: &mut Vec<(u64, u32)>) {
     assert!(len > 0 && max_bytes > 0, "degenerate request split");
-    let mut parts = Vec::with_capacity(len.div_ceil(max_bytes) as usize);
     let mut off = offset;
     let mut remaining = len;
     while remaining > 0 {
@@ -99,7 +111,6 @@ pub fn split_request(offset: u64, len: u32, max_bytes: u32) -> Vec<(u64, u32)> {
         off += chunk as u64;
         remaining -= chunk;
     }
-    parts
 }
 
 #[cfg(test)]

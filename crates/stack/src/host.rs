@@ -11,10 +11,10 @@
 use ull_faults::{FaultPlan, NvmeFaults};
 use ull_nvme::{NvmeCommand, NvmeController};
 use ull_probe::{DeviceSpan, OpKind, ProbeConfig, ProbeReport, SpanRecorder, Stage};
-use ull_simkit::{SimDuration, SimTime, SplitMix64};
+use ull_simkit::{SimDuration, SimTime, Slab, SlotId, SplitMix64};
 use ull_ssd::DeviceCompletion;
 
-use crate::blkmq::{split_request, Tag, TagSet};
+use crate::blkmq::{split_request_into, Tag, TagSet};
 use crate::costs::{Segment, SoftwareCosts};
 use crate::cpu::{CpuAccounting, Mode, StackFn};
 
@@ -128,7 +128,10 @@ pub struct Host {
     /// loop cannot accumulate float drift across runs.
     hybrid_mean_ns: u64,
     next_cid: u16,
-    outstanding: std::collections::BTreeMap<u16, Outstanding>,
+    /// In-flight async requests in reusable generational slots: the token
+    /// handed to the engine is the slot id, so lookup and removal are O(1)
+    /// and the steady-state request path performs no allocation.
+    outstanding: Slab<Outstanding>,
     /// Driver tag set bounding in-flight NVMe commands (blk-mq semantics).
     tags: TagSet,
     /// Requests beyond this split into multiple commands
@@ -143,6 +146,24 @@ pub struct Host {
     /// Submissions that hit a full SQ and were deterministically requeued
     /// after draining the ring (backpressure accounting; always active).
     sq_requeues: u64,
+    /// Reusable split-request scratch (cleared per submit; never shrinks).
+    parts_scratch: Vec<(u64, u32)>,
+    /// Reusable `(cid, command)` scratch for the fault-recovery paths.
+    /// Cids issued within one submit are unique and the set is tiny
+    /// (nparts + retries), so a linear-probed `Vec` beats a fresh
+    /// `BTreeMap` per I/O.
+    issued_scratch: Vec<(u16, NvmeCommand)>,
+    /// Pools of emptied per-request `Vec`s, recycled across I/Os.
+    cid_pool: Vec<Vec<u16>>,
+    tag_pool: Vec<Vec<Tag>>,
+}
+
+/// Linear lookup in the issued-command scratch (the per-request command
+/// count is tiny, and the scratch is never iterated in map order — only
+/// keyed gets — so replacing the historical `BTreeMap` cannot reorder
+/// anything).
+fn issued_get(issued: &[(u16, NvmeCommand)], cid: u16) -> Option<NvmeCommand> {
+    issued.iter().find(|&&(c, _)| c == cid).map(|&(_, cmd)| cmd)
 }
 
 impl Host {
@@ -168,13 +189,17 @@ impl Host {
             rng: SplitMix64::new(0x57AC_u64),
             hybrid_mean_ns: 10_000,
             next_cid: 0,
-            outstanding: std::collections::BTreeMap::new(),
+            outstanding: Slab::new(),
             tags: TagSet::new(Self::TAGS),
             max_transfer: Self::MAX_TRANSFER,
             horizon: SimTime::ZERO,
             faults: None,
             probe: None,
             sq_requeues: 0,
+            parts_scratch: Vec::new(),
+            issued_scratch: Vec::new(),
+            cid_pool: Vec::new(),
+            tag_pool: Vec::new(),
         }
     }
 
@@ -297,7 +322,9 @@ impl Host {
         at: SimTime,
     ) -> (SimTime, Vec<u16>, Vec<Tag>) {
         self.charge(Mode::User, StackFn::FioEngine, self.costs.user_per_io);
-        let parts = split_request(offset, len, self.max_transfer);
+        let mut parts = std::mem::take(&mut self.parts_scratch);
+        parts.clear();
+        split_request_into(offset, len, self.max_transfer, &mut parts);
         let mut t = at;
         match self.path {
             IoPath::Spdk => {
@@ -325,10 +352,11 @@ impl Host {
                 }
             }
         }
-        let mut cids = Vec::with_capacity(parts.len());
-        let mut tags = Vec::with_capacity(parts.len());
-        let mut issued = std::collections::BTreeMap::new();
-        for (part_off, part_len) in parts {
+        let mut cids = self.cid_pool.pop().unwrap_or_default();
+        let mut tags = self.tag_pool.pop().unwrap_or_default();
+        let mut issued = std::mem::take(&mut self.issued_scratch);
+        issued.clear();
+        for &(part_off, part_len) in &parts {
             let tag = self
                 .tags
                 .acquire()
@@ -342,9 +370,11 @@ impl Host {
                 IoOp::Write => NvmeCommand::write(cid, part_off, part_len),
             };
             t = self.submit_with_backpressure(cmd, t);
-            issued.insert(cid, cmd);
+            issued.push((cid, cmd));
             cids.push(cid);
         }
+        parts.clear();
+        self.parts_scratch = parts;
         self.ctrl.ring_sq_doorbell(0, t);
         if self.faults.is_some() {
             let dropped = self.ctrl.take_dropped(0);
@@ -352,7 +382,18 @@ impl Host {
                 self.recover_lost(t, &dropped, &mut issued, &mut cids);
             }
         }
+        issued.clear();
+        self.issued_scratch = issued;
         (t, cids, tags)
+    }
+
+    /// Returns the per-request scratch vectors to their pools (emptied),
+    /// so the next submit allocates nothing.
+    fn recycle(&mut self, mut cids: Vec<u16>, mut tags: Vec<Tag>) {
+        cids.clear();
+        tags.clear();
+        self.cid_pool.push(cids);
+        self.tag_pool.push(tags);
     }
 
     /// Pushes `cmd` to the SQ; a full ring backpressures deterministically:
@@ -401,7 +442,7 @@ impl Host {
         &mut self,
         doorbell_t: SimTime,
         dropped: &[u16],
-        issued: &mut std::collections::BTreeMap<u16, NvmeCommand>,
+        issued: &mut Vec<(u16, NvmeCommand)>,
         cids: &mut [u16],
     ) {
         let Some(f) = &self.faults else { return };
@@ -411,7 +452,7 @@ impl Host {
         for &lost_cid in dropped {
             // Dropped cids come from this call's doorbell, so the command
             // is in `issued`; skipping an unknown cid keeps this panic-free.
-            let Some(cmd0) = issued.get(&lost_cid).copied() else {
+            let Some(cmd0) = issued_get(issued, lost_cid) else {
                 continue;
             };
             let mut old_cid = lost_cid;
@@ -445,7 +486,7 @@ impl Host {
                     self.costs.driver_submit,
                 );
                 let resubmit_at = self.submit_with_backpressure(retry, detect + backoff);
-                issued.insert(retry.cid, retry);
+                issued.push((retry.cid, retry));
                 self.ctrl.ring_sq_doorbell(0, resubmit_at);
                 if self.ctrl.take_dropped(0).is_empty() {
                     break retry.cid; // the retry's completion survived
@@ -477,7 +518,7 @@ impl Host {
         &mut self,
         ready: SimTime,
         aborted: NvmeCommand,
-        issued: &mut std::collections::BTreeMap<u16, NvmeCommand>,
+        issued: &mut Vec<(u16, NvmeCommand)>,
         cids: &mut [u16],
         d: &mut NvmeFaults,
     ) -> u16 {
@@ -490,12 +531,12 @@ impl Host {
             self.costs.driver_submit,
         );
         let mut at = self.submit_with_backpressure(replay, ready);
-        issued.insert(replay.cid, replay);
+        issued.push((replay.cid, replay));
         d.requeues += 1;
         for old in destroyed {
             // Only this request's parts can be replayed (their commands
             // are known); older requests' completions are simply lost.
-            let Some(cmd) = issued.get(&old).copied() else {
+            let Some(cmd) = issued_get(issued, old) else {
                 continue;
             };
             let re = self.reissue(cmd);
@@ -505,7 +546,7 @@ impl Host {
                 self.costs.driver_submit,
             );
             at = self.submit_with_backpressure(re, at);
-            issued.insert(re.cid, re);
+            issued.push((re.cid, re));
             d.requeues += 1;
             if let Some(slot) = cids.iter_mut().find(|c| **c == old) {
                 *slot = re.cid;
@@ -719,6 +760,7 @@ impl Host {
             );
         }
         self.release_tags(&tags);
+        self.recycle(cids, tags);
 
         if self.path == IoPath::KernelHybrid {
             // EWMA with alpha = 0.3, in integer nanoseconds: exact and
@@ -765,8 +807,8 @@ impl Host {
         offset: u64,
         len: u32,
         at: SimTime,
-    ) -> (u16, DeviceCompletion) {
-        let (t, cids, tags) = self.submit_path(op, offset, len, at);
+    ) -> (SlotId, DeviceCompletion) {
+        let (t, mut cids, tags) = self.submit_path(op, offset, len, at);
         let nparts = cids.len();
         let device = self.collect_parts(&cids);
         let span = if self.probe.is_some() {
@@ -774,20 +816,18 @@ impl Host {
         } else {
             None
         };
-        let token = cids[0];
-        self.outstanding.insert(
-            token,
-            Outstanding {
-                submitted: at,
-                doorbell: t,
-                nparts,
-                tags,
-                op,
-                offset,
-                len,
-                span,
-            },
-        );
+        cids.clear();
+        self.cid_pool.push(cids);
+        let token = self.outstanding.insert(Outstanding {
+            submitted: at,
+            doorbell: t,
+            nparts,
+            tags,
+            op,
+            offset,
+            len,
+            span,
+        });
         (token, device)
     }
 
@@ -799,10 +839,14 @@ impl Host {
     ///
     /// # Panics
     ///
-    /// Panics if `cid` was not submitted via [`Host::submit_async`].
-    pub fn finish_async(&mut self, cid: u16, device: DeviceCompletion) -> IoResult {
-        // simlint: allow(S006): documented contract — the fn's `# Panics` section requires cid from a prior submit_async
-        let out = self.outstanding.remove(&cid).expect("cid is outstanding");
+    /// Panics if `token` was not returned by [`Host::submit_async`] (or was
+    /// already finished).
+    pub fn finish_async(&mut self, token: SlotId, device: DeviceCompletion) -> IoResult {
+        let out = self
+            .outstanding
+            .remove(token)
+            // simlint: allow(S006): documented contract — the fn's `# Panics` section requires a token from a prior submit_async
+            .expect("token is outstanding");
         let done = device.done;
         let nparts = out.nparts;
         let (user_visible, pickup_stage, pickup) = match self.path {
@@ -846,6 +890,9 @@ impl Host {
             );
         }
         self.release_tags(&out.tags);
+        let mut tags = out.tags;
+        tags.clear();
+        self.tag_pool.push(tags);
         self.horizon = self.horizon.max(user_visible);
         IoResult {
             submitted: out.submitted,

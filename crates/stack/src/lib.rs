@@ -36,7 +36,7 @@ mod costs;
 mod cpu;
 mod host;
 
-pub use blkmq::{split_request, Tag, TagSet};
+pub use blkmq::{split_request, split_request_into, Tag, TagSet};
 pub use costs::{IterProfile, Segment, SoftwareCosts};
 pub use cpu::{CpuAccounting, MemCounts, Mode, StackFn};
 pub use host::{Host, IoOp, IoPath, IoResult};

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use ull_simkit::{Histogram, SimDuration, SimTime, TimeSeries};
+use ull_simkit::{Histogram, Label, SimDuration, SimTime, TimeSeries};
 use ull_ssd::SsdMetrics;
 use ull_stack::{MemCounts, Mode, StackFn};
 
@@ -16,8 +16,9 @@ use crate::Json;
 /// device metrics and average power.
 #[derive(Debug)]
 pub struct JobReport {
-    /// Job name.
-    pub name: String,
+    /// Job name (shared with the spec; cloning it is an rc bump, not a
+    /// string copy).
+    pub name: Label,
     /// I/Os completed.
     pub completed: u64,
     /// Bytes transferred.

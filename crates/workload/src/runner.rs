@@ -1,8 +1,6 @@
 //! The job runner: drives a [`crate::JobSpec`] against a host.
 
-use std::collections::BTreeMap;
-
-use ull_simkit::{EventQueue, Histogram, SimDuration, SimTime, TimeSeries};
+use ull_simkit::{Histogram, SimDuration, SimTime, Slab, SlotId, TimeSeries, TimingWheel};
 use ull_ssd::DeviceCompletion;
 use ull_stack::{Host, IoOp, IoPath, Mode};
 
@@ -148,19 +146,23 @@ fn run_sync(host: &mut Host, spec: &JobSpec, stream: &mut AddressStream, rec: &m
 }
 
 fn run_async(host: &mut Host, spec: &JobSpec, stream: &mut AddressStream, rec: &mut Recorder) {
-    let mut events: EventQueue<u16> = EventQueue::new();
-    let mut in_flight: BTreeMap<u16, (IoOp, DeviceCompletion)> = BTreeMap::new();
+    // The engine loop's scheduler is the timing wheel; in-flight state
+    // lives in reusable slab slots keyed by the wheel payload, so the
+    // steady-state loop performs no per-I/O allocation at all.
+    let mut events: TimingWheel<SlotId> = TimingWheel::new();
+    let mut in_flight: Slab<(SlotId, IoOp, DeviceCompletion)> =
+        Slab::with_capacity(spec.iodepth as usize);
     let mut submitted = 0u64;
 
     let submit = |host: &mut Host,
                   stream: &mut AddressStream,
-                  events: &mut EventQueue<u16>,
-                  in_flight: &mut BTreeMap<u16, (IoOp, DeviceCompletion)>,
+                  events: &mut TimingWheel<SlotId>,
+                  in_flight: &mut Slab<(SlotId, IoOp, DeviceCompletion)>,
                   at: SimTime| {
         let (op, offset) = stream.next_io();
-        let (cid, dev) = host.submit_async(op, offset, spec.block_size, at);
-        events.schedule(dev.done, cid);
-        in_flight.insert(cid, (op, dev));
+        let (token, dev) = host.submit_async(op, offset, spec.block_size, at);
+        let done = dev.done;
+        events.schedule(done, in_flight.insert((token, op, dev)));
     };
 
     let prime = spec.ios.min(spec.iodepth as u64);
@@ -169,11 +171,11 @@ fn run_async(host: &mut Host, spec: &JobSpec, stream: &mut AddressStream, rec: &
         submitted += 1;
     }
 
-    while let Some((_, cid)) = events.pop() {
-        let (op, dev) = in_flight
-            .remove(&cid)
-            .expect("completion for an in-flight cid");
-        let r = host.finish_async(cid, dev);
+    while let Some((_, slot)) = events.pop() {
+        let (token, op, dev) = in_flight
+            .remove(slot)
+            .expect("completion for an in-flight slot");
+        let r = host.finish_async(token, dev);
         rec.record(op, r.submitted, r.latency, spec.block_size, r.user_visible);
         if submitted < spec.ios {
             let next_at = r.user_visible + spec.think_time;

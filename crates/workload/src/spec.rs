@@ -1,6 +1,6 @@
 //! fio-like job specifications.
 
-use ull_simkit::SimDuration;
+use ull_simkit::{Label, SimDuration};
 
 /// Spatial access pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -47,8 +47,10 @@ pub enum Engine {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
-    /// Job name for reports.
-    pub name: String,
+    /// Job name for reports. A [`Label`], so fixed names (string
+    /// literals) never allocate and sweep-generated names are shared by
+    /// reference instead of deep-copied into each report.
+    pub name: Label,
     /// Spatial pattern.
     pub pattern: Pattern,
     /// Fraction of operations that are reads (1.0 = read-only).
@@ -72,7 +74,7 @@ pub struct JobSpec {
 impl JobSpec {
     /// Creates a job with fio-like defaults: 4 KB random reads, depth 1,
     /// `pvsync2`, 10k I/Os.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<Label>) -> Self {
         JobSpec {
             name: name.into(),
             pattern: Pattern::Random,

@@ -10,9 +10,7 @@
 //! 12.5,W,1048576,8192
 //! ```
 
-use std::collections::BTreeMap;
-
-use ull_simkit::{EventQueue, Histogram, SimDuration, SimTime};
+use ull_simkit::{Histogram, SimDuration, SimTime, Slab, SlotId, TimingWheel};
 use ull_ssd::DeviceCompletion;
 use ull_stack::{Host, IoOp};
 
@@ -74,21 +72,26 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceOp>, ParseTraceError> {
         };
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         if fields.len() != 4 {
+            // simlint: allow(S010): parse-error path — runs at most once per replay, never per I/O
             return Err(err(format!("expected 4 fields, got {}", fields.len())));
         }
         let at_us: f64 = fields[0]
             .parse()
+            // simlint: allow(S010): parse-error path — runs at most once per replay, never per I/O
             .map_err(|_| err(format!("bad time {:?}", fields[0])))?;
         let op = match fields[1] {
             "R" | "r" => IoOp::Read,
             "W" | "w" => IoOp::Write,
+            // simlint: allow(S010): parse-error path — runs at most once per replay, never per I/O
             other => return Err(err(format!("bad op {other:?}, expected R or W"))),
         };
         let offset: u64 = fields[2]
             .parse()
+            // simlint: allow(S010): parse-error path — runs at most once per replay, never per I/O
             .map_err(|_| err(format!("bad offset {:?}", fields[2])))?;
         let len: u32 = fields[3]
             .parse()
+            // simlint: allow(S010): parse-error path — runs at most once per replay, never per I/O
             .map_err(|_| err(format!("bad len {:?}", fields[3])))?;
         if len == 0 {
             return Err(err("zero-length record".into()));
@@ -131,8 +134,8 @@ impl TraceReport {
 ///
 /// Panics if any record exceeds the device capacity.
 pub fn replay(host: &mut Host, ops: &[TraceOp]) -> TraceReport {
-    let mut events: EventQueue<u16> = EventQueue::new();
-    let mut in_flight: BTreeMap<u16, (SimTime, DeviceCompletion)> = BTreeMap::new();
+    let mut events: TimingWheel<SlotId> = TimingWheel::new();
+    let mut in_flight: Slab<(SlotId, DeviceCompletion)> = Slab::with_capacity(64);
     let mut latency = Histogram::new();
     let mut completed = 0u64;
     let mut slipped = 0u64;
@@ -162,13 +165,13 @@ pub fn replay(host: &mut Host, ops: &[TraceOp]) -> TraceReport {
                 slipped += 1;
             }
             let (token, dev) = host.submit_async(o.op, o.offset, o.len, at);
-            events.schedule(dev.done, token);
-            in_flight.insert(token, (at, dev));
+            let done = dev.done;
+            events.schedule(done, in_flight.insert((token, dev)));
             // The submitting thread serializes `io_submit` calls.
             free_at = at + SimDuration::from_micros(1);
         } else {
-            let (_, token) = events.pop().expect("completion pending");
-            let (_submitted, dev) = in_flight.remove(&token).expect("token in flight");
+            let (_, slot) = events.pop().expect("completion pending");
+            let (token, dev) = in_flight.remove(slot).expect("token in flight");
             let r = host.finish_async(token, dev);
             latency.record(r.latency);
             completed += 1;

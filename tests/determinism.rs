@@ -84,8 +84,8 @@ fn parallel_sweep_is_byte_identical_to_serial() {
             .iter()
             .map(|n| find(n).expect("registry name").run(Scale::Quick, jobs))
             .collect();
-        let doc = json_document(Scale::Quick, &sections).to_pretty_string();
         let bodies: Vec<String> = sections.iter().map(|s| s.body.clone()).collect();
+        let doc = json_document(Scale::Quick, sections).to_pretty_string();
         (doc, bodies)
     };
     let serial = run(1);
@@ -174,7 +174,7 @@ fn fault_sweep_is_byte_identical_across_workers() {
             "shape violations at jobs={jobs}: {:?}",
             s.violations
         );
-        (s.body.clone(), s.to_json().to_pretty_string())
+        (s.body.clone(), s.into_json().to_pretty_string())
     };
     let serial = run(1);
     assert_eq!(serial, run(4), "fault sweep diverged across --jobs");

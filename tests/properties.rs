@@ -10,7 +10,9 @@
 use ull_ssd_study::faults::{FaultPlan, FaultReport};
 use ull_ssd_study::netblock::{NbdServerKind, NbdSystem};
 use ull_ssd_study::nvme::{CompletionQueue, NvmeCommand, SubmissionQueue};
-use ull_ssd_study::simkit::{EventQueue, Histogram, SimDuration, SimTime, SplitMix64, Timeline};
+use ull_ssd_study::simkit::{
+    EventQueue, Histogram, SimDuration, SimTime, SplitMix64, Timeline, TimingWheel,
+};
 use ull_ssd_study::ssd::{presets, Ftl, GcPolicy, LaneId, RemapChecker, WearConfig, WriteBuffer};
 use ull_ssd_study::stack::{split_request, IoOp, IoPath};
 use ull_ssd_study::study::{host, Device};
@@ -132,6 +134,167 @@ fn event_queue_fifo_survives_interleaving() {
         model.sort_unstable(); // (time, id) = FIFO within equal times
         assert_eq!(rest, model, "seed {seed}");
     }
+}
+
+/// The timing wheel is a drop-in replacement for the heap: under random
+/// interleavings of schedule and pop — with a delta distribution that
+/// exercises same-slot bursts, cross-slot ordering, *and* far-future
+/// overflow promotion — the wheel pops exactly the (time, payload)
+/// sequence the retained `EventQueue` reference does.
+#[test]
+fn timing_wheel_matches_heap_reference() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed ^ 0x3EE1);
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut heap: EventQueue<u64> = EventQueue::new();
+        let mut now = SimTime::ZERO;
+        let mut next_id = 0u64;
+        for _ in 0..2_000 {
+            if heap.is_empty() || rng.chance(0.55) {
+                // Mixed horizon: mostly near (same or adjacent slots),
+                // sometimes zero (same-instant FIFO burst), occasionally
+                // far enough to land in the wheel's overflow level.
+                let delta = if rng.chance(0.15) {
+                    0
+                } else if rng.chance(0.1) {
+                    1_000_000 + rng.below(500_000_000) // far: overflow level
+                } else {
+                    rng.below(30_000) // near: wheel slots
+                };
+                let at = now + SimDuration::from_nanos(delta);
+                wheel.schedule(at, next_id);
+                heap.schedule(at, next_id);
+                next_id += 1;
+            } else {
+                assert_eq!(wheel.peek_time(), heap.peek_time(), "seed {seed}");
+                let w = wheel.pop();
+                let h = heap.pop();
+                assert_eq!(w, h, "seed {seed}: wheel diverged from heap");
+                // Popping advances simulated time, so later schedules are
+                // relative to the new now — the engine-loop access pattern.
+                if let Some((t, _)) = w {
+                    now = t;
+                }
+            }
+            assert_eq!(wheel.len(), heap.len(), "seed {seed}");
+        }
+        // Drain both to the end: the tails agree too.
+        loop {
+            let (w, h) = (wheel.pop(), heap.pop());
+            assert_eq!(w, h, "seed {seed}: tails diverged");
+            if w.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+/// Same-instant bursts pop FIFO on the wheel, exactly like the heap:
+/// the sequence counter is global to the wheel's lifetime, so events
+/// scheduled for one instant across pop boundaries still come out in
+/// insertion order.
+#[test]
+fn timing_wheel_same_instant_fifo_bursts() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed ^ 0xF1F0);
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let t = SimTime::from_nanos(rng.below(1_000_000));
+        for id in 0..64u64 {
+            wheel.schedule(t, id);
+        }
+        // Interleave: pop half, then schedule more at the same instant.
+        for id in 0..32u64 {
+            assert_eq!(wheel.pop(), Some((t, id)), "seed {seed}");
+        }
+        for id in 64..96u64 {
+            wheel.schedule(t, id);
+        }
+        for id in 32..96u64 {
+            assert_eq!(wheel.pop(), Some((t, id)), "seed {seed}");
+        }
+        assert!(wheel.is_empty());
+    }
+}
+
+/// Far-future events survive overflow promotion with their order intact:
+/// schedule a cluster far beyond the wheel horizon, chew through nearer
+/// work, and the far cluster still pops in (time, insertion) order.
+#[test]
+fn timing_wheel_far_future_promotion_preserves_order() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed ^ 0xFA2);
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut expect: Vec<(u64, u64)> = Vec::new();
+        // A far cluster: deliberately includes duplicate times.
+        for id in 0..100u64 {
+            let t = 1_000_000_000 + rng.below(50) * 1_000_000;
+            wheel.schedule(SimTime::from_nanos(t), id);
+            expect.push((t, id));
+        }
+        // Near work that forces the wheel to rotate toward the horizon.
+        for id in 100..400u64 {
+            let t = rng.below(900_000_000);
+            wheel.schedule(SimTime::from_nanos(t), id);
+            expect.push((t, id));
+        }
+        expect.sort(); // (time, id); id order == insertion order
+        let mut got = Vec::new();
+        while let Some((t, id)) = wheel.pop() {
+            got.push((t.as_nanos(), id));
+        }
+        assert_eq!(got, expect, "seed {seed}");
+    }
+}
+
+/// `pop_if_before` and `pop_same_instant` agree with the plain pop-loop
+/// semantics the engine loops rely on: `pop_if_before(t)` yields exactly
+/// the events strictly before `t`, and `pop_same_instant` drains exactly
+/// one instant's FIFO batch.
+#[test]
+fn timing_wheel_conditional_pops_match_reference() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed ^ 0xC0DE);
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut reference: EventQueue<u64> = EventQueue::new();
+        for id in 0..300u64 {
+            let t = SimTime::from_nanos(rng.below(64)); // dense ties
+            wheel.schedule(t, id);
+            reference.schedule(t, id);
+        }
+        let cutoff = SimTime::from_nanos(32);
+        // Drain [0, cutoff) via pop_if_before.
+        while let Some((t, id)) = wheel.pop_if_before(cutoff) {
+            assert!(t < cutoff, "seed {seed}: popped event at/after cutoff");
+            assert_eq!(Some((t, id)), reference.pop(), "seed {seed}");
+        }
+        assert!(wheel.peek_time().is_none_or(|t| t >= cutoff));
+        // Drain the rest one instant at a time via pop_same_instant.
+        let mut batch = Vec::new();
+        while let Some(t) = wheel.pop_same_instant(&mut batch) {
+            for &id in &batch {
+                assert_eq!(Some((t, id)), reference.pop(), "seed {seed}");
+            }
+            batch.clear();
+        }
+        assert!(reference.pop().is_none(), "seed {seed}: wheel lost events");
+    }
+}
+
+/// `schedule_keyed` orders equal-time events by key (the NVMe cid
+/// tie-break), falling back to insertion order on equal keys.
+#[test]
+fn timing_wheel_keyed_ties_order_by_key() {
+    let mut wheel: TimingWheel<&'static str> = TimingWheel::new();
+    let t = SimTime::from_nanos(77);
+    wheel.schedule_keyed(t, 30, "c");
+    wheel.schedule_keyed(t, 10, "a");
+    wheel.schedule_keyed(t, 20, "b");
+    wheel.schedule_keyed(t, 10, "a2"); // equal key: insertion order
+    assert_eq!(wheel.pop(), Some((t, "a")));
+    assert_eq!(wheel.pop(), Some((t, "a2")));
+    assert_eq!(wheel.pop(), Some((t, "b")));
+    assert_eq!(wheel.pop(), Some((t, "c")));
+    assert_eq!(wheel.pop(), None);
 }
 
 /// Timelines serve FIFO: completions are monotone, never start before the

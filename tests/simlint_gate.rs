@@ -1,11 +1,12 @@
 //! Tier-1 gate: the whole workspace must be simlint-clean.
 //!
 //! This test is what makes the determinism rules *enforced* rather than
-//! advisory: `cargo test` fails on any S001-S009 finding, so a PR cannot
+//! advisory: `cargo test` fails on any S001-S010 finding, so a PR cannot
 //! land wall-clock access, ambient RNG, bucket-order iteration, float time
-//! arithmetic, threading or new panicking library paths without either
-//! fixing them or writing a justified `// simlint: allow(...)` that shows
-//! up in review. See docs/DETERMINISM.md for the rule catalogue.
+//! arithmetic, threading, new panicking library paths or per-I/O String
+//! churn without either fixing them or writing a justified
+//! `// simlint: allow(...)` that shows up in review. See
+//! docs/DETERMINISM.md for the rule catalogue.
 
 use std::path::Path;
 
@@ -32,7 +33,7 @@ fn rule_catalogue_is_complete_and_ordered() {
     let codes: Vec<&str> = ull_simlint::RULES.iter().map(|r| r.code).collect();
     assert_eq!(
         codes,
-        ["S001", "S002", "S003", "S004", "S005", "S006", "S007", "S008", "S009"]
+        ["S001", "S002", "S003", "S004", "S005", "S006", "S007", "S008", "S009", "S010"]
     );
     for r in ull_simlint::RULES {
         assert!(
