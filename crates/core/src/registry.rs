@@ -136,6 +136,10 @@ pub fn entries() -> &'static [Entry] {
             }
         }};
     }
+    // The cell is written exactly once with a value derived from constants,
+    // so no shard can observe another's mutation; callers depend on the
+    // &'static [Entry] this provides (find(), default_entries(), reproduce).
+    // simlint: allow(S011): init-once memoization of an immutable catalogue
     static ENTRIES: std::sync::OnceLock<Vec<Entry>> = std::sync::OnceLock::new();
     ENTRIES.get_or_init(|| {
         vec![

@@ -1,0 +1,219 @@
+//! Token-stream lexer over the stripped lexical model.
+//!
+//! [`SourceFile`] strips comments and blanks literal *contents* line by
+//! line; this module turns those stripped lines into a flat token stream —
+//! identifiers, lifetimes, literals and punctuation, each tagged with its
+//! 1-based source line. The symbol parser ([`crate::symbols`]) consumes
+//! this stream to recover item signatures without a full AST (and without
+//! `syn`: the analyzer must build dependency-free on an offline builder).
+//!
+//! Two properties matter for the rules built on top:
+//!
+//! * **Lifetimes are single tokens.** `'a` never splits into `'` + `a`, so
+//!   type parsers can skip them wholesale, and a lifetime is never confused
+//!   with a (blanked) char literal.
+//! * **`::`, `->` and `=>` are single tokens.** Generic-depth tracking can
+//!   then count `<`/`>` puncts naively: the `>` inside a lexed `->` can
+//!   never be mistaken for a closing angle bracket.
+
+use crate::source::SourceFile;
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `x1`).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// Literal: numbers, and the blanked remains of strings/chars.
+    Literal,
+    /// Punctuation; multi-char for `::`, `->` and `=>`.
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text as written (literals carry their blanked form).
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// Lexes every stripped line of `file` into one flat token stream.
+pub fn lex(file: &SourceFile) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        lex_line(&line.code, idx + 1, &mut out);
+    }
+    out
+}
+
+fn lex_line(code: &str, lineno: usize, out: &mut Vec<Token>) {
+    let b: Vec<char> = code.chars().collect();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            // The stripped remains of a raw string look like `r"   "`; glue
+            // the `r` onto the following blanked literal instead of
+            // emitting a stray ident.
+            if i == start + 1 && (b[start] == 'r' || b[start] == 'b') && b.get(i) == Some(&'"') {
+                let lit_start = start;
+                i += 1;
+                while i < b.len() && b[i] != '"' {
+                    i += 1;
+                }
+                if i < b.len() {
+                    i += 1;
+                }
+                push(out, TokenKind::Literal, &b[lit_start..i], lineno);
+                continue;
+            }
+            push(out, TokenKind::Ident, &b[start..i], lineno);
+        } else if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < b.len()
+                && (b[i].is_ascii_alphanumeric()
+                    || b[i] == '_'
+                    || (b[i] == '.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())))
+            {
+                i += 1;
+            }
+            push(out, TokenKind::Literal, &b[start..i], lineno);
+        } else if c == '\'' {
+            // Blanked char literal (`' '` or `''`) vs lifetime/label.
+            if b.get(i + 1) == Some(&'\'') {
+                push(out, TokenKind::Literal, &b[i..i + 2], lineno);
+                i += 2;
+            } else if b.get(i + 1) == Some(&' ') && b.get(i + 2) == Some(&'\'') {
+                push(out, TokenKind::Literal, &b[i..i + 3], lineno);
+                i += 3;
+            } else {
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                push(out, TokenKind::Lifetime, &b[start..i], lineno);
+            }
+        } else if c == '"' {
+            // Blanked string literal: runs to the closing quote, or to the
+            // end of the line for a multi-line (raw) literal segment.
+            let start = i;
+            i += 1;
+            while i < b.len() && b[i] != '"' {
+                i += 1;
+            }
+            if i < b.len() {
+                i += 1;
+            }
+            push(out, TokenKind::Literal, &b[start..i], lineno);
+        } else {
+            let two: Option<&str> = match (c, b.get(i + 1)) {
+                (':', Some(':')) => Some("::"),
+                ('-', Some('>')) => Some("->"),
+                ('=', Some('>')) => Some("=>"),
+                _ => None,
+            };
+            if let Some(t) = two {
+                out.push(Token {
+                    kind: TokenKind::Punct,
+                    text: t.to_string(),
+                    line: lineno,
+                });
+                i += 2;
+            } else {
+                push(out, TokenKind::Punct, &b[i..i + 1], lineno);
+                i += 1;
+            }
+        }
+    }
+}
+
+fn push(out: &mut Vec<Token>, kind: TokenKind, chars: &[char], line: usize) {
+    out.push(Token {
+        kind,
+        text: chars.iter().collect(),
+        line,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        let f = SourceFile::parse("t.rs", src);
+        lex(&f).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_lifetimes_and_puncts_are_distinguished() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        assert!(lifetimes.iter().all(|(_, t)| t == "'a"));
+        assert!(toks.contains(&(TokenKind::Punct, "->".to_string())));
+        assert!(toks.contains(&(TokenKind::Ident, "str".to_string())));
+    }
+
+    #[test]
+    fn path_separators_are_single_tokens() {
+        let toks = kinds("std::collections::HashMap::new()\n");
+        let seps = toks.iter().filter(|(_, t)| t == "::").count();
+        assert_eq!(seps, 3);
+        assert!(toks.contains(&(TokenKind::Ident, "HashMap".to_string())));
+    }
+
+    #[test]
+    fn arrow_gt_cannot_unbalance_generics() {
+        // `Fn() -> u64` inside generics: the `>` of `->` is part of one
+        // Punct token, so counting bare `<`/`>` puncts stays balanced.
+        let toks = kinds("fn apply<F: Fn() -> u64>(f: F) -> u64 { f() }\n");
+        let lt = toks.iter().filter(|(_, t)| t == "<").count();
+        let gt = toks.iter().filter(|(_, t)| t == ">").count();
+        assert_eq!(lt, gt);
+        assert_eq!(lt, 1);
+    }
+
+    #[test]
+    fn literals_carry_blanked_text_with_lines() {
+        let f = SourceFile::parse("t.rs", "let a = 1;\nlet s = \"xy\"; let c = 'q';\n");
+        let toks = lex(&f);
+        let lit_lines: Vec<usize> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(lit_lines, [1, 2, 2]);
+        assert!(toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .all(|t| !t.text.contains("xy") && !t.text.contains('q')));
+    }
+}

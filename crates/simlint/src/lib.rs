@@ -8,11 +8,23 @@
 //! accumulation — silently invalidates every figure. simlint makes those
 //! hazards machine-checkable:
 //!
+//! The analyzer runs in two phases. Phase 1 is lexical and per-file:
+//! [`source`] strips comments/literals, [`lexer`] tokenizes, and
+//! [`symbols`] parses item signatures (type aliases, struct fields, fn
+//! signatures, `use` renames) — all dependency-free, no `syn`. Phase 2
+//! ([`resolve`]) joins every file's symbols into a per-crate
+//! [`resolve::CrateContext`] that propagates "unordered-map", "interior-
+//! mutable" and "timestamp" taints through aliases, fields and function
+//! boundaries, which is what makes S003 type-level and powers the
+//! shard-safety family S011-S014. docs/STATIC_ANALYSIS.md walks the
+//! architecture.
+//!
 //! | rule | forbids |
 //! |------|---------|
+//! | S000 | malformed `simlint:` directives (unknown rule codes, empty justifications) |
 //! | S001 | wall-clock access (`std::time::Instant`, `SystemTime`) in sim crates |
 //! | S002 | ambient/unseeded RNG (`thread_rng`, `rand::random`, `OsRng`, ...) |
-//! | S003 | order-dependent iteration over `HashMap`/`HashSet` |
+//! | S003 | order-dependent iteration over `HashMap`/`HashSet`, even through type aliases, struct fields and fn boundaries |
 //! | S004 | `f64` round-trips in simulation-time arithmetic |
 //! | S005 | threading/blocking primitives inside the event-loop crates (`ull-exec`, the sanctioned sweep driver, excepted) |
 //! | S006 | `unwrap()`/`expect()`/`panic!` in library code of the core layers |
@@ -20,11 +32,17 @@
 //! | S008 | ambient entropy or wall-clock seeding inside fault-injection paths (fork the lottery from `FaultPlan::stream(salt)` instead) |
 //! | S009 | wall clocks and unordered maps — even without iteration — in observability paths (the `ull-probe` crate and trace/probe modules) |
 //! | S010 | per-I/O `String` allocation (`format!`, `.to_string()`, `String::from`) in the request hot path (flash/ssd/nvme/stack and the `ull-workload` engine loops) |
+//! | S011 | shared mutable statics / interior mutability (`static mut`, `Cell`, `RefCell`, `Mutex`, atomics, ...) outside the sanctioned `ull-exec` driver |
+//! | S012 | address/identity-based ordering or hashing (`ptr::eq`, references cast to `usize`) |
+//! | S013 | `unsafe` without a `// simlint: justify(...)` directive |
+//! | S014 | `pub` `*Event` structs carrying a `SimTime` without a total order (`derive(Ord)`/`impl Ord` or an explicit `seq` key) |
 //!
 //! Escape hatch: `// simlint: allow(SNNN): <justification>` on (or directly
 //! above) the offending line; `// simlint: allow-file(SNNN): <why>` for a
-//! whole file. Every allow must carry a justification — reviewers treat an
-//! unjustified allow as a finding.
+//! whole file; `// simlint: justify(<why>)` / `justify-file(<why>)` for
+//! S013's unsafe-block contract. Every allow must carry a justification —
+//! reviewers treat an unjustified allow as a finding, and S000 rejects
+//! directives whose rule codes or justification text are missing.
 //!
 //! The analyzer ships three ways: this library API, the `ull-simlint`
 //! binary (human + `--json` output), and the tier-1 integration test
@@ -43,15 +61,21 @@
 
 #![warn(missing_docs)]
 
+pub mod lexer;
 mod report;
+pub mod resolve;
 mod rules;
 mod source;
+pub mod symbols;
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-pub use report::{render_human, render_json, Finding};
+pub use report::{
+    diff_against_baseline, parse_baseline_counts, render_human, render_json, rule_counts,
+    BaselineDiff, Finding,
+};
 pub use rules::{RuleInfo, PANIC_FREE_CRATES, RULES, SIM_CRATES};
 pub use source::SourceFile;
 
@@ -66,9 +90,33 @@ pub struct Analysis {
 
 /// Analyzes one source string as if it were `path` inside `crate_name`
 /// (the directory under `crates/`, or `"root"` for the workspace package).
+/// The resolution context is built from this file alone; use
+/// [`check_crate`] to resolve aliases and signatures across files.
 pub fn check_source(crate_name: &str, path: &str, text: &str) -> Vec<Finding> {
-    let file = SourceFile::parse(path, text);
-    rules::check_file(crate_name, &file)
+    check_crate(crate_name, &[(path.to_string(), text.to_string())])
+}
+
+/// Analyzes all of one crate's files together: phase 1 parses each file's
+/// symbols, phase 2 resolves them into a shared [`resolve::CrateContext`],
+/// and the rules then see type information that crosses file boundaries
+/// (an alias defined in `types.rs`, a tainted fn return used in
+/// `engine.rs`). Findings come back sorted by (path, line, rule).
+pub fn check_crate(crate_name: &str, files: &[(String, String)]) -> Vec<Finding> {
+    let parsed: Vec<(SourceFile, symbols::FileSymbols)> = files
+        .iter()
+        .map(|(path, text)| {
+            let sf = SourceFile::parse(path.clone(), text);
+            let sym = symbols::parse(&sf);
+            (sf, sym)
+        })
+        .collect();
+    let ctx = resolve::CrateContext::build(parsed.iter().map(|(_, s)| s));
+    let mut findings = Vec::new();
+    for (sf, sym) in &parsed {
+        findings.extend(rules::check_file(crate_name, sf, sym, &ctx));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    findings
 }
 
 /// Walks a workspace rooted at `root` (the directory holding the top-level
@@ -100,16 +148,20 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
         let mut files = Vec::new();
         collect_rs_files(&src, &mut files)?;
         files.sort();
-        for f in files {
-            let text = fs::read_to_string(&f)?;
+        // All of a crate's files are analyzed together so the resolution
+        // pass sees aliases and signatures across module boundaries.
+        let mut crate_files = Vec::with_capacity(files.len());
+        for f in &files {
+            let text = fs::read_to_string(f)?;
             let rel = f
                 .strip_prefix(root)
-                .unwrap_or(&f)
+                .unwrap_or(f)
                 .to_string_lossy()
                 .replace('\\', "/");
-            findings.extend(check_source(&crate_name, &rel, &text));
+            crate_files.push((rel, text));
             files_scanned += 1;
         }
+        findings.extend(check_crate(&crate_name, &crate_files));
     }
     findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     Ok(Analysis {

@@ -6,6 +6,7 @@
 //! cargo run -p ull-simlint -- --json  # machine-readable report
 //! cargo run -p ull-simlint -- --list-rules
 //! cargo run -p ull-simlint -- --root /path/to/workspace
+//! cargo run -p ull-simlint -- --baseline simlint_baseline.json
 //! ```
 
 use std::path::PathBuf;
@@ -15,6 +16,7 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut list_rules = false;
     let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -27,11 +29,22 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--baseline" => match args.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("simlint: --baseline needs a path to a committed --json report");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: simlint [--json] [--list-rules] [--root <workspace-dir>]\n\
-                     Statically enforces determinism rules S001-S010 over the workspace.\n\
-                     Exit codes: 0 clean, 1 findings, 2 usage/io error."
+                    "usage: simlint [--json] [--list-rules] [--root <workspace-dir>] \
+                     [--baseline <report.json>]\n\
+                     Statically enforces determinism rules S000-S014 over the workspace.\n\
+                     --baseline diffs per-rule finding counts against a committed --json\n\
+                     report: count regressions fail, improvements warn so the baseline\n\
+                     gets ratcheted down.\n\
+                     Exit codes: 0 clean, 1 findings/regressions, 2 usage/io error."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -44,7 +57,10 @@ fn main() -> ExitCode {
 
     if list_rules {
         for r in ull_simlint::RULES {
-            println!("{}  {}\n      scope: {}", r.code, r.summary, r.scope);
+            println!(
+                "{}  {}\n      {}\n      scope: {}",
+                r.code, r.brief, r.summary, r.scope
+            );
         }
         return ExitCode::SUCCESS;
     }
@@ -74,6 +90,9 @@ fn main() -> ExitCode {
                     ull_simlint::render_human(&analysis.findings, analysis.files_scanned)
                 );
             }
+            if let Some(path) = baseline {
+                return ratchet(&analysis.findings, &path);
+            }
             if analysis.findings.is_empty() {
                 ExitCode::SUCCESS
             } else {
@@ -84,5 +103,40 @@ fn main() -> ExitCode {
             eprintln!("simlint: io error while scanning {}: {e}", root.display());
             ExitCode::from(2)
         }
+    }
+}
+
+/// Baseline mode: the verdict is the per-rule count diff, not the raw
+/// finding list — a committed baseline sanctions its counts until fixed.
+fn ratchet(findings: &[ull_simlint::Finding], path: &PathBuf) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("simlint: cannot read baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let Some(base) = ull_simlint::parse_baseline_counts(&text) else {
+        eprintln!(
+            "simlint: baseline {} has no parseable rule_counts object",
+            path.display()
+        );
+        return ExitCode::from(2);
+    };
+    let diff = ull_simlint::diff_against_baseline(findings, &base);
+    for (code, b, n) in &diff.improvements {
+        println!(
+            "simlint: baseline improvement — {code}: {b} -> {n}; ratchet {} down",
+            path.display()
+        );
+    }
+    for (code, b, n) in &diff.regressions {
+        println!("simlint: baseline REGRESSION — {code}: {b} -> {n}");
+    }
+    if diff.regressions.is_empty() {
+        println!("simlint: baseline OK ({})", path.display());
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }

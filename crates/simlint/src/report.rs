@@ -5,6 +5,9 @@
 //! schema is documented in docs/DETERMINISM.md.
 
 use core::fmt;
+use std::collections::BTreeMap;
+
+use crate::rules::RULES;
 
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +57,17 @@ impl fmt::Display for Finding {
     }
 }
 
+/// Per-rule finding counts over the full catalogue — rules with zero
+/// findings are present with an explicit 0, so a baseline diff never has
+/// to guess whether a rule existed when the baseline was written.
+pub fn rule_counts(findings: &[Finding]) -> BTreeMap<&'static str, usize> {
+    let mut counts: BTreeMap<&'static str, usize> = RULES.iter().map(|r| (r.code, 0)).collect();
+    for f in findings {
+        *counts.entry(f.rule).or_insert(0) += 1;
+    }
+    counts
+}
+
 /// Renders findings as the human report.
 pub fn render_human(findings: &[Finding], files_scanned: usize) -> String {
     let mut out = String::new();
@@ -61,26 +75,38 @@ pub fn render_human(findings: &[Finding], files_scanned: usize) -> String {
         out.push_str(&f.to_string());
         out.push('\n');
     }
+    let range = format!("rules {}-{}", RULES[0].code, RULES[RULES.len() - 1].code);
     if findings.is_empty() {
         out.push_str(&format!(
-            "simlint: OK — 0 findings in {files_scanned} files (rules S001-S010)\n"
+            "simlint: OK — 0 findings in {files_scanned} files ({range})\n"
         ));
     } else {
         out.push_str(&format!(
-            "simlint: {} finding(s) in {files_scanned} files scanned\n",
+            "simlint: {} finding(s) in {files_scanned} files scanned ({range})\n",
             findings.len()
         ));
     }
     out
 }
 
-/// Renders findings as a stable JSON document.
+/// Renders findings as a stable JSON document (schema in
+/// docs/DETERMINISM.md): scan stats, per-rule counts over the whole
+/// catalogue, then the findings.
 pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
     let mut out = String::from("{\"files_scanned\":");
     out.push_str(&files_scanned.to_string());
     out.push_str(",\"count\":");
     out.push_str(&findings.len().to_string());
-    out.push_str(",\"findings\":[");
+    out.push_str(",\"rule_counts\":{");
+    for (i, (code, n)) in rule_counts(findings).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_string(&mut out, code);
+        out.push(':');
+        out.push_str(&n.to_string());
+    }
+    out.push_str("},\"findings\":[");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -99,6 +125,76 @@ pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
     }
     out.push_str("]}");
     out
+}
+
+/// Result of diffing current findings against a committed baseline.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct BaselineDiff {
+    /// Rules whose count grew: (code, baseline, current). Any entry fails CI.
+    pub regressions: Vec<(String, usize, usize)>,
+    /// Rules whose count shrank: (code, baseline, current). These are
+    /// reported as warnings so the baseline gets ratcheted down.
+    pub improvements: Vec<(String, usize, usize)>,
+}
+
+/// Extracts the `rule_counts` object from a committed baseline report
+/// (itself produced by [`render_json`]). Hand-rolled like the writer: the
+/// values are flat `"SNNN": <digits>` pairs, which is all the scanner
+/// accepts — anything else returns `None` so a corrupted baseline fails
+/// loudly instead of silently sanctioning findings.
+pub fn parse_baseline_counts(json: &str) -> Option<BTreeMap<String, usize>> {
+    let at = json.find("\"rule_counts\"")?;
+    let obj_start = at + json[at..].find('{')?;
+    let mut counts = BTreeMap::new();
+    let mut rest = json[obj_start + 1..].trim_start();
+    if let Some(r) = rest.strip_prefix('}') {
+        let _ = r;
+        return Some(counts); // empty object
+    }
+    loop {
+        rest = rest.trim_start().strip_prefix('"')?;
+        let close = rest.find('"')?;
+        let (code, after) = rest.split_at(close);
+        rest = after[1..].trim_start().strip_prefix(':')?.trim_start();
+        let digits = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        if digits == 0 {
+            return None;
+        }
+        let n: usize = rest[..digits].parse().ok()?;
+        counts.insert(code.to_string(), n);
+        rest = rest[digits..].trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+            continue;
+        }
+        rest.strip_prefix('}')?;
+        return Some(counts);
+    }
+}
+
+/// Diffs current findings against baseline per-rule counts. A rule absent
+/// from the baseline (added after the baseline was committed) counts as
+/// baseline 0, so new rules ratchet in finding-free.
+pub fn diff_against_baseline(
+    findings: &[Finding],
+    baseline: &BTreeMap<String, usize>,
+) -> BaselineDiff {
+    let current = rule_counts(findings);
+    let mut diff = BaselineDiff::default();
+    let mut codes: std::collections::BTreeSet<&str> = current.keys().copied().collect();
+    codes.extend(baseline.keys().map(String::as_str));
+    for code in codes {
+        let now = current.get(code).copied().unwrap_or(0);
+        let base = baseline.get(code).copied().unwrap_or(0);
+        if now > base {
+            diff.regressions.push((code.to_string(), base, now));
+        } else if now < base {
+            diff.improvements.push((code.to_string(), base, now));
+        }
+    }
+    diff
 }
 
 fn json_string(out: &mut String, s: &str) {
@@ -142,6 +238,46 @@ mod tests {
         let f = Finding::new("S006", "a.rs", 1, &long, "m".into());
         assert!(f.snippet.len() <= 160);
         assert!(f.snippet.ends_with("..."));
+    }
+
+    #[test]
+    fn rule_counts_cover_the_full_catalogue_with_zeros() {
+        let f = Finding::new("S003", "a.rs", 1, "x", "m".into());
+        let counts = rule_counts(&[f]);
+        assert_eq!(counts.len(), RULES.len());
+        assert_eq!(counts["S003"], 1);
+        assert_eq!(counts["S001"], 0);
+        let j = render_json(&[], 3);
+        assert!(j.contains("\"rule_counts\":{\"S000\":0,"));
+    }
+
+    #[test]
+    fn baseline_counts_round_trip_through_the_json_report() {
+        let f = Finding::new("S011", "a.rs", 1, "x", "m".into());
+        let j = render_json(std::slice::from_ref(&f), 5);
+        let parsed = parse_baseline_counts(&j).expect("parse");
+        assert_eq!(parsed["S011"], 1);
+        assert_eq!(parsed["S014"], 0);
+        // Same findings → clean diff.
+        let same = diff_against_baseline(std::slice::from_ref(&f), &parsed);
+        assert!(same.regressions.is_empty() && same.improvements.is_empty());
+        // One more finding → regression; one fewer → improvement.
+        let worse = diff_against_baseline(&[f.clone(), f], &parsed);
+        assert_eq!(worse.regressions, [("S011".to_string(), 1, 2)]);
+        let better = diff_against_baseline(&[], &parsed);
+        assert_eq!(better.improvements, [("S011".to_string(), 1, 0)]);
+    }
+
+    #[test]
+    fn corrupted_baselines_are_rejected() {
+        assert!(parse_baseline_counts("{}").is_none());
+        assert!(parse_baseline_counts("{\"rule_counts\":{\"S001\":}}").is_none());
+        assert!(parse_baseline_counts("{\"rule_counts\":{\"S001\":\"x\"}}").is_none());
+        // A rule missing from the baseline counts as zero.
+        let base = parse_baseline_counts("{\"rule_counts\":{\"S001\":0}}").expect("parse");
+        let f = Finding::new("S012", "a.rs", 1, "x", "m".into());
+        let d = diff_against_baseline(&[f], &base);
+        assert_eq!(d.regressions, [("S012".to_string(), 0, 1)]);
     }
 
     #[test]

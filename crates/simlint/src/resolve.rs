@@ -1,0 +1,290 @@
+//! Phase 2: taint resolution over the per-crate symbol table.
+//!
+//! Takes every file's [`FileSymbols`] and computes, crate-wide, which
+//! *local names* denote unordered maps (`HashMap`/`HashSet`), which denote
+//! interior-mutable cells (`Cell`, `RefCell`, `Mutex`, atomics, ...), and
+//! which denote simulation timestamps (`SimTime`) — propagating those
+//! taints through `use` renames and `type` aliases to a fixpoint, then
+//! through struct fields, statics and `fn` return types. This is what
+//! makes S003 type-level: a `HashMap` laundered through
+//! `type Frontier = HashMap<..>` and returned across a function boundary
+//! is still recognized at the iteration site.
+//!
+//! Resolution is name-based, not path-based: the analyzer has no trait
+//! solver, so two crates' `Frontier` types are not distinguished. Within
+//! one crate (the unit [`CrateContext`] is built for) this is accurate
+//! enough, and the rules keep `let`/param taints file-local to bound the
+//! blast radius of cross-file name collisions.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::symbols::{FileSymbols, Ty};
+
+/// Base types whose iteration order is the hasher's bucket order.
+const UNORDERED_BASE: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Base types providing shared or interior mutability.
+fn is_interior_base(head: &str) -> bool {
+    matches!(
+        head,
+        "Cell"
+            | "RefCell"
+            | "UnsafeCell"
+            | "OnceCell"
+            | "OnceLock"
+            | "LazyCell"
+            | "LazyLock"
+            | "Mutex"
+            | "RwLock"
+    ) || (head.starts_with("Atomic") && head.len() > "Atomic".len())
+}
+
+/// Base type representing a simulation timestamp (S014).
+const TIMESTAMP_BASE: [&str; 1] = ["SimTime"];
+
+/// Smart-pointer wrappers that forward iteration/mutability to their
+/// pointee: `Box<Frontier>` is as unordered as `Frontier`.
+const WRAPPERS: [&str; 3] = ["Box", "Rc", "Arc"];
+
+/// Crate-wide resolution context shared by all rule passes.
+#[derive(Debug, Default)]
+pub struct CrateContext {
+    /// Alias name → fully resolved head name (base or foreign), computed
+    /// to a fixpoint through renames and other aliases.
+    alias_heads: BTreeMap<String, String>,
+    /// Names of struct fields and statics whose type resolves unordered —
+    /// crate-wide, since fields cross file boundaries with their struct.
+    pub unordered_bindings: BTreeSet<String>,
+    /// Names of `fn`s whose return type resolves unordered.
+    pub unordered_fns: BTreeSet<String>,
+    /// Type names with an explicit `impl Ord for ...` somewhere in the crate.
+    ord_impls: BTreeSet<String>,
+}
+
+impl CrateContext {
+    /// Builds the context from every file's symbols.
+    pub fn build<'a>(files: impl IntoIterator<Item = &'a FileSymbols> + Clone) -> Self {
+        let mut ctx = CrateContext::default();
+        // Pass 1: resolve each alias's target head inside its own file's
+        // rename scope. The result may still name another alias.
+        for f in files.clone() {
+            for a in &f.aliases {
+                let head = resolve_in_file(f, wrapped_head(&a.target));
+                ctx.alias_heads.insert(a.name.clone(), head);
+            }
+            for (tr, ty) in &f.trait_impls {
+                if tr == "Ord" {
+                    ctx.ord_impls.insert(ty.clone());
+                }
+            }
+        }
+        // Pass 2: collapse alias→alias chains to a fixpoint (bounded by
+        // the alias count; cycles settle on whatever name they loop at).
+        for _ in 0..ctx.alias_heads.len() {
+            let mut changed = false;
+            let snapshot = ctx.alias_heads.clone();
+            for head in ctx.alias_heads.values_mut() {
+                if let Some(next) = snapshot.get(head) {
+                    if next != head {
+                        *head = next.clone();
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Pass 3: crate-wide tainted bindings — struct fields and statics.
+        // (Params and lets stay file-local; the rules resolve those at
+        // check time via `is_unordered` to avoid cross-file collisions.)
+        for f in files {
+            for s in &f.structs {
+                for field in &s.fields {
+                    if !field.in_test && ctx.is_unordered(f, &field.ty) {
+                        ctx.unordered_bindings.insert(field.name.clone());
+                    }
+                }
+            }
+            for st in &f.statics {
+                if !st.in_test && ctx.is_unordered(f, &st.ty) {
+                    ctx.unordered_bindings.insert(st.name.clone());
+                }
+            }
+            for func in &f.fns {
+                if !func.in_test && ctx.is_unordered(f, &func.ret) {
+                    ctx.unordered_fns.insert(func.name.clone());
+                }
+            }
+        }
+        ctx
+    }
+
+    /// Resolves a type's head name through wrappers, the file's `use`
+    /// renames, and the crate's alias table.
+    pub fn resolve_head(&self, file: &FileSymbols, ty: &Ty) -> String {
+        self.resolve_name(file, wrapped_head(ty))
+    }
+
+    /// Resolves a bare name the same way [`Self::resolve_head`] does.
+    pub fn resolve_name(&self, file: &FileSymbols, name: &str) -> String {
+        let mut head = resolve_in_file(file, name);
+        for _ in 0..8 {
+            match self.alias_heads.get(&head) {
+                Some(next) if *next != head => head = next.clone(),
+                _ => break,
+            }
+        }
+        head
+    }
+
+    /// Whether `ty` resolves to an unordered map/set.
+    pub fn is_unordered(&self, file: &FileSymbols, ty: &Ty) -> bool {
+        !ty.is_empty() && UNORDERED_BASE.contains(&self.resolve_head(file, ty).as_str())
+    }
+
+    /// Whether a bare name resolves to an unordered map/set type
+    /// (`let m = Frontier::new()` — is `Frontier` a HashMap?).
+    pub fn is_unordered_name(&self, file: &FileSymbols, name: &str) -> bool {
+        UNORDERED_BASE.contains(&self.resolve_name(file, name).as_str())
+    }
+
+    /// Whether `ty` resolves to an interior-mutability cell.
+    pub fn is_interior(&self, file: &FileSymbols, ty: &Ty) -> bool {
+        !ty.is_empty() && is_interior_base(&self.resolve_head(file, ty))
+    }
+
+    /// Whether `ty` resolves to a simulation timestamp.
+    pub fn is_timestamp(&self, file: &FileSymbols, ty: &Ty) -> bool {
+        !ty.is_empty() && TIMESTAMP_BASE.contains(&self.resolve_head(file, ty).as_str())
+    }
+
+    /// Whether `ty`'s head is *directly* an interior-mutability base name
+    /// (so the token pass already reports its declaration line).
+    pub fn is_direct_interior(&self, ty: &Ty) -> bool {
+        is_interior_base(wrapped_head(ty))
+    }
+
+    /// Whether `name` has an explicit `impl Ord` in the crate.
+    pub fn has_ord_impl(&self, name: &str) -> bool {
+        self.ord_impls.contains(name)
+    }
+}
+
+/// The head name of `ty` after looking through smart-pointer wrappers.
+fn wrapped_head(ty: &Ty) -> &str {
+    let mut t = ty;
+    for _ in 0..8 {
+        if WRAPPERS.contains(&t.head()) && !t.args.is_empty() {
+            t = &t.args[0];
+        } else {
+            break;
+        }
+    }
+    t.head()
+}
+
+/// One step of resolution inside a file: a `use` rename maps a local name
+/// to the real (last-segment) name of the imported item.
+fn resolve_in_file(file: &FileSymbols, name: &str) -> String {
+    match file.renames.get(name).and_then(|p| p.last()) {
+        Some(real) if real != name => resolve_in_file(file, real),
+        _ => name.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use crate::symbols;
+
+    fn syms(path: &str, src: &str) -> FileSymbols {
+        symbols::parse(&SourceFile::parse(path, src))
+    }
+
+    #[test]
+    fn alias_chains_resolve_through_renames_to_a_fixpoint() {
+        let a = syms(
+            "a.rs",
+            "use std::collections::HashMap as FastMap;\n\
+             pub type Frontier = FastMap<u64, u64>;\n\
+             pub type Work = Frontier;\n",
+        );
+        let b = syms("b.rs", "use crate::a::Work as Queue;\n");
+        let ctx = CrateContext::build([&a, &b]);
+        let q = crate::symbols::Ty {
+            path: vec!["Queue".into()],
+            args: vec![],
+        };
+        assert_eq!(ctx.resolve_head(&b, &q), "HashMap");
+        assert!(ctx.is_unordered(&b, &q));
+    }
+
+    #[test]
+    fn fields_statics_and_fn_returns_taint_crate_wide() {
+        let a = syms(
+            "a.rs",
+            "pub type Frontier = std::collections::HashMap<u64, u64>;\n\
+             pub struct State { pending: Box<Frontier>, done: Vec<u64> }\n\
+             pub fn build() -> Frontier { Frontier::new() }\n\
+             pub fn count() -> u64 { 0 }\n",
+        );
+        let ctx = CrateContext::build([&a]);
+        assert!(ctx.unordered_bindings.contains("pending"));
+        assert!(!ctx.unordered_bindings.contains("done"));
+        assert!(ctx.unordered_fns.contains("build"));
+        assert!(!ctx.unordered_fns.contains("count"));
+    }
+
+    #[test]
+    fn interior_and_timestamp_taints_follow_aliases() {
+        let a = syms(
+            "a.rs",
+            "use std::cell::RefCell as Slot;\n\
+             pub type Shared = Slot<u64>;\n\
+             pub type Stamp = SimTime;\n",
+        );
+        let ctx = CrateContext::build([&a]);
+        let shared = crate::symbols::Ty {
+            path: vec!["Shared".into()],
+            args: vec![],
+        };
+        let stamp = crate::symbols::Ty {
+            path: vec!["Stamp".into()],
+            args: vec![],
+        };
+        assert!(ctx.is_interior(&a, &shared));
+        assert!(!ctx.is_direct_interior(&shared));
+        assert!(ctx.is_timestamp(&a, &stamp));
+        let atomic = crate::symbols::Ty {
+            path: vec!["AtomicU64".into()],
+            args: vec![],
+        };
+        assert!(ctx.is_interior(&a, &atomic));
+        assert!(ctx.is_direct_interior(&atomic));
+    }
+
+    #[test]
+    fn ord_impls_are_collected() {
+        let a = syms(
+            "a.rs",
+            "impl Ord for FlushEvent { }\nimpl PartialEq for X { }\n",
+        );
+        let ctx = CrateContext::build([&a]);
+        assert!(ctx.has_ord_impl("FlushEvent"));
+        assert!(!ctx.has_ord_impl("X"));
+    }
+
+    #[test]
+    fn test_only_symbols_do_not_taint() {
+        let a = syms(
+            "a.rs",
+            "#[cfg(test)]\nmod tests {\n    struct T { cache: std::collections::HashMap<u64, u64> }\n\
+             \n    fn mk() -> std::collections::HashMap<u64, u64> { Default::default() }\n}\n",
+        );
+        let ctx = CrateContext::build([&a]);
+        assert!(ctx.unordered_bindings.is_empty());
+        assert!(ctx.unordered_fns.is_empty());
+    }
+}

@@ -1,21 +1,25 @@
-//! The sim-purity rule catalogue, S001-S010.
+//! The sim-purity rule catalogue, S000-S014.
 //!
-//! Each rule walks the stripped [`SourceFile`] lines of files inside its
-//! scope and reports [`Finding`]s. The scope of every rule — which crates
-//! and paths it applies to, and why — is part of the rule definition, so
-//! the catalogue below is the single source of truth that docs/DETERMINISM.md
-//! documents and the tier-1 gate enforces.
+//! Each rule walks the stripped [`SourceFile`] lines — and, since the
+//! type-aware upgrade, the per-crate [`CrateContext`] resolved from every
+//! file's symbols — and reports [`Finding`]s. The scope of every rule,
+//! which crates and paths it applies to and why, is part of the rule
+//! definition, so the catalogue below is the single source of truth that
+//! docs/DETERMINISM.md documents and the tier-1 gate enforces.
 
 use crate::report::Finding;
-use crate::source::{token_positions, SourceFile};
+use crate::resolve::CrateContext;
+use crate::source::{token_positions, DirectiveKind, SourceFile};
+use crate::symbols::{AdtKind, FileSymbols};
 
 /// Crates whose `src/` trees are simulation code: everything that feeds
 /// simulated time, ordering or randomness. `bench` is deliberately absent —
 /// it is the wall-clock *measurement* harness. `simlint` is absent from the
-/// purity scopes but still walked for S003. `exec` is simulation-adjacent:
-/// it must stay free of wall clocks, ambient RNG and float time (S001,
-/// S002, S004, S007), but it is the one sanctioned host-parallel driver,
-/// so S005's threading ban is carved out for it (see `check_file`).
+/// purity scopes but still walked for S000/S003. `exec` is
+/// simulation-adjacent: it must stay free of wall clocks, ambient RNG and
+/// float time (S001, S002, S004, S007), but it is the one sanctioned
+/// host-parallel driver, so the threading ban (S005) and the shared-state
+/// ban (S011) are carved out for it (see `check_file`).
 pub const SIM_CRATES: [&str; 12] = [
     "simkit", "faults", "probe", "flash", "ssd", "nvme", "stack", "netblock", "workload", "core",
     "exec", "root",
@@ -30,34 +34,53 @@ pub const PANIC_FREE_CRATES: [&str; 6] = ["simkit", "faults", "probe", "ssd", "n
 pub struct RuleInfo {
     /// Rule code, e.g. `"S001"`.
     pub code: &'static str,
-    /// One-line summary.
+    /// One-line gist, short enough for a docs table row. The drift guard
+    /// (`tests/docs_drift.rs`) asserts docs/DETERMINISM.md carries these
+    /// verbatim, so edits here must land there too.
+    pub brief: &'static str,
+    /// Full summary: what is forbidden and what to do instead.
     pub summary: &'static str,
     /// Which files the rule applies to, in words.
     pub scope: &'static str,
 }
 
-/// The rule catalogue.
-pub const RULES: [RuleInfo; 10] = [
+/// The rule catalogue. S000 (directive hygiene) leads: a malformed
+/// directive can silently disable any other rule, so it is checked first
+/// and cannot itself be suppressed.
+pub const RULES: [RuleInfo; 15] = [
+    RuleInfo {
+        code: "S000",
+        brief: "malformed simlint directives (unknown rule codes, empty justifications)",
+        summary: "every `// simlint: allow(...)` must list known rule codes and every \
+                  `justify(...)` must carry non-empty text; a typo in a directive would \
+                  otherwise silently disable enforcement",
+        scope: "src/ of every workspace crate; not suppressible",
+    },
     RuleInfo {
         code: "S001",
+        brief: "no wall-clock access in simulation code",
         summary: "no wall-clock access (std::time::Instant / SystemTime) in simulation code; \
                   all timing must flow through SimTime/SimDuration",
         scope: "src/ of simulation crates (simkit, flash, ssd, nvme, stack, netblock, workload, core, root)",
     },
     RuleInfo {
         code: "S002",
+        brief: "no ambient or OS-seeded randomness in simulation code",
         summary: "no ambient or OS-seeded randomness (thread_rng, rand::random, from_entropy, \
                   OsRng, getrandom, RandomState); every stream must fork from a seeded SplitMix64",
         scope: "src/ of simulation crates",
     },
     RuleInfo {
         code: "S003",
+        brief: "no order-dependent iteration over unordered maps, even through aliases and fn boundaries",
         summary: "no order-dependent iteration over HashMap/HashSet (.iter/.keys/.values/.drain/\
-                  .retain/for-in); iterated maps must be BTreeMap/BTreeSet or sorted first",
+                  .retain/for-in), including maps reached through type aliases, struct fields \
+                  and function return values; iterated maps must be BTreeMap/BTreeSet or sorted first",
         scope: "src/ of every workspace crate",
     },
     RuleInfo {
         code: "S004",
+        brief: "no f64 round-trips in simulation-time arithmetic",
         summary: "no f64 round-trips in simulation-time arithmetic (as_nanos() as f64, \
                   from_micros_f64(x.as_micros_f64()*...)); use the integer ops or the \
                   as_*_f64() reporting accessors one-way only",
@@ -65,6 +88,7 @@ pub const RULES: [RuleInfo; 10] = [
     },
     RuleInfo {
         code: "S005",
+        brief: "no host threading or blocking primitives inside the event-loop crates",
         summary: "no host threading or blocking primitives (thread::spawn/sleep, Mutex, RwLock, \
                   Condvar, mpsc) inside the event-loop crates; the simulator is single-threaded \
                   by construction",
@@ -73,12 +97,14 @@ pub const RULES: [RuleInfo; 10] = [
     },
     RuleInfo {
         code: "S006",
+        brief: "no panicking escape hatches in library code of the core layers",
         summary: "no unwrap()/expect()/panic!/unreachable!/todo!/unimplemented! in library code \
                   paths; return Result or justify the invariant with an allow directive",
         scope: "src/ of simkit, ssd, nvme, stack (tests and benches exempt)",
     },
     RuleInfo {
         code: "S007",
+        brief: "no floating-point accumulation across iterations in simulation code",
         summary: "no floating-point accumulation across iterations (`x += ...` / `-=` / `*=` on \
                   an f32/f64 binding) in simulation code; the running value depends on summation \
                   order, so accumulate in integer units (nanoseconds, nanojoules, counts) or \
@@ -88,6 +114,7 @@ pub const RULES: [RuleInfo; 10] = [
     },
     RuleInfo {
         code: "S008",
+        brief: "no ambient entropy or wall-clock seeding in fault-injection paths",
         summary: "no ambient entropy or wall-clock seeding in fault-injection paths (SystemTime, \
                   DefaultHasher, env::var, process::id, thread_rng, ...); every fault lottery \
                   must fork from the plan's seeded SplitMix64 streams so a fault run replays \
@@ -97,6 +124,7 @@ pub const RULES: [RuleInfo; 10] = [
     },
     RuleInfo {
         code: "S009",
+        brief: "no wall clocks or unordered maps in observability paths",
         summary: "no wall clocks and no unordered maps (HashMap/HashSet, even without iteration) \
                   in observability paths; span/metric state must live in Vec/BTreeMap so traced \
                   output is byte-identical across --jobs values and replays",
@@ -105,6 +133,7 @@ pub const RULES: [RuleInfo; 10] = [
     },
     RuleInfo {
         code: "S010",
+        brief: "no per-I/O String allocation in the request hot path",
         summary: "no per-I/O String allocation (format!, .to_string(), String::from) in the \
                   request hot path; labels must be &'static str or ull_simkit::Label, and \
                   error text belongs on cold paths with a justified allow directive",
@@ -112,23 +141,73 @@ pub const RULES: [RuleInfo; 10] = [
                 are not per-I/O) and stack, plus ull-workload's engine loops \
                 (runner.rs, pattern.rs, trace.rs)",
     },
+    RuleInfo {
+        code: "S011",
+        brief: "no shared mutable statics or interior mutability outside the exec driver",
+        summary: "no shared mutable state in simulation code: `static mut`, thread_local!, \
+                  Cell/RefCell/UnsafeCell, OnceCell/OnceLock/LazyLock, Mutex/RwLock and atomics \
+                  are all banned — including when laundered through a type alias — because any \
+                  of them lets two shards observe each other; state must be owned by the shard \
+                  or passed explicitly",
+        scope: "src/ of simulation crates, except ull-exec — the sanctioned host-parallel \
+                driver owns the cross-worker machinery",
+    },
+    RuleInfo {
+        code: "S012",
+        brief: "no address- or identity-based ordering or hashing in simulation code",
+        summary: "no address- or identity-based ordering or hashing: ptr::eq / ptr::hash for \
+                  ordering decisions, references or as_ptr() cast to usize — allocation \
+                  addresses differ across runs and shards, so any order derived from them is \
+                  nondeterministic; compare and hash by value or by explicit id",
+        scope: "src/ of simulation crates (including ull-exec: identity ordering is \
+                nondeterministic on any thread count)",
+    },
+    RuleInfo {
+        code: "S013",
+        brief: "every unsafe block in sim crates carries a justify directive",
+        summary: "every `unsafe` occurrence in simulation code must carry a \
+                  `// simlint: justify(<why the invariant holds>)` directive on or above the \
+                  line (or `justify-file(...)` for an FFI shim module); the workspace also \
+                  denies unsafe_code via Cargo lints, so this rule documents the exceptions \
+                  wherever that deny is ever relaxed",
+        scope: "src/ of simulation crates",
+    },
+    RuleInfo {
+        code: "S014",
+        brief: "timestamped event structs exchanged across modules derive a total order",
+        summary: "pub structs named *Event carrying a SimTime field must define a total order \
+                  for shard-merge determinism: derive(Ord) / impl Ord, or carry an explicit \
+                  sequence key (a `seq` field alongside the timestamp) so ties break the same \
+                  way on every shard count",
+        scope: "src/ of simulation crates",
+    },
 ];
 
 /// Runs every applicable rule over one parsed file belonging to
-/// `crate_name` (the directory under `crates/`, or `"root"`).
-pub fn check_file(crate_name: &str, file: &SourceFile) -> Vec<Finding> {
+/// `crate_name` (the directory under `crates/`, or `"root"`), using the
+/// crate-wide resolution context built from all of its files' symbols.
+pub fn check_file(
+    crate_name: &str,
+    file: &SourceFile,
+    sym: &FileSymbols,
+    ctx: &CrateContext,
+) -> Vec<Finding> {
     let sim = SIM_CRATES.contains(&crate_name);
     let panic_free = PANIC_FREE_CRATES.contains(&crate_name);
     let is_time_rs = file.path.ends_with("simkit/src/time.rs");
 
     let mut out = Vec::new();
+    check_s000(file, &mut out);
     if sim {
         check_tokens(file, "S001", &S001_TOKENS, S001_MSG, &mut out);
         check_tokens(file, "S002", &S002_TOKENS, S002_MSG, &mut out);
         // `exec` is the scoped worker pool that runs independent sweep
-        // cells on host threads — the one place threading is the point.
+        // cells on host threads — the one place threading and shared
+        // cross-worker state are the point.
         if crate_name != "exec" {
             check_tokens(file, "S005", &S005_TOKENS, S005_MSG, &mut out);
+            check_tokens(file, "S011", &S011_TOKENS, S011_MSG, &mut out);
+            check_s011_resolved(file, sym, ctx, &mut out);
         }
         if !is_time_rs {
             check_s004(file, &mut out);
@@ -141,8 +220,11 @@ pub fn check_file(crate_name: &str, file: &SourceFile) -> Vec<Finding> {
         if is_fault_path(&file.path) {
             check_tokens(file, "S008", &S008_TOKENS, S008_MSG, &mut out);
         }
+        check_s012(file, &mut out);
+        check_s013(file, &mut out);
+        check_s014(file, sym, ctx, &mut out);
     }
-    check_s003(file, &mut out);
+    check_s003(file, sym, ctx, &mut out);
     // Observability paths (the ull-probe crate and trace/probe modules in
     // any crate) promise byte-identical output across `--jobs` values and
     // replays, so they ban wall clocks and unordered maps *outright*:
@@ -287,6 +369,61 @@ fn check_tokens(
     }
 }
 
+// ------------------------------------------------------------------ S000
+
+fn check_s000(file: &SourceFile, out: &mut Vec<Finding>) {
+    let known = |code: &str| RULES.iter().any(|r| r.code == code);
+    for d in file.directives() {
+        let raw = file
+            .lines
+            .get(d.line.wrapping_sub(1))
+            .map(|l| l.raw.as_str())
+            .unwrap_or("");
+        match d.kind {
+            DirectiveKind::Allow | DirectiveKind::AllowFile => {
+                if d.codes.is_empty() {
+                    out.push(Finding::new(
+                        "S000",
+                        &file.path,
+                        d.line,
+                        raw,
+                        "simlint allow directive lists no rule codes; write \
+                         `allow(SNNN): <why>`"
+                            .to_string(),
+                    ));
+                }
+                for code in &d.codes {
+                    if !known(code) {
+                        out.push(Finding::new(
+                            "S000",
+                            &file.path,
+                            d.line,
+                            raw,
+                            format!(
+                                "unknown rule code `{code}` in simlint directive; a typo here \
+                                 silently disables nothing — see --list-rules for the catalogue"
+                            ),
+                        ));
+                    }
+                }
+            }
+            DirectiveKind::Justify | DirectiveKind::JustifyFile => {
+                if d.text.is_empty() {
+                    out.push(Finding::new(
+                        "S000",
+                        &file.path,
+                        d.line,
+                        raw,
+                        "empty simlint justify directive; state why the unsafe invariant \
+                         holds — `justify(<why>)`"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
 // ------------------------------------------------------------------ S003
 
 /// Methods whose result order leaks HashMap/HashSet bucket order.
@@ -303,8 +440,41 @@ const ORDER_METHODS: [&str; 10] = [
     ".into_values()",
 ];
 
-fn check_s003(file: &SourceFile, out: &mut Vec<Finding>) {
-    let hash_names = collect_hash_bindings(file);
+fn check_s003(file: &SourceFile, sym: &FileSymbols, ctx: &CrateContext, out: &mut Vec<Finding>) {
+    // Tainted names: the lexical pass (`name: HashMap<..>`, `name =
+    // HashMap::new()`), crate-wide fields/statics resolved by type, and
+    // this file's params and lets (kept file-local so a name collision in
+    // another file cannot taint unrelated code).
+    let mut hash_names = collect_hash_bindings(file);
+    hash_names.extend(ctx.unordered_bindings.iter().cloned());
+    for f in &sym.fns {
+        for p in &f.params {
+            if !p.in_test && ctx.is_unordered(sym, &p.ty) {
+                hash_names.insert(p.name.clone());
+            }
+        }
+    }
+    for l in &sym.lets {
+        if l.in_test {
+            continue;
+        }
+        let tainted = ctx.is_unordered(sym, &l.ty)
+            || match l.init.as_slice() {
+                [] => false,
+                // `let m = build();` — a call of a fn returning unordered.
+                [single] => ctx.unordered_fns.contains(single),
+                // `let m = Frontier::new();` / `frontier::build()` — either
+                // the leading type resolves unordered or the trailing fn
+                // is known to return one.
+                [head, .., last] => {
+                    ctx.is_unordered_name(sym, head) || ctx.unordered_fns.contains(last)
+                }
+            };
+        if tainted {
+            hash_names.insert(l.name.clone());
+        }
+    }
+
     for (idx, line) in file.lines.iter().enumerate() {
         let lineno = idx + 1;
         if line.in_test || file.allowed(lineno, "S003") {
@@ -318,14 +488,25 @@ fn check_s003(file: &SourceFile, out: &mut Vec<Finding>) {
                     if hash_names.contains(name) {
                         hit = Some(format!("`{name}{m}`"));
                     }
+                } else if let Some(callee) = call_result_ident(code, pos) {
+                    // `build_frontier().iter()` — iterating the unordered
+                    // result of a call, never stored in a binding.
+                    if ctx.unordered_fns.contains(callee) {
+                        hit = Some(format!("`{callee}(){m}`"));
+                    }
                 }
             }
         }
-        // for PAT in [&[mut]] NAME ...
+        // for PAT in [&[mut]] NAME ... | for PAT in NAME(...)
         if hit.is_none() {
             for pos in token_positions(code, "for") {
-                if let Some(name) = for_loop_iterable(code, pos) {
-                    if hash_names.contains(name.as_str()) {
+                if let Some((name, is_call)) = for_loop_iterable(code, pos) {
+                    let flagged = if is_call {
+                        ctx.unordered_fns.contains(name.as_str())
+                    } else {
+                        hash_names.contains(name.as_str())
+                    };
+                    if flagged {
                         hit = Some(format!("`for _ in {name}`"));
                     }
                 }
@@ -380,10 +561,10 @@ fn collect_hash_bindings(file: &SourceFile) -> std::collections::BTreeSet<String
     names
 }
 
-/// The iterable identifier of a `for PAT in EXPR` header starting at the
-/// `for` token, if EXPR is a plain (possibly `&`/`&mut`/`self.`-prefixed)
-/// identifier not followed by a call or field access.
-fn for_loop_iterable(code: &str, for_pos: usize) -> Option<String> {
+/// The iterable of a `for PAT in EXPR` header starting at the `for`
+/// token: a plain (possibly `&`/`&mut`/`self.`-prefixed) identifier, or a
+/// direct call `name(...)` — the bool is true for the call form.
+fn for_loop_iterable(code: &str, for_pos: usize) -> Option<(String, bool)> {
     let after = &code[for_pos + 3..];
     let in_rel = token_positions(after, "in").into_iter().next()?;
     let mut rest = after[in_rel + 2..].trim_start();
@@ -398,16 +579,45 @@ fn for_loop_iterable(code: &str, for_pos: usize) -> Option<String> {
     if end == 0 {
         return None;
     }
-    // `map.keys()` is handled by the method pass; `m[0]`, `0..n` are not idents.
-    let follow = rest[end..].trim_start();
-    if follow.starts_with('.') || follow.starts_with('(') || follow.starts_with('[') {
-        return None;
-    }
     let name = &rest[..end];
     if name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         return None;
     }
-    Some(name.to_string())
+    // `map.keys()` is handled by the method pass; `m[0]`, `0..n` are not
+    // idents; `name(...)` is the call form.
+    let follow = rest[end..].trim_start();
+    if follow.starts_with('(') {
+        return Some((name.to_string(), true));
+    }
+    if follow.starts_with('.') || follow.starts_with('[') {
+        return None;
+    }
+    Some((name.to_string(), false))
+}
+
+/// If the text before byte `end` is a call `callee(...)`, returns the
+/// callee identifier — used for `build().iter()`-style chains.
+fn call_result_ident(code: &str, end: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    if end == 0 || bytes[end - 1] != b')' {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut i = end;
+    while i > 0 {
+        i -= 1;
+        match bytes[i] {
+            b')' => depth += 1,
+            b'(' => {
+                depth -= 1;
+                if depth == 0 {
+                    return ident_ending_at(code, i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 fn find_all(code: &str, needle: &str) -> Vec<usize> {
@@ -621,6 +831,201 @@ fn check_s006(file: &SourceFile, out: &mut Vec<Finding>) {
                 format!(
                     "`{w}` in library code; return a Result/Option, restructure, or justify the \
                      invariant with `// simlint: allow(S006): <why>`"
+                ),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------------------ S011
+
+// NB: `Cell` is matched only in its generic (`Cell<`), path (`cell::Cell`)
+// and constructor (`Cell::new`) spellings — the bare name collides with the
+// sweep framework's `type Cell` associated type (a plain data row, nothing
+// interior-mutable about it).
+const S011_TOKENS: [&str; 25] = [
+    "static mut",
+    "thread_local",
+    "Cell<",
+    "cell::Cell",
+    "Cell::new",
+    "RefCell",
+    "UnsafeCell",
+    "OnceCell",
+    "OnceLock",
+    "LazyCell",
+    "LazyLock",
+    "Mutex",
+    "RwLock",
+    "AtomicBool",
+    "AtomicUsize",
+    "AtomicIsize",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicPtr",
+];
+const S011_MSG: &str = "shared mutable state in simulation code; shards must own their state or \
+                        receive it explicitly — interior mutability lets two shards observe \
+                        each other and breaks replay";
+
+/// The resolution half of S011: declarations whose *alias-laundered* type
+/// is interior-mutable. The token pass above already reports lines where a
+/// base name (`RefCell`, `Mutex`, ...) appears literally — including the
+/// alias definition itself — so this pass only fires when the head is an
+/// alias, keeping one finding per offending line.
+fn check_s011_resolved(
+    file: &SourceFile,
+    sym: &FileSymbols,
+    ctx: &CrateContext,
+    out: &mut Vec<Finding>,
+) {
+    let mut flag = |name: &str, line: usize| {
+        if line_in_test(file, line) || file.allowed(line, "S011") {
+            return;
+        }
+        let raw = file
+            .lines
+            .get(line.wrapping_sub(1))
+            .map(|l| l.raw.as_str())
+            .unwrap_or("");
+        out.push(Finding::new(
+            "S011",
+            &file.path,
+            line,
+            raw,
+            format!("`{name}` resolves to an interior-mutable type through an alias; {S011_MSG}"),
+        ));
+    };
+    for st in &sym.statics {
+        if !ctx.is_direct_interior(&st.ty) && ctx.is_interior(sym, &st.ty) {
+            flag(&st.name, st.line);
+        }
+    }
+    for s in &sym.structs {
+        for f in &s.fields {
+            if !ctx.is_direct_interior(&f.ty) && ctx.is_interior(sym, &f.ty) {
+                flag(&f.name, f.line);
+            }
+        }
+    }
+    for l in &sym.lets {
+        if !l.ty.is_empty() && !ctx.is_direct_interior(&l.ty) && ctx.is_interior(sym, &l.ty) {
+            flag(&l.name, l.line);
+        }
+    }
+}
+
+fn line_in_test(file: &SourceFile, line: usize) -> bool {
+    file.lines
+        .get(line.wrapping_sub(1))
+        .is_some_and(|l| l.in_test)
+}
+
+// ------------------------------------------------------------------ S012
+
+const S012_MSG: &str = "allocation addresses differ across runs and shards, so any order or \
+                        hash derived from them is nondeterministic; compare and hash by value \
+                        or by an explicit id field";
+
+fn check_s012(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if line.in_test || file.allowed(lineno, "S012") {
+            continue;
+        }
+        let code = &line.code;
+        let what = if crate::source::contains_token(code, "ptr::eq") {
+            Some("`ptr::eq` identity comparison")
+        } else if crate::source::contains_token(code, "ptr::hash") {
+            Some("`ptr::hash` address hashing")
+        } else if code.contains(".as_ptr() as usize") {
+            Some("`.as_ptr() as usize` address cast")
+        } else if let Some(p) = code.find("as *const").or_else(|| code.find("as *mut")) {
+            code[p..]
+                .contains("as usize")
+                .then_some("reference cast to a raw address")
+        } else {
+            None
+        };
+        if let Some(w) = what {
+            out.push(Finding::new(
+                "S012",
+                &file.path,
+                lineno,
+                &line.raw,
+                format!("{w}: {S012_MSG}"),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------------------ S013
+
+const S013_MSG: &str = "`unsafe` in simulation code without a justification; state the invariant \
+                        with `// simlint: justify(<why it holds>)` on or above the line (the \
+                        workspace otherwise denies unsafe_code outright)";
+
+fn check_s013(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if line.in_test || file.allowed(lineno, "S013") || file.justified(lineno) {
+            continue;
+        }
+        if crate::source::contains_token(&line.code, "unsafe") {
+            out.push(Finding::new(
+                "S013",
+                &file.path,
+                lineno,
+                &line.raw,
+                S013_MSG.to_string(),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------------------ S014
+
+fn check_s014(file: &SourceFile, sym: &FileSymbols, ctx: &CrateContext, out: &mut Vec<Finding>) {
+    for s in &sym.structs {
+        if s.in_test
+            || !s.is_pub
+            || s.kind == AdtKind::Enum
+            || !s.name.ends_with("Event")
+            || file.allowed(s.line, "S014")
+        {
+            continue;
+        }
+        let timestamped = s.fields.iter().any(|f| ctx.is_timestamp(sym, &f.ty));
+        if !timestamped {
+            continue;
+        }
+        let has_order = s.derives.iter().any(|d| d == "Ord")
+            || ctx.has_ord_impl(&s.name)
+            || s.fields
+                .iter()
+                .any(|f| f.name == "seq" || f.name == "sequence");
+        if !has_order {
+            let raw = file
+                .lines
+                .get(s.line.wrapping_sub(1))
+                .map(|l| l.raw.as_str())
+                .unwrap_or("");
+            out.push(Finding::new(
+                "S014",
+                &file.path,
+                s.line,
+                raw,
+                format!(
+                    "`{}` carries a SimTime but defines no total order; shard-merge ties would \
+                     break nondeterministically — derive(Ord)/impl Ord or add an explicit `seq` \
+                     sequence key next to the timestamp",
+                    s.name
                 ),
             ));
         }

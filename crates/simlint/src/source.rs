@@ -27,6 +27,33 @@ pub struct Line {
     pub in_test: bool,
 }
 
+/// Kind of a `// simlint: ...` directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// `allow(SNNN, ...)` — suppress listed rules on this line and the next.
+    Allow,
+    /// `allow-file(SNNN, ...)` — suppress listed rules for the whole file.
+    AllowFile,
+    /// `justify(<why>)` — justification for an `unsafe` block (S013) on
+    /// this line and the next.
+    Justify,
+    /// `justify-file(<why>)` — justification covering the whole file.
+    JustifyFile,
+}
+
+/// One parsed `// simlint: ...` directive, kept for hygiene checks (S000).
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// 1-based line the directive sits on.
+    pub line: usize,
+    /// Which directive form was written.
+    pub kind: DirectiveKind,
+    /// Rule codes listed (allow forms only; empty for justify forms).
+    pub codes: Vec<String>,
+    /// Free justification text (justify forms only).
+    pub text: String,
+}
+
 /// A parsed source file ready for rule checks.
 #[derive(Debug)]
 pub struct SourceFile {
@@ -38,6 +65,12 @@ pub struct SourceFile {
     line_allows: BTreeMap<usize, BTreeSet<String>>,
     /// Rule codes allowed for the whole file.
     file_allows: BTreeSet<String>,
+    /// Lines covered by a `justify(...)` directive (the line and the next).
+    justify_lines: BTreeSet<usize>,
+    /// Whether a `justify-file(...)` directive covers the whole file.
+    justify_file: bool,
+    /// Every directive as written, for hygiene checks.
+    directives: Vec<Directive>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,12 +99,15 @@ impl SourceFile {
             });
         }
         mark_test_regions(&mut lines);
-        let (line_allows, file_allows) = collect_directives(&lines);
+        let parsed = collect_directives(&lines);
         SourceFile {
             path: path.into(),
             lines,
-            line_allows,
-            file_allows,
+            line_allows: parsed.line_allows,
+            file_allows: parsed.file_allows,
+            justify_lines: parsed.justify_lines,
+            justify_file: parsed.justify_file,
+            directives: parsed.directives,
         }
     }
 
@@ -85,6 +121,17 @@ impl SourceFile {
             .get(&lineno)
             .is_some_and(|s| s.contains(rule))
     }
+
+    /// Whether 1-based line `lineno` is covered by a `justify(...)` (or a
+    /// file-scope `justify-file(...)`) directive — the S013 escape hatch.
+    pub fn justified(&self, lineno: usize) -> bool {
+        self.justify_file || self.justify_lines.contains(&lineno)
+    }
+
+    /// Every `// simlint: ...` directive as written, for hygiene checks.
+    pub fn directives(&self) -> &[Directive] {
+        &self.directives
+    }
 }
 
 /// Strips one line given the lexer state carried over from the previous
@@ -93,6 +140,7 @@ fn strip_line(raw: &str, mut state: LexState) -> (String, String, LexState) {
     let b: Vec<char> = raw.chars().collect();
     let mut code = String::with_capacity(raw.len());
     let mut comment = String::new();
+    let mut str_continues = false; // `"...\` at end of line: string spans lines
     let mut i = 0usize;
     while i < b.len() {
         let c = b[i];
@@ -110,6 +158,26 @@ fn strip_line(raw: &str, mut state: LexState) -> (String, String, LexState) {
                     code.push('"');
                     state = LexState::Str;
                     i += 1;
+                } else if c == 'b' && next == Some('"') && !ident_char_before(&b, i) {
+                    // Byte string `b"..."`: same escape rules as a plain
+                    // string, contents blanked the same way.
+                    code.push('b');
+                    code.push('"');
+                    state = LexState::Str;
+                    i += 2;
+                } else if c == 'b'
+                    && next == Some('r')
+                    && !ident_char_before(&b, i)
+                    && byte_raw_string_at(&b, i)
+                {
+                    // Byte raw string `br"..."` / `br##"..."##`: raw-string
+                    // rules (no escapes), any `#` depth.
+                    let hashes = count_hashes(&b, i + 2);
+                    code.push('b');
+                    code.push('r');
+                    code.push('"');
+                    state = LexState::RawStr(hashes);
+                    i += 3 + hashes as usize;
                 } else if c == 'r' && matches!(next, Some('"') | Some('#')) && raw_string_at(&b, i)
                 {
                     let hashes = count_hashes(&b, i + 1);
@@ -154,6 +222,12 @@ fn strip_line(raw: &str, mut state: LexState) -> (String, String, LexState) {
             }
             LexState::Str => {
                 if c == '\\' {
+                    if i + 1 == b.len() {
+                        // `\` directly before the newline: Rust's string
+                        // line-continuation — the literal (and the blanking)
+                        // must carry over to the next line.
+                        str_continues = true;
+                    }
                     i += 2; // skip escaped char (blanked)
                 } else if c == '"' {
                     code.push('"');
@@ -185,14 +259,29 @@ fn strip_line(raw: &str, mut state: LexState) -> (String, String, LexState) {
             }
         }
     }
-    // Line comments end at the newline; unterminated "..." strings cannot
-    // span lines in Rust (only raw strings and block comments carry over).
+    // Line comments end at the newline. An unterminated "..." string resets
+    // unless its last character was a `\` line-continuation — that is the
+    // one way a plain string legally spans lines in Rust. (Raw strings and
+    // block comments always carry over via their own states.)
     match state {
         LexState::LineComment => state = LexState::Code,
-        LexState::Str | LexState::Char => state = LexState::Code,
+        LexState::Str if !str_continues => state = LexState::Code,
+        LexState::Char => state = LexState::Code,
         _ => {}
     }
     (code, comment, state)
+}
+
+/// Is the character before index `i` part of an identifier (so a leading
+/// `b`/`r` here is the tail of a name like `rgb`, not a literal prefix)?
+fn ident_char_before(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+/// Is the `b` at `i` the start of a byte raw string (`br"`, `br##"`)?
+fn byte_raw_string_at(b: &[char], i: usize) -> bool {
+    let hashes = count_hashes(b, i + 2);
+    b.get(i + 2 + hashes as usize) == Some(&'"')
 }
 
 /// Is the `r` at `i` genuinely a raw-string opener (`r"`, `r#...#"`) and
@@ -287,37 +376,106 @@ fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
-/// Collects `simlint: allow(...)` and `simlint: allow-file(...)` directives
-/// from comment text. A line-level directive covers its own line and the
-/// following line, so both trailing and preceding-line comments work.
-fn collect_directives(lines: &[Line]) -> (BTreeMap<usize, BTreeSet<String>>, BTreeSet<String>) {
-    let mut per_line: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
-    let mut file: BTreeSet<String> = BTreeSet::new();
+/// Everything `collect_directives` extracts from a file's comments.
+struct ParsedDirectives {
+    line_allows: BTreeMap<usize, BTreeSet<String>>,
+    file_allows: BTreeSet<String>,
+    justify_lines: BTreeSet<usize>,
+    justify_file: bool,
+    directives: Vec<Directive>,
+}
+
+/// Collects `simlint: allow(...)`, `allow-file(...)`, `justify(...)` and
+/// `justify-file(...)` directives from comment text. A line-level directive
+/// covers its own line and the following line, so both trailing and
+/// preceding-line comments work. Every directive is also recorded verbatim
+/// so the hygiene rule (S000) can reject unknown rule codes and empty
+/// justifications.
+fn collect_directives(lines: &[Line]) -> ParsedDirectives {
+    let mut out = ParsedDirectives {
+        line_allows: BTreeMap::new(),
+        file_allows: BTreeSet::new(),
+        justify_lines: BTreeSet::new(),
+        justify_file: false,
+        directives: Vec::new(),
+    };
+    use DirectiveKind::*;
     for (idx, line) in lines.iter().enumerate() {
         let lineno = idx + 1;
-        for (needle, is_file) in [("simlint: allow-file(", true), ("simlint: allow(", false)] {
+        for (needle, kind) in [
+            ("simlint: allow-file(", AllowFile),
+            ("simlint: allow(", Allow),
+            ("simlint: justify-file(", JustifyFile),
+            ("simlint: justify(", Justify),
+        ] {
             let Some(at) = line.comment.find(needle) else {
                 continue;
             };
-            let rest = &line.comment[at + needle.len()..];
-            let Some(close) = rest.find(')') else {
+            // Documentation *about* directives quotes them in backticks
+            // (`// simlint: allow(SNNN): <why>`); an odd number of
+            // backticks before the match means we are inside such an
+            // inline-code span, not a real directive.
+            if line.comment[..at].matches('`').count() % 2 == 1 {
                 continue;
-            };
-            for code in rest[..close].split(',') {
-                let code = code.trim().to_string();
-                if code.is_empty() {
-                    continue;
+            }
+            let rest = &line.comment[at + needle.len()..];
+            match kind {
+                Allow | AllowFile => {
+                    let Some(close) = rest.find(')') else {
+                        continue;
+                    };
+                    let codes: Vec<String> = rest[..close]
+                        .split(',')
+                        .map(|c| c.trim().to_string())
+                        .filter(|c| !c.is_empty())
+                        .collect();
+                    for code in &codes {
+                        if kind == AllowFile {
+                            out.file_allows.insert(code.clone());
+                        } else {
+                            out.line_allows
+                                .entry(lineno)
+                                .or_default()
+                                .insert(code.clone());
+                            out.line_allows
+                                .entry(lineno + 1)
+                                .or_default()
+                                .insert(code.clone());
+                        }
+                    }
+                    out.directives.push(Directive {
+                        line: lineno,
+                        kind,
+                        codes,
+                        text: String::new(),
+                    });
                 }
-                if is_file {
-                    file.insert(code);
-                } else {
-                    per_line.entry(lineno).or_default().insert(code.clone());
-                    per_line.entry(lineno + 1).or_default().insert(code);
+                Justify | JustifyFile => {
+                    // Justification text may itself contain parentheses, so
+                    // take everything up to the *last* closing paren.
+                    let Some(close) = rest.rfind(')') else {
+                        continue;
+                    };
+                    let text = rest[..close].trim().to_string();
+                    if !text.is_empty() {
+                        if kind == JustifyFile {
+                            out.justify_file = true;
+                        } else {
+                            out.justify_lines.insert(lineno);
+                            out.justify_lines.insert(lineno + 1);
+                        }
+                    }
+                    out.directives.push(Directive {
+                        line: lineno,
+                        kind,
+                        codes: Vec::new(),
+                        text,
+                    });
                 }
             }
         }
     }
-    (per_line, file)
+    out
 }
 
 #[cfg(test)]
@@ -387,5 +545,109 @@ mod tests {
         assert!(contains_token("use std::sync::Mutex;", "Mutex"));
         assert!(!contains_token("struct MutexLike;", "Mutex"));
         assert!(!contains_token("let premutex = 1;", "mutex"));
+    }
+
+    // ----------------------------------------------- lexer edge regressions
+
+    #[test]
+    fn lifetime_ticks_are_not_char_literals() {
+        // Every lifetime position Rust allows: generics, references, bounds
+        // (including the space-free `'a+'b` form), labels, `'_`, `'static`.
+        // A misread as a char literal would blank the following code.
+        let src = "fn f<'a: 'b+'c, 'b, 'c>(x: &'a str) -> &'a str { x }\n\
+                   struct S<'a,'b>(&'a u8, &'b u8);\n\
+                   'outer: loop { break 'outer; }\n\
+                   let w: &'_ str = x; let d: &'static str = y;\n\
+                   let t = std::time::Instant::now();\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.lines[0].code.contains("&'a str"));
+        assert!(f.lines[1].code.contains("<'a,'b>"));
+        assert!(f.lines[2].code.contains("break 'outer"));
+        assert!(f.lines[3].code.contains("'static"));
+        // Nothing after the lifetimes was swallowed: the wall-clock call on
+        // the last line is still visible to the rules.
+        assert!(f.lines[4].code.contains("Instant::now"));
+        // ...while genuine char literals (even as const-generic args) and
+        // escaped quotes are still blanked.
+        let chars = SourceFile::parse(
+            "t.rs",
+            "type X = Foo<'b'>;\nlet q = ('a', '\\'', '\\n');\nlet z = 1;\n",
+        );
+        assert!(!chars.lines[0].code.contains("'b'"));
+        assert!(!chars.lines[1].code.contains('a'));
+        assert!(chars.lines[2].code.contains("let z"));
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth_across_lines() {
+        let src = "/* depth1 /* depth2 /* SystemTime */ thread_rng() */ still */ let a = 1;\n\
+                   /* open /* nested\n\
+                   Instant::now()\n\
+                   */ still a comment */ let b = 2;\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.lines[0].code.contains("SystemTime"));
+        assert!(!f.lines[0].code.contains("thread_rng"));
+        assert!(f.lines[0].code.contains("let a"));
+        assert!(!f.lines[2].code.contains("Instant"));
+        assert!(f.lines[3].code.contains("let b"));
+    }
+
+    #[test]
+    fn raw_strings_with_deep_hash_guards_are_blanked() {
+        // `r##"..."##` may contain `"#` without terminating; only the full
+        // `"##` guard closes it. Same for depth 3 spanning lines, and for
+        // byte raw strings `br#"..."#`.
+        let f = SourceFile::parse(
+            "t.rs",
+            "let s = r##\"SystemTime \"# inner\"##; let y = 1;\n\
+             let t = r###\"a\nInstant::now() \"## x\n\"###; let z = 2;\n\
+             let u = br#\"thread_rng()\"#; let w = 3;\n",
+        );
+        assert!(!f.lines[0].code.contains("SystemTime"));
+        assert!(f.lines[0].code.contains("let y"));
+        assert!(!f.lines[2].code.contains("Instant"));
+        assert!(f.lines[3].code.contains("let z"));
+        assert!(!f.lines[4].code.contains("thread_rng"));
+        assert!(f.lines[4].code.contains("let w"));
+    }
+
+    #[test]
+    fn string_line_continuation_carries_the_literal_over() {
+        // A `\` before the newline continues the string literal — the next
+        // line's contents are still *inside* it and must stay blanked.
+        let src =
+            "let s = \"abc\\\nthread_rng() def\\\nstill in string\";\nlet x = SystemTime::now();\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.lines[1].code.contains("thread_rng"));
+        assert!(!f.lines[2].code.contains("still"));
+        // ...and the lexer re-synchronizes: real code after the literal is
+        // visible again.
+        assert!(f.lines[3].code.contains("SystemTime"));
+        // An escaped backslash before the quote is NOT a continuation.
+        let esc = SourceFile::parse("t.rs", "let s = \"tail\\\\\";\nlet y = 1;\n");
+        assert!(esc.lines[1].code.contains("let y"));
+    }
+
+    #[test]
+    fn justify_directives_cover_line_file_and_record_text() {
+        let src = "// simlint: justify(slab indices are bounds-checked at insert (see new()))\n\
+                   unsafe { x() }\n\
+                   unsafe { y() }\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.justified(1) && f.justified(2));
+        assert!(!f.justified(3));
+        assert_eq!(f.directives().len(), 1);
+        assert_eq!(f.directives()[0].kind, DirectiveKind::Justify);
+        assert!(f.directives()[0].text.contains("bounds-checked"));
+        // Empty justification text gives no coverage (and is recorded for
+        // the S000 hygiene rule to report).
+        let empty = SourceFile::parse("t.rs", "// simlint: justify()\nunsafe { x() }\n");
+        assert!(!empty.justified(2));
+        assert_eq!(empty.directives()[0].text, "");
+        let file = SourceFile::parse(
+            "t.rs",
+            "// simlint: justify-file(FFI shim, invariants in mod docs)\nunsafe { a() }\nunsafe { b() }\n",
+        );
+        assert!(file.justified(2) && file.justified(3) && file.justified(99));
     }
 }

@@ -1,0 +1,939 @@
+//! Lightweight item/signature parser: phase 1 of the two-phase analyzer.
+//!
+//! Walks the token stream from [`crate::lexer`] and recovers the symbol
+//! surface the resolution pass ([`crate::resolve`]) needs: `use` renames,
+//! type aliases, struct/enum definitions with field types and derives,
+//! `fn` signatures, `static` items, `let` bindings, and `impl Ord for ...`
+//! blocks. This is deliberately *not* a Rust parser — it is a flat,
+//! keyword-keyed scan that never needs to understand expression grammar,
+//! which keeps it dependency-free (no `syn`) and robust to code it does
+//! not model: anything unrecognized is skipped token by token.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::source::SourceFile;
+
+/// A parsed type: head path plus generic arguments.
+///
+/// `std::collections::HashMap<u64, Vec<u8>>` parses to
+/// `path = ["std","collections","HashMap"]`, `args = [u64, Vec<u8>]`.
+/// Tuples and arrays use the synthetic heads `"(tuple)"` / `"(array)"`.
+#[derive(Debug, Clone, Default)]
+pub struct Ty {
+    /// Path segments of the head type.
+    pub path: Vec<String>,
+    /// Generic arguments, recursively parsed.
+    pub args: Vec<Ty>,
+}
+
+impl Ty {
+    /// Last path segment (`HashMap` for `std::collections::HashMap`).
+    pub fn head(&self) -> &str {
+        self.path.last().map(String::as_str).unwrap_or("")
+    }
+
+    /// Whether nothing was parsed (no head).
+    pub fn is_empty(&self) -> bool {
+        self.path.is_empty()
+    }
+}
+
+/// A named, typed slot: struct field, fn parameter or static item.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Field/param name (tuple-struct fields use their index, `"0"`).
+    pub name: String,
+    /// Declared type.
+    pub ty: Ty,
+    /// 1-based line of the declaration.
+    pub line: usize,
+    /// Whether the declaration sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// What kind of type definition a [`StructDef`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdtKind {
+    /// `struct S { ... }`
+    Struct,
+    /// `struct S(...)`
+    Tuple,
+    /// `struct S;`
+    Unit,
+    /// `enum E { ... }` (variants are not modeled)
+    Enum,
+}
+
+/// One `struct`/`enum` definition.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the `struct`/`enum` keyword's name.
+    pub line: usize,
+    /// Whether the item is `pub` (any visibility qualifier counts).
+    pub is_pub: bool,
+    /// Traits listed in `#[derive(...)]` attributes on the item.
+    pub derives: Vec<String>,
+    /// Named or positional fields (empty for enums and unit structs).
+    pub fields: Vec<Field>,
+    /// Struct vs tuple vs unit vs enum.
+    pub kind: AdtKind,
+    /// Whether the definition sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// One `type Name = Target;` alias (including associated types).
+#[derive(Debug, Clone)]
+pub struct TypeAlias {
+    /// Alias name.
+    pub name: String,
+    /// Aliased type.
+    pub target: Ty,
+    /// 1-based line of the alias.
+    pub line: usize,
+}
+
+/// One `fn` signature (free function or method).
+#[derive(Debug, Clone)]
+pub struct FnSig {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the name.
+    pub line: usize,
+    /// Typed parameters (`self` receivers and complex patterns skipped).
+    pub params: Vec<Field>,
+    /// Return type (empty for `()` / none).
+    pub ret: Ty,
+    /// Whether the signature sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// One `static` item.
+#[derive(Debug, Clone)]
+pub struct StaticDef {
+    /// Item name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Ty,
+    /// Whether it is `static mut`.
+    pub is_mut: bool,
+    /// 1-based line.
+    pub line: usize,
+    /// Whether it sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// One `let` binding with its optional type annotation and the leading
+/// path of its initializer (`HashMap::new`, `build_frontier`, ...).
+#[derive(Debug, Clone)]
+pub struct LetBinding {
+    /// Bound name (only simple-identifier patterns are recorded).
+    pub name: String,
+    /// Type annotation, if written.
+    pub ty: Ty,
+    /// Leading path segments of the initializer expression.
+    pub init: Vec<String>,
+    /// 1-based line.
+    pub line: usize,
+    /// Whether it sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// Everything phase 1 extracts from one source file.
+#[derive(Debug, Default)]
+pub struct FileSymbols {
+    /// Workspace-relative path (mirrors [`SourceFile::path`]).
+    pub path: String,
+    /// `use` imports: local name → full path (`Map` → `std::collections::HashMap`).
+    pub renames: BTreeMap<String, Vec<String>>,
+    /// Type aliases in declaration order.
+    pub aliases: Vec<TypeAlias>,
+    /// Struct/enum definitions.
+    pub structs: Vec<StructDef>,
+    /// Function signatures.
+    pub fns: Vec<FnSig>,
+    /// Static items.
+    pub statics: Vec<StaticDef>,
+    /// Let bindings (flat across all bodies in the file).
+    pub lets: Vec<LetBinding>,
+    /// `impl Trait for Type` heads, as (trait, type) name pairs —
+    /// only Ord/PartialOrd/Hash are interesting downstream.
+    pub trait_impls: Vec<(String, String)>,
+}
+
+/// Parses `file` into its symbol surface.
+pub fn parse(file: &SourceFile) -> FileSymbols {
+    let toks = lex(file);
+    let mut c = Cursor { toks: &toks, i: 0 };
+    let mut out = FileSymbols {
+        path: file.path.clone(),
+        ..FileSymbols::default()
+    };
+    let mut derives: Vec<String> = Vec::new();
+    let mut is_pub = false;
+    while let Some(t) = c.peek() {
+        if t.is_punct("#") {
+            derives.extend(parse_attr(&mut c));
+            continue;
+        }
+        if t.kind != TokenKind::Ident {
+            c.bump();
+            derives.clear();
+            is_pub = false;
+            continue;
+        }
+        match t.text.as_str() {
+            "pub" => {
+                c.bump();
+                if c.at_punct("(") {
+                    c.skip_balanced("(", ")");
+                }
+                is_pub = true;
+                continue; // keep pending derives
+            }
+            "use" => {
+                c.bump();
+                parse_use_tree(&mut c, &[], &mut out.renames);
+            }
+            "type" => {
+                c.bump();
+                parse_alias(&mut c, &mut out);
+            }
+            "struct" => {
+                c.bump();
+                parse_struct(&mut c, file, &mut out, &derives, is_pub, AdtKind::Struct);
+            }
+            "enum" => {
+                c.bump();
+                parse_struct(&mut c, file, &mut out, &derives, is_pub, AdtKind::Enum);
+            }
+            "fn" => {
+                c.bump();
+                parse_fn(&mut c, file, &mut out);
+            }
+            "static" => {
+                c.bump();
+                parse_static(&mut c, file, &mut out);
+            }
+            "let" => {
+                c.bump();
+                parse_let(&mut c, file, &mut out);
+            }
+            "impl" => {
+                c.bump();
+                parse_impl(&mut c, &mut out);
+            }
+            _ => {
+                c.bump();
+            }
+        }
+        derives.clear();
+        is_pub = false;
+    }
+    out
+}
+
+fn line_in_test(file: &SourceFile, line: usize) -> bool {
+    file.lines
+        .get(line.wrapping_sub(1))
+        .is_some_and(|l| l.in_test)
+}
+
+// --------------------------------------------------------------- cursor
+
+struct Cursor<'a> {
+    toks: &'a [Token],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.i)
+    }
+
+    fn bump(&mut self) {
+        self.i += 1;
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_ident(s))
+    }
+
+    fn at_punct(&self, s: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_punct(s))
+    }
+
+    fn eat_punct(&mut self, s: &str) -> bool {
+        if self.at_punct(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, s: &str) -> bool {
+        if self.at_ident(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes and returns the next token if it is any identifier.
+    fn eat_any_ident(&mut self) -> Option<(String, usize)> {
+        match self.peek() {
+            Some(t) if t.kind == TokenKind::Ident => {
+                let r = (t.text.clone(), t.line);
+                self.bump();
+                Some(r)
+            }
+            _ => None,
+        }
+    }
+
+    /// Skips a balanced `<...>` group; cursor must sit on the `<`.
+    fn skip_angles(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(">") {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips a balanced `open...close` group; cursor must sit on `open`.
+    fn skip_balanced(&mut self, open: &str, close: &str) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+}
+
+// ---------------------------------------------------------------- items
+
+/// Parses one attribute (`#[...]`), returning any `derive(...)` idents.
+fn parse_attr(c: &mut Cursor) -> Vec<String> {
+    c.bump(); // '#'
+    c.eat_punct("!");
+    if !c.at_punct("[") {
+        return Vec::new();
+    }
+    let mut derives = Vec::new();
+    let mut depth = 0i32;
+    let mut in_derive = false;
+    while let Some(t) = c.peek() {
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                c.bump();
+                break;
+            }
+        } else if t.is_ident("derive") {
+            in_derive = true;
+        } else if in_derive && t.kind == TokenKind::Ident {
+            derives.push(t.text.clone());
+        }
+        c.bump();
+    }
+    derives
+}
+
+/// Parses a `use` tree (after the `use` keyword), recording local name →
+/// full path for plain leaves, `as` renames, `{...}` groups and
+/// `{self, ...}`. Globs record nothing.
+fn parse_use_tree(c: &mut Cursor, prefix: &[String], renames: &mut BTreeMap<String, Vec<String>>) {
+    let mut path = prefix.to_vec();
+    loop {
+        match c.peek() {
+            Some(t) if t.kind == TokenKind::Ident => {
+                path.push(t.text.clone());
+                c.bump();
+                if c.eat_punct("::") {
+                    if c.at_punct("{") {
+                        c.bump();
+                        loop {
+                            parse_use_tree(c, &path, renames);
+                            if !c.eat_punct(",") {
+                                break;
+                            }
+                        }
+                        c.eat_punct("}");
+                        return;
+                    }
+                    if c.at_punct("*") {
+                        c.bump();
+                        return;
+                    }
+                    continue;
+                }
+                // End of this path: a leaf, optionally renamed with `as`.
+                if c.eat_ident("as") {
+                    if let Some((alias, _)) = c.eat_any_ident() {
+                        if alias != "_" {
+                            renames.insert(alias, path);
+                        }
+                    }
+                    return;
+                }
+                let leaf = path.last().cloned().unwrap_or_default();
+                if leaf == "self" {
+                    path.pop();
+                    if let Some(last) = path.last().cloned() {
+                        renames.insert(last, path);
+                    }
+                } else if leaf != "crate" && leaf != "super" {
+                    renames.insert(leaf, path);
+                }
+                return;
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_alias(c: &mut Cursor, out: &mut FileSymbols) {
+    let Some((name, line)) = c.eat_any_ident() else {
+        return;
+    };
+    if c.at_punct("<") {
+        c.skip_angles();
+    }
+    if !c.eat_punct("=") {
+        return; // `type Item;` declaration in a trait — no target
+    }
+    let target = parse_ty(c);
+    if !target.is_empty() {
+        out.aliases.push(TypeAlias { name, target, line });
+    }
+}
+
+fn parse_struct(
+    c: &mut Cursor,
+    file: &SourceFile,
+    out: &mut FileSymbols,
+    derives: &[String],
+    is_pub: bool,
+    kind: AdtKind,
+) {
+    let Some((name, line)) = c.eat_any_ident() else {
+        return;
+    };
+    if c.at_punct("<") {
+        c.skip_angles();
+    }
+    if c.at_ident("where") {
+        while let Some(t) = c.peek() {
+            if t.is_punct("{") || t.is_punct(";") {
+                break;
+            }
+            c.bump();
+        }
+    }
+    let mut fields = Vec::new();
+    let mut kind = kind;
+    if kind == AdtKind::Enum {
+        // Variants are not modeled; skip the body, keep name + derives.
+        if c.at_punct("{") {
+            c.skip_balanced("{", "}");
+        }
+    } else if c.at_punct("{") {
+        c.bump();
+        while let Some(t) = c.peek() {
+            if t.is_punct("}") {
+                c.bump();
+                break;
+            }
+            if t.is_punct("#") {
+                parse_attr(c);
+                continue;
+            }
+            if t.is_ident("pub") {
+                c.bump();
+                if c.at_punct("(") {
+                    c.skip_balanced("(", ")");
+                }
+                continue;
+            }
+            let Some((fname, fline)) = c.eat_any_ident() else {
+                c.bump();
+                continue;
+            };
+            if !c.eat_punct(":") {
+                continue;
+            }
+            let ty = parse_ty(c);
+            fields.push(Field {
+                name: fname,
+                ty,
+                line: fline,
+                in_test: line_in_test(file, fline),
+            });
+            c.eat_punct(",");
+        }
+    } else if c.at_punct("(") {
+        kind = AdtKind::Tuple;
+        c.bump();
+        let mut idx = 0usize;
+        while let Some(t) = c.peek() {
+            if t.is_punct(")") {
+                c.bump();
+                break;
+            }
+            if t.is_punct("#") {
+                parse_attr(c);
+                continue;
+            }
+            if t.is_ident("pub") {
+                c.bump();
+                if c.at_punct("(") {
+                    c.skip_balanced("(", ")");
+                }
+                continue;
+            }
+            let before = c.i;
+            let ty = parse_ty(c);
+            if !ty.is_empty() {
+                fields.push(Field {
+                    name: idx.to_string(),
+                    ty,
+                    line,
+                    in_test: line_in_test(file, line),
+                });
+                idx += 1;
+            }
+            if c.i == before {
+                c.bump();
+            }
+            c.eat_punct(",");
+        }
+    } else {
+        kind = AdtKind::Unit;
+    }
+    out.structs.push(StructDef {
+        name,
+        line,
+        is_pub,
+        derives: derives.to_vec(),
+        fields,
+        kind,
+        in_test: line_in_test(file, line),
+    });
+}
+
+fn parse_fn(c: &mut Cursor, file: &SourceFile, out: &mut FileSymbols) {
+    // `fn` in a fn-pointer type (`fn(u64) -> u64`) has no name; skip it.
+    let Some((name, line)) = c.eat_any_ident() else {
+        return;
+    };
+    if c.at_punct("<") {
+        c.skip_angles();
+    }
+    if !c.eat_punct("(") {
+        return;
+    }
+    let params = parse_params(c, file);
+    let ret = if c.eat_punct("->") {
+        parse_ty(c)
+    } else {
+        Ty::default()
+    };
+    out.fns.push(FnSig {
+        name,
+        line,
+        params,
+        ret,
+        in_test: line_in_test(file, line),
+    });
+}
+
+fn parse_params(c: &mut Cursor, file: &SourceFile) -> Vec<Field> {
+    let mut params = Vec::new();
+    while let Some(t) = c.peek() {
+        if t.is_punct(")") {
+            c.bump();
+            break;
+        }
+        if t.is_punct("#") {
+            parse_attr(c);
+            continue;
+        }
+        // Receiver decorations: `&`, `&'a`, `mut`, then maybe `self`.
+        if t.is_punct("&") || t.kind == TokenKind::Lifetime || t.is_ident("mut") {
+            c.bump();
+            continue;
+        }
+        if t.is_ident("self") {
+            c.bump();
+            c.eat_punct(",");
+            continue;
+        }
+        if let Some((name, line)) = c.eat_any_ident() {
+            if c.eat_punct(":") {
+                let ty = parse_ty(c);
+                if !ty.is_empty() {
+                    params.push(Field {
+                        name,
+                        ty,
+                        line,
+                        in_test: line_in_test(file, line),
+                    });
+                }
+            }
+        }
+        // Whatever remains of the param — a complex pattern like
+        // `(a, b): (T, U)`, trait bounds, defaults — is skipped whole,
+        // with bracket depths tracked so the list stays in sync.
+        skip_to_param_end(c);
+        c.eat_punct(",");
+    }
+    params
+}
+
+/// Skips to the next top-level `,` or the closing `)` of the param list,
+/// consuming neither.
+fn skip_to_param_end(c: &mut Cursor) {
+    let (mut paren, mut bracket, mut angle) = (0i32, 0i32, 0i32);
+    while let Some(t) = c.peek() {
+        if t.is_punct("(") {
+            paren += 1;
+        } else if t.is_punct(")") {
+            if paren == 0 {
+                return;
+            }
+            paren -= 1;
+        } else if t.is_punct("[") {
+            bracket += 1;
+        } else if t.is_punct("]") {
+            bracket -= 1;
+        } else if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+        } else if t.is_punct(",") && paren == 0 && bracket == 0 && angle <= 0 {
+            return;
+        }
+        c.bump();
+    }
+}
+
+fn parse_static(c: &mut Cursor, file: &SourceFile, out: &mut FileSymbols) {
+    let is_mut = c.eat_ident("mut");
+    let Some((name, line)) = c.eat_any_ident() else {
+        return;
+    };
+    if !c.eat_punct(":") {
+        return;
+    }
+    let ty = parse_ty(c);
+    out.statics.push(StaticDef {
+        name,
+        ty,
+        is_mut,
+        line,
+        in_test: line_in_test(file, line),
+    });
+}
+
+fn parse_let(c: &mut Cursor, file: &SourceFile, out: &mut FileSymbols) {
+    let _ = c.eat_ident("mut");
+    let Some(t) = c.peek() else { return };
+    if t.kind != TokenKind::Ident {
+        return; // tuple/struct patterns are not recorded
+    }
+    let (name, line) = (t.text.clone(), t.line);
+    c.bump();
+    let mut ty = Ty::default();
+    if c.eat_punct(":") {
+        ty = parse_ty(c);
+    }
+    let mut init = Vec::new();
+    if c.eat_punct("=") {
+        while c.at_punct("&") || c.at_ident("mut") {
+            c.bump();
+        }
+        while let Some(t) = c.peek() {
+            if t.kind != TokenKind::Ident {
+                break;
+            }
+            init.push(t.text.clone());
+            c.bump();
+            if !c.eat_punct("::") {
+                break;
+            }
+        }
+    }
+    out.lets.push(LetBinding {
+        name,
+        ty,
+        init,
+        line,
+        in_test: line_in_test(file, line),
+    });
+}
+
+fn parse_impl(c: &mut Cursor, out: &mut FileSymbols) {
+    if c.at_punct("<") {
+        c.skip_angles();
+    }
+    // First path: either the self type (inherent impl) or the trait.
+    let first = parse_ty(c);
+    if first.is_empty() {
+        return;
+    }
+    if c.eat_ident("for") {
+        let target = parse_ty(c);
+        if !target.is_empty() {
+            out.trait_impls
+                .push((first.head().to_string(), target.head().to_string()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- types
+
+/// Parses one type, leaving the cursor on the first token that cannot be
+/// part of it (`,`, `;`, `)`, `{`, `>`, `=`, ...). Returns an empty [`Ty`]
+/// (consuming nothing beyond modifiers) when no type starts here.
+fn parse_ty(c: &mut Cursor) -> Ty {
+    // Leading modifiers: references, raw-pointer sigils, lifetimes,
+    // `mut`/`const`/`dyn`/`impl`.
+    loop {
+        match c.peek() {
+            Some(t) if t.is_punct("&") || t.is_punct("*") => c.bump(),
+            Some(t) if t.kind == TokenKind::Lifetime => c.bump(),
+            Some(t)
+                if t.is_ident("mut")
+                    || t.is_ident("const")
+                    || t.is_ident("dyn")
+                    || t.is_ident("impl") =>
+            {
+                c.bump()
+            }
+            _ => break,
+        }
+    }
+    match c.peek() {
+        Some(t) if t.is_punct("(") => {
+            c.bump();
+            let mut args = Vec::new();
+            while let Some(t) = c.peek() {
+                if t.is_punct(")") {
+                    c.bump();
+                    break;
+                }
+                let before = c.i;
+                let a = parse_ty(c);
+                if !a.is_empty() {
+                    args.push(a);
+                }
+                if c.i == before {
+                    c.bump();
+                }
+                c.eat_punct(",");
+            }
+            return Ty {
+                path: vec!["(tuple)".into()],
+                args,
+            };
+        }
+        Some(t) if t.is_punct("[") => {
+            c.bump();
+            let inner = parse_ty(c);
+            let mut depth = 1i32;
+            while let Some(t) = c.peek() {
+                if t.is_punct("[") {
+                    depth += 1;
+                } else if t.is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        c.bump();
+                        break;
+                    }
+                }
+                c.bump();
+            }
+            return Ty {
+                path: vec!["(array)".into()],
+                args: vec![inner],
+            };
+        }
+        Some(t) if t.is_punct("<") => {
+            // Qualified path `<T as Trait>::Out`: skip the qualifier and
+            // fall through to the path parse below.
+            c.skip_angles();
+            c.eat_punct("::");
+        }
+        _ => {}
+    }
+    let mut ty = Ty::default();
+    while let Some(seg) = c
+        .peek()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.clone())
+    {
+        ty.path.push(seg);
+        c.bump();
+        if c.at_punct("<") {
+            c.bump();
+            while let Some(t) = c.peek() {
+                if t.is_punct(">") {
+                    c.bump();
+                    break;
+                }
+                if t.kind == TokenKind::Lifetime
+                    || t.kind == TokenKind::Literal
+                    || t.is_punct(",")
+                    || t.is_punct("=")
+                    || t.is_ident("const")
+                {
+                    c.bump();
+                    continue;
+                }
+                let before = c.i;
+                let a = parse_ty(c);
+                if !a.is_empty() {
+                    ty.args.push(a);
+                }
+                if c.i == before {
+                    c.bump();
+                }
+            }
+        }
+        if c.at_punct("(") {
+            // `Fn(...)` / fn-pointer sugar: skip the args, keep the head.
+            c.skip_balanced("(", ")");
+            if c.eat_punct("->") {
+                let _ = parse_ty(c);
+            }
+            break;
+        }
+        if !c.eat_punct("::") {
+            break;
+        }
+    }
+    ty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(src: &str) -> FileSymbols {
+        parse(&SourceFile::parse("t.rs", src))
+    }
+
+    #[test]
+    fn use_trees_record_leaves_groups_and_renames() {
+        let s = sym("use std::collections::HashMap;\n\
+                     use std::collections::{BTreeMap, HashSet as Unordered};\n\
+                     use crate::sim::{self, event::Ev};\n\
+                     use foo::bar::*;\n");
+        assert_eq!(s.renames["HashMap"], ["std", "collections", "HashMap"]);
+        assert_eq!(s.renames["BTreeMap"], ["std", "collections", "BTreeMap"]);
+        assert_eq!(s.renames["Unordered"], ["std", "collections", "HashSet"]);
+        assert_eq!(s.renames["sim"], ["crate", "sim"]);
+        assert_eq!(s.renames["Ev"], ["crate", "sim", "event", "Ev"]);
+        assert!(!s.renames.contains_key("HashSet"));
+    }
+
+    #[test]
+    fn aliases_capture_generic_targets() {
+        let s = sym(
+            "pub type Frontier = std::collections::HashMap<u64, Vec<u8>>;\n\
+                     type Pair<T> = (T, u64);\n",
+        );
+        assert_eq!(s.aliases.len(), 2);
+        assert_eq!(s.aliases[0].name, "Frontier");
+        assert_eq!(s.aliases[0].target.head(), "HashMap");
+        assert_eq!(s.aliases[0].target.args.len(), 2);
+        assert_eq!(s.aliases[1].target.head(), "(tuple)");
+    }
+
+    #[test]
+    fn structs_capture_fields_derives_and_visibility() {
+        let s = sym("#[derive(Debug, Clone, Ord, PartialOrd, Eq, PartialEq)]\n\
+                     pub struct FlushEvent {\n    pub at: SimTime,\n    pub(crate) seq: u64,\n}\n\
+                     struct Pair(u32, Vec<f64>);\n\
+                     struct Marker;\n\
+                     pub enum Kind { A, B(u64) }\n");
+        assert_eq!(s.structs.len(), 4);
+        let ev = &s.structs[0];
+        assert!(ev.is_pub);
+        assert!(ev.derives.iter().any(|d| d == "Ord"));
+        assert_eq!(ev.fields.len(), 2);
+        assert_eq!(ev.fields[0].name, "at");
+        assert_eq!(ev.fields[0].ty.head(), "SimTime");
+        assert_eq!(ev.fields[1].name, "seq");
+        let pair = &s.structs[1];
+        assert_eq!(pair.kind, AdtKind::Tuple);
+        assert_eq!(pair.fields[1].ty.head(), "Vec");
+        assert_eq!(s.structs[2].kind, AdtKind::Unit);
+        assert_eq!(s.structs[3].kind, AdtKind::Enum);
+        assert!(s.structs[3].is_pub);
+    }
+
+    #[test]
+    fn fn_signatures_capture_params_and_return() {
+        let s = sym("impl S {\n    pub fn take(&mut self, m: Frontier, n: u64) -> Frontier { m }\n}\n\
+                     fn apply<F: Fn(u64) -> u64>(f: F, (a, b): (u64, u64)) -> impl Iterator<Item = u64> { x }\n");
+        let take = &s.fns[0];
+        assert_eq!(take.name, "take");
+        assert_eq!(take.params.len(), 2);
+        assert_eq!(take.params[0].name, "m");
+        assert_eq!(take.params[0].ty.head(), "Frontier");
+        assert_eq!(take.ret.head(), "Frontier");
+        let apply = &s.fns[1];
+        assert_eq!(apply.name, "apply");
+        // Complex patterns are skipped, the Fn-typed param is captured.
+        assert_eq!(apply.params.len(), 1);
+        assert_eq!(apply.ret.head(), "Iterator");
+    }
+
+    #[test]
+    fn statics_lets_and_impls_are_recorded() {
+        let s = sym("static mut COUNTER: u64 = 0;\n\
+                     static TABLE: OnceLock<Vec<u8>> = OnceLock::new();\n\
+                     fn f() {\n    let mut m = Frontier::new();\n    let t: Slot = make();\n}\n\
+                     impl Ord for Ev { }\n\
+                     impl Ev { }\n");
+        assert_eq!(s.statics.len(), 2);
+        assert!(s.statics[0].is_mut);
+        assert_eq!(s.statics[1].ty.head(), "OnceLock");
+        assert_eq!(s.lets[0].name, "m");
+        assert_eq!(s.lets[0].init, ["Frontier", "new"]);
+        assert_eq!(s.lets[1].ty.head(), "Slot");
+        assert_eq!(s.lets[1].init, ["make"]);
+        assert_eq!(s.trait_impls, [("Ord".to_string(), "Ev".to_string())]);
+    }
+
+    #[test]
+    fn test_region_items_are_marked() {
+        let s = sym("struct Lib { m: HashMap<u64, u64> }\n\
+                     #[cfg(test)]\nmod tests {\n    struct T { m: HashMap<u64, u64> }\n}\n");
+        assert!(!s.structs[0].fields[0].in_test);
+        assert!(s.structs[1].fields[0].in_test);
+    }
+}

@@ -1,4 +1,4 @@
-//! Per-rule fixture tests: for every rule S001-S010 one fixture that
+//! Per-rule fixture tests: for every rule S000-S014 one fixture that
 //! triggers it and one that passes, plus escape-hatch and scoping checks.
 //!
 //! These are the analyzer's regression suite: each fixture encodes the
@@ -7,7 +7,7 @@
 //! library paths, per-I/O allocation churn) in its smallest reproducible
 //! form.
 
-use ull_simlint::check_source;
+use ull_simlint::{check_crate, check_source};
 
 /// Convenience: analyze `src` as a file of the `ssd` sim crate.
 fn sim(src: &str) -> Vec<String> {
@@ -571,6 +571,270 @@ fn allow_file_directive_suppresses_the_whole_file() {
                pub fn a(x: Option<u8>) -> u8 { x.unwrap() }\n\
                pub fn b(x: Option<u8>) -> u8 { x.expect(\"b\") }\n";
     assert!(sim(src).is_empty());
+}
+
+// ------------------------------------------------ S003 (type resolution)
+
+#[test]
+fn s003_follows_type_aliases_and_fn_boundaries() {
+    // The exact ROADMAP false-negative: a HashMap that travels through a
+    // type alias and a function boundary before being iterated. The old
+    // lexical matcher saw `f.iter()` with no HashMap anywhere near it.
+    let bad = "use std::collections::HashMap;\n\
+               pub type Frontier = HashMap<u64, u64>;\n\
+               fn build() -> Frontier { Frontier::new() }\n\
+               pub fn drain() -> u64 {\n\
+                   let f = build();\n\
+                   let mut s = 0;\n\
+                   for (_, v) in f.iter() { s += v; }\n\
+                   s\n\
+               }\n";
+    assert_eq!(sim(bad), ["S003:7"]);
+}
+
+#[test]
+fn s003_flags_tainted_params_and_direct_call_results() {
+    // A parameter whose type resolves to HashSet through an alias...
+    let param = "use std::collections::HashSet;\n\
+                 pub type Seen = HashSet<u64>;\n\
+                 pub fn count(seen: &Seen) -> usize {\n\
+                     seen.iter().count()\n\
+                 }\n";
+    assert_eq!(sim(param), ["S003:4"]);
+    // ...and iterating a tainted call result without ever binding it.
+    let direct = "use std::collections::HashMap;\n\
+                  pub type Frontier = HashMap<u64, u64>;\n\
+                  fn build() -> Frontier { Frontier::new() }\n\
+                  pub fn sum() -> u64 { build().values().sum() }\n";
+    assert_eq!(sim(direct), ["S003:4"]);
+}
+
+#[test]
+fn s003_resolution_crosses_file_boundaries() {
+    // The alias (and its rename) live in types.rs; the iteration lives in
+    // engine.rs. Only the crate-level pass can connect them.
+    let types = "use std::collections::HashMap as FastMap;\n\
+                 pub type Frontier = FastMap<u64, u64>;\n";
+    let engine = "use crate::types::Frontier;\n\
+                  pub fn hottest(open: &Frontier) -> u64 {\n\
+                      open.keys().copied().max().unwrap_or(0)\n\
+                  }\n";
+    let findings = check_crate(
+        "ssd",
+        &[
+            ("crates/ssd/src/types.rs".to_string(), types.to_string()),
+            ("crates/ssd/src/engine.rs".to_string(), engine.to_string()),
+        ],
+    );
+    let rules: Vec<String> = findings
+        .iter()
+        .map(|f| format!("{}:{}:{}", f.path, f.rule, f.line))
+        .collect();
+    assert_eq!(rules, ["crates/ssd/src/engine.rs:S003:3"]);
+}
+
+#[test]
+fn s003_passes_aliases_of_ordered_maps() {
+    // The same shape over a BTreeMap must stay silent: the taint comes
+    // from the resolved base type, not from the alias indirection.
+    let good = "use std::collections::BTreeMap;\n\
+                pub type Frontier = BTreeMap<u64, u64>;\n\
+                fn build() -> Frontier { Frontier::new() }\n\
+                pub fn drain() -> u64 {\n\
+                    let f = build();\n\
+                    f.values().sum()\n\
+                }\n";
+    assert!(sim(good).is_empty());
+}
+
+// ------------------------------------------------------------------ S000
+
+#[test]
+fn s000_rejects_unknown_rule_codes() {
+    let typo = "// simlint: allow(S099): suppressing a rule that does not exist\n\
+                pub fn f() {}\n";
+    let f = check_source("ssd", "crates/ssd/src/fixture.rs", typo);
+    assert_eq!(f.len(), 1);
+    assert_eq!((f[0].rule, f[0].line), ("S000", 1));
+    assert!(f[0].message.contains("S099"), "{}", f[0].message);
+    // A known code on the same directive does not excuse the unknown one.
+    let mixed = "pub fn f(x: Option<u8>) -> u8 {\n\
+                     // simlint: allow(S006, S099): first code is real\n\
+                     x.unwrap()\n\
+                 }\n";
+    assert_eq!(sim(mixed), ["S000:2"]);
+}
+
+#[test]
+fn s000_rejects_empty_justifications() {
+    let empty = "pub fn read(p: *const u64) -> u64 {\n\
+                     // simlint: justify()\n\
+                     unsafe { *p }\n\
+                 }\n";
+    let rules = sim(empty);
+    assert!(rules.contains(&"S000:2".to_string()), "{rules:?}");
+}
+
+#[test]
+fn s000_accepts_well_formed_directives_and_prose_mentions() {
+    let good = "pub fn f(x: Option<u8>) -> u8 {\n\
+                    // simlint: allow(S006): checked by caller\n\
+                    x.unwrap()\n\
+                }\n";
+    assert!(sim(good).is_empty());
+    // Documentation *about* directives (backtick-quoted) is prose, not a
+    // directive: the analyzer's own docs say `// simlint: allow(SNNN)`.
+    let prose = "//! Escape hatch: `// simlint: allow(SNNN): <why>` on the line.\n\
+                 pub fn f() {}\n";
+    assert!(sim(prose).is_empty());
+}
+
+// ------------------------------------------------------------------ S011
+
+#[test]
+fn s011_flags_interior_mutability_in_sim_crates() {
+    let cell = "use std::cell::RefCell;\n\
+                pub struct Chip { credit: RefCell<u64> }\n";
+    assert_eq!(sim(cell), ["S011:1", "S011:2"]);
+    assert_eq!(sim("static mut LAST: u64 = 0;\n"), ["S011:1"]);
+    let tls = "thread_local! {\n\
+                   static SCRATCH: Vec<u8> = Vec::new();\n\
+               }\n";
+    assert_eq!(sim(tls), ["S011:1"]);
+}
+
+#[test]
+fn s011_sees_through_type_aliases() {
+    // Line 1 names RefCell literally (token pass); line 2 only mentions
+    // the alias — the resolution pass has to connect it.
+    let bad = "pub type Shared = std::cell::RefCell<u64>;\n\
+               pub struct Chip { credit: Shared }\n";
+    let rules = sim(bad);
+    assert!(rules.contains(&"S011:1".to_string()), "{rules:?}");
+    assert!(rules.contains(&"S011:2".to_string()), "{rules:?}");
+}
+
+#[test]
+fn s011_passes_owned_state_and_the_exec_driver() {
+    let good = "use std::collections::BTreeMap;\n\
+                pub struct Chip { credit: u64, zones: BTreeMap<u64, u64> }\n";
+    assert!(sim(good).is_empty());
+    // ull-exec is the sanctioned host-parallel sweep driver: its atomics
+    // and locks are the one allowed home for shared mutable state.
+    let pool = "use std::sync::atomic::AtomicUsize;\n\
+                static NEXT: AtomicUsize = AtomicUsize::new(0);\n";
+    assert!(check_source("exec", "crates/exec/src/lib.rs", pool).is_empty());
+}
+
+// ------------------------------------------------------------------ S012
+
+#[test]
+fn s012_flags_address_identity_ordering_and_hashing() {
+    let eq = "pub fn same(a: &u64, b: &u64) -> bool {\n\
+                  std::ptr::eq(a, b)\n\
+              }\n";
+    assert_eq!(sim(eq), ["S012:2"]);
+    let cast = "pub fn key(x: &u64) -> usize { x as *const u64 as usize }\n";
+    assert_eq!(sim(cast), ["S012:1"]);
+}
+
+#[test]
+fn s012_passes_value_semantics_and_still_applies_to_exec() {
+    let good = "pub fn same(a: &u64, b: &u64) -> bool { a == b }\n";
+    assert!(sim(good).is_empty());
+    // exec is carved out of S005/S011, but NOT of the identity rule:
+    // shard-merge order keyed on addresses differs run to run.
+    let bad = "pub fn key(x: &u64) -> usize { x as *const u64 as usize }\n";
+    let f = check_source("exec", "crates/exec/src/lib.rs", bad);
+    assert_eq!(f.len(), 1);
+    assert_eq!(f[0].rule, "S012");
+}
+
+// ------------------------------------------------------------------ S013
+
+#[test]
+fn s013_flags_unjustified_unsafe() {
+    let bad = "pub fn read(p: *const u64) -> u64 {\n\
+                   unsafe { *p }\n\
+               }\n";
+    assert_eq!(sim(bad), ["S013:2"]);
+}
+
+#[test]
+fn s013_honours_justify_at_line_and_file_scope() {
+    let line = "pub fn read(p: *const u64) -> u64 {\n\
+                    // simlint: justify(caller guarantees p outlives the shard)\n\
+                    unsafe { *p }\n\
+                }\n";
+    assert!(sim(line).is_empty());
+    let file = "// simlint: justify-file(FFI shim; every pointer comes from Box::into_raw)\n\
+                pub fn read(p: *const u64) -> u64 { unsafe { *p } }\n\
+                pub fn write(p: *mut u64, v: u64) { unsafe { *p = v } }\n";
+    assert!(sim(file).is_empty());
+}
+
+#[test]
+fn s013_justify_is_line_local_and_does_not_bleed_into_allow() {
+    // A justify covers its own line and the next — not the whole fn.
+    let far = "// simlint: justify(only covers lines 1-2)\n\
+               pub fn a(p: *const u64) -> u64 { unsafe { *p } }\n\
+               pub fn b(p: *const u64) -> u64 { unsafe { *p } }\n";
+    assert_eq!(sim(far), ["S013:3"]);
+    // justify is the *unsafe* contract: it does not silence other rules.
+    let wrong = "// simlint: justify(not an allow)\n\
+                 pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert_eq!(sim(wrong), ["S006:2"]);
+}
+
+// ------------------------------------------------------------------ S014
+
+#[test]
+fn s014_flags_timestamped_events_without_total_order() {
+    let bad = "use ull_simkit::SimTime;\n\
+               #[derive(Debug, Clone, PartialEq, Eq)]\n\
+               pub struct CompletionEvent {\n\
+                   pub at: SimTime,\n\
+                   pub lba: u64,\n\
+               }\n";
+    assert_eq!(sim(bad), ["S014:3"]);
+}
+
+#[test]
+fn s014_resolves_sim_time_through_renames_and_aliases() {
+    let bad = "use ull_simkit::SimTime as Stamp;\n\
+               pub type When = Stamp;\n\
+               pub struct ArrivalEvent { pub at: When }\n";
+    assert_eq!(sim(bad), ["S014:3"]);
+}
+
+#[test]
+fn s014_passes_ordered_or_sequenced_events() {
+    let derived = "use ull_simkit::SimTime;\n\
+                   #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]\n\
+                   pub struct CompletionEvent { pub at: SimTime, pub lba: u64 }\n";
+    assert!(sim(derived).is_empty());
+    let seq = "use ull_simkit::SimTime;\n\
+               pub struct SubmitEvent { pub at: SimTime, pub seq: u64 }\n";
+    assert!(sim(seq).is_empty());
+    let manual = "use ull_simkit::SimTime;\n\
+                  pub struct DoneEvent { pub at: SimTime }\n\
+                  impl Ord for DoneEvent {}\n";
+    assert!(sim(manual).is_empty());
+}
+
+#[test]
+fn s014_scope_is_pub_event_structs_with_timestamps() {
+    // Private events are an implementation detail of one module...
+    let private = "use ull_simkit::SimTime;\n\
+                   struct TickEvent { at: SimTime }\n";
+    assert!(sim(private).is_empty());
+    // ...events without a SimTime have no tie to break...
+    let no_time = "pub struct ResetEvent { pub lba: u64 }\n";
+    assert!(sim(no_time).is_empty());
+    // ...and non-Event types are out of the naming contract.
+    let not_event = "use ull_simkit::SimTime;\n\
+                     pub struct Deadline { pub at: SimTime }\n";
+    assert!(sim(not_event).is_empty());
 }
 
 // ------------------------------------------------------------- reporting

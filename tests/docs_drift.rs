@@ -1,0 +1,97 @@
+//! Docs-drift guard: the rule table in docs/DETERMINISM.md must stay in
+//! lockstep with the catalogue the analyzer actually enforces.
+//!
+//! Each `RuleInfo` carries a one-line `brief` that is simultaneously the
+//! doc table's "rule statement" cell — so adding, renaming or rewording a
+//! rule without updating the documentation fails `cargo test`, and the
+//! docs can never advertise a rule the analyzer dropped.
+
+use std::path::Path;
+
+fn read_doc(rel: &str) -> String {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(root.join(rel))
+        .unwrap_or_else(|e| panic!("{rel} must exist and be readable: {e}"))
+}
+
+#[test]
+fn determinism_doc_table_carries_every_rule_verbatim() {
+    let doc = read_doc("docs/DETERMINISM.md");
+    for r in ull_simlint::RULES {
+        let row = format!("| {} | {} |", r.code, r.brief);
+        assert!(
+            doc.contains(&row),
+            "docs/DETERMINISM.md rule table is out of sync with the catalogue: \
+             missing or stale row for {}.\nExpected a table row starting exactly:\n  {row}\n\
+             (the cell text is RuleInfo::brief in crates/simlint/src/rules.rs — \
+             change both together)",
+            r.code
+        );
+    }
+}
+
+#[test]
+fn determinism_doc_has_no_phantom_rules() {
+    // Every `| SNNN |` table row in the doc must name a catalogued rule,
+    // so a rule removed from the analyzer cannot linger in the docs.
+    let doc = read_doc("docs/DETERMINISM.md");
+    for line in doc.lines() {
+        let Some(rest) = line.strip_prefix("| S") else {
+            continue;
+        };
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if digits.len() != 3 {
+            continue;
+        }
+        let code = format!("S{digits}");
+        assert!(
+            ull_simlint::RULES.iter().any(|r| r.code == code),
+            "docs/DETERMINISM.md documents {code}, which the analyzer does not enforce"
+        );
+    }
+}
+
+#[test]
+fn static_analysis_doc_covers_the_architecture_and_every_rule_family() {
+    let doc = read_doc("docs/STATIC_ANALYSIS.md");
+    // The architecture walk must name each phase module as it exists.
+    for module in [
+        "source.rs",
+        "lexer.rs",
+        "symbols.rs",
+        "resolve.rs",
+        "rules.rs",
+    ] {
+        assert!(
+            doc.contains(module),
+            "docs/STATIC_ANALYSIS.md must walk the {module} phase"
+        );
+    }
+    for r in ull_simlint::RULES {
+        assert!(
+            doc.contains(r.code),
+            "docs/STATIC_ANALYSIS.md must mention rule {}",
+            r.code
+        );
+    }
+    // The baseline ratchet and the escape hatches are part of the workflow
+    // the doc teaches.
+    for needle in ["simlint_baseline.json", "justify(", "allow("] {
+        assert!(
+            doc.contains(needle),
+            "docs/STATIC_ANALYSIS.md must document `{needle}`"
+        );
+    }
+}
+
+#[test]
+fn readme_and_design_link_the_static_analysis_doc() {
+    assert!(
+        read_doc("README.md").contains("docs/STATIC_ANALYSIS.md"),
+        "README.md must link docs/STATIC_ANALYSIS.md"
+    );
+    assert!(
+        read_doc("DESIGN.md").contains("docs/STATIC_ANALYSIS.md"),
+        "DESIGN.md must link docs/STATIC_ANALYSIS.md"
+    );
+}

@@ -1,12 +1,14 @@
 //! Tier-1 gate: the whole workspace must be simlint-clean.
 //!
 //! This test is what makes the determinism rules *enforced* rather than
-//! advisory: `cargo test` fails on any S001-S010 finding, so a PR cannot
+//! advisory: `cargo test` fails on any S000-S014 finding, so a PR cannot
 //! land wall-clock access, ambient RNG, bucket-order iteration, float time
-//! arithmetic, threading, new panicking library paths or per-I/O String
-//! churn without either fixing them or writing a justified
-//! `// simlint: allow(...)` that shows up in review. See
-//! docs/DETERMINISM.md for the rule catalogue.
+//! arithmetic, threading, new panicking library paths, per-I/O String
+//! churn, shared mutable state, address-keyed ordering, unjustified
+//! `unsafe` or orderless timestamped events without either fixing them or
+//! writing a justified `// simlint: allow(...)` that shows up in review.
+//! See docs/DETERMINISM.md for the rule catalogue and
+//! docs/STATIC_ANALYSIS.md for the analyzer architecture.
 
 use std::path::Path;
 
@@ -33,12 +35,51 @@ fn rule_catalogue_is_complete_and_ordered() {
     let codes: Vec<&str> = ull_simlint::RULES.iter().map(|r| r.code).collect();
     assert_eq!(
         codes,
-        ["S001", "S002", "S003", "S004", "S005", "S006", "S007", "S008", "S009", "S010"]
+        [
+            "S000", "S001", "S002", "S003", "S004", "S005", "S006", "S007", "S008", "S009", "S010",
+            "S011", "S012", "S013", "S014",
+        ]
     );
     for r in ull_simlint::RULES {
         assert!(
-            !r.summary.is_empty() && !r.scope.is_empty(),
+            !r.summary.is_empty() && !r.scope.is_empty() && !r.brief.is_empty(),
             "{} undocumented",
+            r.code
+        );
+    }
+}
+
+#[test]
+fn committed_baseline_matches_the_current_findings() {
+    // CI ratchets `--json` output against simlint_baseline.json; this test
+    // keeps the committed baseline honest locally. The workspace is
+    // currently finding-free, so the baseline must be too: a regression
+    // shows up in `workspace_is_simlint_clean`, a stale baseline (e.g. a
+    // rule added without regenerating it) shows up here.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(root.join("simlint_baseline.json"))
+        .expect("simlint_baseline.json must be committed at the workspace root");
+    let base = ull_simlint::parse_baseline_counts(&text)
+        .expect("baseline must carry a parseable rule_counts object");
+    let analysis = ull_simlint::analyze_workspace(root).expect("workspace scan must succeed");
+    let diff = ull_simlint::diff_against_baseline(&analysis.findings, &base);
+    assert!(
+        diff.regressions.is_empty(),
+        "per-rule counts regressed vs simlint_baseline.json: {:?}",
+        diff.regressions
+    );
+    assert!(
+        diff.improvements.is_empty(),
+        "baseline is stale — regenerate with `cargo run -p ull-simlint -- --json > \
+         simlint_baseline.json`: {:?}",
+        diff.improvements
+    );
+    // Every catalogued rule must appear in the committed baseline, so the
+    // ratchet never has to guess whether a rule existed when it was written.
+    for r in ull_simlint::RULES {
+        assert!(
+            base.contains_key(r.code),
+            "baseline missing rule {} — regenerate it",
             r.code
         );
     }
