@@ -3,8 +3,10 @@
 //! Unlike the figure benches (which regenerate paper results), this
 //! harness measures the *simulator itself*: events/sec through the
 //! scheduler hot loop (timing wheel vs the retained `EventQueue`
-//! binary-heap reference) and simulated I/Os per wall-clock second
-//! through the full closed-loop stack. It writes `BENCH_perf.json`.
+//! binary-heap reference), simulated I/Os per wall-clock second
+//! through the full closed-loop stack, and the shard-scaling curve of
+//! one gossip-coupled fleet world at `--shards {1,2,4}`
+//! (`docs/SHARDING.md`). It writes `BENCH_perf.json`.
 //!
 //! Wall-clock numbers are machine-dependent, so `BENCH_perf.json` is
 //! deliberately *outside* the byte-diffed baseline set (those are the
@@ -27,7 +29,7 @@ use std::time::Instant;
 use ull_simkit::{EventQueue, Json, SimDuration, SimTime, SplitMix64, TimingWheel};
 use ull_stack::IoPath;
 use ull_study::testbed::{host, Device};
-use ull_workload::{run_job, Engine, JobSpec, Pattern};
+use ull_workload::{run_fleet, run_job, Engine, JobSpec, Pattern};
 
 /// Steady-state churn depth for the scheduler microbenches: enough
 /// in-flight events that the heap's `O(log n)` sift costs are visible,
@@ -118,6 +120,21 @@ fn sync_ios_per_sec(ios: u64) -> f64 {
     r.completed as f64 / secs
 }
 
+/// Sharded-fleet kernel: one gossip-coupled fleet world (see
+/// `ull_workload::run_fleet`) drained at `shards` shards with up to
+/// `shards` window workers. Returns `(events/s, simulated ios/s)`
+/// aggregated across the fleet — the scaling curve of
+/// `docs/SHARDING.md`.
+fn fleet_rates(nodes: u32, ios: u64, shards: usize) -> (f64, f64) {
+    let mut runner = ull_exec::ParallelRunner { jobs: shards };
+    let t0 = Instant::now();
+    let reports = run_fleet(nodes, ios, 8, shards, &mut runner);
+    let secs = t0.elapsed().as_secs_f64();
+    let events: u64 = reports.iter().map(|r| r.completed + r.stats_received).sum();
+    let done: u64 = reports.iter().map(|r| r.completed).sum();
+    (events as f64 / secs, done as f64 / secs)
+}
+
 /// Best-of-`n` runs: wall-clock benches are noisy downwards only (cache
 /// misses, scheduling), so the max is the stable estimator.
 fn best_of<F: FnMut() -> f64>(n: usize, mut f: F) -> f64 {
@@ -181,6 +198,34 @@ fn main() {
     let sync = best_of(samples, || sync_ios_per_sec(io_n));
     println!("  {:.0} simulated ios/s", sync);
 
+    // Shard-scaling curve: the same gossip-coupled fleet world drained
+    // at 1, 2 and 4 shards. The reports are byte-identical at every
+    // point (the golden tests pin that); only wall-clock may differ.
+    let (fleet_nodes, fleet_ios) = if quick { (8u32, 2_000u64) } else { (8, 12_000) };
+    println!("sharded fleet: nodes={fleet_nodes} ios/node={fleet_ios} qd=8");
+    let mut curve: Vec<(usize, f64, f64)> = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let mut best = (0.0f64, 0.0f64);
+        for _ in 0..samples {
+            let (ev, io) = fleet_rates(fleet_nodes, fleet_ios, shards);
+            if ev > best.0 {
+                best = (ev, io);
+            }
+        }
+        curve.push((shards, best.0, best.1));
+        println!(
+            "  shards={shards}: {:.0} events/s, {:.0} sim ios/s",
+            best.0, best.1
+        );
+    }
+    let scale4 = curve[2].1 / curve[0].1;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("  scaling at 4 shards: {scale4:.2}x (cores available: {cores})");
+    if cores >= 4 && scale4 < 1.5 {
+        // Advisory only — a loaded or small runner must not fail CI.
+        println!("PERF-WARN: shard scaling at 4 shards below 1.5x ({scale4:.2}x)");
+    }
+
     let doc = Json::obj()
         .field("schema", 1i64)
         .field(
@@ -203,6 +248,20 @@ fn main() {
                 .field("wheel_speedup_vs_heap", speedup)
                 .field("closed_loop_ios_per_sec", closed)
                 .field("sync_ios_per_sec", sync),
+        )
+        .field(
+            "shard_scaling",
+            Json::Arr(
+                curve
+                    .iter()
+                    .map(|&(shards, ev, io)| {
+                        Json::obj()
+                            .field("shards", shards as i64)
+                            .field("events_per_sec", ev)
+                            .field("sim_ios_per_sec", io)
+                    })
+                    .collect(),
+            ),
         );
     std::fs::write(&out_path, doc.to_pretty_string()).expect("write perf baseline");
     println!("wrote {out_path}");

@@ -9,7 +9,7 @@
 
 use ull_workload::Json;
 
-use crate::engine::{run_experiment, Experiment, Report};
+use crate::engine::{run_experiment_sharded, Experiment, Report};
 use crate::experiments::{
     breakdown, completion, device_level, extensions, faults, nbd, spdk, table1,
 };
@@ -74,14 +74,21 @@ pub struct Entry {
     /// Whether the experiment probes its hosts, i.e. supports
     /// `reproduce NAME --trace out.json`. Shown by `reproduce --list`.
     pub traceable: bool,
-    runner: fn(Scale, usize) -> Section,
+    runner: fn(Scale, usize, usize) -> Section,
     tracer: fn(Scale) -> Option<ull_probe::ProbeReport>,
 }
 
 impl Entry {
     /// Runs the experiment at `scale` on up to `jobs` workers.
     pub fn run(&self, scale: Scale, jobs: usize) -> Section {
-        (self.runner)(scale, jobs)
+        (self.runner)(scale, jobs, 1)
+    }
+
+    /// Runs the experiment with its cells partitioned round-robin into
+    /// `shards` serial groups (`reproduce --shards N`). Like `jobs`, the
+    /// shard count cannot change the section's bytes.
+    pub fn run_sharded(&self, scale: Scale, jobs: usize, shards: usize) -> Section {
+        (self.runner)(scale, jobs, shards)
     }
 
     /// A representative probed run for `--trace`, or `None` when the
@@ -106,8 +113,8 @@ impl core::fmt::Debug for Entry {
     }
 }
 
-fn section<E: Experiment>(exp: &E, scale: Scale, jobs: usize) -> Section {
-    let report = run_experiment(exp, scale, jobs);
+fn section<E: Experiment>(exp: &E, scale: Scale, jobs: usize, shards: usize) -> Section {
+    let report = run_experiment_sharded(exp, scale, jobs, shards);
     Section {
         name: exp.name(),
         title: exp.title(),
@@ -131,7 +138,7 @@ pub fn entries() -> &'static [Entry] {
                 aliases: $exp.aliases(),
                 in_all: $in_all,
                 traceable: $exp.traceable(),
-                runner: |scale, jobs| section(&$exp, scale, jobs),
+                runner: |scale, jobs, shards| section(&$exp, scale, jobs, shards),
                 tracer: |scale| $exp.trace(scale),
             }
         }};

@@ -20,6 +20,17 @@
 //! `docs/DETERMINISM.md` ("parallel cells, serial merge") for the
 //! argument in full.
 //!
+//! Two faces of the same discipline live here:
+//!
+//! - [`run_ordered`] / [`run_sharded`] — experiment-level: independent
+//!   sim cells distributed over workers (and, for `--shards N`,
+//!   partitioned round-robin into serial groups first), merged in
+//!   declaration order.
+//! - [`ParallelRunner`] — event-level: the multi-core
+//!   [`WindowRunner`](ull_simkit::WindowRunner) that drains the shards
+//!   of one `ull_simkit::ShardedWorld` window concurrently (see
+//!   `docs/SHARDING.md`).
+//!
 //! This is the one crate in the workspace allowed to touch threads:
 //! simlint's S005 rule carves out `ull-exec` precisely because it is
 //! *not* part of the event loop — nothing here ever consults or
@@ -34,6 +45,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
+
+use ull_simkit::WindowRunner;
 
 /// One entry of the slot table: a pending task, a task checked out by a
 /// worker, or a finished result.
@@ -132,6 +145,95 @@ pub fn default_jobs() -> usize {
     thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Runs `tasks` partitioned round-robin into `shards` groups: each group
+/// executes its tasks serially in ascending declaration index, groups run
+/// concurrently on up to `jobs` workers via [`run_ordered`], and the
+/// results scatter back to declaration order.
+///
+/// This is the experiment-level face of `reproduce --shards N`: like
+/// `--jobs`, the shard count partitions *independent* cells, so the
+/// merged output is byte-identical for every `shards` value by the same
+/// "parallel cells, serial merge" argument (`docs/SHARDING.md` covers
+/// the event-level sharding inside one sim).
+///
+/// `shards <= 1` degenerates to [`run_ordered`] exactly.
+pub fn run_sharded<T, F>(jobs: usize, shards: usize, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    if shards <= 1 {
+        return run_ordered(jobs, tasks);
+    }
+    let n = tasks.len();
+    let groups = shards.min(n.max(1));
+    let mut buckets: Vec<Vec<(usize, F)>> = (0..groups).map(|_| Vec::new()).collect();
+    for (i, f) in tasks.into_iter().enumerate() {
+        buckets[i % groups].push((i, f));
+    }
+    let shard_tasks: Vec<_> = buckets
+        .into_iter()
+        .map(|bucket| {
+            move || {
+                bucket
+                    .into_iter()
+                    .map(|(i, f)| (i, f()))
+                    .collect::<Vec<(usize, T)>>()
+            }
+        })
+        .collect();
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for bucket in run_ordered(jobs, shard_tasks) {
+        for (i, t) in bucket {
+            slots[i] = Some(t);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task runs in exactly one shard"))
+        .collect()
+}
+
+/// The multi-core [`WindowRunner`]: each simulation window fans its
+/// shards out over up to `jobs` scoped threads and joins before the
+/// exchange barrier.
+///
+/// Shard state is disjoint (`&mut` handed to exactly one worker) and the
+/// window protocol makes drain order immaterial, so this changes
+/// wall-clock time only — `ull_simkit::SerialRunner` produces the same
+/// bytes. `jobs <= 1` takes the serial path with no thread machinery.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelRunner {
+    /// Maximum worker threads per window.
+    pub jobs: usize,
+}
+
+impl WindowRunner for ParallelRunner {
+    fn run<S: Send>(&mut self, shards: &mut [S], work: impl Fn(usize, &mut S) + Sync) {
+        if self.jobs <= 1 || shards.len() <= 1 {
+            for (i, s) in shards.iter_mut().enumerate() {
+                work(i, s);
+            }
+            return;
+        }
+        // One contiguous stripe of shards per worker, at most `jobs`
+        // workers; window barriers are frequent, so keep the per-window
+        // spawn count bounded.
+        let workers = self.jobs.min(shards.len());
+        let stripe = shards.len().div_ceil(workers);
+        let work = &work;
+        thread::scope(|scope| {
+            for (ci, chunk) in shards.chunks_mut(stripe).enumerate() {
+                scope.spawn(move || {
+                    for (j, s) in chunk.iter_mut().enumerate() {
+                        work(ci * stripe + j, s);
+                    }
+                });
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +305,41 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn sharded_matches_serial_for_every_shard_and_job_count() {
+        let expected: Vec<u64> = (0..23u64).map(|i| i.wrapping_mul(31) ^ 7).collect();
+        for shards in [1, 2, 3, 4, 8, 23, 64] {
+            for jobs in [1, 2, 4] {
+                let tasks: Vec<_> = (0..23u64).map(|i| move || i.wrapping_mul(31) ^ 7).collect();
+                assert_eq!(
+                    run_sharded(jobs, shards, tasks),
+                    expected,
+                    "shards={shards} jobs={jobs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_handles_empty_task_lists() {
+        let none: Vec<fn() -> u8> = Vec::new();
+        assert!(run_sharded(4, 4, none).is_empty());
+    }
+
+    #[test]
+    fn parallel_runner_matches_serial_runner() {
+        use ull_simkit::WindowRunner;
+        let run = |runner: &mut dyn FnMut(&mut [u64])| {
+            let mut shards: Vec<u64> = (0..7).collect();
+            runner(&mut shards);
+            shards
+        };
+        let serial = run(&mut |s| ull_simkit::SerialRunner.run(s, |i, v| *v += i as u64 * 100));
+        for jobs in [1, 2, 4, 16] {
+            let par = run(&mut |s| ParallelRunner { jobs }.run(s, |i, v| *v += i as u64 * 100));
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
     }
 }

@@ -1,0 +1,304 @@
+//! The NBD server-client pair as [`Component`] actors.
+//!
+//! [`NbdSystem`](crate::NbdSystem) models fig. 23's client synchronously
+//! — one borrow-the-whole-system call per file operation. This module is
+//! the message-passing formulation of the same machine: clients and the
+//! server are separate actors that exchange timestamped [`NbdWire`]
+//! events through a [`Scheduler`], which is what lets one export serve
+//! many client machines *and* lets the whole system run sharded — the
+//! network's one-way latency is a physical floor on how soon a request
+//! or response can arrive, so it becomes the world's
+//! [`Lookahead`](ull_simkit::Lookahead) and the client/server actors can
+//! live on different cores while producing byte-identical results at any
+//! shard count (see `docs/SHARDING.md`).
+
+use ull_nvme::NvmeController;
+use ull_simkit::{ActorId, Component, Histogram, Scheduler, SimDuration, SimTime, SplitMix64};
+use ull_ssd::{ConfigError, Ssd, SsdConfig};
+use ull_stack::{Host, IoOp, IoPath, SoftwareCosts};
+
+use crate::nbd::{NbdServerKind, NetworkParams};
+
+/// One NBD request on the wire, client → server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NbdRequestEvent {
+    /// When the client issued the operation (latency is measured from
+    /// here).
+    pub issued: SimTime,
+    /// Per-client request sequence number (tie-break identity).
+    pub seq: u64,
+    /// Actor to deliver the response to.
+    pub reply_to: ActorId,
+    /// Direction.
+    pub op: IoOp,
+    /// Byte offset on the exported device.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+/// One NBD response on the wire, server → client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NbdResponseEvent {
+    /// Echo of the request's issue instant.
+    pub issued: SimTime,
+    /// Echo of the request's sequence number.
+    pub seq: u64,
+    /// When the response reached the client.
+    pub done: SimTime,
+}
+
+/// The wire protocol between NBD actors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NbdWire {
+    /// Client → server.
+    Request(NbdRequestEvent),
+    /// Server → client.
+    Response(NbdResponseEvent),
+}
+
+/// The server actor: one exported ULL device behind one network port.
+///
+/// Requests are serviced in arrival order on a single service thread
+/// (the NBD worker): each waits for the previous one to finish, pays the
+/// server-kind software overhead, runs synchronously through the host
+/// stack, and the response crosses the link back.
+#[derive(Debug)]
+pub struct NbdServerActor {
+    host: Host,
+    net: NetworkParams,
+    server_overhead: SimDuration,
+    /// The single service thread's availability.
+    busy_until: SimTime,
+    served: u64,
+}
+
+impl NbdServerActor {
+    /// Builds a server exporting a device built from `ssd`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid device configurations.
+    pub fn new(ssd: SsdConfig, kind: NbdServerKind) -> Result<Self, ConfigError> {
+        let ctrl = NvmeController::new(Ssd::new(ssd)?, 1, 1024);
+        let (path, server_overhead) = match kind {
+            NbdServerKind::Kernel => (IoPath::KernelInterrupt, SimDuration::from_micros(22)),
+            NbdServerKind::Spdk => (IoPath::Spdk, SimDuration::from_nanos(1_500)),
+        };
+        Ok(NbdServerActor {
+            host: Host::new(ctrl, SoftwareCosts::linux_4_14(), path),
+            net: NetworkParams::ten_gbe(),
+            server_overhead,
+            busy_until: SimTime::ZERO,
+            served: 0,
+        })
+    }
+
+    /// Requests serviced so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// The server host (CPU ledger, device metrics).
+    pub fn host(&self) -> &Host {
+        &self.host
+    }
+
+    fn serve(&mut self, now: SimTime, req: NbdRequestEvent, sched: &mut Scheduler<'_, NbdWire>) {
+        let start = now.max(self.busy_until) + self.server_overhead;
+        let r = self.host.io_sync(req.op, req.offset, req.len, start);
+        self.busy_until = r.user_visible;
+        self.served += 1;
+        let resp_bytes = if matches!(req.op, IoOp::Read) {
+            req.len + 64
+        } else {
+            64
+        };
+        let done = r.user_visible + self.net.transfer_time(resp_bytes) + self.net.one_way;
+        sched.send(
+            req.reply_to,
+            done,
+            NbdWire::Response(NbdResponseEvent {
+                issued: req.issued,
+                seq: req.seq,
+                done,
+            }),
+        );
+    }
+}
+
+/// A closed-loop client actor: issues `ops` 4 KiB requests back to back
+/// (think time between them), addressed by a seeded stream over the
+/// export.
+#[derive(Debug)]
+pub struct NbdClientActor {
+    server: ActorId,
+    net: NetworkParams,
+    rng: SplitMix64,
+    capacity: u64,
+    ops: u64,
+    think: SimDuration,
+    issued: u64,
+    /// Completed requests.
+    pub completed: u64,
+    /// Client-visible request latency.
+    pub latency: Histogram,
+    /// Order-sensitive checksum of `(seq, done)` pairs — two runs that
+    /// complete the same requests in a different order disagree here.
+    pub checksum: u64,
+}
+
+impl NbdClientActor {
+    /// A client that will issue `ops` requests to `server`.
+    pub fn new(server: ActorId, capacity: u64, seed: u64, ops: u64) -> Self {
+        NbdClientActor {
+            server,
+            net: NetworkParams::ten_gbe(),
+            rng: SplitMix64::new(seed),
+            capacity,
+            ops,
+            think: SimDuration::from_micros(5),
+            issued: 0,
+            completed: 0,
+            latency: Histogram::new(),
+            checksum: 0,
+        }
+    }
+
+    /// Issues the next request at `at` (no-op once `ops` are out).
+    pub fn issue(&mut self, at: SimTime, sched: &mut Scheduler<'_, NbdWire>) {
+        if self.issued >= self.ops {
+            return;
+        }
+        let op = if self.rng.next_u64().is_multiple_of(4) {
+            IoOp::Write
+        } else {
+            IoOp::Read
+        };
+        let len = 4096u32;
+        let units = (self.capacity / 4096).saturating_sub(2).max(1);
+        let offset = (self.rng.next_u64() % units) * 4096;
+        let seq = self.issued;
+        self.issued += 1;
+        let req_bytes = if matches!(op, IoOp::Write) {
+            len + 64
+        } else {
+            64
+        };
+        let arrive = at + self.net.transfer_time(req_bytes) + self.net.one_way;
+        sched.send(
+            self.server,
+            arrive,
+            NbdWire::Request(NbdRequestEvent {
+                issued: at,
+                seq,
+                reply_to: sched.me(),
+                op,
+                offset,
+                len,
+            }),
+        );
+    }
+}
+
+/// One actor of the NBD world: a client machine or the server.
+///
+/// The server (a whole `Host` + device) dwarfs a client, so it lives
+/// behind a `Box` to keep the world's actor vector densely packed.
+#[derive(Debug)]
+pub enum NbdActor {
+    /// A client machine.
+    Client(NbdClientActor),
+    /// The export server.
+    Server(Box<NbdServerActor>),
+}
+
+impl Component for NbdActor {
+    type Event = NbdWire;
+
+    fn on_event(&mut self, now: SimTime, ev: NbdWire, sched: &mut Scheduler<'_, NbdWire>) {
+        match (self, ev) {
+            (NbdActor::Server(s), NbdWire::Request(req)) => s.serve(now, req, sched),
+            (NbdActor::Client(c), NbdWire::Response(resp)) => {
+                c.completed += 1;
+                c.latency.record(resp.done.saturating_since(resp.issued));
+                c.checksum = c
+                    .checksum
+                    .wrapping_mul(0x100_0000_01B3)
+                    .wrapping_add(resp.seq ^ resp.done.as_nanos());
+                c.issue(now + c.think, sched);
+            }
+            // A request delivered to a client or a response to the
+            // server is a routing bug in the world builder.
+            (actor, ev) => unreachable!("misrouted NBD event {ev:?} at {actor:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ull_simkit::{Lookahead, ShardedWorld};
+    use ull_ssd::presets;
+
+    fn run_world(shards: usize, kind: NbdServerKind, clients: u32) -> Vec<(u64, u64, u64)> {
+        let capacity = presets::ull_800g().capacity_bytes;
+        let mut actors = vec![NbdActor::Server(Box::new(
+            NbdServerActor::new(presets::ull_800g(), kind).unwrap(),
+        ))];
+        for i in 0..clients {
+            actors.push(NbdActor::Client(NbdClientActor::new(
+                ActorId(0),
+                capacity,
+                0x5EED_0000 + u64::from(i),
+                200,
+            )));
+        }
+        let lookahead = Lookahead::from_floor(NetworkParams::ten_gbe().one_way);
+        let mut world = ShardedWorld::new(shards, lookahead, actors);
+        for c in 1..=clients {
+            world.seed(ActorId(c), |actor, sched| {
+                if let NbdActor::Client(cl) = actor {
+                    cl.issue(SimTime::ZERO, sched);
+                }
+            });
+        }
+        world.run();
+        world
+            .into_actors()
+            .into_iter()
+            .filter_map(|a| match a {
+                NbdActor::Client(c) => Some((c.completed, c.checksum, c.latency.mean().as_nanos())),
+                NbdActor::Server(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_nbd_world_is_byte_identical_at_any_shard_count() {
+        for kind in [NbdServerKind::Kernel, NbdServerKind::Spdk] {
+            let serial = run_world(1, kind, 3);
+            assert_eq!(serial.len(), 3);
+            for (completed, _, _) in &serial {
+                assert_eq!(*completed, 200, "every client finishes its ops");
+            }
+            for shards in [2, 3, 4] {
+                assert_eq!(run_world(shards, kind, 3), serial, "shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn responses_reflect_server_serialization() {
+        // Three clients share one service thread: per-request latency
+        // must exceed the single-client baseline's mean.
+        let one = run_world(1, NbdServerKind::Spdk, 1);
+        let three = run_world(1, NbdServerKind::Spdk, 3);
+        assert!(
+            three.iter().all(|(_, _, mean)| *mean > one[0].2),
+            "contended mean {:?} must exceed solo mean {}",
+            three,
+            one[0].2
+        );
+    }
+}

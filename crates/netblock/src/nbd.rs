@@ -52,7 +52,8 @@ impl NetworkParams {
         }
     }
 
-    fn transfer(&self, bytes: u32) -> SimDuration {
+    /// Serialization time of `bytes` on the link.
+    pub fn transfer_time(&self, bytes: u32) -> SimDuration {
         SimDuration::from_nanos(bytes as u64 * 1000 / self.bandwidth_mbps as u64)
     }
 }
@@ -238,7 +239,7 @@ impl NbdSystem {
         } else {
             64
         };
-        let req = self.link.reserve(at, self.net.transfer(req_bytes));
+        let req = self.link.reserve(at, self.net.transfer_time(req_bytes));
         let arrive = req.end + self.net.one_way;
         // Server-side software before the block I/O.
         let start = arrive + self.server_overhead;
@@ -251,7 +252,7 @@ impl NbdSystem {
         };
         let resp = self
             .link
-            .reserve(r.user_visible, self.net.transfer(resp_bytes));
+            .reserve(r.user_visible, self.net.transfer_time(resp_bytes));
         resp.end + self.net.one_way
     }
 

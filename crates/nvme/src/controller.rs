@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use ull_faults::{FaultPlan, SALT_NVME};
 use ull_probe::DeviceSpan;
-use ull_simkit::{SimDuration, SimTime, SplitMix64, TimingWheel};
+use ull_simkit::{Component, Engine, Scheduler, SimDuration, SimTime, SplitMix64};
 use ull_ssd::{DeviceCompletion, Ssd};
 
 use crate::command::{Completion, NvmeCommand, Opcode};
@@ -25,11 +25,11 @@ pub struct QueuePair {
     /// Controller-filled completion ring.
     pub cq: CompletionQueue,
     /// Completions computed by the backend but not yet visible to the host,
-    /// ordered by `(completion instant, cid)` — the timing wheel's keyed
+    /// ordered by `(completion instant, cid)` — the engine wheel's keyed
     /// tie-break reproduces the historical `BinaryHeap<Reverse<(u64, u16)>>`
     /// order exactly (cids are unique among in-flight commands, so the
     /// insertion-sequence tail of the wheel's ordering never decides).
-    pending: TimingWheel<u16>,
+    pending: Engine<u16>,
 }
 
 impl QueuePair {
@@ -37,8 +37,61 @@ impl QueuePair {
         QueuePair {
             sq: SubmissionQueue::new(size),
             cq: CompletionQueue::new(size),
-            pending: TimingWheel::new(),
+            pending: Engine::new(),
         }
+    }
+}
+
+/// The device-scheduler component: drains due completions from a queue
+/// pair's pending timeline into its CQ ring.
+///
+/// Same-instant completions arrive as one batch and post as a slice —
+/// coalesced interrupts deliver many CQEs per doorbell, and the slice
+/// drain amortizes the per-event dispatch (ROADMAP item 5). CQ
+/// backpressure is head-of-line: the first completion that does not fit
+/// re-parks itself and everything behind it at the current instant under
+/// their cid keys (cids are unique, so this restores the exact
+/// `(time, cid)` order) and halts the drain until the host consumes
+/// entries.
+struct CqPump<'a> {
+    cq: &'a mut CompletionQueue,
+    /// SQ head to advertise in posted CQEs; the SQ does not move during
+    /// a delivery drain, so one read serves the whole batch.
+    sqhd: u16,
+}
+
+impl CqPump<'_> {
+    /// Posts one cid; on a full CQ re-parks it and halts. Returns
+    /// whether the post fit.
+    fn post(&mut self, now: SimTime, cid: u16, sched: &mut Scheduler<'_, u16>) -> bool {
+        if self.cq.post(cid, self.sqhd, true).is_err() {
+            sched.at_keyed(now, u64::from(cid), cid);
+            sched.halt();
+            return false;
+        }
+        true
+    }
+}
+
+impl Component for CqPump<'_> {
+    type Event = u16;
+
+    fn on_event(&mut self, now: SimTime, cid: u16, sched: &mut Scheduler<'_, u16>) {
+        self.post(now, cid, sched);
+    }
+
+    fn on_batch(&mut self, now: SimTime, batch: &mut Vec<u16>, sched: &mut Scheduler<'_, u16>) {
+        for (i, &cid) in batch.iter().enumerate() {
+            if !self.post(now, cid, sched) {
+                // Head-of-line blocked: the tail re-parks behind the
+                // full-CQ cid, keyed so order is preserved.
+                for &blocked in &batch[i + 1..] {
+                    sched.at_keyed(now, u64::from(blocked), blocked);
+                }
+                break;
+            }
+        }
+        batch.clear();
     }
 }
 
@@ -333,16 +386,11 @@ impl NvmeController {
     /// Completions that do not fit (host lagging) stay pending.
     pub fn deliver_due(&mut self, qid: u16, at: SimTime) {
         let qp = &mut self.qpairs[qid as usize];
-        while let Some((t, cid)) = qp.pending.peek().map(|(t, &cid)| (t, cid)) {
-            if t > at {
-                break;
-            }
-            let sqhd = qp.sq.head();
-            if qp.cq.post(cid, sqhd, true).is_err() {
-                break; // CQ full: retry after the host consumes entries
-            }
-            qp.pending.pop();
-        }
+        let mut pump = CqPump {
+            cq: &mut qp.cq,
+            sqhd: qp.sq.head(),
+        };
+        qp.pending.run_until(at, &mut pump);
     }
 
     /// Host-side poll at instant `at`: delivers due completions and consumes

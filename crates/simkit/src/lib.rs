@@ -11,6 +11,14 @@
 //!   (the `BinaryHeap` reference implementation).
 //! * [`TimingWheel`] — the hot-path hierarchical timing wheel with the
 //!   same ordering contract, plus caller-keyed tie-breaks.
+//! * [`Component`] / [`Scheduler`] / [`Engine`] — the shared actor API
+//!   every engine loop runs on: components own local state, receive
+//!   timestamped events, and emit follow-ups through a handle instead of
+//!   draining a wheel of their own.
+//! * [`ShardedWorld`] / [`Lookahead`] — conservative parallel DES:
+//!   actors partitioned across per-shard wheels, windows bounded by the
+//!   cross-actor latency floor, byte-identical at any shard count
+//!   (`docs/SHARDING.md`).
 //! * [`Slab`] / [`Label`] — allocation-free per-request state: reusable
 //!   generational slots and interned job labels.
 //! * [`Timeline`] / [`ServerPool`] — resource busy-until timelines, the
@@ -39,25 +47,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod component;
 mod event;
 mod hist;
 mod json;
 mod label;
+mod lookahead;
 mod resource;
 mod rng;
 mod series;
+mod shard;
 mod slab;
 mod stats;
 mod time;
 mod wheel;
 
+pub use component::{ActorId, Component, Engine, Scheduler};
 pub use event::EventQueue;
 pub use hist::Histogram;
 pub use json::Json;
 pub use label::Label;
+pub use lookahead::Lookahead;
 pub use resource::{ServerPool, Slot, Timeline};
 pub use rng::SplitMix64;
 pub use series::TimeSeries;
+pub use shard::{Delivery, SerialRunner, ShardEvent, ShardedWorld, WindowRunner};
 pub use slab::{Slab, SlotId};
 pub use stats::Summary;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,89 @@
+//! Lookahead: the latency floor conservative parallel simulation
+//! rests on.
+//!
+//! A sharded world may drain the window `[T, T + L)` on every shard
+//! concurrently only if no shard can receive an event *inside* that
+//! window from another shard. [`Lookahead`] is the `L` of that
+//! argument: the minimum over every cross-actor path of the smallest
+//! delay an emission can experience — a network link's one-way
+//! latency, a queue's minimum service time. The [`Scheduler`]
+//! (crate::Scheduler) floors every cross-actor send to `now + L`, so
+//! the promise holds by construction rather than by protocol
+//! (null-message-style conservative synchronization with the null
+//! messages made implicit; see `docs/SHARDING.md` for the derivation).
+
+use crate::time::SimDuration;
+
+/// The cross-actor latency floor of a sharded world.
+///
+/// Combine per-path floors with [`min`](Self::min): the world's
+/// lookahead is the tightest floor of any path between actors on
+/// different shards.
+///
+/// # Examples
+///
+/// ```
+/// use ull_simkit::{Lookahead, SimDuration};
+///
+/// let link = Lookahead::from_floor(SimDuration::from_micros(10));
+/// let queue = Lookahead::from_floor(SimDuration::from_micros(25));
+/// assert_eq!(link.min(queue), link);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Lookahead(SimDuration);
+
+impl Lookahead {
+    /// One simulated nanosecond — the smallest usable lookahead. A
+    /// window must have positive width to make progress, so
+    /// [`duration`](Self::duration) never reports less than this.
+    pub const MIN: Lookahead = Lookahead(SimDuration::from_nanos(1));
+
+    /// A lookahead derived from one cross-actor path's latency floor
+    /// (link one-way latency, minimum queue service time, ...).
+    /// Floors below one nanosecond are clamped up to [`MIN`](Self::MIN).
+    pub const fn from_floor(floor: SimDuration) -> Self {
+        if floor.as_nanos() < 1 {
+            Self::MIN
+        } else {
+            Lookahead(floor)
+        }
+    }
+
+    /// The tighter of two floors: a world's lookahead is the minimum
+    /// over every cross-shard path.
+    pub fn min(self, other: Self) -> Self {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// The window width `L` as a duration (always at least 1 ns).
+    pub fn duration(self) -> SimDuration {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_floors_clamp_to_one_nanosecond() {
+        assert_eq!(
+            Lookahead::from_floor(SimDuration::ZERO).duration(),
+            SimDuration::from_nanos(1)
+        );
+        assert_eq!(Lookahead::MIN.duration(), SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn min_picks_the_tighter_floor() {
+        let a = Lookahead::from_floor(SimDuration::from_micros(10));
+        let b = Lookahead::from_floor(SimDuration::from_nanos(300));
+        assert_eq!(a.min(b), b);
+        assert_eq!(b.min(a), b);
+        assert_eq!(a.min(a), a);
+    }
+}

@@ -726,6 +726,27 @@ fn s011_passes_owned_state_and_the_exec_driver() {
     assert!(check_source("exec", "crates/exec/src/lib.rs", pool).is_empty());
 }
 
+#[test]
+fn s011_flags_shared_shard_channels_outside_exec() {
+    // A cross-shard outbox guarded by a lock looks harmless — until two
+    // shards drain it in wall-clock order. Channel state in sim crates
+    // must be owned per shard and exchanged at the window barrier
+    // (docs/SHARDING.md); only the exec driver may hold shared state.
+    // (a lock is both a blocking primitive — S005 — and shared
+    // mutability — S011; both fire on both lines)
+    let bad = "use std::sync::Mutex;\n\
+               pub struct ShardOutbox { pending: Mutex<Vec<u64>> }\n";
+    assert_eq!(sim(bad), ["S005:1", "S011:1", "S005:2", "S011:2"]);
+    // The same channel laundered through an alias is still caught.
+    let aliased = "pub type Channel = std::sync::Mutex<Vec<u64>>;\n\
+                   pub struct ShardOutbox { pending: Channel }\n";
+    let rules = sim(aliased);
+    assert!(rules.contains(&"S011:2".to_string()), "{rules:?}");
+    // An owned outbox drained at the barrier is the sanctioned shape.
+    let good = "pub struct ShardOutbox { pending: Vec<u64> }\n";
+    assert!(sim(good).is_empty());
+}
+
 // ------------------------------------------------------------------ S012
 
 #[test]
@@ -835,6 +856,32 @@ fn s014_scope_is_pub_event_structs_with_timestamps() {
     let not_event = "use ull_simkit::SimTime;\n\
                      pub struct Deadline { pub at: SimTime }\n";
     assert!(sim(not_event).is_empty());
+}
+
+#[test]
+fn s014_polices_cross_shard_wire_events() {
+    // The inter-shard wire format: two same-instant events from
+    // different shards merge in whatever order the barrier drained them
+    // unless the struct itself carries a total order. This is the exact
+    // hazard the `(time, shard, seq)` merge key exists for
+    // (docs/SHARDING.md).
+    let bad = "use ull_simkit::SimTime;\n\
+               pub struct ShardHopEvent {\n\
+                   pub at: SimTime,\n\
+                   pub src: u32,\n\
+                   pub payload: u64,\n\
+               }\n";
+    assert_eq!(sim(bad), ["S014:2"]);
+    // The shipped shape: a per-source emission counter next to the
+    // timestamp (`ShardEvent` in ull-simkit carries exactly this).
+    let good = "use ull_simkit::SimTime;\n\
+                pub struct ShardHopEvent {\n\
+                    pub at: SimTime,\n\
+                    pub src: u32,\n\
+                    pub seq: u64,\n\
+                    pub payload: u64,\n\
+                }\n";
+    assert!(sim(good).is_empty());
 }
 
 // ------------------------------------------------------------- reporting

@@ -55,7 +55,7 @@ pub enum IoOp {
 }
 
 /// Outcome of one I/O as the application observes it.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IoResult {
     /// When the application issued the I/O.
     pub submitted: SimTime,

@@ -9,6 +9,8 @@
 //! * [`SoftwareCosts`] — the calibrated Linux 4.14 + SPDK 19.07 cost table.
 //! * [`Host`] — one core driving one device over a chosen [`IoPath`]:
 //!   kernel-interrupt, kernel-polled, kernel-hybrid, or SPDK.
+//! * [`AsyncPort`] — in-flight bookkeeping for component-driven async
+//!   engines built on [`Host::submit_async`] / [`Host::finish_async`].
 //!
 //! # Examples
 //!
@@ -34,9 +36,11 @@
 mod blkmq;
 mod costs;
 mod cpu;
+mod engine;
 mod host;
 
 pub use blkmq::{split_request, split_request_into, Tag, TagSet};
 pub use costs::{IterProfile, Segment, SoftwareCosts};
 pub use cpu::{CpuAccounting, MemCounts, Mode, StackFn};
+pub use engine::AsyncPort;
 pub use host::{Host, IoOp, IoPath, IoResult};

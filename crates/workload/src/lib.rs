@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fleet;
 mod pattern;
 mod report;
 mod runner;
@@ -41,6 +42,7 @@ mod trace;
 // `Json` moved down to `ull-simkit` so crates below the workload layer
 // (notably `ull-probe`'s trace writer) can emit documents too; re-exported
 // here so existing `ull_workload::Json` users keep compiling.
+pub use fleet::{run_fleet, FleetEvent, FleetNode, FleetNodeReport, GOSSIP_LINK};
 pub use pattern::AddressStream;
 pub use report::JobReport;
 pub use runner::{precondition_full, run_job};

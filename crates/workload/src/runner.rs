@@ -1,8 +1,9 @@
 //! The job runner: drives a [`crate::JobSpec`] against a host.
 
-use ull_simkit::{Histogram, SimDuration, SimTime, Slab, SlotId, TimeSeries, TimingWheel};
-use ull_ssd::DeviceCompletion;
-use ull_stack::{Host, IoOp, IoPath, Mode};
+use ull_simkit::{
+    Component, Engine as EngineLoop, Histogram, Scheduler, SimDuration, SimTime, SlotId, TimeSeries,
+};
+use ull_stack::{AsyncPort, Host, IoOp, IoPath, Mode};
 
 use crate::pattern::AddressStream;
 use crate::report::JobReport;
@@ -145,44 +146,72 @@ fn run_sync(host: &mut Host, spec: &JobSpec, stream: &mut AddressStream, rec: &m
     }
 }
 
-fn run_async(host: &mut Host, spec: &JobSpec, stream: &mut AddressStream, rec: &mut Recorder) {
-    // The engine loop's scheduler is the timing wheel; in-flight state
-    // lives in reusable slab slots keyed by the wheel payload, so the
-    // steady-state loop performs no per-I/O allocation at all.
-    let mut events: TimingWheel<SlotId> = TimingWheel::new();
-    let mut in_flight: Slab<(SlotId, IoOp, DeviceCompletion)> =
-        Slab::with_capacity(spec.iodepth as usize);
-    let mut submitted = 0u64;
+/// The async engine loop as a [`Component`]: each event is the slab slot
+/// of a completed I/O, and every completion may submit one replacement.
+struct AsyncLoop<'a> {
+    host: &'a mut Host,
+    spec: &'a JobSpec,
+    stream: &'a mut AddressStream,
+    rec: &'a mut Recorder,
+    port: AsyncPort,
+    submitted: u64,
+}
 
-    let submit = |host: &mut Host,
-                  stream: &mut AddressStream,
-                  events: &mut TimingWheel<SlotId>,
-                  in_flight: &mut Slab<(SlotId, IoOp, DeviceCompletion)>,
-                  at: SimTime| {
-        let (op, offset) = stream.next_io();
-        let (token, dev) = host.submit_async(op, offset, spec.block_size, at);
-        let done = dev.done;
-        events.schedule(done, in_flight.insert((token, op, dev)));
-    };
-
-    let prime = spec.ios.min(spec.iodepth as u64);
-    for _ in 0..prime {
-        submit(host, stream, &mut events, &mut in_flight, SimTime::ZERO);
-        submitted += 1;
+impl AsyncLoop<'_> {
+    /// Submits the next I/O of the stream at `at` and schedules its
+    /// completion event (FIFO-keyed, exactly like the pre-component
+    /// loop's `events.schedule`).
+    fn submit(&mut self, at: SimTime, sched: &mut Scheduler<'_, SlotId>) {
+        let (op, offset) = self.stream.next_io();
+        let (slot, done) = self
+            .port
+            .submit(self.host, op, offset, self.spec.block_size, at);
+        sched.at(done, slot);
+        self.submitted += 1;
     }
+}
 
-    while let Some((_, slot)) = events.pop() {
-        let (token, op, dev) = in_flight
-            .remove(slot)
+impl Component for AsyncLoop<'_> {
+    type Event = SlotId;
+
+    fn on_event(&mut self, _now: SimTime, slot: SlotId, sched: &mut Scheduler<'_, SlotId>) {
+        let (op, r) = self
+            .port
+            .finish(self.host, slot)
             .expect("completion for an in-flight slot");
-        let r = host.finish_async(token, dev);
-        rec.record(op, r.submitted, r.latency, spec.block_size, r.user_visible);
-        if submitted < spec.ios {
-            let next_at = r.user_visible + spec.think_time;
-            submit(host, stream, &mut events, &mut in_flight, next_at);
-            submitted += 1;
+        self.rec.record(
+            op,
+            r.submitted,
+            r.latency,
+            self.spec.block_size,
+            r.user_visible,
+        );
+        if self.submitted < self.spec.ios {
+            self.submit(r.user_visible + self.spec.think_time, sched);
         }
     }
+}
+
+fn run_async(host: &mut Host, spec: &JobSpec, stream: &mut AddressStream, rec: &mut Recorder) {
+    // In-flight state lives in reusable `AsyncPort` slab slots keyed by
+    // the event payload, so the steady-state loop performs no per-I/O
+    // allocation at all.
+    let mut engine: EngineLoop<SlotId> = EngineLoop::new();
+    let mut comp = AsyncLoop {
+        host,
+        spec,
+        stream,
+        rec,
+        port: AsyncPort::with_capacity(spec.iodepth as usize),
+        submitted: 0,
+    };
+    let prime = spec.ios.min(spec.iodepth as u64);
+    engine.with_scheduler(SimTime::ZERO, |sched| {
+        for _ in 0..prime {
+            comp.submit(SimTime::ZERO, sched);
+        }
+    });
+    engine.run(&mut comp);
 }
 
 #[cfg(test)]

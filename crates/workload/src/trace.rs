@@ -10,9 +10,8 @@
 //! 12.5,W,1048576,8192
 //! ```
 
-use ull_simkit::{Histogram, SimDuration, SimTime, Slab, SlotId, TimingWheel};
-use ull_ssd::DeviceCompletion;
-use ull_stack::{Host, IoOp};
+use ull_simkit::{Component, Engine, Histogram, Scheduler, SimDuration, SimTime, SlotId};
+use ull_stack::{AsyncPort, Host, IoOp};
 
 /// One trace record.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -127,6 +126,100 @@ impl TraceReport {
     }
 }
 
+/// Bound in-flight records so driver tags can never exhaust even for
+/// pathological all-at-once traces.
+const MAX_IN_FLIGHT: usize = 512;
+
+/// Same-instant tie-break keys: when a submit opportunity and a pending
+/// completion land on the same instant, the submitting thread wins the
+/// tie (`s <= c` in the pre-component loop), so submits carry the
+/// smaller key.
+const KEY_SUBMIT: u64 = 0;
+const KEY_COMPLETE: u64 = 1;
+
+/// The replay's two event kinds on one timeline.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// The submitting thread wakes to issue the next trace record.
+    Submit,
+    /// The I/O parked in this port slot completed on the device.
+    Complete(SlotId),
+}
+
+/// Open-loop trace replay as a [`Component`].
+///
+/// Invariant: at most one `Submit` event is pending at any time — it is
+/// rescheduled when stale (the thread's `free_at` moved past it) and
+/// parked (`stalled`) when the in-flight window is full, to be revived
+/// by the next completion.
+struct Replay<'a> {
+    host: &'a mut Host,
+    ops: &'a [TraceOp],
+    port: AsyncPort,
+    latency: Histogram,
+    completed: u64,
+    slipped: u64,
+    end: SimTime,
+    free_at: SimTime, // submitting thread availability
+    idx: usize,
+    stalled: bool,
+}
+
+impl Replay<'_> {
+    /// Schedules the submit wakeup for record `idx` (no-op past the end).
+    fn schedule_submit(&self, sched: &mut Scheduler<'_, Ev>) {
+        if let Some(o) = self.ops.get(self.idx) {
+            let at = (SimTime::ZERO + o.at).max(self.free_at);
+            sched.at_keyed(at, KEY_SUBMIT, Ev::Submit);
+        }
+    }
+}
+
+impl Component for Replay<'_> {
+    type Event = Ev;
+
+    fn on_event(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<'_, Ev>) {
+        match ev {
+            Ev::Submit => {
+                let o = self.ops[self.idx];
+                let want = SimTime::ZERO + o.at;
+                let at = want.max(self.free_at);
+                if at > now {
+                    // Stale wakeup: a completion pushed `free_at` past
+                    // the scheduled instant. Try again when free.
+                    sched.at_keyed(at, KEY_SUBMIT, Ev::Submit);
+                    return;
+                }
+                if self.port.len() >= MAX_IN_FLIGHT {
+                    // Window full: park until a completion frees a tag.
+                    self.stalled = true;
+                    return;
+                }
+                self.idx += 1;
+                if at > want {
+                    self.slipped += 1;
+                }
+                let (slot, done) = self.port.submit(self.host, o.op, o.offset, o.len, at);
+                sched.at_keyed(done, KEY_COMPLETE, Ev::Complete(slot));
+                // The submitting thread serializes `io_submit` calls.
+                self.free_at = at + SimDuration::from_micros(1);
+                self.schedule_submit(sched);
+            }
+            Ev::Complete(slot) => {
+                let (_, r) = self.port.finish(self.host, slot).expect("token in flight");
+                self.latency.record(r.latency);
+                self.completed += 1;
+                self.end = self.end.max(r.user_visible);
+                self.free_at = self.free_at.max(r.user_visible);
+                if self.stalled {
+                    self.stalled = false;
+                    self.schedule_submit(sched);
+                }
+            }
+        }
+    }
+}
+
 /// Replays `ops` open-loop: each record is submitted at its trace time (or
 /// as soon as the submitting thread is free, counting a *slip*).
 ///
@@ -134,56 +227,29 @@ impl TraceReport {
 ///
 /// Panics if any record exceeds the device capacity.
 pub fn replay(host: &mut Host, ops: &[TraceOp]) -> TraceReport {
-    let mut events: TimingWheel<SlotId> = TimingWheel::new();
-    let mut in_flight: Slab<(SlotId, DeviceCompletion)> = Slab::with_capacity(64);
-    let mut latency = Histogram::new();
-    let mut completed = 0u64;
-    let mut slipped = 0u64;
-    let mut end = SimTime::ZERO;
-    let mut free_at = SimTime::ZERO; // submitting thread availability
-    let mut idx = 0usize;
-
-    // Bound in-flight records so driver tags can never exhaust even for
-    // pathological all-at-once traces.
-    const MAX_IN_FLIGHT: usize = 512;
-
-    loop {
-        let sub_at = ops.get(idx).map(|o| (SimTime::ZERO + o.at).max(free_at));
-        let next_complete = events.peek_time();
-        let submit_now = match (sub_at, next_complete) {
-            (None, None) => break,
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
-            (Some(s), Some(c)) => s <= c && in_flight.len() < MAX_IN_FLIGHT,
-        };
-        if submit_now {
-            let o = ops[idx];
-            idx += 1;
-            let want = SimTime::ZERO + o.at;
-            let at = want.max(free_at);
-            if at > want {
-                slipped += 1;
-            }
-            let (token, dev) = host.submit_async(o.op, o.offset, o.len, at);
-            let done = dev.done;
-            events.schedule(done, in_flight.insert((token, dev)));
-            // The submitting thread serializes `io_submit` calls.
-            free_at = at + SimDuration::from_micros(1);
-        } else {
-            let (_, slot) = events.pop().expect("completion pending");
-            let (token, dev) = in_flight.remove(slot).expect("token in flight");
-            let r = host.finish_async(token, dev);
-            latency.record(r.latency);
-            completed += 1;
-            end = end.max(r.user_visible);
-            free_at = free_at.max(r.user_visible);
-        }
-    }
+    let mut engine: Engine<Ev> = Engine::new();
+    let mut comp = Replay {
+        host,
+        ops,
+        port: AsyncPort::with_capacity(64),
+        latency: Histogram::new(),
+        completed: 0,
+        slipped: 0,
+        end: SimTime::ZERO,
+        free_at: SimTime::ZERO,
+        idx: 0,
+        stalled: false,
+    };
+    engine.with_scheduler(SimTime::ZERO, |sched| comp.schedule_submit(sched));
+    // Stepped dispatch: a submit handler may emit the *next* submit at
+    // the current instant, and it must interleave with already-pending
+    // same-instant completions by key — batch draining would reorder.
+    engine.run_stepped(&mut comp);
     TraceReport {
-        completed,
-        latency,
-        elapsed: end.saturating_since(SimTime::ZERO),
-        slipped,
+        completed: comp.completed,
+        latency: comp.latency,
+        elapsed: comp.end.saturating_since(SimTime::ZERO),
+        slipped: comp.slipped,
     }
 }
 

@@ -95,3 +95,74 @@ fn readme_and_design_link_the_static_analysis_doc() {
         "DESIGN.md must link docs/STATIC_ANALYSIS.md"
     );
 }
+
+#[test]
+fn readme_design_and_determinism_link_the_sharding_doc() {
+    for doc in ["README.md", "DESIGN.md", "docs/DETERMINISM.md"] {
+        assert!(
+            read_doc(doc).contains("docs/SHARDING.md"),
+            "{doc} must link docs/SHARDING.md"
+        );
+    }
+}
+
+/// The registry table in EXPERIMENTS.md must stay in lockstep with the
+/// registry `reproduce --list` actually prints: every entry appears as
+/// a markdown row carrying its name (starred when not part of `all`),
+/// aliases, title, trace support and description.
+#[test]
+fn experiments_doc_table_carries_every_registry_entry_verbatim() {
+    let doc = read_doc("EXPERIMENTS.md");
+    for e in ull_ssd_study::study::registry::entries() {
+        let star = if e.in_all { "" } else { "\\*" };
+        let aliases = if e.aliases.is_empty() {
+            "-".to_string()
+        } else {
+            e.aliases.join(", ")
+        };
+        let trace = if e.traceable { "yes" } else { "-" };
+        let row = format!(
+            "| {}{star} | {aliases} | {} | {trace} | {} |",
+            e.name, e.title, e.description
+        );
+        assert!(
+            doc.contains(&row),
+            "EXPERIMENTS.md registry table is out of sync with the registry: \
+             missing or stale row for {:?}.\nExpected exactly:\n  {row}\n\
+             (columns: name, aliases, title, trace, description — the same \
+             fields `reproduce --list` prints)",
+            e.name
+        );
+    }
+}
+
+/// A registry entry removed from the code cannot linger in the doc
+/// table: every `| name |`-style row must resolve to a live entry.
+#[test]
+fn experiments_doc_has_no_phantom_entries() {
+    let doc = read_doc("EXPERIMENTS.md");
+    let table: Vec<&str> = doc
+        .lines()
+        .skip_while(|l| !l.starts_with("| name |"))
+        .skip(2)
+        .take_while(|l| l.starts_with('|'))
+        .collect();
+    assert!(
+        table.len() >= 17,
+        "EXPERIMENTS.md must carry the registry table (found {} rows)",
+        table.len()
+    );
+    for line in table {
+        let name = line
+            .trim_start_matches('|')
+            .split('|')
+            .next()
+            .expect("split always yields one piece")
+            .trim()
+            .trim_end_matches("\\*");
+        assert!(
+            ull_ssd_study::study::registry::find(name).is_some(),
+            "EXPERIMENTS.md lists experiment {name:?}, which the registry does not know"
+        );
+    }
+}

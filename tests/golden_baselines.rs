@@ -60,3 +60,33 @@ fn bench_breakdown_quick_json_is_bitwise_reproducible() {
          `cargo run --release -p ull-study --bin reproduce -- breakdown --json > BENCH_breakdown_quick.json`"
     );
 }
+
+/// `reproduce --shards N` reproduces every committed baseline byte for
+/// byte at N ∈ {1, 2, 4}: the shard count, like `--jobs`, partitions
+/// scheduling only (see docs/SHARDING.md).
+#[test]
+fn shard_count_cannot_change_baseline_bytes() {
+    for shards in [1usize, 2, 4] {
+        let sections: Vec<Section> = default_entries()
+            .map(|e| e.run_sharded(Scale::Quick, 2, shards))
+            .collect();
+        let doc = json_document(Scale::Quick, sections).to_pretty_string();
+        assert_eq!(
+            doc,
+            committed("BENCH_quick.json"),
+            "suite document diverged at --shards {shards}"
+        );
+        for (experiment, baseline) in [
+            ("faults", "BENCH_faults_quick.json"),
+            ("breakdown", "BENCH_breakdown_quick.json"),
+        ] {
+            let entry = find(experiment).expect("experiment is registered");
+            let section = entry.run_sharded(Scale::Quick, 2, shards);
+            assert_eq!(
+                json_document(Scale::Quick, vec![section]).to_pretty_string(),
+                committed(baseline),
+                "{experiment} diverged at --shards {shards}"
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Sharded-simulation invariants at the workspace level.
+//!
+//! `docs/SHARDING.md` claims that the physical shard count is pure
+//! scheduling: the merged event history — and therefore every output
+//! byte — is a function of the world alone. The unit tests inside
+//! `ull-simkit` pin that for hand-built worlds; these tests attack it
+//! with seeded *random* worlds (random fan-out, random delays, random
+//! lookahead floors) and with the real gossip-coupled fleet workload.
+
+use ull_simkit::{
+    ActorId, Component, Delivery, Lookahead, Scheduler, SerialRunner, ShardedWorld, SimDuration,
+    SimTime, SplitMix64,
+};
+use ull_workload::run_fleet;
+
+/// A randomized actor: every received event triggers a seeded burst of
+/// sends to random destinations at random future offsets. Behavior is a
+/// pure function of the actor's own seed and its received-event
+/// sequence, so any divergence between shard counts is the runtime's
+/// fault, not the workload's.
+struct Gossiper {
+    rng: SplitMix64,
+    n_actors: u64,
+    budget: u32,
+    digest: u64,
+}
+
+impl Gossiper {
+    fn new(seed: u64, n_actors: u64, budget: u32) -> Self {
+        Gossiper {
+            rng: SplitMix64::new(seed),
+            n_actors,
+            budget,
+            digest: 0,
+        }
+    }
+
+    fn burst(&mut self, now: SimTime, sched: &mut Scheduler<'_, u64>) {
+        let fanout = 1 + self.rng.below(3);
+        for _ in 0..fanout {
+            if self.budget == 0 {
+                return;
+            }
+            self.budget -= 1;
+            let dst = ActorId(self.rng.below(self.n_actors) as u32);
+            let delay = SimDuration::from_nanos(self.rng.below(50_000));
+            let payload = self.rng.next_u64() >> 32;
+            sched.send(dst, now + delay, payload);
+        }
+    }
+}
+
+impl Component for Gossiper {
+    type Event = u64;
+
+    fn on_event(&mut self, now: SimTime, ev: u64, sched: &mut Scheduler<'_, u64>) {
+        // Order-sensitive digest: two runs that deliver the same events
+        // in a different order disagree here.
+        self.digest = self.digest.wrapping_mul(0x100_0000_01B3).wrapping_add(ev);
+        self.burst(now, sched);
+    }
+}
+
+/// Runs one seeded random world and returns its observable history: the
+/// per-actor digests and the per-actor cross-shard delivery logs.
+fn run_random_world(
+    trial: u64,
+    n_actors: u64,
+    shards: usize,
+    floor: SimDuration,
+) -> (Vec<u64>, Vec<Vec<Delivery>>) {
+    let actors: Vec<Gossiper> = (0..n_actors)
+        .map(|i| Gossiper::new(trial.wrapping_mul(0x9E37_79B9) ^ i, n_actors, 60))
+        .collect();
+    let mut world = ShardedWorld::new(shards, Lookahead::from_floor(floor), actors);
+    for i in 0..n_actors {
+        world.seed(ActorId(i as u32), |g, sched| g.burst(SimTime::ZERO, sched));
+    }
+    world.run();
+    let logs = world.delivery_logs();
+    let digests = world.into_actors().iter().map(|g| g.digest).collect();
+    (digests, logs)
+}
+
+/// Seeded property: for random worlds under random lookahead floors,
+/// every shard count replays the exact same per-actor event history.
+#[test]
+fn random_worlds_are_shard_count_invariant() {
+    let mut seeds = SplitMix64::new(0x5AAD_ED01);
+    for trial in 0..12u64 {
+        let n_actors = 2 + seeds.below(7);
+        let floor = SimDuration::from_nanos(1 + seeds.below(20_000));
+        let serial = run_random_world(trial, n_actors, 1, floor);
+        assert!(
+            serial.1.iter().any(|log| !log.is_empty()),
+            "trial {trial}: the world must exchange cross-actor events"
+        );
+        for shards in [2usize, 3, 4, 8] {
+            let sharded = run_random_world(trial, n_actors, shards, floor);
+            assert_eq!(
+                sharded, serial,
+                "trial {trial} (actors={n_actors}, floor={floor:?}) diverged at shards={shards}"
+            );
+        }
+    }
+}
+
+/// The merged delivery order is the `(time, shard, seq)` total order:
+/// within one receiving actor the log ascends strictly by
+/// `(at, src, seq)` — the key cross-shard events are merged under.
+#[test]
+fn delivery_logs_respect_the_merge_order() {
+    for trial in 0..6u64 {
+        let (_, logs) = run_random_world(trial, 5, 3, SimDuration::from_nanos(777));
+        for (actor, log) in logs.iter().enumerate() {
+            for pair in log.windows(2) {
+                let a = (pair[0].at, pair[0].src, pair[0].seq);
+                let b = (pair[1].at, pair[1].src, pair[1].seq);
+                assert!(
+                    a < b,
+                    "actor {actor}: deliveries out of (time, shard, seq) order: {pair:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The real fleet workload (hosts + gossip) is byte-identical at every
+/// shard count — the workspace-level face of the simkit guarantee.
+#[test]
+fn fleet_workload_is_shard_count_invariant() {
+    let serial = run_fleet(5, 300, 4, 1, &mut SerialRunner);
+    for shards in [2usize, 4] {
+        assert_eq!(
+            run_fleet(5, 300, 4, shards, &mut SerialRunner),
+            serial,
+            "fleet diverged at shards={shards}"
+        );
+    }
+}
