@@ -26,7 +26,9 @@
 
 use std::time::Instant;
 
-use ull_simkit::{EventQueue, Json, SimDuration, SimTime, SplitMix64, TimingWheel};
+use ull_faults::FaultPlan;
+use ull_nexus::{run_nexus, NexusConfig};
+use ull_simkit::{EventQueue, Json, SerialRunner, SimDuration, SimTime, SplitMix64, TimingWheel};
 use ull_stack::IoPath;
 use ull_study::testbed::{host, Device};
 use ull_workload::{run_fleet, run_job, Engine, JobSpec, Pattern};
@@ -120,6 +122,23 @@ fn sync_ios_per_sec(ios: u64) -> f64 {
     r.completed as f64 / secs
 }
 
+/// Nexus kernel: a 3-way mirror on the ULL device absorbing one child
+/// retirement and an online rebuild under traffic (docs/NEXUS.md) —
+/// the heaviest multi-actor world in the tree, dominated by
+/// cross-actor event traffic rather than a single engine loop.
+/// Returns simulated client I/Os per wall-clock second.
+fn nexus_ios_per_sec(ios: u64) -> f64 {
+    let mut cfg = NexusConfig::new(ull_ssd::presets::ull_800g());
+    cfg.path = IoPath::KernelInterrupt;
+    cfg.ios = ios;
+    cfg.plan = FaultPlan::uniform(0x4E_BE4C, 2e-2);
+    cfg.budget = 2;
+    let t0 = Instant::now();
+    let r = run_nexus(&cfg, 1, &mut SerialRunner);
+    let secs = t0.elapsed().as_secs_f64();
+    r.counters.completed as f64 / secs
+}
+
 /// Sharded-fleet kernel: one gossip-coupled fleet world (see
 /// `ull_workload::run_fleet`) drained at `shards` shards with up to
 /// `shards` window workers. Returns `(events/s, simulated ios/s)`
@@ -197,6 +216,10 @@ fn main() {
     println!("sync pvsync2 polled ({io_n} ios):");
     let sync = best_of(samples, || sync_ios_per_sec(io_n));
     println!("  {:.0} simulated ios/s", sync);
+    let nexus_n = io_n / 4;
+    println!("nexus retire + online rebuild, 3-way mirror ({nexus_n} ios):");
+    let nexus = best_of(samples, || nexus_ios_per_sec(nexus_n));
+    println!("  {:.0} simulated ios/s", nexus);
 
     // Shard-scaling curve: the same gossip-coupled fleet world drained
     // at 1, 2 and 4 shards. The reports are byte-identical at every
@@ -247,7 +270,8 @@ fn main() {
                 .field("heap_events_per_sec", heap)
                 .field("wheel_speedup_vs_heap", speedup)
                 .field("closed_loop_ios_per_sec", closed)
-                .field("sync_ios_per_sec", sync),
+                .field("sync_ios_per_sec", sync)
+                .field("nexus_ios_per_sec", nexus),
         )
         .field(
             "shard_scaling",
@@ -273,6 +297,7 @@ fn main() {
             ("wheel_events_per_sec", wheel),
             ("closed_loop_ios_per_sec", closed),
             ("sync_ios_per_sec", sync),
+            ("nexus_ios_per_sec", nexus),
         ] {
             let Some(base) = extract_number(&text, key) else {
                 println!("PERF-WARN: baseline {path} has no {key}");

@@ -335,6 +335,7 @@ impl Report for Faults {
                                 Json::obj()
                                     .field("link_drops", f.nbd.link_drops)
                                     .field("reconnects", f.nbd.reconnects)
+                                    .field("backoff_ns_total", f.nbd.backoff_ns_total)
                                     .field("replayed_commands", f.nbd.replayed_commands),
                             ),
                     )

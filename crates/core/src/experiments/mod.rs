@@ -14,6 +14,7 @@ pub mod device_level;
 pub mod extensions;
 pub mod faults;
 pub mod nbd;
+pub mod rebuild;
 pub mod spdk;
 pub mod table1;
 

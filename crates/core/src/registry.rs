@@ -11,7 +11,7 @@ use ull_workload::Json;
 
 use crate::engine::{run_experiment_sharded, Experiment, Report};
 use crate::experiments::{
-    breakdown, completion, device_level, extensions, faults, nbd, spdk, table1,
+    breakdown, completion, device_level, extensions, faults, nbd, rebuild, spdk, table1,
 };
 use crate::testbed::Scale;
 
@@ -174,6 +174,8 @@ pub fn entries() -> &'static [Entry] {
             // Same deal for the latency-attribution sweep: its baseline
             // is BENCH_breakdown_quick.json.
             entry!(breakdown::BreakdownExp, in_all: false),
+            // And the nexus rebuild sweep: BENCH_rebuild_quick.json.
+            entry!(rebuild::RebuildExp, in_all: false),
         ]
     })
 }
@@ -244,6 +246,7 @@ mod tests {
                 "fig23",
                 "faults",
                 "breakdown",
+                "rebuild",
             ]
         );
     }
@@ -262,8 +265,8 @@ mod tests {
         );
         assert_eq!(
             default_entries().count(),
-            entries().len() - 2,
-            "only the fault and breakdown sweeps opt out"
+            entries().len() - 3,
+            "only the fault, breakdown and rebuild sweeps opt out"
         );
         assert!(
             !e.description.is_empty(),

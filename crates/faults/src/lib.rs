@@ -28,5 +28,7 @@
 pub mod plan;
 pub mod report;
 
-pub use plan::{FaultPlan, SALT_FLASH_READ, SALT_NBD, SALT_NVME, SALT_PROGRAM};
+pub use plan::{
+    FaultPlan, SALT_FLASH_READ, SALT_NBD, SALT_NBD_BACKOFF, SALT_NVME, SALT_PROGRAM, SALT_REBUILD,
+};
 pub use report::{FaultReport, FlashFaults, NbdFaults, NvmeFaults, SsdRecovery};

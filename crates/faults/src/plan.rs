@@ -11,6 +11,13 @@ pub const SALT_PROGRAM: u64 = 0x94A6_FA11;
 pub const SALT_NVME: u64 = 0x0077_3EAD;
 /// Stream salt for the NBD link-drop lottery.
 pub const SALT_NBD: u64 = 0x11B_D409;
+/// Stream salt for the NBD reconnect-backoff jitter stream. Separate
+/// from [`SALT_NBD`] so adding backoff jitter cannot shift the
+/// link-drop lottery itself.
+pub const SALT_NBD_BACKOFF: u64 = 0xBAC_0FF;
+/// Stream salt for the nexus rebuild-scan pacing jitter (throttle gap
+/// randomization between range copies).
+pub const SALT_REBUILD: u64 = 0x4EB_171D;
 
 /// A deterministic fault-injection plan.
 ///

@@ -61,6 +61,9 @@ pub struct NbdFaults {
     pub reconnects: u64,
     /// In-flight commands replayed after a reconnect.
     pub replayed_commands: u64,
+    /// Total sim-time nanoseconds the client spent in bounded
+    /// exponential reconnect backoff (jitter included).
+    pub backoff_ns_total: u64,
 }
 
 /// The full per-host fault report: every layer's counters.
@@ -98,6 +101,7 @@ impl FaultReport {
         self.nbd.link_drops += other.nbd.link_drops;
         self.nbd.reconnects += other.nbd.reconnects;
         self.nbd.replayed_commands += other.nbd.replayed_commands;
+        self.nbd.backoff_ns_total += other.nbd.backoff_ns_total;
     }
 
     /// Total *injected* faults (recovery work excluded): marginal

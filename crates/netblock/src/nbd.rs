@@ -7,7 +7,7 @@
 //! in both setups — only the server-side I/O path differs, which is the
 //! paper's point.
 
-use ull_faults::{FaultPlan, NbdFaults, SALT_NBD};
+use ull_faults::{FaultPlan, NbdFaults, SALT_NBD, SALT_NBD_BACKOFF};
 use ull_nvme::NvmeController;
 use ull_simkit::{SimDuration, SimTime, SplitMix64, Timeline};
 use ull_ssd::{Ssd, SsdConfig};
@@ -101,12 +101,37 @@ pub struct NbdSystem {
 #[derive(Debug)]
 struct NbdFaultState {
     rng: SplitMix64,
+    /// Jitter stream for the reconnect backoff, decorrelated from the
+    /// drop lottery so backoff cannot shift which round trips drop.
+    backoff_rng: SplitMix64,
     drop_prob: f64,
     /// How long the client waits before declaring the link dead.
     detect_timeout: SimDuration,
     /// TCP + NBD handshake time on reconnect.
     reconnect_delay: SimDuration,
+    /// Base of the bounded exponential reconnect backoff; consecutive
+    /// dropped round trips wait `base << k` (jittered), `k` capped.
+    backoff_base: SimDuration,
+    /// Exponent cap (mirrors the NVMe host retry budget).
+    backoff_cap: u32,
+    /// Round trips dropped back-to-back; cleared by any round trip
+    /// whose drop lottery comes up clean.
+    consecutive_drops: u32,
     counters: NbdFaults,
+}
+
+impl NbdFaultState {
+    /// The backoff the client sleeps before the next reconnect attempt:
+    /// bounded exponential in the consecutive-drop count, with ±25%
+    /// seeded jitter so repeated reconnect storms do not synchronize.
+    fn backoff(&mut self) -> SimDuration {
+        let k = self.consecutive_drops.min(self.backoff_cap);
+        let base = self.backoff_base.as_nanos() << k;
+        // Jitter multiplier in [75%, 125%], drawn from the dedicated
+        // stream: 75 + r, r uniform in 0..=50.
+        let pct = 75 + self.backoff_rng.below(51);
+        SimDuration::from_nanos(base * pct / 100)
+    }
 }
 
 impl NbdSystem {
@@ -147,9 +172,13 @@ impl NbdSystem {
         if plan.nbd_drop_prob > 0.0 {
             self.faults = Some(NbdFaultState {
                 rng: plan.stream(SALT_NBD),
+                backoff_rng: plan.stream(SALT_NBD_BACKOFF),
                 drop_prob: plan.nbd_drop_prob,
                 detect_timeout: plan.host_timeout,
                 reconnect_delay: plan.reconnect_delay,
+                backoff_base: plan.backoff_base,
+                backoff_cap: plan.max_retries,
+                consecutive_drops: 0,
                 counters: NbdFaults::default(),
             });
         } else {
@@ -205,16 +234,21 @@ impl NbdSystem {
     }
 
     /// The link dropped with one request in flight: the client detects the
-    /// dead connection after its timeout, re-establishes the connection
-    /// (handshake occupies the link), and replays the request. Returns the
-    /// instant the replayed request can be (re)transmitted.
+    /// dead connection after its timeout, sleeps a bounded-exponential
+    /// backoff (seeded jitter, escalating with consecutive drops — the
+    /// NBD mirror of the NVMe host retry machine), re-establishes the
+    /// connection (handshake occupies the link), and replays the request.
+    /// Returns the instant the replayed request can be (re)transmitted.
     fn reconnect_and_replay(&mut self, at: SimTime) -> SimTime {
-        let (timeout, delay) = {
+        let (timeout, delay, backoff) = {
             let Some(f) = &mut self.faults else { return at };
             f.counters.link_drops += 1;
-            (f.detect_timeout, f.reconnect_delay)
+            let backoff = f.backoff();
+            f.consecutive_drops += 1;
+            f.counters.backoff_ns_total += backoff.as_nanos();
+            (f.detect_timeout, f.reconnect_delay, backoff)
         };
-        let handshake = self.link.reserve(at + timeout, delay);
+        let handshake = self.link.reserve(at + timeout + backoff, delay);
         if let Some(f) = &mut self.faults {
             f.counters.reconnects += 1;
             f.counters.replayed_commands += 1;
@@ -230,6 +264,11 @@ impl NbdSystem {
         let at = if self.draw_link_drop() {
             self.reconnect_and_replay(at)
         } else {
+            // A clean round trip ends any reconnect storm: the next drop
+            // restarts the exponential ladder from its base rung.
+            if let Some(f) = &mut self.faults {
+                f.consecutive_drops = 0;
+            }
             at
         };
         // Request crosses the link (small frame for reads, payload for
@@ -380,6 +419,10 @@ mod tests {
         assert!(c.link_drops > 0, "rate 0.05 over 2000 reads must fire");
         assert_eq!(c.link_drops, c.reconnects);
         assert_eq!(c.link_drops, c.replayed_commands);
+        assert!(
+            c.backoff_ns_total > 0,
+            "every reconnect pays a nonzero backoff"
+        );
         let nominal = mean_latency(NbdServerKind::Spdk, false, 2000);
         assert!(
             faulty > nominal * 1.5,
@@ -419,6 +462,79 @@ mod tests {
     }
 
     #[test]
+    fn reconnect_backoff_escalates_and_caps() {
+        // Drop probability 1.0: every fresh round trip drops (the replay
+        // itself is exempt), so consecutive_drops never resets and the
+        // ladder climbs to its cap.
+        let run = |n: u64| {
+            let mut sys = NbdSystem::new(presets::ull_800g(), NbdServerKind::Spdk, 11).unwrap();
+            let plan = FaultPlan {
+                seed: 5,
+                nbd_drop_prob: 1.0,
+                ..FaultPlan::none()
+            };
+            sys.set_fault_plan(&plan);
+            let mut at = SimTime::ZERO;
+            for i in 0..n {
+                let r = sys.file_read(at, i * 31 + 7, 4096);
+                at = r.done + SimDuration::from_micros(5);
+            }
+            sys.nbd_fault_counters()
+        };
+        let plan = FaultPlan::none();
+        let base = plan.backoff_base.as_nanos();
+        let cap = plan.max_retries;
+        let one = run(1);
+        assert_eq!(one.link_drops, 1);
+        // First drop waits base << 0, jittered into [75%, 125%].
+        assert!(one.backoff_ns_total >= base * 75 / 100);
+        assert!(one.backoff_ns_total <= base * 125 / 100);
+        let many = run(12);
+        assert_eq!(many.link_drops, 12);
+        // Rungs 0,1,2,cap,cap,... — the sum is bounded by the capped
+        // ladder, so the exponent cannot run away.
+        let uncapped_rungs: u64 = (0..12u32).map(|k| base << k.min(cap)).sum();
+        assert!(many.backoff_ns_total <= uncapped_rungs * 125 / 100);
+        assert!(
+            many.backoff_ns_total >= uncapped_rungs * 75 / 100,
+            "consecutive drops must escalate: {} < {}",
+            many.backoff_ns_total,
+            uncapped_rungs * 75 / 100
+        );
+        // Escalation is real: twelve consecutive drops wait far more
+        // than twelve first-rung backoffs.
+        assert!(many.backoff_ns_total > 12 * base * 125 / 100);
+    }
+
+    #[test]
+    fn clean_round_trip_resets_the_backoff_ladder() {
+        let mut sys = NbdSystem::new(presets::ull_800g(), NbdServerKind::Spdk, 11).unwrap();
+        let plan = FaultPlan {
+            seed: 5,
+            nbd_drop_prob: 0.5,
+            ..FaultPlan::none()
+        };
+        sys.set_fault_plan(&plan);
+        let mut at = SimTime::ZERO;
+        for i in 0..400u64 {
+            let r = sys.file_read(at, i * 31 + 7, 4096);
+            at = r.done + SimDuration::from_micros(5);
+        }
+        let f = sys.faults.as_ref().unwrap();
+        assert!(f.counters.link_drops > 100);
+        // At rate 0.5 clean trips are common, so the ladder keeps
+        // resetting: the mean rung must sit near the base, far below
+        // the capped maximum.
+        let mean = f.counters.backoff_ns_total / f.counters.link_drops;
+        let base = FaultPlan::none().backoff_base.as_nanos();
+        assert!(mean >= base * 75 / 100);
+        assert!(
+            mean < base * 4,
+            "resets must keep the mean rung low: mean {mean} vs base {base}"
+        );
+    }
+
+    #[test]
     fn zero_rate_fault_plan_is_bitwise_nominal() {
         let run = |plan: Option<FaultPlan>| {
             let mut sys = NbdSystem::new(presets::ull_800g(), NbdServerKind::Kernel, 11).unwrap();
@@ -437,6 +553,17 @@ mod tests {
         let base = run(None);
         assert_eq!(base, run(Some(FaultPlan::none())));
         assert_eq!(base, run(Some(FaultPlan::uniform(13, 0.0))));
+        // Aggressive backoff settings are inert too: with no drops the
+        // ladder is never consulted, so reconfiguring it cannot move a
+        // single completion (the jitter stream is decorrelated from the
+        // drop lottery and draws nothing on the clean path).
+        let aggressive = FaultPlan {
+            seed: 99,
+            max_retries: 9,
+            backoff_base: SimDuration::from_micros(900),
+            ..FaultPlan::none()
+        };
+        assert_eq!(base, run(Some(aggressive)));
         let sys = {
             let mut s = NbdSystem::new(presets::ull_800g(), NbdServerKind::Kernel, 11).unwrap();
             s.set_fault_plan(&FaultPlan::none());

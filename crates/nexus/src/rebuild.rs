@@ -1,0 +1,207 @@
+//! The dirty-range log: per-range rebuild state plus the scan-head race
+//! rules.
+//!
+//! The volume is divided into `total_ranges` fixed ranges. During a
+//! rebuild every range is in exactly one of four states, and the two
+//! derived counts tile the total at every event barrier:
+//!
+//! ```text
+//! clean_count() + pending() == total()        (checked continuously)
+//! ```
+//!
+//! The race rule that closes the lost-update window: a client write to
+//! the range *currently under the scan head* (state `Copying`) is both
+//! forwarded to the rebuild target and marked dirty **exactly once** —
+//! the in-flight copy may or may not include it, so the range is
+//! re-copied later either way. Writes behind the scan head (`Clean`)
+//! are forwarded only; writes ahead of it (`NeedsCopy`/`Dirty`) are not
+//! forwarded at all, because the coming copy reads them from a survivor
+//! anyway. See `docs/NEXUS.md` for the full argument.
+//!
+//! The log is plain owned state inside the frontend actor — no interior
+//! mutability, no sharing (simlint S011 applies to this crate).
+
+/// Rebuild state of one range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeState {
+    /// Ahead of the scan head; the copy will bring it over.
+    NeedsCopy,
+    /// Under the scan head right now; `dirty` records a racing write.
+    Copying {
+        /// A client write raced the in-flight copy.
+        dirty: bool,
+    },
+    /// Behind the scan head and in sync (forwarded writes keep it so).
+    Clean,
+    /// Was copied but re-dirtied by a racing write; awaits re-copy.
+    Dirty,
+}
+
+/// What the frontend must do with a client write to a range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteRouting {
+    /// Range not yet copied (or already awaiting re-copy): do not
+    /// forward, the copy scan will pick the write up from a survivor.
+    AwaitsCopy,
+    /// Range is under the scan head: forward *and* mark dirty (first
+    /// racing write — counted once).
+    ForwardAndMarkDirty,
+    /// Range is under the scan head and already marked: forward only.
+    ForwardAlreadyDirty,
+    /// Range is behind the scan head and clean: forward only.
+    Forward,
+}
+
+/// The per-rebuild dirty-range log.
+#[derive(Debug, Clone)]
+pub struct RangeLog {
+    states: Vec<RangeState>,
+    clean: u32,
+}
+
+impl RangeLog {
+    /// A fresh log with every range ahead of the scan head.
+    pub fn new(total_ranges: u32) -> RangeLog {
+        RangeLog {
+            states: vec![RangeState::NeedsCopy; total_ranges as usize],
+            clean: 0,
+        }
+    }
+
+    /// Number of ranges.
+    pub fn total(&self) -> u32 {
+        self.states.len() as u32
+    }
+
+    /// Ranges in sync with the survivors (rebuilt).
+    pub fn clean_count(&self) -> u32 {
+        self.clean
+    }
+
+    /// Ranges still awaiting (re-)copy, including the one under the
+    /// scan head.
+    pub fn pending(&self) -> u32 {
+        self.total() - self.clean
+    }
+
+    /// The accounting barrier invariant `rebuilt + pending == total`.
+    /// `clean` is maintained incrementally by the transitions below, so
+    /// this genuinely cross-checks two bookkeeping paths.
+    pub fn balanced(&self) -> bool {
+        let counted = self
+            .states
+            .iter()
+            .filter(|s| matches!(s, RangeState::Clean))
+            .count() as u32;
+        counted == self.clean && self.clean + self.pending() == self.total()
+    }
+
+    /// The lowest-index range the scan head should copy next, or `None`
+    /// when every range is clean (`true` alongside = it was a re-copy).
+    pub fn next_copy(&self) -> Option<(u32, bool)> {
+        self.states.iter().enumerate().find_map(|(i, s)| match s {
+            RangeState::NeedsCopy => Some((i as u32, false)),
+            RangeState::Dirty => Some((i as u32, true)),
+            _ => None,
+        })
+    }
+
+    /// Moves the scan head onto `range`.
+    pub fn begin_copy(&mut self, range: u32) {
+        debug_assert!(matches!(
+            self.states[range as usize],
+            RangeState::NeedsCopy | RangeState::Dirty
+        ));
+        self.states[range as usize] = RangeState::Copying { dirty: false };
+    }
+
+    /// The copy of `range` finished installing on the target. Returns
+    /// `true` if the range is now clean; `false` if a racing write
+    /// dirtied it mid-copy and it goes back in the pending pool.
+    pub fn finish_copy(&mut self, range: u32) -> bool {
+        match self.states[range as usize] {
+            RangeState::Copying { dirty: false } => {
+                self.states[range as usize] = RangeState::Clean;
+                self.clean += 1;
+                true
+            }
+            _ => {
+                self.states[range as usize] = RangeState::Dirty;
+                false
+            }
+        }
+    }
+
+    /// Applies the scan-head race rules to a client write hitting
+    /// `range` and returns the required routing.
+    pub fn note_write(&mut self, range: u32) -> WriteRouting {
+        match self.states[range as usize] {
+            RangeState::NeedsCopy | RangeState::Dirty => WriteRouting::AwaitsCopy,
+            RangeState::Copying { dirty: false } => {
+                self.states[range as usize] = RangeState::Copying { dirty: true };
+                WriteRouting::ForwardAndMarkDirty
+            }
+            RangeState::Copying { dirty: true } => WriteRouting::ForwardAlreadyDirty,
+            RangeState::Clean => WriteRouting::Forward,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_walks_lowest_pending_first() {
+        let mut log = RangeLog::new(3);
+        assert_eq!(log.next_copy(), Some((0, false)));
+        log.begin_copy(0);
+        assert!(log.finish_copy(0));
+        assert_eq!(log.next_copy(), Some((1, false)));
+        assert!(log.balanced());
+        assert_eq!(log.clean_count(), 1);
+        assert_eq!(log.pending(), 2);
+    }
+
+    #[test]
+    fn racing_write_marks_dirty_exactly_once_and_forces_recopy() {
+        let mut log = RangeLog::new(2);
+        log.begin_copy(0);
+        // First racing write: forwarded AND marked.
+        assert_eq!(log.note_write(0), WriteRouting::ForwardAndMarkDirty);
+        // Second racing write: forwarded only — no double mark.
+        assert_eq!(log.note_write(0), WriteRouting::ForwardAlreadyDirty);
+        // The copy lands but the range stays pending.
+        assert!(!log.finish_copy(0));
+        assert!(log.balanced());
+        assert_eq!(log.clean_count(), 0);
+        // The re-copy is flagged as such and can then complete cleanly.
+        assert_eq!(log.next_copy(), Some((0, true)));
+        log.begin_copy(0);
+        assert!(log.finish_copy(0));
+        assert_eq!(log.clean_count(), 1);
+    }
+
+    #[test]
+    fn writes_ahead_and_behind_the_scan_head_route_correctly() {
+        let mut log = RangeLog::new(3);
+        log.begin_copy(0);
+        assert!(log.finish_copy(0));
+        // Behind the head: forwarded only.
+        assert_eq!(log.note_write(0), WriteRouting::Forward);
+        // Ahead of the head: the copy will pick it up.
+        assert_eq!(log.note_write(2), WriteRouting::AwaitsCopy);
+        // A dirty range awaiting re-copy also just waits.
+        log.begin_copy(1);
+        assert_eq!(log.note_write(1), WriteRouting::ForwardAndMarkDirty);
+        assert!(!log.finish_copy(1));
+        assert_eq!(log.note_write(1), WriteRouting::AwaitsCopy);
+    }
+
+    #[test]
+    fn empty_scan_completes_immediately() {
+        let log = RangeLog::new(0);
+        assert_eq!(log.next_copy(), None);
+        assert!(log.balanced());
+    }
+}

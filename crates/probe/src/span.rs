@@ -32,10 +32,19 @@ pub enum Stage {
     /// Submission-side software: syscall + VFS + block layer + driver
     /// submit (or the SPDK userspace submit path), up to the SQ doorbell.
     SubmitStack,
+    /// Replicated-volume routing while the mirror is degraded: picking a
+    /// surviving replica, fanning writes out to the reduced set, and
+    /// dirty-range bookkeeping. Zero whenever every child is serving
+    /// (and on plain single-device hosts).
+    DegradedRoute,
     /// Doorbell → controller fetch start: SQ residency, including
     /// SQ-full backpressure requeues and fault-recovery waits
     /// (timeout, abort, backoff, controller reset).
     SqWait,
+    /// Portion of a replica's service during which the replica was also
+    /// servicing rebuild copy traffic — the tail an online rebuild
+    /// inflicts on foreground I/O. Zero when no rebuild is running.
+    RebuildWait,
     /// Controller command fetch/parse: the controller's per-op service
     /// slot.
     CtrlFetch,
@@ -73,12 +82,14 @@ pub enum Stage {
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 15;
 
     /// Every stage, in canonical critical-path order.
     pub const ALL: [Stage; Stage::COUNT] = [
         Stage::SubmitStack,
+        Stage::DegradedRoute,
         Stage::SqWait,
+        Stage::RebuildWait,
         Stage::CtrlFetch,
         Stage::Firmware,
         Stage::DieWait,
@@ -96,7 +107,9 @@ impl Stage {
     pub const fn name(self) -> &'static str {
         match self {
             Stage::SubmitStack => "submit_stack",
+            Stage::DegradedRoute => "degraded_route",
             Stage::SqWait => "sq_wait",
+            Stage::RebuildWait => "rebuild_wait",
             Stage::CtrlFetch => "ctrl_fetch",
             Stage::Firmware => "firmware",
             Stage::DieWait => "die_wait",
@@ -124,7 +137,11 @@ impl Stage {
     pub const fn is_software(self) -> bool {
         matches!(
             self,
-            Stage::SubmitStack | Stage::IrqDeliver | Stage::PollPickup | Stage::CompleteDeliver
+            Stage::SubmitStack
+                | Stage::DegradedRoute
+                | Stage::IrqDeliver
+                | Stage::PollPickup
+                | Stage::CompleteDeliver
         )
     }
 }

@@ -20,9 +20,9 @@ use crate::symbols::{AdtKind, FileSymbols};
 /// float time (S001, S002, S004, S007), but it is the one sanctioned
 /// host-parallel driver, so the threading ban (S005) and the shared-state
 /// ban (S011) are carved out for it (see `check_file`).
-pub const SIM_CRATES: [&str; 12] = [
-    "simkit", "faults", "probe", "flash", "ssd", "nvme", "stack", "netblock", "workload", "core",
-    "exec", "root",
+pub const SIM_CRATES: [&str; 13] = [
+    "simkit", "faults", "probe", "flash", "ssd", "nvme", "stack", "netblock", "nexus", "workload",
+    "core", "exec", "root",
 ];
 
 /// Crates whose library code must not contain panicking escape hatches

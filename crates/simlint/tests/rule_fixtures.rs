@@ -899,3 +899,65 @@ fn findings_carry_location_and_ordering() {
     assert_eq!(f[0].path, "crates/stack/src/fixture.rs");
     assert!(f[0].snippet.contains("Instant::now"));
 }
+
+// ----------------------------------------------------------- ull-nexus
+
+/// Convenience: analyze `src` as a file of the `nexus` sim crate.
+fn nexus(src: &str) -> Vec<String> {
+    check_source("nexus", "crates/nexus/src/fixture.rs", src)
+        .into_iter()
+        .map(|f| format!("{}:{}", f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn nexus_wire_events_must_carry_a_sequence() {
+    // A child completion keyed on time alone would merge in shard order,
+    // not send order — exactly the hazard S014 exists for. The nexus's
+    // real `ChildDoneEvent` carries `seq`, and the frontend's replica
+    // convergence depends on it (arrival order == send order).
+    let bad = "use ull_simkit::SimTime;\n\
+               #[derive(Debug, Clone, PartialEq, Eq)]\n\
+               pub struct ChildAckEvent {\n\
+                   pub done_at: SimTime,\n\
+                   pub digest: u64,\n\
+               }\n";
+    assert_eq!(nexus(bad), ["S014:3"]);
+    let good = "use ull_simkit::SimTime;\n\
+                #[derive(Debug, Clone, PartialEq, Eq)]\n\
+                pub struct ChildAckEvent {\n\
+                    pub done_at: SimTime,\n\
+                    pub seq: u64,\n\
+                    pub digest: u64,\n\
+                }\n";
+    assert!(nexus(good).is_empty());
+}
+
+#[test]
+fn nexus_dirty_log_must_be_owned_state() {
+    // A RefCell dirty log shared between the scan and the write path
+    // would make range state depend on borrow timing; the shipped
+    // `RangeLog` is a plain owned field of the frontend actor.
+    let bad = "use std::cell::RefCell;\n\
+               pub struct DirtyLog { ranges: RefCell<Vec<bool>> }\n";
+    assert_eq!(nexus(bad), ["S011:1", "S011:2"]);
+    let good = "pub struct DirtyLog { ranges: Vec<bool>, clean: u32 }\n";
+    assert!(nexus(good).is_empty());
+}
+
+#[test]
+fn real_nexus_sources_are_clean() {
+    // The two files that define the wire protocol and the dirty log —
+    // the shapes the fixtures above guard in miniature.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap();
+    for file in ["event.rs", "rebuild.rs"] {
+        let path = format!("crates/nexus/src/{file}");
+        let src = std::fs::read_to_string(root.join(&path)).expect("nexus source exists");
+        let findings = check_source("nexus", &path, &src);
+        assert!(findings.is_empty(), "{path}: {findings:?}");
+    }
+}

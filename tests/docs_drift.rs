@@ -106,6 +106,39 @@ fn readme_design_and_determinism_link_the_sharding_doc() {
     }
 }
 
+#[test]
+fn readme_design_and_experiments_link_the_nexus_doc() {
+    for doc in ["README.md", "DESIGN.md", "EXPERIMENTS.md"] {
+        assert!(
+            read_doc(doc).contains("docs/NEXUS.md"),
+            "{doc} must link docs/NEXUS.md"
+        );
+    }
+}
+
+/// The stage table in docs/OBSERVABILITY.md must stay in lockstep with
+/// the taxonomy `ull-probe` actually records: every stage appears as a
+/// markdown row carrying its position, name and software/device half.
+#[test]
+fn observability_doc_stage_table_matches_the_taxonomy() {
+    let doc = read_doc("docs/OBSERVABILITY.md");
+    for (i, stage) in ull_probe::Stage::ALL.iter().enumerate() {
+        let half = if stage.is_software() {
+            "software"
+        } else {
+            "device"
+        };
+        let prefix = format!("| {} | `{}` | {} |", i + 1, stage.name(), half);
+        assert!(
+            doc.contains(&prefix),
+            "docs/OBSERVABILITY.md stage table is out of sync with \
+             Stage::ALL: missing or stale row for {:?}.\nExpected a row \
+             starting exactly:\n  {prefix}",
+            stage.name()
+        );
+    }
+}
+
 /// The registry table in EXPERIMENTS.md must stay in lockstep with the
 /// registry `reproduce --list` actually prints: every entry appears as
 /// a markdown row carrying its name (starred when not part of `all`),

@@ -61,6 +61,17 @@ fn bench_breakdown_quick_json_is_bitwise_reproducible() {
     );
 }
 
+/// The nexus rebuild sweep reproduces `BENCH_rebuild_quick.json`.
+#[test]
+fn bench_rebuild_quick_json_is_bitwise_reproducible() {
+    assert_eq!(
+        single_section_doc("rebuild"),
+        committed("BENCH_rebuild_quick.json"),
+        "rebuild sweep diverged from its committed baseline; regenerate with \
+         `cargo run --release -p ull-study --bin reproduce -- rebuild --json > BENCH_rebuild_quick.json`"
+    );
+}
+
 /// `reproduce --shards N` reproduces every committed baseline byte for
 /// byte at N ∈ {1, 2, 4}: the shard count, like `--jobs`, partitions
 /// scheduling only (see docs/SHARDING.md).
@@ -79,6 +90,7 @@ fn shard_count_cannot_change_baseline_bytes() {
         for (experiment, baseline) in [
             ("faults", "BENCH_faults_quick.json"),
             ("breakdown", "BENCH_breakdown_quick.json"),
+            ("rebuild", "BENCH_rebuild_quick.json"),
         ] {
             let entry = find(experiment).expect("experiment is registered");
             let section = entry.run_sharded(Scale::Quick, 2, shards);
