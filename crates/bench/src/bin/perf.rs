@@ -26,9 +26,12 @@
 
 use std::time::Instant;
 
+use ull_bench::PERF_RESULT_KEYS;
 use ull_faults::FaultPlan;
 use ull_nexus::{run_nexus, NexusConfig};
-use ull_simkit::{EventQueue, Json, SerialRunner, SimDuration, SimTime, SplitMix64, TimingWheel};
+use ull_simkit::{
+    EventQueue, Json, SerialRunner, SimDuration, SimTime, Slab, SlotId, SplitMix64, TimingWheel,
+};
 use ull_stack::IoPath;
 use ull_study::testbed::{host, Device};
 use ull_workload::{run_fleet, run_job, Engine, JobSpec, Pattern};
@@ -154,14 +157,90 @@ fn fleet_rates(nodes: u32, ios: u64, shards: usize) -> (f64, f64) {
     (events as f64 / secs, done as f64 / secs)
 }
 
-/// Best-of-`n` runs: wall-clock benches are noisy downwards only (cache
-/// misses, scheduling), so the max is the stable estimator.
-fn best_of<F: FnMut() -> f64>(n: usize, mut f: F) -> f64 {
-    let mut best = 0.0f64;
-    for _ in 0..n {
-        best = best.max(f());
+/// Device-slice microbench: doorbell-sized command bursts executed
+/// through [`ull_ssd::Ssd::execute_batch`] — the controller's batched
+/// drain with the NVMe rings peeled away. Returns commands/sec.
+fn device_batch_drain_events_per_sec(ops: u64) -> f64 {
+    const BURST: usize = 32;
+    let mut ssd = ull_ssd::Ssd::new(ull_ssd::presets::ull_800g()).expect("preset");
+    let mut cmds: Vec<ull_ssd::SsdCommand> = Vec::with_capacity(BURST);
+    let mut comps = Vec::with_capacity(BURST);
+    let mut t = SimTime::ZERO;
+    let mut lba = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..ops / BURST as u64 {
+        cmds.clear();
+        for j in 0..BURST as u64 {
+            let off = ((lba + j) % 8192) * 4096;
+            cmds.push(if (lba + j).is_multiple_of(4) {
+                ull_ssd::SsdCommand::Write {
+                    offset: off,
+                    len: 4096,
+                }
+            } else {
+                ull_ssd::SsdCommand::Read {
+                    offset: off,
+                    len: 4096,
+                }
+            });
+        }
+        lba += BURST as u64;
+        ssd.execute_batch(t, &cmds, &mut comps, None);
+        t = comps.last().expect("burst is non-empty").done;
+        comps.clear();
     }
-    best
+    let secs = t0.elapsed().as_secs_f64();
+    std::hint::black_box(ssd.metrics());
+    (ops / BURST as u64 * BURST as u64) as f64 / secs
+}
+
+/// Slab-churn microbench: the struct-of-arrays request slab under the
+/// completion-burst access pattern — prefetch a window of slot ids,
+/// then remove-and-reinsert each (one in-flight request retiring and
+/// its replacement arriving). Returns remove+insert pairs/sec.
+fn slab_churn_ops_per_sec(ops: u64) -> f64 {
+    const DEPTH: usize = 1024;
+    const BURST: usize = 32;
+    let mut slab: Slab<[u64; 4]> = Slab::with_capacity(DEPTH);
+    let mut ids: Vec<SlotId> = (0..DEPTH as u64).map(|i| slab.insert([i; 4])).collect();
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for b in 0..ops / BURST as u64 {
+        let start = (b as usize * BURST) % DEPTH;
+        slab.prefetch(&ids[start..start + BURST]);
+        for id in &mut ids[start..start + BURST] {
+            let v = slab.remove(*id).expect("window ids are live");
+            acc = acc.wrapping_add(v[0]);
+            *id = slab.insert(v);
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    (ops / BURST as u64 * BURST as u64) as f64 / secs
+}
+
+/// Per-metric sample spread: `max` is the headline best-of-N estimate
+/// (wall-clock benches are noisy downwards only — cache misses,
+/// scheduling — so the max is the stable estimator); `min`/`max`
+/// together record the spread across samples in `BENCH_perf.json`.
+#[derive(Clone, Copy)]
+struct Spread {
+    min: f64,
+    max: f64,
+}
+
+fn sampled<F: FnMut() -> f64>(n: usize, mut f: F) -> Spread {
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    for _ in 0..n {
+        let v = f();
+        min = min.min(v);
+        max = max.max(v);
+    }
+    Spread {
+        min: if min.is_finite() { min } else { 0.0 },
+        max,
+    }
 }
 
 /// Pulls `"key": <number>` out of a committed `BENCH_perf.json` without
@@ -203,39 +282,50 @@ fn main() {
     };
 
     println!("scheduler churn: depth={CHURN_DEPTH} ops={sched_ops} samples={samples}");
-    let wheel = best_of(samples, || wheel_events_per_sec(sched_ops));
-    let heap = best_of(samples, || heap_events_per_sec(sched_ops));
-    let speedup = wheel / heap;
-    println!("  wheel: {:.0} events/s", wheel);
-    println!("  heap reference: {:.0} events/s", heap);
+    let wheel = sampled(samples, || wheel_events_per_sec(sched_ops));
+    let heap = sampled(samples, || heap_events_per_sec(sched_ops));
+    let speedup = wheel.max / heap.max;
+    println!("  wheel: {:.0} events/s", wheel.max);
+    println!("  heap reference: {:.0} events/s", heap.max);
     println!("  speedup: {speedup:.2}x");
 
     println!("closed-loop libaio qd16 ({io_n} ios):");
-    let closed = best_of(samples, || closed_loop_ios_per_sec(io_n));
-    println!("  {:.0} simulated ios/s", closed);
+    let closed = sampled(samples, || closed_loop_ios_per_sec(io_n));
+    println!("  {:.0} simulated ios/s", closed.max);
     println!("sync pvsync2 polled ({io_n} ios):");
-    let sync = best_of(samples, || sync_ios_per_sec(io_n));
-    println!("  {:.0} simulated ios/s", sync);
+    let sync = sampled(samples, || sync_ios_per_sec(io_n));
+    println!("  {:.0} simulated ios/s", sync.max);
     let nexus_n = io_n / 4;
     println!("nexus retire + online rebuild, 3-way mirror ({nexus_n} ios):");
-    let nexus = best_of(samples, || nexus_ios_per_sec(nexus_n));
-    println!("  {:.0} simulated ios/s", nexus);
+    let nexus = sampled(samples, || nexus_ios_per_sec(nexus_n));
+    println!("  {:.0} simulated ios/s", nexus.max);
+    let drain_ops = sched_ops / 4;
+    println!("device batch drain, 32-command doorbell slices ({drain_ops} cmds):");
+    let drain = sampled(samples, || device_batch_drain_events_per_sec(drain_ops));
+    println!("  {:.0} commands/s", drain.max);
+    println!("SoA slab churn, prefetched 32-slot bursts ({sched_ops} pairs):");
+    let churn = sampled(samples, || slab_churn_ops_per_sec(sched_ops));
+    println!("  {:.0} remove+insert pairs/s", churn.max);
 
     // Shard-scaling curve: the same gossip-coupled fleet world drained
     // at 1, 2 and 4 shards. The reports are byte-identical at every
     // point (the golden tests pin that); only wall-clock may differ.
     let (fleet_nodes, fleet_ios) = if quick { (8u32, 2_000u64) } else { (8, 12_000) };
     println!("sharded fleet: nodes={fleet_nodes} ios/node={fleet_ios} qd=8");
-    let mut curve: Vec<(usize, f64, f64)> = Vec::new();
+    // Per entry: (shards, best events/s, its paired ios/s, min events/s
+    // across samples) — the min records the spread like the scalars'.
+    let mut curve: Vec<(usize, f64, f64, f64)> = Vec::new();
     for shards in [1usize, 2, 4] {
         let mut best = (0.0f64, 0.0f64);
+        let mut ev_min = f64::INFINITY;
         for _ in 0..samples {
             let (ev, io) = fleet_rates(fleet_nodes, fleet_ios, shards);
+            ev_min = ev_min.min(ev);
             if ev > best.0 {
                 best = (ev, io);
             }
         }
-        curve.push((shards, best.0, best.1));
+        curve.push((shards, best.0, best.1, ev_min));
         println!(
             "  shards={shards}: {:.0} events/s, {:.0} sim ios/s",
             best.0, best.1
@@ -266,23 +356,44 @@ fn main() {
         .field(
             "results",
             Json::obj()
-                .field("wheel_events_per_sec", wheel)
-                .field("heap_events_per_sec", heap)
+                .field("wheel_events_per_sec", wheel.max)
+                .field("heap_events_per_sec", heap.max)
                 .field("wheel_speedup_vs_heap", speedup)
-                .field("closed_loop_ios_per_sec", closed)
-                .field("sync_ios_per_sec", sync)
-                .field("nexus_ios_per_sec", nexus),
+                .field("closed_loop_ios_per_sec", closed.max)
+                .field("sync_ios_per_sec", sync.max)
+                .field("nexus_ios_per_sec", nexus.max)
+                .field("device_batch_drain_events_per_sec", drain.max)
+                .field("slab_churn_ops_per_sec", churn.max),
+        )
+        .field(
+            "spread",
+            // min/max across samples per sampled metric (the ratio
+            // `wheel_speedup_vs_heap` has no per-sample spread).
+            [
+                ("wheel_events_per_sec", wheel),
+                ("heap_events_per_sec", heap),
+                ("closed_loop_ios_per_sec", closed),
+                ("sync_ios_per_sec", sync),
+                ("nexus_ios_per_sec", nexus),
+                ("device_batch_drain_events_per_sec", drain),
+                ("slab_churn_ops_per_sec", churn),
+            ]
+            .into_iter()
+            .fold(Json::obj(), |o, (key, s)| {
+                o.field(key, Json::obj().field("min", s.min).field("max", s.max))
+            }),
         )
         .field(
             "shard_scaling",
             Json::Arr(
                 curve
                     .iter()
-                    .map(|&(shards, ev, io)| {
+                    .map(|&(shards, ev, io, ev_min)| {
                         Json::obj()
                             .field("shards", shards as i64)
                             .field("events_per_sec", ev)
                             .field("sim_ios_per_sec", io)
+                            .field("events_per_sec_min", ev_min)
                     })
                     .collect(),
             ),
@@ -290,15 +401,27 @@ fn main() {
     std::fs::write(&out_path, doc.to_pretty_string()).expect("write perf baseline");
     println!("wrote {out_path}");
 
+    // Every gated key must be a live results key (PERF_RESULT_KEYS is
+    // what the docs-drift test pins to docs/PERFORMANCE.md).
+    let gated = [
+        ("wheel_events_per_sec", wheel.max),
+        ("closed_loop_ios_per_sec", closed.max),
+        ("sync_ios_per_sec", sync.max),
+        ("nexus_ios_per_sec", nexus.max),
+        ("device_batch_drain_events_per_sec", drain.max),
+        ("slab_churn_ops_per_sec", churn.max),
+    ];
+    for (key, _) in &gated {
+        assert!(
+            PERF_RESULT_KEYS.contains(key),
+            "gated key {key} missing from PERF_RESULT_KEYS"
+        );
+    }
+
     if let Some(path) = baseline {
         let text = std::fs::read_to_string(&path).expect("read baseline");
         let mut warned = false;
-        for (key, current) in [
-            ("wheel_events_per_sec", wheel),
-            ("closed_loop_ios_per_sec", closed),
-            ("sync_ios_per_sec", sync),
-            ("nexus_ios_per_sec", nexus),
-        ] {
+        for (key, current) in gated {
             let Some(base) = extract_number(&text, key) else {
                 println!("PERF-WARN: baseline {path} has no {key}");
                 warned = true;

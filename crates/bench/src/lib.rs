@@ -28,6 +28,23 @@ use ull_workload::{run_job, Engine, JobReport, JobSpec, Json, Pattern};
 
 pub use ull_study::testbed::Scale;
 
+/// Keys of the `results` object the perf harness
+/// (`crates/bench/src/bin/perf.rs`) writes to `BENCH_perf.json`, in
+/// emission order. Single source of truth shared by the harness, the
+/// committed baseline, and `docs/PERFORMANCE.md` — the docs-drift test
+/// (`tests/perf_keys.rs`) pins all three to this list, so renaming or
+/// adding a metric without updating the documentation fails the build.
+pub const PERF_RESULT_KEYS: [&str; 8] = [
+    "wheel_events_per_sec",
+    "heap_events_per_sec",
+    "wheel_speedup_vs_heap",
+    "closed_loop_ios_per_sec",
+    "sync_ios_per_sec",
+    "nexus_ios_per_sec",
+    "device_batch_drain_events_per_sec",
+    "slab_churn_ops_per_sec",
+];
+
 /// A named group of timed kernels; API mirrors Criterion's
 /// `BenchmarkGroup` so bench targets read the same as they always did.
 #[derive(Debug)]

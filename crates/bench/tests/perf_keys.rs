@@ -1,0 +1,49 @@
+//! Docs-drift guard: the perf-harness result keys documented in
+//! `docs/PERFORMANCE.md` and present in the committed `BENCH_perf.json`
+//! must exactly track the live harness (`ull_bench::PERF_RESULT_KEYS`).
+//! Renaming, adding or retiring a metric without updating both fails
+//! here instead of silently drifting.
+
+use ull_bench::PERF_RESULT_KEYS;
+
+fn repo_file(rel: &str) -> String {
+    let path = format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn performance_doc_documents_every_live_result_key() {
+    let doc = repo_file("docs/PERFORMANCE.md");
+    for key in PERF_RESULT_KEYS {
+        assert!(
+            doc.contains(&format!("`{key}`")),
+            "docs/PERFORMANCE.md does not document perf result key `{key}` \
+             (the harness table must list every PERF_RESULT_KEYS entry)"
+        );
+    }
+}
+
+#[test]
+fn committed_baseline_carries_every_live_result_key() {
+    let json = repo_file("BENCH_perf.json");
+    for key in PERF_RESULT_KEYS {
+        assert!(
+            json.contains(&format!("\"{key}\": ")),
+            "committed BENCH_perf.json lacks result key {key} — \
+             regenerate it with `./target/release/perf --out BENCH_perf.json`"
+        );
+    }
+}
+
+#[test]
+fn committed_baseline_records_sample_spread() {
+    // Satellite contract: per-result min/max across samples.
+    let json = repo_file("BENCH_perf.json");
+    assert!(
+        json.contains("\"spread\""),
+        "committed BENCH_perf.json lacks the per-result spread object"
+    );
+    for needle in ["\"min\": ", "\"max\": "] {
+        assert!(json.contains(needle), "spread object lacks {needle}");
+    }
+}

@@ -6,12 +6,10 @@
 //! makes their comparison apples-to-apples: only the host-side software
 //! differs.
 
-use std::collections::BTreeMap;
-
 use ull_faults::{FaultPlan, SALT_NVME};
 use ull_probe::DeviceSpan;
 use ull_simkit::{Component, Engine, Scheduler, SimDuration, SimTime, SplitMix64};
-use ull_ssd::{DeviceCompletion, Ssd};
+use ull_ssd::{DeviceCompletion, Ssd, SsdCommand};
 
 use crate::command::{Completion, NvmeCommand, Opcode};
 use crate::queue::{CompletionQueue, QueueFull, SubmissionQueue};
@@ -120,14 +118,29 @@ pub struct NvmeController {
     /// PCIe MSI delivery latency (completion instant -> host IRQ).
     msi_latency: SimDuration,
     /// Per-command device detail, retrievable once after completion.
-    details: BTreeMap<(u16, u16), DeviceCompletion>,
+    ///
+    /// A linear-scan vector, not a map: the host collects details
+    /// immediately after each doorbell, so the set holds at most one
+    /// command batch (plus fault-dropped stragglers) and a handful of
+    /// cache-resident compares beats a tree walk per command.
+    details: Vec<((u16, u16), DeviceCompletion)>,
     /// Per-command device-internal spans, kept only while probing is on
-    /// (pure observation: the map never influences timing or RNG draws).
-    spans: BTreeMap<(u16, u16), DeviceSpan>,
+    /// (pure observation: the set never influences timing or RNG draws).
+    spans: Vec<((u16, u16), DeviceSpan)>,
     /// Whether per-command [`DeviceSpan`]s are being collected.
     probing: bool,
     /// Installed completion-loss injection (absent ⇒ bit-for-bit nominal).
     faults: Option<CtrlFaultState>,
+    /// Pooled scratch for one doorbell's fetched commands — the SQ is
+    /// drained into this, executed as one device slice, then
+    /// post-processed; reused so steady state allocates nothing.
+    cmd_scratch: Vec<NvmeCommand>,
+    /// Pooled scratch: the device-facing view of `cmd_scratch`.
+    dev_scratch: Vec<SsdCommand>,
+    /// Pooled scratch: the batch's completions, index-parallel.
+    comp_scratch: Vec<DeviceCompletion>,
+    /// Pooled scratch: the batch's spans (probing only), index-parallel.
+    span_scratch: Vec<DeviceSpan>,
 }
 
 /// Completion-loss lottery: each executed command may have its completion
@@ -159,10 +172,14 @@ impl NvmeController {
             ssd,
             qpairs: (0..queues).map(|_| QueuePair::new(qsize)).collect(),
             msi_latency: Self::DEFAULT_MSI_LATENCY,
-            details: BTreeMap::new(),
-            spans: BTreeMap::new(),
+            details: Vec::new(),
+            spans: Vec::new(),
             probing: false,
             faults: None,
+            cmd_scratch: Vec::new(),
+            dev_scratch: Vec::new(),
+            comp_scratch: Vec::new(),
+            span_scratch: Vec::new(),
         }
     }
 
@@ -289,59 +306,137 @@ impl NvmeController {
         self.ring(qid, at, true);
     }
 
+    /// Inserts `value` under `key`, replacing any existing entry —
+    /// the map-insert semantics a retried cid relies on.
+    fn put<V>(set: &mut Vec<((u16, u16), V)>, key: (u16, u16), value: V) {
+        match set.iter_mut().find(|(k, _)| *k == key) {
+            Some(e) => e.1 = value,
+            None => set.push((key, value)),
+        }
+    }
+
+    /// Fetches every queued submission on `qid` as one slice, executes
+    /// the whole slice on the backend with a single [`Ssd::execute_batch`]
+    /// call, then post-processes the completions in fetch order.
+    ///
+    /// Byte-identical to the historical fetch-execute-one-at-a-time loop:
+    /// the device executes commands in the same order (its RNG stream and
+    /// timelines advance identically), and the controller-side fault
+    /// lottery draws from its own independent RNG stream in the same
+    /// command order, so moving the draws after the device slice changes
+    /// only the interleaving *between* the two streams — unobservable.
     fn ring(&mut self, qid: u16, at: SimTime, exempt: bool) {
+        // Singleton fast path: a one-command doorbell (the closed loop's
+        // common case — every submit rings immediately) skips the slice
+        // staging entirely. `execute_batch` over one command is the same
+        // per-command sequence, so the two paths are byte-equivalent —
+        // the batch==singleton differential tests pin that.
+        if self.qpairs[qid as usize].sq.len() == 1 {
+            if let Some(cmd) = self.qpairs[qid as usize].sq.pop() {
+                self.execute_one(qid, at, exempt, &cmd);
+            }
+            return;
+        }
+        let mut cmds = core::mem::take(&mut self.cmd_scratch);
+        let mut devs = core::mem::take(&mut self.dev_scratch);
+        let mut comps = core::mem::take(&mut self.comp_scratch);
+        let mut spans = core::mem::take(&mut self.span_scratch);
         while let Some(cmd) = self.qpairs[qid as usize].sq.pop() {
-            let completion = match cmd.opcode {
-                Opcode::Read => self.ssd.read(at, cmd.offset(), cmd.bytes()),
-                Opcode::Write => self.ssd.write(at, cmd.offset(), cmd.bytes()),
-                Opcode::Flush => {
-                    let done = self.ssd.flush(at);
-                    DeviceCompletion {
-                        done,
-                        dram_hit: false,
-                        suspended: false,
-                        gc_stalled: false,
-                    }
+            devs.push(match cmd.opcode {
+                Opcode::Read => SsdCommand::Read {
+                    offset: cmd.offset(),
+                    len: cmd.bytes(),
+                },
+                Opcode::Write => SsdCommand::Write {
+                    offset: cmd.offset(),
+                    len: cmd.bytes(),
+                },
+                Opcode::Flush => SsdCommand::Flush,
+            });
+            cmds.push(cmd);
+        }
+        self.ssd
+            .execute_batch(at, &devs, &mut comps, self.probing.then_some(&mut spans));
+        for (i, cmd) in cmds.iter().enumerate() {
+            let span = self.probing.then(|| spans[i]);
+            self.finish_command(qid, exempt, cmd.cid, comps[i], span);
+        }
+        cmds.clear();
+        devs.clear();
+        comps.clear();
+        spans.clear();
+        self.cmd_scratch = cmds;
+        self.dev_scratch = devs;
+        self.comp_scratch = comps;
+        self.span_scratch = spans;
+    }
+
+    /// Executes one fetched command on the backend and post-processes
+    /// it — the historical one-at-a-time ring body, kept as the
+    /// singleton fast path of [`ring`](Self::ring).
+    fn execute_one(&mut self, qid: u16, at: SimTime, exempt: bool, cmd: &NvmeCommand) {
+        let completion = match cmd.opcode {
+            Opcode::Read => self.ssd.read(at, cmd.offset(), cmd.bytes()),
+            Opcode::Write => self.ssd.write(at, cmd.offset(), cmd.bytes()),
+            Opcode::Flush => {
+                let done = self.ssd.flush(at);
+                DeviceCompletion {
+                    done,
+                    dram_hit: false,
+                    suspended: false,
+                    gc_stalled: false,
                 }
-            };
-            self.details.insert((qid, cmd.cid), completion);
-            if self.probing {
-                let span = match cmd.opcode {
-                    // The SSD computed the exact decomposition while
-                    // executing the command just above.
-                    Opcode::Read | Opcode::Write => self.ssd.last_span(),
-                    Opcode::Flush => {
-                        // Flush has no per-die critical path; charge the
-                        // whole wait to the program-drain bucket.
-                        let mut s = DeviceSpan::empty(at);
-                        s.done = completion.done;
-                        s.write_drain = completion.done.saturating_since(at);
-                        s
-                    }
-                };
-                self.spans.insert((qid, cmd.cid), span);
             }
-            // Completion-loss injection: the command *executed* on the
-            // backend, but its completion never surfaces — exactly how a
-            // lost CQE / dead MSI looks to the host.
-            let lost = match &mut self.faults {
-                Some(f) if !exempt && f.timeout_prob > 0.0 => {
-                    let lost = f.rng.chance(f.timeout_prob);
-                    if lost {
-                        f.injected_timeouts += 1;
-                        f.dropped.push((qid, cmd.cid));
-                    }
-                    lost
+        };
+        let span = self.probing.then(|| match cmd.opcode {
+            // The SSD computed the exact decomposition while executing
+            // the command just above.
+            Opcode::Read | Opcode::Write => self.ssd.last_span(),
+            Opcode::Flush => {
+                // Flush has no per-die critical path; charge the whole
+                // wait to the program-drain bucket.
+                let mut s = DeviceSpan::empty(at);
+                s.done = completion.done;
+                s.write_drain = completion.done.saturating_since(at);
+                s
+            }
+        });
+        self.finish_command(qid, exempt, cmd.cid, completion, span);
+    }
+
+    /// The shared post-execution tail of both ring paths: records the
+    /// command's detail (and span, when probing), runs the
+    /// completion-loss lottery, and schedules the surviving completion.
+    fn finish_command(
+        &mut self,
+        qid: u16,
+        exempt: bool,
+        cid: u16,
+        completion: DeviceCompletion,
+        span: Option<DeviceSpan>,
+    ) {
+        Self::put(&mut self.details, (qid, cid), completion);
+        if let Some(span) = span {
+            Self::put(&mut self.spans, (qid, cid), span);
+        }
+        // Completion-loss injection: the command *executed* on the
+        // backend, but its completion never surfaces — exactly how a
+        // lost CQE / dead MSI looks to the host.
+        let lost = match &mut self.faults {
+            Some(f) if !exempt && f.timeout_prob > 0.0 => {
+                let lost = f.rng.chance(f.timeout_prob);
+                if lost {
+                    f.injected_timeouts += 1;
+                    f.dropped.push((qid, cid));
                 }
-                _ => false,
-            };
-            if !lost {
-                self.qpairs[qid as usize].pending.schedule_keyed(
-                    completion.done,
-                    u64::from(cmd.cid),
-                    cmd.cid,
-                );
+                lost
             }
+            _ => false,
+        };
+        if !lost {
+            self.qpairs[qid as usize]
+                .pending
+                .schedule_keyed(completion.done, u64::from(cid), cid);
         }
     }
 
@@ -362,8 +457,8 @@ impl NvmeController {
         qp.sq.reset();
         qp.cq.reset();
         for &cid in &lost {
-            self.details.remove(&(qid, cid));
-            self.spans.remove(&(qid, cid));
+            self.take_detail(qid, cid);
+            self.take_span(qid, cid);
         }
         if let Some(f) = &mut self.faults {
             f.dropped.retain(|&(q, _)| q != qid);
@@ -406,13 +501,15 @@ impl NvmeController {
 
     /// Retrieves (once) the device-level detail of a completed command.
     pub fn take_detail(&mut self, qid: u16, cid: u16) -> Option<DeviceCompletion> {
-        self.details.remove(&(qid, cid))
+        let i = self.details.iter().position(|(k, _)| *k == (qid, cid))?;
+        Some(self.details.swap_remove(i).1)
     }
 
     /// Retrieves (once) the device-internal span of a completed command.
     /// Returns `None` unless probing was enabled when the command ran.
     pub fn take_span(&mut self, qid: u16, cid: u16) -> Option<DeviceSpan> {
-        self.spans.remove(&(qid, cid))
+        let i = self.spans.iter().position(|(k, _)| *k == (qid, cid))?;
+        Some(self.spans.swap_remove(i).1)
     }
 
     /// Commands started on the backend but not yet consumed by the host.

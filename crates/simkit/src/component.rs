@@ -195,6 +195,28 @@ pub trait Component {
     }
 }
 
+/// Wraps a component and suppresses its [`Component::on_batch`]
+/// override, forcing every batch through the default one-event-at-a-
+/// time loop.
+///
+/// This is the reference side of the batch==singleton differential
+/// tests: running the same seeded scenario through `Unbatched<C>` and
+/// through `C` must produce byte-identical reports, because a batch
+/// override is only ever allowed to amortize dispatch — never to
+/// change observable order or state.
+pub struct Unbatched<C>(pub C);
+
+impl<C: Component> Component for Unbatched<C> {
+    type Event = C::Event;
+
+    fn on_event(&mut self, now: SimTime, ev: Self::Event, sched: &mut Scheduler<'_, Self::Event>) {
+        self.0.on_event(now, ev, sched);
+    }
+    // No `on_batch` override: the trait default drains the batch
+    // through `on_event` in order, which lands on the inner
+    // component's `on_event` — its batch fast path is never consulted.
+}
+
 /// The single-actor driver: one component, one timing wheel.
 ///
 /// This is what the four hand-rolled engine loops were each an
@@ -284,12 +306,8 @@ impl<E> Engine<E> {
     pub fn run_until(&mut self, bound: SimTime, c: &mut impl Component<Event = E>) {
         self.halted = false;
         while !self.halted {
-            match self.wheel.peek_time() {
-                Some(t) if t <= bound => {}
-                _ => return,
-            }
             let mut batch = core::mem::take(&mut self.batch);
-            let Some(t) = self.wheel.pop_same_instant(&mut batch) else {
+            let Some(t) = self.wheel.pop_same_instant_until(bound, &mut batch) else {
                 self.batch = batch;
                 return;
             };

@@ -1,4 +1,4 @@
-//! A generational slab of reusable slots.
+//! A generational slab of reusable slots, laid out struct-of-arrays.
 //!
 //! The request hot path used to key in-flight I/O state by command id
 //! in a `BTreeMap`, paying an allocation plus a tree walk per I/O.
@@ -6,6 +6,24 @@
 //! requests: [`insert`](Slab::insert) hands back a [`SlotId`] that
 //! encodes both the slot index and a generation counter, so a stale id
 //! (kept across a remove/reuse) can never alias a newer occupant.
+//!
+//! # Layout: struct-of-arrays
+//!
+//! The slab stores its hot metadata — the per-slot generation counter
+//! every liveness check reads — in a dense `Vec<u32>` lane separate
+//! from the payload lane (`Vec<Option<T>>`). Sixteen generations share
+//! a cache line, so validating a burst of completion ids touches a
+//! handful of lines regardless of how large the payload type is; the
+//! payload line is only pulled once the check passes. The previous
+//! array-of-structs layout interleaved a 4-byte generation with each
+//! payload, striding the checks across the whole arena.
+//!
+//! [`prefetch`](Slab::prefetch) warms both lanes for an upcoming burst
+//! of ids. The crate forbids `unsafe`, so instead of `_mm_prefetch` it
+//! issues ordinary loads pinned by [`core::hint::black_box`] — a
+//! touch-ahead: the lines are resident by the time the drain loop
+//! dereferences them, which is all a prefetch buys on this access
+//! pattern.
 //!
 //! Determinism note: slot indices are allocated from a LIFO free list,
 //! which makes ids a pure function of the insert/remove sequence —
@@ -35,11 +53,6 @@ impl SlotId {
     }
 }
 
-struct Slot<T> {
-    generation: u32,
-    value: Option<T>,
-}
-
 /// A generational arena of reusable slots.
 ///
 /// # Examples
@@ -61,7 +74,11 @@ struct Slot<T> {
 /// assert_eq!(slab.get(b), Some(&"beta"));
 /// ```
 pub struct Slab<T> {
-    slots: Vec<Slot<T>>,
+    /// Hot lane: per-slot generation counters, dense. Parallel to
+    /// `values`; grown in lockstep.
+    generations: Vec<u32>,
+    /// Cold lane: the payloads. `Some` iff the slot is occupied.
+    values: Vec<Option<T>>,
     free: Vec<u32>,
     len: usize,
 }
@@ -76,7 +93,8 @@ impl<T> Slab<T> {
     /// Creates an empty slab.
     pub fn new() -> Self {
         Slab {
-            slots: Vec::new(),
+            generations: Vec::new(),
+            values: Vec::new(),
             free: Vec::new(),
             len: 0,
         }
@@ -86,7 +104,8 @@ impl<T> Slab<T> {
     /// backing reallocation.
     pub fn with_capacity(cap: usize) -> Self {
         Slab {
-            slots: Vec::with_capacity(cap),
+            generations: Vec::with_capacity(cap),
+            values: Vec::with_capacity(cap),
             free: Vec::new(),
             len: 0,
         }
@@ -98,15 +117,12 @@ impl<T> Slab<T> {
     pub fn insert(&mut self, value: T) -> SlotId {
         self.len += 1;
         if let Some(index) = self.free.pop() {
-            let slot = &mut self.slots[index as usize];
-            slot.value = Some(value);
-            SlotId::new(index, slot.generation)
+            self.values[index as usize] = Some(value);
+            SlotId::new(index, self.generations[index as usize])
         } else {
-            let index = self.slots.len() as u32;
-            self.slots.push(Slot {
-                generation: 0,
-                value: Some(value),
-            });
+            let index = self.generations.len() as u32;
+            self.generations.push(0);
+            self.values.push(Some(value));
             SlotId::new(index, 0)
         }
     }
@@ -116,12 +132,12 @@ impl<T> Slab<T> {
     /// next generation.
     #[inline]
     pub fn remove(&mut self, id: SlotId) -> Option<T> {
-        let slot = self.slots.get_mut(id.index())?;
-        if slot.generation != id.generation() {
+        let generation = self.generations.get_mut(id.index())?;
+        if *generation != id.generation() {
             return None;
         }
-        let value = slot.value.take()?;
-        slot.generation = slot.generation.wrapping_add(1);
+        let value = self.values[id.index()].take()?;
+        *generation = generation.wrapping_add(1);
         self.free.push(id.index() as u32);
         self.len -= 1;
         Some(value)
@@ -131,22 +147,37 @@ impl<T> Slab<T> {
     /// slot is vacant.
     #[inline]
     pub fn get(&self, id: SlotId) -> Option<&T> {
-        let slot = self.slots.get(id.index())?;
-        if slot.generation != id.generation() {
+        if *self.generations.get(id.index())? != id.generation() {
             return None;
         }
-        slot.value.as_ref()
+        self.values[id.index()].as_ref()
     }
 
     /// Mutably borrows the value at `id`, or `None` if the id is stale
     /// or the slot is vacant.
     #[inline]
     pub fn get_mut(&mut self, id: SlotId) -> Option<&mut T> {
-        let slot = self.slots.get_mut(id.index())?;
-        if slot.generation != id.generation() {
+        if *self.generations.get(id.index())? != id.generation() {
             return None;
         }
-        slot.value.as_mut()
+        self.values[id.index()].as_mut()
+    }
+
+    /// Warms the cache for an upcoming burst of lookups.
+    ///
+    /// Issues pinned loads (see the module docs) of the generation and
+    /// payload lanes for every id in `ids`, so a completion drain that
+    /// is about to [`remove`](Self::remove) the whole burst finds the
+    /// lines resident instead of missing once per slot. Stale or
+    /// out-of-range ids are touched harmlessly; no observable slab
+    /// state changes.
+    #[inline]
+    pub fn prefetch(&self, ids: &[SlotId]) {
+        for id in ids {
+            let i = id.index();
+            core::hint::black_box(self.generations.get(i).copied());
+            core::hint::black_box(self.values.get(i).map(Option::is_some));
+        }
     }
 
     /// Number of occupied slots.
@@ -166,7 +197,7 @@ impl<T> std::fmt::Debug for Slab<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Slab")
             .field("len", &self.len)
-            .field("capacity", &self.slots.len())
+            .field("capacity", &self.generations.len())
             .finish()
     }
 }
@@ -224,5 +255,21 @@ mod tests {
             *v += 1;
         }
         assert_eq!(s.remove(id), Some(42));
+    }
+
+    #[test]
+    fn prefetch_is_observably_inert() {
+        let mut s = Slab::new();
+        let a = s.insert(7u32);
+        let stale = {
+            let tmp = s.insert(8u32);
+            s.remove(tmp);
+            tmp
+        };
+        let out_of_range = SlotId::new(900, 3);
+        s.prefetch(&[a, stale, out_of_range]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(a), Some(&7));
+        assert_eq!(s.get(stale), None);
     }
 }

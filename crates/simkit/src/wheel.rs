@@ -308,12 +308,65 @@ impl<E> TimingWheel<E> {
     /// into `out` (in tie-break order) and returns that instant —
     /// the batched same-instant drain used by engine loops to retire
     /// coalesced completions without re-peeking per event.
+    ///
+    /// All events of one instant live in exactly one region (the three
+    /// regions partition time) and, within the near region, in exactly
+    /// one slot (`(at / G) % SLOTS` is a function of `at`), so a single
+    /// settle + slot sort suffices for the whole batch: the drain is
+    /// one heap-pop or slot-pop per event instead of the full
+    /// peek/settle/sort cycle the naive `pop` loop pays.
     pub fn pop_same_instant(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
-        let t = self.peek_time()?;
-        while let Some((_, e)) = self.pop_if_before(t + crate::time::SimDuration::from_nanos(1)) {
-            out.push(e);
+        self.drain_instant(u64::MAX, out)
+    }
+
+    /// Like [`pop_same_instant`](Self::pop_same_instant), but only
+    /// drains if the earliest instant is at or before `bound`; events
+    /// beyond it stay pending and `None` is returned. Saves the
+    /// bounded engine drain (`run_until`) a separate `peek_time` —
+    /// and therefore a second settle — per dispatched instant.
+    pub fn pop_same_instant_until(&mut self, bound: SimTime, out: &mut Vec<E>) -> Option<SimTime> {
+        self.drain_instant(bound.as_nanos(), out)
+    }
+
+    fn drain_instant(&mut self, bound: u64, out: &mut Vec<E>) -> Option<SimTime> {
+        // Past region first: `at < base <= near/far`, so nothing in the
+        // slots or the far heap can tie with a past event's instant.
+        if let Some(first) = self.past.peek() {
+            if first.at > bound {
+                return None;
+            }
+            let t = first.at;
+            while self.past.peek().is_some_and(|e| e.at == t) {
+                if let Some(e) = self.past.pop() {
+                    self.len -= 1;
+                    out.push(e.payload);
+                }
+            }
+            return Some(SimTime::from_nanos(t));
         }
-        Some(t)
+        self.settle();
+        if self.near == 0 {
+            return None;
+        }
+        // Same-instant near events share one slot, and the slot is
+        // sorted descending by rank, so the whole instant is a
+        // contiguous run at the back.
+        let idx = self.cursor_sorted();
+        let slot = &mut self.slots[idx];
+        let t = match slot.last() {
+            Some(e) if e.at <= bound => e.at,
+            _ => return None,
+        };
+        let mut popped = 0;
+        while slot.last().is_some_and(|e| e.at == t) {
+            if let Some(e) = slot.pop() {
+                popped += 1;
+                out.push(e.payload);
+            }
+        }
+        self.near -= popped;
+        self.len -= popped;
+        Some(SimTime::from_nanos(t))
     }
 
     /// The earliest pending firing time without advancing the wheel.
@@ -478,6 +531,39 @@ mod tests {
         assert_eq!(batch, vec!['c']);
         assert!(w.is_empty());
         assert_eq!(w.pop_same_instant(&mut batch), None);
+    }
+
+    #[test]
+    fn bounded_same_instant_drain_respects_the_bound() {
+        let mut w = TimingWheel::new();
+        w.schedule(SimTime::from_nanos(10), 'a');
+        w.schedule(SimTime::from_nanos(10), 'b');
+        w.schedule(SimTime::from_nanos(20), 'c');
+        let mut batch = Vec::new();
+        assert_eq!(
+            w.pop_same_instant_until(SimTime::from_nanos(9), &mut batch),
+            None
+        );
+        assert!(batch.is_empty());
+        assert_eq!(
+            w.pop_same_instant_until(SimTime::from_nanos(10), &mut batch),
+            Some(SimTime::from_nanos(10))
+        );
+        assert_eq!(batch, vec!['a', 'b']);
+        batch.clear();
+        assert_eq!(
+            w.pop_same_instant_until(SimTime::from_nanos(19), &mut batch),
+            None
+        );
+        assert_eq!(w.len(), 1);
+        // Past-region events respect the bound too.
+        w.schedule(SimTime::from_nanos(1), 'p');
+        assert_eq!(w.pop_same_instant_until(SimTime::ZERO, &mut batch), None);
+        assert_eq!(
+            w.pop_same_instant_until(SimTime::from_nanos(30), &mut batch),
+            Some(SimTime::from_nanos(1))
+        );
+        assert_eq!(batch, vec!['p']);
     }
 
     #[test]

@@ -6,8 +6,15 @@
 //! instructions to a [`StackFn`], so the paper's CPU-utilization figures
 //! (13, 14, 20) and memory-instruction figures (15, 21, 22) are direct
 //! queries over this ledger.
-
-use std::collections::BTreeMap;
+//!
+//! The ledger is a pair of fixed arrays indexed by enum discriminant,
+//! not a map: `charge`/`mem` run five to ten times per simulated I/O,
+//! and the tree walk plus node allocation of the previous `BTreeMap`
+//! showed up as several percent of end-to-end runtime. The arrays keep
+//! the map's observable semantics — a `touched` bit distinguishes
+//! "charged zero" from "never charged" so [`busy_breakdown`]
+//! (CpuAccounting::busy_breakdown) lists exactly the pairs a map would
+//! hold, in the same `(Mode, StackFn)` order for equal durations.
 
 use ull_simkit::SimDuration;
 
@@ -64,6 +71,39 @@ pub enum StackFn {
     Other,
 }
 
+/// Number of [`Mode`] variants (array lane count).
+const N_MODES: usize = 2;
+
+/// Number of [`StackFn`] variants (array lane count).
+const N_FNS: usize = 19;
+
+/// Every [`StackFn`] in declaration order — the iteration order the
+/// ledger's former `BTreeMap` exposed (declaration order is `Ord`
+/// order for a fieldless enum's derived `Ord`).
+const ALL_FNS: [StackFn; N_FNS] = [
+    StackFn::FioEngine,
+    StackFn::Syscall,
+    StackFn::Vfs,
+    StackFn::BlockLayer,
+    StackFn::NvmeDriverSubmit,
+    StackFn::BlkMqPoll,
+    StackFn::NvmePoll,
+    StackFn::Isr,
+    StackFn::Softirq,
+    StackFn::ContextSwitch,
+    StackFn::HybridSleep,
+    StackFn::SpdkSubmit,
+    StackFn::SpdkQpairProcess,
+    StackFn::SpdkPcieProcess,
+    StackFn::SpdkCheckEnabled,
+    StackFn::FsMetadata,
+    StackFn::Journal,
+    StackFn::Nbd,
+    StackFn::Other,
+];
+
+const ALL_MODES: [Mode; N_MODES] = [Mode::User, Mode::Kernel];
+
 /// Load/store counts attributed to one function.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemCounts {
@@ -107,8 +147,13 @@ impl core::ops::Add for MemCounts {
 #[derive(Debug, Clone)]
 pub struct CpuAccounting {
     freq_ghz: f64,
-    busy: BTreeMap<(Mode, StackFn), SimDuration>,
-    mem: BTreeMap<StackFn, MemCounts>,
+    /// Busy time per `[mode][func]`, dense.
+    busy: [[SimDuration; N_FNS]; N_MODES],
+    /// Whether `[mode][func]` was ever charged (including zero) — the
+    /// map-entry-exists bit `busy_breakdown` keys off.
+    busy_touched: [[bool; N_FNS]; N_MODES],
+    /// Memory instruction counts per function, dense.
+    mem: [MemCounts; N_FNS],
 }
 
 impl CpuAccounting {
@@ -117,8 +162,9 @@ impl CpuAccounting {
     pub fn new(freq_ghz: f64) -> Self {
         CpuAccounting {
             freq_ghz,
-            busy: BTreeMap::new(),
-            mem: BTreeMap::new(),
+            busy: [[SimDuration::ZERO; N_FNS]; N_MODES],
+            busy_touched: [[false; N_FNS]; N_MODES],
+            mem: [MemCounts::default(); N_FNS],
         }
     }
 
@@ -128,24 +174,23 @@ impl CpuAccounting {
     }
 
     /// Charges `dur` of busy time to `(mode, func)`.
+    #[inline]
     pub fn charge(&mut self, mode: Mode, func: StackFn, dur: SimDuration) {
-        *self.busy.entry((mode, func)).or_default() += dur;
+        self.busy[mode as usize][func as usize] += dur;
+        self.busy_touched[mode as usize][func as usize] = true;
     }
 
     /// Attributes memory instructions to `func`.
+    #[inline]
     pub fn mem(&mut self, func: StackFn, loads: u64, stores: u64) {
-        let e = self.mem.entry(func).or_default();
+        let e = &mut self.mem[func as usize];
         e.loads += loads;
         e.stores += stores;
     }
 
     /// Total busy time in one mode.
     pub fn busy(&self, mode: Mode) -> SimDuration {
-        self.busy
-            .iter()
-            .filter(|((m, _), _)| *m == mode)
-            .map(|(_, d)| *d)
-            .sum()
+        self.busy[mode as usize].iter().copied().sum()
     }
 
     /// Total busy time across modes.
@@ -155,10 +200,9 @@ impl CpuAccounting {
 
     /// Busy time of one function (across modes).
     pub fn busy_of(&self, func: StackFn) -> SimDuration {
-        self.busy
+        ALL_MODES
             .iter()
-            .filter(|((_, f), _)| *f == func)
-            .map(|(_, d)| *d)
+            .map(|&m| self.busy[m as usize][func as usize])
             .sum()
     }
 
@@ -178,33 +222,46 @@ impl CpuAccounting {
 
     /// Memory instruction counts of one function.
     pub fn mem_of(&self, func: StackFn) -> MemCounts {
-        self.mem.get(&func).copied().unwrap_or_default()
+        self.mem[func as usize]
     }
 
     /// Total memory instruction counts.
     pub fn mem_total(&self) -> MemCounts {
         self.mem
-            .values()
+            .iter()
             .copied()
             .fold(MemCounts::default(), |a, b| a + b)
     }
 
-    /// Per-function busy-time breakdown, largest first.
+    /// Per-function busy-time breakdown, largest first. Only pairs that
+    /// were ever charged appear; equal durations keep ascending
+    /// `(Mode, StackFn)` order (the stable sort over declaration-order
+    /// iteration, matching the former map's key order).
     pub fn busy_breakdown(&self) -> Vec<(StackFn, Mode, SimDuration)> {
-        let mut v: Vec<_> = self.busy.iter().map(|(&(m, f), &d)| (f, m, d)).collect();
+        let mut v: Vec<_> = ALL_MODES
+            .iter()
+            .flat_map(|&m| {
+                ALL_FNS
+                    .iter()
+                    .filter(move |&&f| self.busy_touched[m as usize][f as usize])
+                    .map(move |&f| (f, m, self.busy[m as usize][f as usize]))
+            })
+            .collect();
         v.sort_by_key(|r| std::cmp::Reverse(r.2));
         v
     }
 
     /// Merges another ledger (e.g. from a second core) into this one.
     pub fn merge(&mut self, other: &CpuAccounting) {
-        for (&k, &d) in &other.busy {
-            *self.busy.entry(k).or_default() += d;
+        for m in 0..N_MODES {
+            for f in 0..N_FNS {
+                self.busy[m][f] += other.busy[m][f];
+                self.busy_touched[m][f] |= other.busy_touched[m][f];
+            }
         }
-        for (&f, &m) in &other.mem {
-            let e = self.mem.entry(f).or_default();
-            e.loads += m.loads;
-            e.stores += m.stores;
+        for f in 0..N_FNS {
+            self.mem[f].loads += other.mem[f].loads;
+            self.mem[f].stores += other.mem[f].stores;
         }
     }
 }
